@@ -1,0 +1,84 @@
+"""Ablation — all mechanisms compared on the Table I default workload.
+
+Not a paper figure, but the comparison the paper's related-work section
+implies: the truthful mechanisms against naive dispatching (FIFO,
+random), posted prices, and the broken second-price rule, on welfare,
+payments, overpayment, and service rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import (
+    FifoMechanism,
+    FixedPriceMechanism,
+    RandomAllocationMechanism,
+    SecondPriceSlotMechanism,
+)
+from repro.simulation import SimulationEngine, WorkloadConfig
+from repro.utils.tables import format_table
+
+SEEDS = range(5)
+
+MECHANISMS = [
+    ("offline-vcg", OfflineVCGMechanism()),
+    ("online-greedy", OnlineGreedyMechanism()),
+    ("second-price-slot", SecondPriceSlotMechanism()),
+    ("fixed-price(25)", FixedPriceMechanism(price=25.0)),
+    ("random-alloc", RandomAllocationMechanism(seed=0)),
+    ("fifo", FifoMechanism()),
+]
+
+
+def _measure():
+    workload = WorkloadConfig.paper_default()
+    engine = SimulationEngine()
+    rows = []
+    welfare_by_label = {}
+    for label, mechanism in MECHANISMS:
+        welfare, payment, ratios, service = [], [], [], []
+        for seed in SEEDS:
+            scenario = workload.generate(seed=seed)
+            result = engine.run(mechanism, scenario)
+            welfare.append(result.true_welfare)
+            payment.append(result.total_payment)
+            if result.overpayment_ratio is not None:
+                ratios.append(result.overpayment_ratio)
+            service.append(result.service_rate)
+        rows.append(
+            [
+                label,
+                float(np.mean(welfare)),
+                float(np.mean(payment)),
+                float(np.mean(ratios)) if ratios else float("nan"),
+                float(np.mean(service)),
+            ]
+        )
+        welfare_by_label[label] = float(np.mean(welfare))
+    return rows, welfare_by_label
+
+
+def test_baseline_comparison(benchmark):
+    rows, welfare = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "mechanism",
+                "welfare",
+                "total payment",
+                "overpayment ratio",
+                "service rate",
+            ],
+            rows,
+            title="Baseline comparison (Table I defaults, 5 seeds)",
+        )
+    )
+    # The offline optimum dominates everything on welfare.
+    for label, value in welfare.items():
+        assert welfare["offline-vcg"] >= value - 1e-6, label
+    # Cost-aware allocation beats cost-blind dispatch.
+    assert welfare["online-greedy"] > welfare["fifo"]
+    assert welfare["online-greedy"] > welfare["random-alloc"]

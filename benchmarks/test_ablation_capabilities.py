@@ -1,0 +1,123 @@
+"""Extension ablation — welfare vs. sensing-capability coverage.
+
+The base model assumes every phone can serve every task; the typed
+extension restricts assignments to capable phones.  This bench sweeps
+the probability that a phone carries each sensor kind and shows how the
+welfare of both typed mechanisms degrades as hardware gets scarcer —
+and that at coverage 1.0 they recover the base mechanisms exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extensions import (
+    TypedOfflineVCGMechanism,
+    TypedOnlineGreedyMechanism,
+    generate_capability_model,
+)
+from repro.mechanisms import OfflineVCGMechanism
+from repro.simulation import SimulationEngine, WorkloadConfig
+from repro.utils.tables import format_table
+
+WORKLOAD = WorkloadConfig(
+    num_slots=12,
+    phone_rate=4.0,
+    task_rate=2.0,
+    mean_cost=10.0,
+    mean_active_length=3,
+    task_value=25.0,
+)
+KINDS = ("mic", "gas", "cam")
+COVERAGES = (0.2, 0.4, 0.6, 0.8, 1.0)
+SEEDS = range(4)
+
+
+def _measure():
+    engine = SimulationEngine()
+    rows = []
+    for coverage in COVERAGES:
+        offline_welfare, online_welfare, served = [], [], []
+        for seed in SEEDS:
+            scenario = WORKLOAD.generate(seed=seed)
+            rng = np.random.default_rng(1000 + seed)
+            model = generate_capability_model(
+                scenario.schedule,
+                [p.phone_id for p in scenario.profiles],
+                KINDS,
+                rng,
+                capability_probability=coverage,
+            )
+            offline = engine.run(
+                TypedOfflineVCGMechanism(model), scenario
+            )
+            online = engine.run(
+                TypedOnlineGreedyMechanism(model), scenario
+            )
+            offline_welfare.append(offline.true_welfare)
+            online_welfare.append(online.true_welfare)
+            served.append(online.service_rate)
+        rows.append(
+            [
+                coverage,
+                float(np.mean(offline_welfare)),
+                float(np.mean(online_welfare)),
+                float(np.mean(served)),
+            ]
+        )
+
+    # At full coverage the typed offline mechanism must equal the base.
+    base_welfare = []
+    full_welfare = []
+    for seed in SEEDS:
+        scenario = WORKLOAD.generate(seed=seed)
+        rng = np.random.default_rng(1000 + seed)
+        model = generate_capability_model(
+            scenario.schedule,
+            [p.phone_id for p in scenario.profiles],
+            KINDS,
+            rng,
+            capability_probability=1.0,
+        )
+        base_welfare.append(
+            SimulationEngine()
+            .run(OfflineVCGMechanism(), scenario)
+            .true_welfare
+        )
+        full_welfare.append(
+            SimulationEngine()
+            .run(TypedOfflineVCGMechanism(model), scenario)
+            .true_welfare
+        )
+    return rows, base_welfare, full_welfare
+
+
+def test_capability_coverage_sweep(benchmark):
+    rows, base_welfare, full_welfare = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            [
+                "sensor coverage",
+                "typed offline welfare",
+                "typed online welfare",
+                "online service rate",
+            ],
+            rows,
+            title="Extension: welfare vs. sensing-capability coverage",
+        )
+    )
+
+    offline_series = [row[1] for row in rows]
+    online_series = [row[2] for row in rows]
+    # Welfare grows with coverage for both mechanisms.
+    assert offline_series == sorted(offline_series)
+    assert online_series[-1] > online_series[0]
+    # Offline dominates online at every coverage level.
+    for row in rows:
+        assert row[1] >= row[2] - 1e-6
+    # Full coverage recovers the base mechanism exactly.
+    for base, full in zip(base_welfare, full_welfare):
+        assert full == base

@@ -1,0 +1,63 @@
+"""Ablation — interaction of round length and supply density.
+
+Fig. 6 (welfare vs. m) and Fig. 7 (welfare vs. λ) vary one parameter at
+a time; this bench sweeps both jointly and inspects the *gap* between
+offline and online welfare across the grid: the online mechanism's
+regret should shrink (relatively) as supply densifies, regardless of
+the round length.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import ExperimentConfig
+from repro.experiments.grid import render_grid_heatmap, run_grid
+
+SLOT_VALUES = (30, 50, 70)
+RATE_VALUES = (4.0, 6.0, 8.0)
+
+
+def _measure():
+    config = ExperimentConfig(repetitions=3, base_seed=BENCH_SEED)
+    return run_grid(
+        config,
+        param_x="phone_rate",
+        values_x=RATE_VALUES,
+        param_y="num_slots",
+        values_y=SLOT_VALUES,
+    )
+
+
+def test_slots_by_supply_grid(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(render_grid_heatmap(result, "offline", "welfare"))
+    print()
+    print(render_grid_heatmap(result, "online", "welfare"))
+
+    offline = result.metric_grid("offline", "welfare")
+    online = result.metric_grid("online", "welfare")
+
+    # Offline dominates online in every cell.
+    for row_off, row_on in zip(offline, online):
+        for off, on in zip(row_off, row_on):
+            assert off >= on - 1e-6
+
+    # The relative gap shrinks with supply density in every row.
+    relative_gap = [
+        [(off - on) / off for off, on in zip(row_off, row_on)]
+        for row_off, row_on in zip(offline, online)
+    ]
+    print()
+    for slots, row in zip(SLOT_VALUES, relative_gap):
+        rendered = ", ".join(f"{g:.3f}" for g in row)
+        print(f"relative gap at m={slots}: λ=4/6/8 -> {rendered}")
+    for row in relative_gap:
+        assert row[-1] <= row[0] + 0.02  # densest supply ≈ smallest gap
+
+    # Welfare increases along both axes in every line of the grid.
+    for row in offline:
+        assert row == sorted(row)
+    for col in range(len(RATE_VALUES)):
+        column = [offline[r][col] for r in range(len(SLOT_VALUES))]
+        assert column == sorted(column)

@@ -1,0 +1,110 @@
+"""Theorems 1/4 ablation — truthfulness audit matrix.
+
+Runs the unilateral-deviation audit against every registered mechanism
+on the same workloads and prints the pass/fail matrix: the paper's
+mechanisms must pass, the pay-as-bid and second-price baselines must be
+caught cheating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import (
+    FifoMechanism,
+    FixedPriceMechanism,
+    RandomAllocationMechanism,
+    SecondPriceSlotMechanism,
+)
+from repro.metrics import audit_individual_rationality, audit_truthfulness
+from repro.simulation import DeterministicArrivals, WorkloadConfig
+from repro.utils.tables import format_table
+
+#: Saturated market: per-slot pool never empties under any unilateral
+#: deviation, the regime Theorem 4's critical-value argument covers.
+WORKLOAD = WorkloadConfig(
+    num_slots=8,
+    phone_rate=5.0,
+    task_rate=1.0,
+    mean_cost=10.0,
+    mean_active_length=3,
+    task_value=25.0,
+)
+SEEDS = (0, 1, 2)
+
+MECHANISMS = [
+    ("offline-vcg", OfflineVCGMechanism(), True),
+    ("online-greedy (paper rule)", OnlineGreedyMechanism(), True),
+    (
+        "online-greedy (exact rule)",
+        OnlineGreedyMechanism(reserve_price=True, payment_rule="exact"),
+        True,
+    ),
+    ("fixed-price(12)", FixedPriceMechanism(price=12.0), True),
+    ("second-price-slot", SecondPriceSlotMechanism(), False),
+    ("random-alloc (pay-as-bid)", RandomAllocationMechanism(seed=0), False),
+    ("fifo (pay-as-bid)", FifoMechanism(), False),
+]
+
+
+def _audit_all():
+    rows = []
+    for label, mechanism, expected_truthful in MECHANISMS:
+        violations = 0
+        tested = 0
+        ir_violations = 0
+        for seed in SEEDS:
+            scenario = WORKLOAD.generate(
+                seed=seed,
+                phone_arrivals=DeterministicArrivals(5),
+                task_arrivals=DeterministicArrivals(1),
+            )
+            rng = np.random.default_rng(seed)
+            report = audit_truthfulness(
+                mechanism, scenario, rng, max_phones=10
+            )
+            violations += len(report.violations)
+            tested += report.deviations_tested
+            ir_violations += len(
+                audit_individual_rationality(mechanism, scenario)
+            )
+        rows.append(
+            [
+                label,
+                tested,
+                violations,
+                ir_violations,
+                expected_truthful,
+                violations == 0,
+            ]
+        )
+    return rows
+
+
+def test_truthfulness_audit_matrix(benchmark):
+    rows = benchmark.pedantic(_audit_all, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "mechanism",
+                "deviations tested",
+                "profitable deviations",
+                "IR violations",
+                "designed truthful",
+                "audit passed",
+            ],
+            rows,
+            title="Theorems 1/4: truthfulness audit",
+        )
+    )
+    for label, _, violations, ir_violations, expected, _ in rows:
+        if expected:
+            assert violations == 0, f"{label} should be truthful"
+        else:
+            assert violations > 0, f"{label} should be caught cheating"
+    # Individual rationality: paper mechanisms and posted price.
+    for label, _, _, ir_violations, expected, _ in rows:
+        if expected:
+            assert ir_violations == 0, label

@@ -1,0 +1,39 @@
+"""Fig. 6 — social welfare ω vs. number of slots m.
+
+Paper's claims: (1) welfare increases with m for both mechanisms;
+(2) the offline mechanism offers larger welfare than the online one;
+(3) the gap between them expands as m grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    assert_increasing,
+    print_figure_report,
+    series_means,
+)
+
+
+def test_fig6_welfare_vs_slots(benchmark, figure_results):
+    result = benchmark.pedantic(
+        figure_results, args=("fig6",), rounds=1, iterations=1
+    )
+    print_figure_report(
+        result,
+        "welfare",
+        "welfare increases with m; offline > online; gap expands with m",
+    )
+
+    offline = series_means(result, "offline", "welfare")
+    online = series_means(result, "online", "welfare")
+
+    # (1) both series increase with m.
+    assert_increasing(offline)
+    assert_increasing(online)
+    for a, b in zip(offline, offline[1:]):
+        assert b > a * 0.95  # monotone up to repetition noise
+    # (2) offline >= online at every point.
+    for off, on in zip(offline, online):
+        assert off >= on - 1e-9
+    # (3) the absolute gap grows from the first to the last point.
+    assert (offline[-1] - online[-1]) > (offline[0] - online[0])

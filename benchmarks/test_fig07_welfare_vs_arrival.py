@@ -1,0 +1,33 @@
+"""Fig. 7 — social welfare ω vs. smartphone arrival rate λ.
+
+Paper's claims: welfare increases when the arrival rate of smartphones
+goes up (more phones ⇒ more likely to hire cheap ones), and the offline
+mechanism stays above the online one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    assert_increasing,
+    print_figure_report,
+    series_means,
+)
+
+
+def test_fig7_welfare_vs_arrival_rate(benchmark, figure_results):
+    result = benchmark.pedantic(
+        figure_results, args=("fig7",), rounds=1, iterations=1
+    )
+    print_figure_report(
+        result,
+        "welfare",
+        "welfare increases with λ; offline > online",
+    )
+
+    offline = series_means(result, "offline", "welfare")
+    online = series_means(result, "online", "welfare")
+
+    assert_increasing(offline)
+    assert_increasing(online)
+    for off, on in zip(offline, online):
+        assert off >= on - 1e-9

@@ -1,0 +1,35 @@
+"""Fig. 8 — social welfare ω vs. average of real costs c̄.
+
+Paper's claims: welfare decreases as the average real cost grows (the
+system pays more to get tasks processed), offline above online.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    assert_decreasing,
+    print_figure_report,
+    series_means,
+)
+
+
+def test_fig8_welfare_vs_mean_cost(benchmark, figure_results):
+    result = benchmark.pedantic(
+        figure_results, args=("fig8",), rounds=1, iterations=1
+    )
+    print_figure_report(
+        result,
+        "welfare",
+        "welfare decreases with the average of real costs; offline > online",
+    )
+
+    offline = series_means(result, "offline", "welfare")
+    online = series_means(result, "online", "welfare")
+
+    assert_decreasing(offline)
+    assert_decreasing(online)
+    # Strictly decreasing point to point (the effect is strong).
+    for a, b in zip(offline, offline[1:]):
+        assert b < a
+    for off, on in zip(offline, online):
+        assert off >= on - 1e-9

@@ -1,0 +1,30 @@
+"""Fig. 10 — overpayment ratio σ vs. smartphone arrival rate λ.
+
+Paper's claims: the ratio keeps stable as the number of smartphones
+grows; the online mechanism's ratio decreases slightly (more phones ⇒
+cheaper replacements cap the critical payments).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure_report, series_means
+
+
+def test_fig10_overpayment_vs_arrival_rate(benchmark, figure_results):
+    result = benchmark.pedantic(
+        figure_results, args=("fig10",), rounds=1, iterations=1
+    )
+    print_figure_report(
+        result,
+        "overpayment_ratio",
+        "ratio stable in λ; online decreases slightly with more phones",
+    )
+
+    offline = series_means(result, "offline", "overpayment_ratio")
+    online = series_means(result, "online", "overpayment_ratio")
+
+    for series in (offline, online):
+        assert max(series) - min(series) < 0.4 * max(series)
+        assert all(0.3 <= v <= 1.6 for v in series)
+    # Online's slight decrease: last point below first.
+    assert online[-1] <= online[0] + 0.05

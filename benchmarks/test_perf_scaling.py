@@ -1,0 +1,69 @@
+"""Theorems 3/7 — polynomial-time computation, measured.
+
+Times the three computational kernels against instance size:
+
+* the Hungarian solve (offline winning-bid determination, O((n+γ)^3)),
+* the full offline VCG run (solve + one repair per winner),
+* the full online run (greedy + Algorithm-2 payments).
+
+These use pytest-benchmark's statistical timing (several rounds), since
+here the time itself — not a reproduction table — is the product.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.graph import TaskAssignmentGraph
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.simulation import WorkloadConfig
+
+
+def _scenario(num_slots: int):
+    return WorkloadConfig.paper_default().replace(
+        num_slots=num_slots
+    ).generate(seed=1)
+
+
+@pytest.mark.parametrize("num_slots", [30, 50, 80])
+def test_hungarian_solve_scaling(benchmark, num_slots):
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+
+    def solve():
+        return TaskAssignmentGraph(scenario.schedule, bids).solve()
+
+    allocation, welfare = benchmark(solve)
+    assert welfare > 0.0
+    assert allocation
+
+
+@pytest.mark.parametrize("num_slots", [30, 50, 80])
+def test_offline_vcg_scaling(benchmark, num_slots):
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+    mechanism = OfflineVCGMechanism()
+
+    outcome = benchmark(mechanism.run, bids, scenario.schedule)
+    assert outcome.total_payment > 0.0
+
+
+@pytest.mark.parametrize("num_slots", [30, 50, 80])
+def test_online_greedy_scaling(benchmark, num_slots):
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+    mechanism = OnlineGreedyMechanism()
+
+    outcome = benchmark(mechanism.run, bids, scenario.schedule)
+    assert outcome.total_payment > 0.0
+
+
+def test_exact_payment_rule_overhead(benchmark):
+    """The binary-search payment rule's cost relative to Algorithm 2."""
+    scenario = _scenario(30)
+    bids = scenario.truthful_bids()
+    mechanism = OnlineGreedyMechanism(
+        reserve_price=True, payment_rule="exact"
+    )
+    outcome = benchmark(mechanism.run, bids, scenario.schedule)
+    assert outcome.total_payment > 0.0

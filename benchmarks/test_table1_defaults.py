@@ -1,0 +1,65 @@
+"""Table I — the default simulation settings, verified empirically.
+
+Regenerates the default workload many times and checks the realised
+arrival rates, mean cost, and mean active-time length against the
+parameters Table I lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import WorkloadConfig
+from repro.utils.tables import format_table
+
+
+def _measure(num_rounds: int = 20):
+    config = WorkloadConfig.paper_default()
+    phones, tasks, costs, lengths = [], [], [], []
+    for seed in range(num_rounds):
+        scenario = config.generate(seed=seed)
+        phones.append(scenario.num_phones / config.num_slots)
+        tasks.append(scenario.num_tasks / config.num_slots)
+        costs.extend(p.cost for p in scenario.profiles)
+        lengths.extend(
+            p.active_length
+            for p in scenario.profiles
+            # Exclude the horizon edge where departures are clamped.
+            if p.arrival <= config.num_slots - 2 * config.mean_active_length
+        )
+    return {
+        "phone_rate": float(np.mean(phones)),
+        "task_rate": float(np.mean(tasks)),
+        "mean_cost": float(np.mean(costs)),
+        "mean_active_length": float(np.mean(lengths)),
+    }
+
+
+def test_table1_defaults(benchmark):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    config = WorkloadConfig.paper_default()
+
+    rows = [
+        ["Arrival rate λ of smartphones", 6.0, measured["phone_rate"]],
+        ["Arrival rate λt of sensing tasks", 3.0, measured["task_rate"]],
+        ["Average of real costs c̄", 25.0, measured["mean_cost"]],
+        ["Number of slots m", 50, config.num_slots],
+        [
+            "Average length of active time",
+            5.0,
+            measured["mean_active_length"],
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["parameter (Table I)", "paper", "measured"],
+            rows,
+            title="Table I: default settings",
+        )
+    )
+
+    assert abs(measured["phone_rate"] - 6.0) < 0.5
+    assert abs(measured["task_rate"] - 3.0) < 0.3
+    assert abs(measured["mean_cost"] - 25.0) < 1.5
+    assert abs(measured["mean_active_length"] - 5.0) < 0.5

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Heterogeneous sensing hardware (the typed-task extension).
+
+The paper assumes every phone can serve every sensing task; a real
+campaign mixes microphones (noise), gas sensors (air quality), and
+cameras (road conditions), and not every phone carries every sensor.
+This example builds a mixed campaign, runs the capability-aware
+mechanisms from ``repro.extensions``, and shows (a) allocations respect
+hardware, (b) the price of hardware scarcity, and (c) truthfulness
+survives the restriction.
+
+Run:  python examples/heterogeneous_sensors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    OfflineVCGMechanism,
+    SimulationEngine,
+    WorkloadConfig,
+    audit_truthfulness,
+)
+from repro.extensions import (
+    TypedOfflineVCGMechanism,
+    TypedOnlineGreedyMechanism,
+    generate_capability_model,
+)
+from repro.extensions.capabilities import check_typed_outcome
+from repro.utils.tables import format_table
+
+KINDS = ("noise", "air-quality", "road-photo")
+
+WORKLOAD = WorkloadConfig(
+    num_slots=12,
+    phone_rate=4.0,
+    task_rate=2.0,
+    mean_cost=10.0,
+    mean_active_length=3,
+    task_value=25.0,
+)
+
+
+def main() -> None:
+    scenario = WORKLOAD.generate(seed=5)
+    rng = np.random.default_rng(5)
+    model = generate_capability_model(
+        scenario.schedule,
+        [p.phone_id for p in scenario.profiles],
+        KINDS,
+        rng,
+        capability_probability=0.5,
+    )
+
+    kind_counts = {}
+    for task in scenario.schedule:
+        kind = model.kind_of(task)
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    print(
+        format_table(
+            ["task kind", "tasks"],
+            sorted(kind_counts.items()),
+            title="The campaign's sensing mix",
+        )
+    )
+    print()
+
+    engine = SimulationEngine()
+    typed_offline = engine.run(TypedOfflineVCGMechanism(model), scenario)
+    typed_online = engine.run(TypedOnlineGreedyMechanism(model), scenario)
+    base_offline = engine.run(OfflineVCGMechanism(), scenario)
+
+    # Allocations respect hardware (raises on violation).
+    check_typed_outcome(typed_offline.outcome, model)
+    check_typed_outcome(typed_online.outcome, model)
+
+    print(
+        format_table(
+            ["mechanism", "welfare", "spend", "tasks served"],
+            [
+                [
+                    "base offline (ignores hardware!)",
+                    base_offline.true_welfare,
+                    base_offline.total_payment,
+                    base_offline.tasks_served,
+                ],
+                [
+                    "typed offline",
+                    typed_offline.true_welfare,
+                    typed_offline.total_payment,
+                    typed_offline.tasks_served,
+                ],
+                [
+                    "typed online",
+                    typed_online.true_welfare,
+                    typed_online.total_payment,
+                    typed_online.tasks_served,
+                ],
+            ],
+            title="The price of hardware constraints (coverage 0.5)",
+        )
+    )
+    print(
+        "\nThe base mechanism's welfare is an infeasible upper bound — "
+        "it happily\nassigns an air-quality reading to a phone without "
+        "a gas sensor.  The typed\nmechanisms stay feasible and pay the "
+        "scarcity premium instead.\n"
+    )
+
+    report = audit_truthfulness(
+        TypedOnlineGreedyMechanism(model),
+        scenario,
+        np.random.default_rng(0),
+        max_phones=8,
+    )
+    print(
+        f"truthfulness audit of the typed online mechanism: "
+        f"{report.deviations_tested} deviations tested, "
+        f"{len(report.violations)} profitable "
+        f"({'PASS' if report.passed else 'FAIL'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Urban noise-mapping campaign (the paper's Ear-Phone motivation [2]).
+
+A city runs a crowdsourced noise-mapping service: sensing queries spike
+during the morning and evening rush hours, while commuter phones drift
+in and out of availability.  The platform must decide, slot by slot,
+which phone takes which measurement and what to pay — the exact setting
+of the paper's online mechanism.
+
+This example builds the rush-hour workload from the library's arrival
+primitives (a trace-driven task process, Poisson phones), runs the
+online mechanism through the *incremental* platform (events included),
+and compares it against FIFO dispatch and a posted price.
+
+Run:  python examples/noise_mapping.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FifoMechanism,
+    FixedPriceMechanism,
+    OnlineGreedyMechanism,
+    SimulationEngine,
+    WorkloadConfig,
+    replay_scenario,
+)
+from repro.auction.events import PaymentSettled, TaskAllocated
+from repro.simulation import PoissonArrivals, TraceArrivals, UniformCosts
+from repro.utils.tables import format_table
+
+#: 24 slots = one day in hour slots; queries spike at 8-9 am and 5-7 pm.
+RUSH_HOUR_QUERIES = [
+    0, 0, 0, 0, 0, 1,        # night
+    2, 5, 6, 3, 2, 2,        # morning rush around slots 8-9
+    2, 2, 2, 2, 5, 6,        # evening rush from slot 17
+    5, 3, 1, 1, 0, 0,        # winding down
+]
+
+
+def build_scenario(seed: int = 3):
+    """One day of the campaign."""
+    workload = WorkloadConfig(
+        num_slots=24,
+        phone_rate=4.0,          # commuter phones joining per hour
+        task_rate=2.0,           # overridden by the trace below
+        mean_cost=8.0,           # battery + data cost of one measurement
+        mean_active_length=3,    # phones idle for ~3 hours
+        task_value=20.0,         # value of one noise sample to the city
+    )
+    return workload.generate(
+        seed=seed,
+        phone_arrivals=PoissonArrivals(4.0),
+        task_arrivals=TraceArrivals(RUSH_HOUR_QUERIES),
+        cost_distribution=UniformCosts(2.0, 14.0),
+    )
+
+
+def main() -> None:
+    scenario = build_scenario()
+    print(
+        f"Noise-mapping day: {scenario.num_phones} commuter phones, "
+        f"{scenario.num_tasks} measurement queries over 24 hour-slots\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Live operation through the incremental platform.
+    # ------------------------------------------------------------------
+    outcome, events = replay_scenario(scenario)
+    allocations = [e for e in events if isinstance(e, TaskAllocated)]
+    settlements = [e for e in events if isinstance(e, PaymentSettled)]
+    print("First platform events of the morning rush:")
+    shown = 0
+    for event in events:
+        if isinstance(event, (TaskAllocated, PaymentSettled)):
+            print("  " + event.describe())
+            shown += 1
+        if shown == 8:
+            break
+    print(
+        f"  ... {len(allocations)} allocations, {len(settlements)} "
+        f"settlements in total\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Mechanism comparison on the same day.
+    # ------------------------------------------------------------------
+    engine = SimulationEngine()
+    mechanisms = [
+        OnlineGreedyMechanism(),
+        FifoMechanism(),
+        FixedPriceMechanism(price=8.0),
+    ]
+    rows = []
+    for mechanism in mechanisms:
+        result = engine.run(mechanism, scenario)
+        rows.append(
+            [
+                mechanism.name,
+                result.true_welfare,
+                result.total_payment,
+                f"{100 * result.service_rate:.0f}%",
+                "yes" if mechanism.is_truthful else "no",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "mechanism",
+                "welfare",
+                "city spend",
+                "queries served",
+                "truthful",
+            ],
+            rows,
+            title="One day of noise mapping, three dispatch policies",
+        )
+    )
+    print(
+        "\nFIFO ignores costs (it hires whoever waited longest at their "
+        "claimed price);\nthe posted price can't adapt to rush-hour "
+        "scarcity.  The auction serves the\nqueries cost-aware and stays "
+        "truthful."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate all six evaluation figures of the paper in one run.
+
+For each of Figs. 6-11 this runs the declarative sweep spec, prints the
+mean ± CI table and an ASCII chart, and writes a CSV next to this
+script (``paper_figures_out/figN.csv``) for external plotting.
+
+Run:  python examples/paper_figures.py [--repetitions N]
+(defaults to 5 repetitions per sweep point; ~1 minute total)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.experiments import (
+    figure_spec,
+    list_figures,
+    render_sweep_csv,
+    render_sweep_table,
+    run_sweep,
+)
+from repro.experiments.figures import FIGURE_METRIC
+from repro.experiments.report import render_sweep_chart
+
+PAPER_CLAIMS = {
+    "fig6": "welfare increases with m; offline > online, gap expands",
+    "fig7": "welfare increases with smartphone arrival rate λ",
+    "fig8": "welfare decreases with the average of real costs",
+    "fig9": "overpayment ratio stable in m",
+    "fig10": "overpayment ratio stable in λ; online slightly decreasing",
+    "fig11": "offline overpayment ratio above online",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=5,
+        help="seeded repetitions per sweep point (default 5)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "paper_figures_out",
+        help="directory for CSV output",
+    )
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    # Figs. 6/9, 7/10, 8/11 share sweeps; run each sweep once.
+    cache = {}
+    for name in list_figures():
+        spec = figure_spec(name, repetitions=args.repetitions)
+        key = (spec.param, spec.values)
+        if key not in cache:
+            print(f"running sweep over {spec.param} ...")
+            cache[key] = run_sweep(spec)
+        result = cache[key]
+        metric = FIGURE_METRIC[name]
+
+        print()
+        print("=" * 72)
+        print(f"{name.upper()}  —  {spec.title}")
+        print(f"paper: {PAPER_CLAIMS[name]}")
+        print("=" * 72)
+        print(render_sweep_table(result, metric, title=""))
+        print()
+        print(render_sweep_chart(result, metric))
+
+        csv_path = args.out / f"{name}.csv"
+        csv_path.write_text(render_sweep_csv(result, metric))
+        print(f"\n(csv written to {csv_path})")
+
+
+if __name__ == "__main__":
+    main()

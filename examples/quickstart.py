@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quickstart: one auction round under both of the paper's mechanisms.
+
+Generates the Table I default workload, runs the offline optimal VCG
+mechanism and the online greedy mechanism on the same truthful bids, and
+prints the headline metrics plus a settlement table for the first few
+winners.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    OfflineVCGMechanism,
+    OnlineGreedyMechanism,
+    SimulationEngine,
+    WorkloadConfig,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. A random round with the paper's default parameters (Table I):
+    #    λ = 6 phones/slot, λ_t = 3 tasks/slot, c̄ = 25, m = 50 slots.
+    workload = WorkloadConfig.paper_default()
+    scenario = workload.generate(seed=7)
+    print(
+        f"Round: {scenario.num_phones} smartphones, "
+        f"{scenario.num_tasks} sensing tasks, "
+        f"{scenario.num_slots} slots, task value ν = "
+        f"{workload.task_value:g}"
+    )
+    print()
+
+    # 2. Run both mechanisms on the same truthful bids.
+    engine = SimulationEngine()
+    results = [
+        engine.run(OfflineVCGMechanism(), scenario),
+        engine.run(OnlineGreedyMechanism(), scenario),
+    ]
+
+    # 3. Headline metrics (the paper's two evaluation quantities).
+    print(
+        format_table(
+            [
+                "mechanism",
+                "social welfare ω",
+                "overpayment ratio σ",
+                "total payment",
+                "tasks served",
+            ],
+            [
+                [
+                    r.mechanism_name,
+                    r.true_welfare,
+                    r.overpayment_ratio,
+                    r.total_payment,
+                    r.tasks_served,
+                ]
+                for r in results
+            ],
+            title="One round, both mechanisms",
+        )
+    )
+    print()
+
+    # 4. Per-phone settlement for the online mechanism's first winners.
+    online = results[1]
+    rows = []
+    for phone_id in online.outcome.winners[:8]:
+        profile = scenario.profile(phone_id)
+        task = online.outcome.task_of(phone_id)
+        rows.append(
+            [
+                phone_id,
+                task.label,
+                profile.cost,
+                online.outcome.payment(phone_id),
+                online.utilities[phone_id],
+                online.outcome.payment_slot(phone_id),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "phone",
+                "task",
+                "real cost",
+                "payment",
+                "utility",
+                "paid in slot",
+            ],
+            rows,
+            title="Online mechanism: first winners (payment at departure)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Strategic smartphones: does lying ever pay?
+
+Puts a population of misreporting agents (cost inflators, arrival
+delayers, early leavers, random deviants) against three mechanisms and
+measures what each *individual* lie earns relative to truth-telling,
+using the library's truthfulness auditor and best-response search.
+
+Expected picture (Theorems 1 and 4): against the paper's two mechanisms
+no lie helps; against the per-slot second-price baseline the auditor
+rediscovers the paper's Fig. 5 deviation.
+
+Run:  python examples/strategic_agents.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    OfflineVCGMechanism,
+    OnlineGreedyMechanism,
+    SecondPriceSlotMechanism,
+    audit_truthfulness,
+    best_response_search,
+)
+from repro.simulation import DeterministicArrivals, WorkloadConfig
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # Saturated market: supply always exceeds demand, the regime the
+    # paper's Theorem 4 covers (see DESIGN.md §7 for the sparse case).
+    workload = WorkloadConfig(
+        num_slots=8,
+        phone_rate=5.0,
+        task_rate=1.0,
+        mean_cost=10.0,
+        mean_active_length=3,
+        task_value=25.0,
+    )
+    scenario = workload.generate(
+        seed=0,
+        phone_arrivals=DeterministicArrivals(5),
+        task_arrivals=DeterministicArrivals(1),
+    )
+    print(
+        f"Market: {scenario.num_phones} phones, {scenario.num_tasks} "
+        f"tasks over {scenario.num_slots} slots\n"
+    )
+
+    mechanisms = [
+        OfflineVCGMechanism(),
+        OnlineGreedyMechanism(),
+        SecondPriceSlotMechanism(),
+    ]
+
+    # ------------------------------------------------------------------
+    # 1. The deviation battery (one lie per misreport dimension).
+    # ------------------------------------------------------------------
+    rows = []
+    for mechanism in mechanisms:
+        report = audit_truthfulness(
+            mechanism,
+            scenario,
+            np.random.default_rng(1),
+            max_phones=15,
+        )
+        best_gain = max(
+            (v.gain for v in report.violations), default=0.0
+        )
+        rows.append(
+            [
+                mechanism.name,
+                report.deviations_tested,
+                len(report.violations),
+                best_gain,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "mechanism",
+                "lies tested",
+                "profitable lies",
+                "best gain found",
+            ],
+            rows,
+            title="Unilateral-deviation audit",
+        )
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Best-response search for a handful of phones.
+    # ------------------------------------------------------------------
+    bids = scenario.truthful_bids()
+    sample = list(scenario.profiles[:5])
+    rows = []
+    for mechanism in mechanisms:
+        profitable = 0
+        biggest = 0.0
+        for profile in sample:
+            result = best_response_search(
+                mechanism, profile, bids, scenario.schedule, max_windows=4
+            )
+            if result.profitable:
+                profitable += 1
+                biggest = max(biggest, result.gain)
+        rows.append([mechanism.name, len(sample), profitable, biggest])
+    print(
+        format_table(
+            [
+                "mechanism",
+                "phones searched",
+                "phones with a best response ≠ truth",
+                "largest gain",
+            ],
+            rows,
+            title="Exhaustive best-response search (grid over windows x costs)",
+        )
+    )
+    print(
+        "\nTruth-telling is a dominant strategy under both of the "
+        "paper's mechanisms;\nthe second-price strawman is manipulable, "
+        "as Fig. 5 warns.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The utility landscape of one phone: flat at truth (ours) vs.
+    #    a profitable bump (second price), on the paper's own example.
+    # ------------------------------------------------------------------
+    from repro.metrics import arrival_landscape
+    from repro.simulation.paper_example import (
+        paper_example_bids,
+        paper_example_profiles,
+        paper_example_schedule,
+    )
+
+    phone1 = next(
+        p for p in paper_example_profiles() if p.phone_id == 1
+    )
+    rows = []
+    for mechanism in (OnlineGreedyMechanism(), SecondPriceSlotMechanism()):
+        landscape = arrival_landscape(
+            mechanism,
+            phone1,
+            paper_example_bids(),
+            paper_example_schedule(),
+        )
+        utilities = {
+            p.bid.arrival: round(p.utility, 2) for p in landscape.points
+        }
+        rows.append(
+            [
+                mechanism.name,
+                utilities.get(2, 0.0),
+                utilities.get(3, 0.0),
+                utilities.get(4, 0.0),
+                utilities.get(5, 0.0),
+                "flat" if landscape.is_flat_at_truth else "bump!",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "mechanism",
+                "claim slot 2 (truth)",
+                "slot 3",
+                "slot 4",
+                "slot 5",
+                "landscape",
+            ],
+            rows,
+            title="Smartphone 1's utility vs. its claimed arrival "
+            "(Fig. 4/5 instance)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Truthful auction mechanisms for mobile crowdsourcing with dynamic
+smartphones.
+
+A production-quality reproduction of Feng et al., *"Towards Truthful
+Mechanisms for Mobile Crowdsourcing with Dynamic Smartphones"*
+(ICDCS 2014).  The package implements the paper's two mechanisms — the
+offline optimal VCG mechanism and the online greedy mechanism with
+critical-value payments — together with the full simulation substrate,
+baselines, property auditors, and the experiment harness regenerating
+every figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     WorkloadConfig, SimulationEngine,
+...     OfflineVCGMechanism, OnlineGreedyMechanism,
+... )
+>>> scenario = WorkloadConfig.paper_default().generate(seed=1)
+>>> engine = SimulationEngine()
+>>> offline = engine.run(OfflineVCGMechanism(), scenario)
+>>> online = engine.run(OnlineGreedyMechanism(), scenario)
+>>> offline.claimed_welfare >= online.claimed_welfare
+True
+
+See ``examples/`` for complete runnable programs and DESIGN.md for the
+module map.
+"""
+
+from repro.agents import (
+    BiddingStrategy,
+    CombinedMisreportStrategy,
+    CostAdditiveStrategy,
+    CostScalingStrategy,
+    DelayedArrivalStrategy,
+    EarlyDepartureStrategy,
+    RandomMisreportStrategy,
+    TruthfulStrategy,
+    best_response_search,
+)
+from repro.auction import (
+    CampaignResult,
+    CrowdsourcingPlatform,
+    replay_scenario,
+    run_campaign,
+)
+from repro.errors import (
+    BidConstraintError,
+    ExperimentError,
+    MatchingError,
+    MechanismError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    MechanismSpec,
+    SweepSpec,
+    figure_spec,
+    list_figures,
+    render_sweep_csv,
+    render_sweep_table,
+    run_point,
+    run_sweep,
+)
+from repro.mechanisms import (
+    Mechanism,
+    OfflineVCGMechanism,
+    OnlineGreedyMechanism,
+    available_mechanisms,
+    create_mechanism,
+    register_mechanism,
+)
+from repro.mechanisms.baselines import (
+    FifoMechanism,
+    FixedPriceMechanism,
+    OfflineGreedyMechanism,
+    RandomAllocationMechanism,
+    SecondPriceSlotMechanism,
+)
+from repro.metrics import (
+    audit_individual_rationality,
+    audit_monotonicity,
+    audit_truthfulness,
+    empirical_competitive_ratio,
+    overpayment_ratio,
+    true_social_welfare,
+)
+from repro.model import (
+    AuctionOutcome,
+    Bid,
+    RoundConfig,
+    SensingTask,
+    SmartphoneProfile,
+    TaskSchedule,
+)
+from repro.simulation import (
+    Scenario,
+    SimulationEngine,
+    SimulationResult,
+    WorkloadConfig,
+    load_scenario,
+    save_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # model
+    "Bid",
+    "SmartphoneProfile",
+    "SensingTask",
+    "TaskSchedule",
+    "RoundConfig",
+    "AuctionOutcome",
+    # mechanisms
+    "Mechanism",
+    "OfflineVCGMechanism",
+    "OnlineGreedyMechanism",
+    "SecondPriceSlotMechanism",
+    "FixedPriceMechanism",
+    "RandomAllocationMechanism",
+    "FifoMechanism",
+    "OfflineGreedyMechanism",
+    "available_mechanisms",
+    "create_mechanism",
+    "register_mechanism",
+    # agents
+    "BiddingStrategy",
+    "TruthfulStrategy",
+    "CostScalingStrategy",
+    "CostAdditiveStrategy",
+    "DelayedArrivalStrategy",
+    "EarlyDepartureStrategy",
+    "CombinedMisreportStrategy",
+    "RandomMisreportStrategy",
+    "best_response_search",
+    # simulation
+    "WorkloadConfig",
+    "Scenario",
+    "SimulationEngine",
+    "SimulationResult",
+    "save_scenario",
+    "load_scenario",
+    # auction platform
+    "CrowdsourcingPlatform",
+    "replay_scenario",
+    "run_campaign",
+    "CampaignResult",
+    # metrics
+    "true_social_welfare",
+    "overpayment_ratio",
+    "empirical_competitive_ratio",
+    "audit_truthfulness",
+    "audit_individual_rationality",
+    "audit_monotonicity",
+    # experiments
+    "ExperimentConfig",
+    "MechanismSpec",
+    "SweepSpec",
+    "run_point",
+    "run_sweep",
+    "figure_spec",
+    "list_figures",
+    "render_sweep_table",
+    "render_sweep_csv",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "BidConstraintError",
+    "MatchingError",
+    "MechanismError",
+    "SimulationError",
+    "ExperimentError",
+    "__version__",
+]

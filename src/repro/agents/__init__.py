@@ -1,0 +1,40 @@
+"""Bidding strategies: truthful agents and strategic misreporters.
+
+Mechanisms see bids, not private profiles; a *strategy* is the function
+that turns a private :class:`~repro.model.SmartphoneProfile` into the bid
+its phone actually submits.  Truthfulness of a mechanism means no strategy
+in this package (nor any other feasible one) ever beats
+:class:`~repro.agents.truthful.TruthfulStrategy`; the auditors in
+:mod:`repro.metrics.properties` and the best-response search in
+:mod:`repro.agents.best_response` test exactly that.
+"""
+
+from repro.agents.base import BiddingStrategy
+from repro.agents.best_response import (
+    BestResponseResult,
+    best_response_search,
+    candidate_deviations,
+)
+from repro.agents.misreport import (
+    CombinedMisreportStrategy,
+    CostAdditiveStrategy,
+    CostScalingStrategy,
+    DelayedArrivalStrategy,
+    EarlyDepartureStrategy,
+    RandomMisreportStrategy,
+)
+from repro.agents.truthful import TruthfulStrategy
+
+__all__ = [
+    "BiddingStrategy",
+    "TruthfulStrategy",
+    "CostScalingStrategy",
+    "CostAdditiveStrategy",
+    "DelayedArrivalStrategy",
+    "EarlyDepartureStrategy",
+    "CombinedMisreportStrategy",
+    "RandomMisreportStrategy",
+    "best_response_search",
+    "candidate_deviations",
+    "BestResponseResult",
+]

@@ -1,0 +1,50 @@
+"""The bidding-strategy interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.model.bid import Bid
+from repro.model.smartphone import SmartphoneProfile
+
+
+class BiddingStrategy(abc.ABC):
+    """Maps a private profile to the bid the phone submits.
+
+    Strategies must produce *feasible* claims — bids inside the profile's
+    misreport region (``ã_i >= a_i``, ``d̃_i <= d_i``; Section III-B of
+    the paper).  :meth:`make_bid` enforces this by validating through
+    :meth:`~repro.model.SmartphoneProfile.check_claim`; subclasses
+    implement :meth:`_propose` and get the validation for free.
+
+    A strategy may also return ``None`` to abstain from the round
+    entirely (the paper's model lets a phone simply not bid).
+    """
+
+    #: Registry-style name for reports.
+    name: str = "abstract"
+
+    def make_bid(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Optional[Bid]:
+        """The validated bid for ``profile`` (or ``None`` to abstain)."""
+        proposed = self._propose(profile, rng)
+        if proposed is None:
+            return None
+        return profile.check_claim(proposed)
+
+    @abc.abstractmethod
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        """Subclass hook: build the (unvalidated) bid."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,207 @@
+"""Misreporting strategies within the feasible deviation region.
+
+Section III-B constrains strategic behaviour to three dimensions: claim a
+higher or lower cost, delay the claimed arrival, or advance the claimed
+departure.  Each strategy here deviates along one (or all) of those axes;
+every produced bid is validated against the profile, so a strategy can
+never accidentally claim infeasible availability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import BiddingStrategy
+from repro.errors import ValidationError
+from repro.model.bid import Bid
+from repro.model.smartphone import SmartphoneProfile
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CostScalingStrategy(BiddingStrategy):
+    """Claim ``factor * c_i`` instead of the real cost.
+
+    ``factor > 1`` models cost inflation (the classic overcharging
+    deviation); ``factor < 1`` models undercutting.
+    """
+
+    name = "cost-scaling"
+
+    def __init__(self, factor: float) -> None:
+        check_positive("factor", factor)
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        """The multiplicative deviation applied to the real cost."""
+        return self._factor
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        truthful = profile.truthful_bid()
+        return truthful.with_cost(profile.cost * self._factor)
+
+
+class CostAdditiveStrategy(BiddingStrategy):
+    """Claim ``c_i + delta`` (clamped at zero) instead of the real cost."""
+
+    name = "cost-additive"
+
+    def __init__(self, delta: float) -> None:
+        if not isinstance(delta, (int, float)) or isinstance(delta, bool):
+            raise ValidationError(
+                f"delta must be a number, got {type(delta).__name__}"
+            )
+        self._delta = float(delta)
+
+    @property
+    def delta(self) -> float:
+        """The additive deviation applied to the real cost."""
+        return self._delta
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        truthful = profile.truthful_bid()
+        return truthful.with_cost(max(0.0, profile.cost + self._delta))
+
+
+class DelayedArrivalStrategy(BiddingStrategy):
+    """Report the arrival ``delay`` slots late (Fig. 5's deviation).
+
+    If the delay would push the claimed arrival past the real departure,
+    the phone abstains (there is no feasible window left to claim).
+    """
+
+    name = "delayed-arrival"
+
+    def __init__(self, delay: int) -> None:
+        if not isinstance(delay, int) or isinstance(delay, bool):
+            raise ValidationError(
+                f"delay must be an int, got {type(delay).__name__}"
+            )
+        check_non_negative("delay", delay)
+        self._delay = delay
+
+    @property
+    def delay(self) -> int:
+        """Slots by which the claimed arrival is postponed."""
+        return self._delay
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        claimed_arrival = profile.arrival + self._delay
+        if claimed_arrival > profile.departure:
+            return None
+        truthful = profile.truthful_bid()
+        return truthful.with_window(claimed_arrival, profile.departure)
+
+
+class EarlyDepartureStrategy(BiddingStrategy):
+    """Report the departure ``advance`` slots early.
+
+    Abstains when the advance would empty the claimed window.
+    """
+
+    name = "early-departure"
+
+    def __init__(self, advance: int) -> None:
+        if not isinstance(advance, int) or isinstance(advance, bool):
+            raise ValidationError(
+                f"advance must be an int, got {type(advance).__name__}"
+            )
+        check_non_negative("advance", advance)
+        self._advance = advance
+
+    @property
+    def advance(self) -> int:
+        """Slots by which the claimed departure is advanced."""
+        return self._advance
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        claimed_departure = profile.departure - self._advance
+        if claimed_departure < profile.arrival:
+            return None
+        truthful = profile.truthful_bid()
+        return truthful.with_window(profile.arrival, claimed_departure)
+
+
+class CombinedMisreportStrategy(BiddingStrategy):
+    """Deviate on all three dimensions at once."""
+
+    name = "combined-misreport"
+
+    def __init__(
+        self,
+        cost_factor: float = 1.0,
+        arrival_delay: int = 0,
+        departure_advance: int = 0,
+    ) -> None:
+        check_positive("cost_factor", cost_factor)
+        check_non_negative("arrival_delay", arrival_delay)
+        check_non_negative("departure_advance", departure_advance)
+        self._cost_factor = float(cost_factor)
+        self._arrival_delay = int(arrival_delay)
+        self._departure_advance = int(departure_advance)
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        arrival = profile.arrival + self._arrival_delay
+        departure = profile.departure - self._departure_advance
+        if arrival > departure:
+            return None
+        return Bid(
+            phone_id=profile.phone_id,
+            arrival=arrival,
+            departure=departure,
+            cost=profile.cost * self._cost_factor,
+        )
+
+
+class RandomMisreportStrategy(BiddingStrategy):
+    """A uniformly random feasible deviation, for fuzz-style audits.
+
+    Draws a cost factor in ``[0.5, 2.0]``, a random feasible arrival delay
+    and departure advance.  Requires an RNG; the auditors pass one derived
+    from the experiment's master seed.
+    """
+
+    name = "random-misreport"
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        if rng is None:
+            raise ValidationError(
+                "RandomMisreportStrategy requires an rng; pass one to "
+                "make_bid"
+            )
+        window = profile.departure - profile.arrival
+        delay = int(rng.integers(0, window + 1))
+        advance = int(rng.integers(0, window - delay + 1))
+        factor = float(rng.uniform(0.5, 2.0))
+        return Bid(
+            phone_id=profile.phone_id,
+            arrival=profile.arrival + delay,
+            departure=profile.departure - advance,
+            cost=profile.cost * factor,
+        )

@@ -1,0 +1,28 @@
+"""The truthful strategy: report the private type verbatim."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import BiddingStrategy
+from repro.model.bid import Bid
+from repro.model.smartphone import SmartphoneProfile
+
+
+class TruthfulStrategy(BiddingStrategy):
+    """Submit ``(a_i, d_i, c_i)`` exactly.
+
+    Under a truthful mechanism this is a dominant strategy (Definition 4);
+    every other strategy in :mod:`repro.agents` exists to test that claim.
+    """
+
+    name = "truthful"
+
+    def _propose(
+        self,
+        profile: SmartphoneProfile,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Bid]:
+        return profile.truthful_bid()

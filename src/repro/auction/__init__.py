@@ -1,0 +1,44 @@
+"""The cloud platform: incremental, slot-by-slot auction operation.
+
+:class:`~repro.auction.platform.CrowdsourcingPlatform` executes the
+online mechanism the way Section V describes it operationally — bids are
+submitted when phones join, tasks are announced per slot, allocations
+happen at the start of every slot, and payments are settled at reported
+departures — and produces an outcome provably identical to the batch
+:class:`~repro.mechanisms.OnlineGreedyMechanism` (the integration tests
+assert equality).
+"""
+
+from repro.auction.events import (
+    AuctionEvent,
+    BidSubmitted,
+    PaymentSettled,
+    SlotClosed,
+    TaskAllocated,
+    TasksAnnounced,
+    TaskUnserved,
+)
+from repro.auction.multi_round import (
+    RETRY_LOSERS,
+    RETRY_NONE,
+    CampaignResult,
+    run_campaign,
+)
+from repro.auction.platform import CrowdsourcingPlatform
+from repro.auction.round_driver import replay_scenario
+
+__all__ = [
+    "CrowdsourcingPlatform",
+    "replay_scenario",
+    "run_campaign",
+    "CampaignResult",
+    "RETRY_NONE",
+    "RETRY_LOSERS",
+    "AuctionEvent",
+    "BidSubmitted",
+    "TasksAnnounced",
+    "TaskAllocated",
+    "TaskUnserved",
+    "PaymentSettled",
+    "SlotClosed",
+]

@@ -1,0 +1,100 @@
+"""Typed event records emitted by the incremental platform.
+
+Every state change the platform makes is logged as one event; examples
+print them to narrate a round, and tests assert on the sequence (e.g.
+"payment settled exactly at the reported departure slot").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class AuctionEvent:
+    """Base class: something happened in ``slot``."""
+
+    slot: int
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return f"[slot {self.slot}] {type(self).__name__}"
+
+
+@dataclasses.dataclass(frozen=True)
+class BidSubmitted(AuctionEvent):
+    """A smartphone joined and submitted its bid."""
+
+    phone_id: int
+    arrival: int
+    departure: int
+    cost: float
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] phone {self.phone_id} joined: window "
+            f"[{self.arrival}, {self.departure}], claimed cost "
+            f"{self.cost:g}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TasksAnnounced(AuctionEvent):
+    """The platform announced the tasks arriving this slot."""
+
+    count: int
+
+    def describe(self) -> str:
+        return f"[slot {self.slot}] {self.count} task(s) announced"
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskAllocated(AuctionEvent):
+    """A task was assigned to a smartphone."""
+
+    task_id: int
+    phone_id: int
+    claimed_cost: float
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] task {self.task_id} -> phone "
+            f"{self.phone_id} (claimed cost {self.claimed_cost:g})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskUnserved(AuctionEvent):
+    """A task found no eligible smartphone."""
+
+    task_id: int
+
+    def describe(self) -> str:
+        return f"[slot {self.slot}] task {self.task_id} went unserved"
+
+
+@dataclasses.dataclass(frozen=True)
+class PaymentSettled(AuctionEvent):
+    """A winner was paid at its reported departure slot."""
+
+    phone_id: int
+    amount: float
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] phone {self.phone_id} paid "
+            f"{self.amount:g}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotClosed(AuctionEvent):
+    """The platform finished processing a slot."""
+
+    pool_size: int
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] closed; {self.pool_size} active "
+            f"unallocated phone(s) remain"
+        )

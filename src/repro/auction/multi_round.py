@@ -1,0 +1,169 @@
+"""Multi-round operation of the crowdsourcing market.
+
+Section III-B: "the reverse auction is executed round by round", with
+the paper analysing a single round and noting the same design applies to
+the rest.  This module supplies the round-by-round layer: a campaign of
+``R`` consecutive rounds, each a fresh workload draw, with losers of one
+round optionally re-entering the next (a phone whose active time ended
+unallocated plausibly tries again later — the "retry" policy), and
+per-round plus cumulative accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mechanisms.base import Mechanism
+from repro.metrics.summary import Summary, summarize
+from repro.model.smartphone import SmartphoneProfile
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import WorkloadConfig
+from repro.utils.rng import RngStreams
+from repro.utils.validation import check_in_range, check_positive, check_type
+
+#: Retry policies for phones that ended a round unallocated.
+RETRY_NONE = "none"       # every round draws a fresh population
+RETRY_LOSERS = "losers"   # losers re-enter the next round
+_POLICIES = (RETRY_NONE, RETRY_LOSERS)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a multi-round campaign.
+
+    Attributes
+    ----------
+    rounds:
+        The per-round :class:`~repro.simulation.SimulationResult` list.
+    total_welfare / total_payment:
+        Sums over rounds.
+    welfare_per_round / overpayment_per_round:
+        :class:`~repro.metrics.Summary` across rounds (overpayment is
+        ``None`` when no round had a defined ratio).
+    returning_phones:
+        How many phones re-entered later rounds under the retry policy.
+    """
+
+    rounds: Tuple[SimulationResult, ...]
+    total_welfare: float
+    total_payment: float
+    welfare_per_round: Summary
+    overpayment_per_round: Optional[Summary]
+    returning_phones: int
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds executed."""
+        return len(self.rounds)
+
+
+def _reentry_profile(
+    profile: SmartphoneProfile,
+    next_id: int,
+    num_slots: int,
+    rng,
+) -> SmartphoneProfile:
+    """A loser re-enters the next round: same cost, fresh window.
+
+    The new window has the same length as the old one (the phone's idle
+    pattern), starting at a uniformly random slot.
+    """
+    length = min(profile.active_length, num_slots)
+    arrival = int(rng.integers(1, num_slots - length + 2))
+    return SmartphoneProfile(
+        phone_id=next_id,
+        arrival=arrival,
+        departure=arrival + length - 1,
+        cost=profile.cost,
+    )
+
+
+def run_campaign(
+    mechanism: Mechanism,
+    workload: WorkloadConfig,
+    num_rounds: int,
+    seed: int = 0,
+    retry_policy: str = RETRY_NONE,
+    max_retries_per_round: int = 1000,
+) -> CampaignResult:
+    """Run ``num_rounds`` consecutive rounds of ``workload``.
+
+    Parameters
+    ----------
+    mechanism:
+        The auction mechanism operating the market (same in each round).
+    workload:
+        Per-round workload; each round is an independent seeded draw.
+    num_rounds:
+        Number of rounds (>= 1).
+    seed:
+        Master seed; round ``k`` uses an independent child stream.
+    retry_policy:
+        ``"none"`` (default) or ``"losers"`` — whether phones that ended
+        a round unallocated re-enter the next round with a fresh window
+        (and a fresh id, since ids are per-round).
+    max_retries_per_round:
+        Safety cap on carried-over phones per round.
+    """
+    check_type("num_rounds", num_rounds, int)
+    check_positive("num_rounds", num_rounds)
+    check_in_range("max_retries_per_round", max_retries_per_round, low=0)
+    if retry_policy not in _POLICIES:
+        raise SimulationError(
+            f"unknown retry_policy {retry_policy!r}; expected one of "
+            f"{_POLICIES}"
+        )
+
+    streams = RngStreams(seed)
+    engine = SimulationEngine()
+    results: List[SimulationResult] = []
+    carried: List[SmartphoneProfile] = []
+    returning = 0
+
+    for round_index in range(num_rounds):
+        base = workload.generate(seed=streams.child(round_index).seed)
+        profiles = list(base.profiles)
+        if carried:
+            reentry_rng = streams.get(f"reentry-{round_index}")
+            next_id = (
+                max((p.phone_id for p in profiles), default=-1) + 1
+            )
+            for loser in carried[:max_retries_per_round]:
+                profiles.append(
+                    _reentry_profile(
+                        loser, next_id, workload.num_slots, reentry_rng
+                    )
+                )
+                next_id += 1
+            returning += min(len(carried), max_retries_per_round)
+        scenario = Scenario(
+            profiles,
+            base.schedule,
+            metadata={**base.metadata, "round": round_index},
+        )
+        result = engine.run(mechanism, scenario)
+        results.append(result)
+
+        if retry_policy == RETRY_LOSERS:
+            winner_ids = set(result.outcome.winners)
+            carried = [
+                profile
+                for profile in scenario.profiles
+                if profile.phone_id not in winner_ids
+            ]
+        else:
+            carried = []
+
+    ratios = [r.overpayment_ratio for r in results]
+    defined = [r for r in ratios if r is not None]
+    return CampaignResult(
+        rounds=tuple(results),
+        total_welfare=sum(r.true_welfare for r in results),
+        total_payment=sum(r.total_payment for r in results),
+        welfare_per_round=summarize([r.true_welfare for r in results]),
+        overpayment_per_round=summarize(defined) if defined else None,
+        returning_phones=returning,
+    )

@@ -1,0 +1,296 @@
+"""The incremental crowdsourcing platform of Fig. 1 / Section V.
+
+The batch :class:`~repro.mechanisms.OnlineGreedyMechanism` consumes a
+whole round at once; this class executes the *same* mechanism the way a
+deployed platform would:
+
+* phones join and submit their bid in their (claimed) arrival slot,
+* sensing queries arrive and are announced per slot,
+* at slot close the newly announced tasks are allocated greedily to the
+  cheapest active unallocated bids (Algorithm 1's loop body),
+* each winner's payment is computed and settled in its reported
+  departure slot (Algorithm 2 only needs bids that arrived by then, so
+  the computation is causally valid),
+* every state change is emitted as a typed event.
+
+The integration tests assert that a full platform run produces an
+outcome equal to the batch mechanism's on the same inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.auction.events import (
+    AuctionEvent,
+    BidSubmitted,
+    PaymentSettled,
+    SlotClosed,
+    TaskAllocated,
+    TasksAnnounced,
+    TaskUnserved,
+)
+from repro.errors import MechanismError
+from repro.mechanisms.critical_payment import (
+    algorithm2_payment,
+    exact_critical_payment,
+)
+from repro.mechanisms.greedy_core import bid_sort_key
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.task import SensingTask, TaskSchedule
+from repro.utils.validation import check_positive, check_type
+
+
+class CrowdsourcingPlatform:
+    """Slot-by-slot execution of the online mechanism.
+
+    Parameters
+    ----------
+    num_slots:
+        The round horizon ``m``.
+    reserve_price:
+        Refuse negative-claimed-welfare assignments (see
+        :class:`~repro.mechanisms.OnlineGreedyMechanism`).
+    payment_rule:
+        ``"paper"`` (Algorithm 2) or ``"exact"`` (binary-search critical
+        value).
+
+    Usage: per slot, call :meth:`submit_bid` / :meth:`submit_tasks` in
+    any order, then :meth:`close_slot`; after the last slot call
+    :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        reserve_price: bool = False,
+        payment_rule: str = "paper",
+    ) -> None:
+        check_type("num_slots", num_slots, int)
+        check_positive("num_slots", num_slots)
+        if payment_rule not in ("paper", "exact"):
+            raise MechanismError(
+                f"unknown payment_rule {payment_rule!r}"
+            )
+        self._num_slots = num_slots
+        self._reserve_price = bool(reserve_price)
+        self._payment_rule = payment_rule
+
+        self._current_slot = 1
+        self._finished = False
+        self._all_bids: Dict[int, Bid] = {}
+        self._pool: List[Tuple[Tuple[float, int, int], Bid]] = []
+        self._tasks: List[SensingTask] = []
+        self._pending_tasks: List[SensingTask] = []
+        self._next_task_id = 0
+        self._allocation: Dict[int, int] = {}
+        self._win_slots: Dict[int, int] = {}
+        self._payments: Dict[int, float] = {}
+        self._payment_slots: Dict[int, int] = {}
+        self._events: List[AuctionEvent] = []
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def current_slot(self) -> int:
+        """The slot currently accepting submissions (1-based)."""
+        return self._current_slot
+
+    @property
+    def num_slots(self) -> int:
+        """The round horizon ``m``."""
+        return self._num_slots
+
+    @property
+    def finished(self) -> bool:
+        """Whether every slot has been closed."""
+        return self._finished
+
+    @property
+    def events(self) -> Tuple[AuctionEvent, ...]:
+        """All events emitted so far, in order."""
+        return tuple(self._events)
+
+    @property
+    def pool_size(self) -> int:
+        """Number of active, unallocated bids right now."""
+        return sum(
+            1
+            for _, bid in self._pool
+            if bid.departure >= self._current_slot
+        )
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+    def submit_bid(self, bid: Bid) -> None:
+        """A phone joins in the current slot and submits its bid.
+
+        The online model requires a phone to bid when it becomes active:
+        ``bid.arrival`` must equal the current slot.
+        """
+        self._check_open()
+        if bid.arrival != self._current_slot:
+            raise MechanismError(
+                f"phone {bid.phone_id} bids with arrival {bid.arrival} in "
+                f"slot {self._current_slot}; online bids are submitted in "
+                f"their arrival slot"
+            )
+        if bid.departure > self._num_slots:
+            raise MechanismError(
+                f"phone {bid.phone_id} claims departure {bid.departure} "
+                f"beyond the round horizon {self._num_slots}"
+            )
+        if bid.phone_id in self._all_bids:
+            raise MechanismError(
+                f"phone {bid.phone_id} already submitted a bid this round"
+            )
+        self._all_bids[bid.phone_id] = bid
+        heapq.heappush(self._pool, (bid_sort_key(bid), bid))
+        self._events.append(
+            BidSubmitted(
+                slot=self._current_slot,
+                phone_id=bid.phone_id,
+                arrival=bid.arrival,
+                departure=bid.departure,
+                cost=bid.cost,
+            )
+        )
+
+    def submit_tasks(self, count: int, value: float) -> List[SensingTask]:
+        """Announce ``count`` tasks of ``value`` arriving this slot."""
+        self._check_open()
+        check_type("count", count, int)
+        if count < 0:
+            raise MechanismError(f"count must be >= 0, got {count}")
+        created: List[SensingTask] = []
+        existing = sum(
+            1 for t in self._pending_tasks if t.slot == self._current_slot
+        )
+        for offset in range(count):
+            task = SensingTask(
+                task_id=self._next_task_id,
+                slot=self._current_slot,
+                index=existing + offset + 1,
+                value=value,
+            )
+            self._next_task_id += 1
+            self._pending_tasks.append(task)
+            created.append(task)
+        if count:
+            self._events.append(
+                TasksAnnounced(slot=self._current_slot, count=count)
+            )
+        return created
+
+    # ------------------------------------------------------------------
+    # Slot processing
+    # ------------------------------------------------------------------
+    def close_slot(self) -> None:
+        """Allocate this slot's tasks, settle due payments, advance."""
+        self._check_open()
+        slot = self._current_slot
+
+        for task in self._pending_tasks:
+            chosen = self._pop_cheapest(slot, task.value)
+            self._tasks.append(task)
+            if chosen is None:
+                self._events.append(
+                    TaskUnserved(slot=slot, task_id=task.task_id)
+                )
+                continue
+            self._allocation[task.task_id] = chosen.phone_id
+            self._win_slots[chosen.phone_id] = slot
+            self._events.append(
+                TaskAllocated(
+                    slot=slot,
+                    task_id=task.task_id,
+                    phone_id=chosen.phone_id,
+                    claimed_cost=chosen.cost,
+                )
+            )
+        self._pending_tasks = []
+
+        self._settle_departures(slot)
+        self._events.append(SlotClosed(slot=slot, pool_size=self.pool_size))
+
+        if slot == self._num_slots:
+            self._finished = True
+        else:
+            self._current_slot += 1
+
+    def _pop_cheapest(self, slot: int, task_value: float) -> Optional[Bid]:
+        """The cheapest active pooled bid, honouring the reserve price."""
+        while self._pool:
+            _, candidate = self._pool[0]
+            if candidate.departure < slot:
+                heapq.heappop(self._pool)
+                continue
+            if self._reserve_price and candidate.cost > task_value:
+                return None
+            return heapq.heappop(self._pool)[1]
+        return None
+
+    def _settle_departures(self, slot: int) -> None:
+        """Pay every winner whose reported departure is this slot.
+
+        Algorithm 2 only consumes bids that arrived by the winner's
+        departure and tasks announced by then — all known now — so the
+        payment computed here equals the batch mechanism's.
+        """
+        schedule_so_far = TaskSchedule(
+            num_slots=self._num_slots, tasks=self._tasks
+        )
+        known_bids = list(self._all_bids.values())
+        for phone_id, win_slot in self._win_slots.items():
+            if phone_id in self._payments:
+                continue
+            winner = self._all_bids[phone_id]
+            if winner.departure != slot:
+                continue
+            if self._payment_rule == "paper":
+                amount = algorithm2_payment(
+                    known_bids,
+                    schedule_so_far,
+                    winner,
+                    win_slot,
+                    reserve_price=self._reserve_price,
+                )
+            else:
+                amount = exact_critical_payment(
+                    known_bids,
+                    schedule_so_far,
+                    winner,
+                    reserve_price=self._reserve_price,
+                )
+            self._payments[phone_id] = amount
+            self._payment_slots[phone_id] = slot
+            self._events.append(
+                PaymentSettled(slot=slot, phone_id=phone_id, amount=amount)
+            )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finalize(self) -> AuctionOutcome:
+        """The round's outcome; requires every slot to be closed."""
+        if not self._finished:
+            raise MechanismError(
+                f"round not finished: slot {self._current_slot} of "
+                f"{self._num_slots} still open"
+            )
+        schedule = TaskSchedule(num_slots=self._num_slots, tasks=self._tasks)
+        return AuctionOutcome(
+            bids=list(self._all_bids.values()),
+            schedule=schedule,
+            allocation=self._allocation,
+            payments=self._payments,
+            payment_slots=self._payment_slots,
+        )
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise MechanismError("the round has already finished")

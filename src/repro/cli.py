@@ -1,0 +1,443 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Run one auction round with chosen workload parameters and mechanism;
+    print the paper's metrics and a settlement summary.  Scenarios can
+    be saved to / replayed from JSON traces.
+``figures``
+    Regenerate the paper's evaluation figures (Figs. 6-11) as tables and
+    ASCII charts, optionally exporting CSV.
+``audit``
+    Run the truthfulness / individual-rationality audit against a
+    mechanism.
+``campaign``
+    Run a multi-round campaign (round-by-round operation, Section
+    III-B) with optional loser re-entry.
+``example``
+    Walk through the paper's Fig. 4 / Fig. 5 worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.auction.multi_round import RETRY_LOSERS, RETRY_NONE, run_campaign
+from repro.errors import ReproError
+from repro.experiments import (
+    figure_spec,
+    list_figures,
+    render_sweep_csv,
+    render_sweep_table,
+    run_sweep,
+)
+from repro.experiments.figures import FIGURE_METRIC
+from repro.experiments.report import render_sweep_chart
+from repro.mechanisms import available_mechanisms, create_mechanism
+from repro.metrics import audit_individual_rationality, audit_truthfulness
+from repro.simulation import (
+    SimulationEngine,
+    WorkloadConfig,
+    load_scenario,
+    save_scenario,
+)
+from repro.utils.tables import format_table
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = WorkloadConfig.paper_default()
+    parser.add_argument(
+        "--slots", type=int, default=defaults.num_slots,
+        help=f"slots per round m (default {defaults.num_slots})",
+    )
+    parser.add_argument(
+        "--phone-rate", type=float, default=defaults.phone_rate,
+        help=f"smartphone arrival rate λ (default {defaults.phone_rate})",
+    )
+    parser.add_argument(
+        "--task-rate", type=float, default=defaults.task_rate,
+        help=f"task arrival rate λ_t (default {defaults.task_rate})",
+    )
+    parser.add_argument(
+        "--mean-cost", type=float, default=defaults.mean_cost,
+        help=f"average real cost c̄ (default {defaults.mean_cost})",
+    )
+    parser.add_argument(
+        "--active-length", type=int, default=defaults.mean_active_length,
+        help="mean active-time length "
+        f"(default {defaults.mean_active_length})",
+    )
+    parser.add_argument(
+        "--task-value", type=float, default=defaults.task_value,
+        help=f"task value ν (default {defaults.task_value})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        num_slots=args.slots,
+        phone_rate=args.phone_rate,
+        task_rate=args.task_rate,
+        mean_cost=args.mean_cost,
+        mean_active_length=args.active_length,
+        task_value=args.task_value,
+    )
+
+
+def _add_mechanism_argument(
+    parser: argparse.ArgumentParser, default: str = "online-greedy"
+) -> None:
+    parser.add_argument(
+        "--mechanism",
+        default=default,
+        choices=sorted(available_mechanisms()),
+        help=f"mechanism to run (default {default})",
+    )
+    parser.add_argument(
+        "--reserve-price",
+        action="store_true",
+        help="online-greedy only: refuse bids above the task value",
+    )
+    parser.add_argument(
+        "--payment-rule",
+        choices=("paper", "exact"),
+        default="paper",
+        help="online-greedy only: Algorithm 2 or exact critical value",
+    )
+    parser.add_argument(
+        "--price",
+        type=float,
+        default=None,
+        help="fixed-price only: the posted price",
+    )
+
+
+def _mechanism_from_args(args: argparse.Namespace):
+    kwargs = {}
+    if args.mechanism == "online-greedy":
+        kwargs = {
+            "reserve_price": args.reserve_price,
+            "payment_rule": args.payment_rule,
+        }
+    elif args.mechanism == "fixed-price":
+        if args.price is None:
+            raise ReproError("--price is required for fixed-price")
+        kwargs = {"price": args.price}
+    return create_mechanism(args.mechanism, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.from_trace:
+        scenario = load_scenario(args.from_trace)
+        print(f"loaded scenario from {args.from_trace}")
+    else:
+        scenario = _workload_from_args(args).generate(seed=args.seed)
+    if args.save_trace:
+        save_scenario(scenario, args.save_trace)
+        print(f"scenario saved to {args.save_trace}")
+
+    mechanism = _mechanism_from_args(args)
+    result = SimulationEngine().run(mechanism, scenario)
+    print(
+        f"\n{scenario.num_phones} phones, {scenario.num_tasks} tasks, "
+        f"{scenario.num_slots} slots; mechanism: {mechanism.name}\n"
+    )
+    ratio = result.overpayment_ratio
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["social welfare ω (Def. 3)", result.true_welfare],
+                ["claimed welfare", result.claimed_welfare],
+                ["total payment", result.total_payment],
+                [
+                    "overpayment ratio σ (Def. 11)",
+                    ratio if ratio is not None else "n/a",
+                ],
+                ["tasks served", result.tasks_served],
+                ["service rate", result.service_rate],
+            ],
+            title="Round metrics",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = args.names or list(list_figures())
+    unknown = [n for n in names if n not in list_figures()]
+    if unknown:
+        raise ReproError(
+            f"unknown figure(s) {unknown}; available: {list(list_figures())}"
+        )
+    cache = {}
+    for name in names:
+        spec = figure_spec(
+            name, repetitions=args.repetitions, base_seed=args.seed
+        )
+        key = (spec.param, spec.values)
+        if key not in cache:
+            cache[key] = run_sweep(spec)
+        result = cache[key]
+        metric = FIGURE_METRIC[name]
+        print()
+        print(render_sweep_table(result, metric, title=spec.title))
+        print()
+        print(render_sweep_chart(result, metric))
+        if args.csv_dir:
+            out = pathlib.Path(args.csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{name}.csv").write_text(
+                render_sweep_csv(result, metric)
+            )
+            print(f"(csv written to {out / (name + '.csv')})")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    scenario = _workload_from_args(args).generate(seed=args.seed)
+    mechanism = _mechanism_from_args(args)
+    rng = np.random.default_rng(args.seed)
+    report = audit_truthfulness(
+        mechanism, scenario, rng, max_phones=args.max_phones
+    )
+    ir = audit_individual_rationality(mechanism, scenario)
+    print(
+        f"\nmechanism: {mechanism.name}  "
+        f"({scenario.num_phones} phones, {scenario.num_tasks} tasks)\n"
+    )
+    print(
+        format_table(
+            ["check", "result"],
+            [
+                ["deviations tested", report.deviations_tested],
+                ["profitable deviations", len(report.violations)],
+                ["IR violations", len(ir)],
+                ["truthfulness audit", "PASS" if report.passed else "FAIL"],
+                ["individual rationality", "PASS" if not ir else "FAIL"],
+            ],
+            title="Audit",
+        )
+    )
+    for violation in report.violations[:10]:
+        print(
+            f"  phone {violation.phone_id} gains {violation.gain:.3f} "
+            f"via {violation.strategy}: {violation.deviant_bid}"
+        )
+    return 0 if report.passed and not ir else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    mechanism = _mechanism_from_args(args)
+    result = run_campaign(
+        mechanism,
+        _workload_from_args(args),
+        num_rounds=args.rounds,
+        seed=args.seed,
+        retry_policy=RETRY_LOSERS if args.retry_losers else RETRY_NONE,
+    )
+    print(
+        f"\ncampaign: {result.num_rounds} rounds, mechanism "
+        f"{mechanism.name}, retry="
+        f"{'losers' if args.retry_losers else 'none'}\n"
+    )
+    rows = [
+        [
+            index + 1,
+            r.true_welfare,
+            r.total_payment,
+            r.overpayment_ratio if r.overpayment_ratio is not None else "n/a",
+            r.tasks_served,
+        ]
+        for index, r in enumerate(result.rounds)
+    ]
+    print(
+        format_table(
+            ["round", "welfare", "payment", "σ", "tasks served"],
+            rows,
+            title="Per-round results",
+        )
+    )
+    print()
+    print(f"total welfare:    {result.total_welfare:.1f}")
+    print(f"total payment:    {result.total_payment:.1f}")
+    print(f"welfare/round:    {result.welfare_per_round}")
+    print(f"returning phones: {result.returning_phones}")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from repro.mechanisms import OnlineGreedyMechanism
+    from repro.mechanisms.baselines import SecondPriceSlotMechanism
+    from repro.simulation.paper_example import (
+        paper_example_bids,
+        paper_example_profiles,
+        paper_example_schedule,
+    )
+
+    schedule = paper_example_schedule()
+    bids = paper_example_bids()
+    outcome = OnlineGreedyMechanism().run(bids, schedule)
+    print(
+        format_table(
+            ["phone", "window", "cost"],
+            [
+                [p.phone_id, f"[{p.arrival}, {p.departure}]", p.cost]
+                for p in paper_example_profiles()
+            ],
+            title="Fig. 4: the 7 smartphones",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["slot", "winner", "payment"],
+            [
+                [
+                    schedule.task(task_id).slot,
+                    phone_id,
+                    outcome.payment(phone_id),
+                ]
+                for task_id, phone_id in sorted(outcome.allocation.items())
+            ],
+            title="Online allocation + Algorithm-2 payments",
+        )
+    )
+    second_price = SecondPriceSlotMechanism()
+    truthful = second_price.run(bids, schedule)
+    deviated = second_price.run(
+        [b.with_window(4, 5) if b.phone_id == 1 else b for b in bids],
+        schedule,
+    )
+    print(
+        f"\nFig. 5: under second-price, phone 1 is paid "
+        f"{truthful.payment(1):g} truthfully and "
+        f"{deviated.payment(1):g} after delaying its arrival — a gain "
+        f"of {deviated.payment(1) - truthful.payment(1):g}."
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.markdown_report import build_reproduction_report
+
+    report = build_reproduction_report(
+        repetitions=args.repetitions, base_seed=args.seed
+    )
+    if args.out is not None:
+        args.out.write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Truthful mechanisms for mobile crowdsourcing with dynamic "
+            "smartphones (ICDCS 2014 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one auction round"
+    )
+    _add_workload_arguments(simulate)
+    _add_mechanism_argument(simulate)
+    simulate.add_argument(
+        "--save-trace", type=pathlib.Path, default=None,
+        help="save the generated scenario to this JSON file",
+    )
+    simulate.add_argument(
+        "--from-trace", type=pathlib.Path, default=None,
+        help="replay a scenario from a JSON trace instead of generating",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    figures.add_argument(
+        "names", nargs="*",
+        help=f"figures to run (default: all of {list(list_figures())})",
+    )
+    figures.add_argument("--repetitions", type=int, default=5)
+    figures.add_argument("--seed", type=int, default=2014)
+    figures.add_argument(
+        "--csv-dir", type=pathlib.Path, default=None,
+        help="also write each figure's CSV into this directory",
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    audit = subparsers.add_parser(
+        "audit", help="truthfulness / IR audit of a mechanism"
+    )
+    _add_workload_arguments(audit)
+    _add_mechanism_argument(audit)
+    audit.add_argument(
+        "--max-phones", type=int, default=15,
+        help="audit at most this many phones (default 15)",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a multi-round campaign"
+    )
+    _add_workload_arguments(campaign)
+    _add_mechanism_argument(campaign)
+    campaign.add_argument("--rounds", type=int, default=5)
+    campaign.add_argument(
+        "--retry-losers", action="store_true",
+        help="losers of one round re-enter the next",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    example = subparsers.add_parser(
+        "example", help="walk through the paper's worked example"
+    )
+    example.set_defaults(func=_cmd_example)
+
+    report = subparsers.add_parser(
+        "report",
+        help="generate the full Markdown reproduction report",
+    )
+    report.add_argument("--repetitions", type=int, default=5)
+    report.add_argument("--seed", type=int, default=2014)
+    report.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the report to this file (default: stdout)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  The subclasses mirror
+the package layers: model validation, matching substrate, mechanism
+execution, simulation, and the experiment harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a documented constraint.
+
+    Raised by the domain-model constructors (bids, tasks, profiles,
+    configurations) and by public functions that validate arguments before
+    doing any work.  Inherits :class:`ValueError` so existing callers that
+    catch ``ValueError`` keep working.
+    """
+
+
+class BidConstraintError(ValidationError):
+    """A bid violates the structural misreport constraints of the paper.
+
+    The paper restricts strategic behaviour to *no early-arrival* and *no
+    late-departure* misreports: a smartphone may claim an arrival no earlier
+    than its real arrival and a departure no later than its real departure
+    (Section III-B).  This error is raised when a claimed bid steps outside
+    the feasible misreport region of a private profile.
+    """
+
+
+class MatchingError(ReproError):
+    """The matching substrate was given an invalid instance.
+
+    Examples: a non-rectangular weight matrix, NaN weights, or a matching
+    that is checked against a graph it does not belong to.
+    """
+
+
+class MechanismError(ReproError):
+    """A mechanism was invoked with inconsistent inputs.
+
+    Examples: duplicate phone identifiers in one round, a task schedule
+    that does not fit inside the round's slot horizon, or payments queried
+    for a phone the mechanism never saw.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation layer hit an inconsistent state.
+
+    Examples: a trace replay that references unknown entities or a scenario
+    whose task schedule disagrees with its round configuration.
+    """
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was configured inconsistently.
+
+    Examples: an empty sweep, an unknown mechanism name, or zero
+    repetitions.
+    """

@@ -1,0 +1,48 @@
+"""Experiment harness: sweeps, the paper's figures, and reporting.
+
+The six evaluation figures of Section VI are declarative
+:class:`~repro.experiments.sweeps.SweepSpec` objects (see
+:mod:`repro.experiments.figures`); :func:`~repro.experiments.runner.run_sweep`
+executes them over seeded repetitions and the report module renders the
+text tables and ASCII charts that stand in for the paper's plots.
+"""
+
+from repro.experiments.config import ExperimentConfig, MechanismSpec
+from repro.experiments.figures import (
+    FIGURES,
+    figure_spec,
+    list_figures,
+)
+from repro.experiments.grid import (
+    GridResult,
+    render_grid_heatmap,
+    run_grid,
+)
+from repro.experiments.report import render_sweep_csv, render_sweep_table
+from repro.experiments.runner import (
+    MechanismMetrics,
+    SweepPoint,
+    SweepResult,
+    run_point,
+    run_sweep,
+)
+from repro.experiments.sweeps import SweepSpec
+
+__all__ = [
+    "ExperimentConfig",
+    "MechanismSpec",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepResult",
+    "MechanismMetrics",
+    "run_point",
+    "run_sweep",
+    "FIGURES",
+    "figure_spec",
+    "list_figures",
+    "render_sweep_table",
+    "render_sweep_csv",
+    "run_grid",
+    "GridResult",
+    "render_grid_heatmap",
+]

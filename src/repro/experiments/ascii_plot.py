@@ -1,0 +1,95 @@
+"""Minimal ASCII line charts for terminal reports.
+
+The benches and examples run in environments without plotting libraries;
+this renders multi-series line charts as plain text, one marker character
+per series, with axis labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets one marker character; a legend maps markers to
+    labels.  Points are plotted on a ``width x height`` grid scaled to
+    the joint data range.
+    """
+    if not series:
+        raise ExperimentError("ascii_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ExperimentError(
+            f"chart must be at least 10 x 4, got {width} x {height}"
+        )
+    if len(series) > len(_MARKERS):
+        raise ExperimentError(
+            f"at most {len(_MARKERS)} series supported, got {len(series)}"
+        )
+
+    points = [
+        (float(x), float(y))
+        for pairs in series.values()
+        for x, y in pairs
+    ]
+    if not points:
+        raise ExperimentError("every series is empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    legend_lines = []
+    for (label, pairs), marker in zip(sorted(series.items()), _MARKERS):
+        for x, y in pairs:
+            place(float(x), float(y), marker)
+        legend_lines.append(f"  {marker} = {label}")
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_max:.4g}"
+    y_bottom = f"{y_min:.4g}"
+    label_width = max(len(y_top), len(y_bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_left = f"{x_min:.4g}"
+    x_right = f"{x_max:.4g}"
+    axis = " " * label_width + " +" + "-" * width
+    x_labels = (
+        " " * (label_width + 2)
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    lines.append(axis)
+    lines.append(x_labels)
+    lines.extend(legend_lines)
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Experiment configuration objects.
+
+A :class:`MechanismSpec` names a registered mechanism plus constructor
+keyword arguments (both JSON-friendly, so configs serialise); an
+:class:`ExperimentConfig` bundles the base workload, the mechanisms under
+comparison, and the repetition/seeding policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.registry import create_mechanism
+from repro.simulation.workload import WorkloadConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MechanismSpec:
+    """A mechanism by registry name plus constructor kwargs.
+
+    ``label`` defaults to the registry name and is what reports print —
+    useful when comparing two configurations of the same mechanism
+    (e.g. the online mechanism with and without the reserve price).
+    """
+
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    label: Optional[str] = None
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        label: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "MechanismSpec":
+        """Ergonomic constructor: ``MechanismSpec.of("fixed-price", price=20)``."""
+        return cls(
+            name=name, kwargs=tuple(sorted(kwargs.items())), label=label
+        )
+
+    @property
+    def display_label(self) -> str:
+        """The label reports should print."""
+        return self.label or self.name
+
+    def build(self) -> Mechanism:
+        """Instantiate the mechanism from the registry."""
+        return create_mechanism(self.name, **dict(self.kwargs))
+
+
+#: The two mechanisms the paper's figures compare.
+def paper_mechanisms() -> Tuple[MechanismSpec, ...]:
+    """Offline (Section IV) and online (Section V) under their paper
+    configurations."""
+    return (
+        MechanismSpec.of("offline-vcg", label="offline"),
+        MechanismSpec.of("online-greedy", label="online"),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """A base workload, mechanisms to compare, and repetition policy.
+
+    Attributes
+    ----------
+    workload:
+        The base :class:`~repro.simulation.WorkloadConfig` (sweeps
+        override one field per point).
+    mechanisms:
+        The mechanisms under comparison.
+    repetitions:
+        Seeded repetitions per sweep point (>= 1).
+    base_seed:
+        Master seed; repetition ``k`` of a point uses ``base_seed + k``.
+    """
+
+    workload: WorkloadConfig = dataclasses.field(
+        default_factory=WorkloadConfig.paper_default
+    )
+    mechanisms: Tuple[MechanismSpec, ...] = dataclasses.field(
+        default_factory=paper_mechanisms
+    )
+    repetitions: int = 10
+    base_seed: int = 2014  # the paper's year; any constant works
+
+    def __post_init__(self) -> None:
+        if not self.mechanisms:
+            raise ExperimentError("mechanisms must not be empty")
+        if self.repetitions < 1:
+            raise ExperimentError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        labels = [spec.display_label for spec in self.mechanisms]
+        if len(set(labels)) != len(labels):
+            raise ExperimentError(
+                f"mechanism labels must be unique, got {labels}"
+            )
+
+    def seeds(self) -> Tuple[int, ...]:
+        """The repetition seeds."""
+        return tuple(self.base_seed + k for k in range(self.repetitions))
+
+    def replace(self, **changes: Any) -> "ExperimentConfig":
+        """A copy with fields overridden."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly description for report headers."""
+        return {
+            "workload": self.workload.to_dict(),
+            "mechanisms": [
+                {"name": s.name, "kwargs": dict(s.kwargs), "label": s.display_label}
+                for s in self.mechanisms
+            ],
+            "repetitions": self.repetitions,
+            "base_seed": self.base_seed,
+        }
+
+
+def apply_workload_override(
+    workload: WorkloadConfig, param: str, value: Any
+) -> WorkloadConfig:
+    """Override one workload field, with a clear error for bad names."""
+    valid: Mapping[str, Any] = workload.to_dict()
+    if param not in valid:
+        raise ExperimentError(
+            f"unknown workload parameter {param!r}; valid: "
+            f"{sorted(valid)}"
+        )
+    return workload.replace(**{param: value})

@@ -1,0 +1,151 @@
+"""Two-parameter grid sweeps with ASCII heatmap rendering.
+
+The paper's figures vary one workload parameter at a time; interactions
+(e.g. does the offline/online gap at large ``m`` persist when supply is
+dense?) need a 2-D sweep.  :func:`run_grid` measures every combination
+of two workload parameters; :func:`render_grid_heatmap` draws the
+result as a monospace heatmap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    ExperimentConfig,
+    apply_workload_override,
+)
+from repro.experiments.runner import MechanismMetrics, run_point
+from repro.metrics.summary import Summary
+
+#: Shade ramp from low to high.
+_SHADES = " .:-=+*#%@"
+
+
+@dataclasses.dataclass(frozen=True)
+class GridResult:
+    """A completed 2-D sweep.
+
+    Attributes
+    ----------
+    param_x / param_y:
+        The two swept workload parameters (x = columns, y = rows).
+    values_x / values_y:
+        Their values, in axis order.
+    cells:
+        ``cells[iy][ix]`` holds each mechanism's metrics at
+        ``(values_y[iy], values_x[ix])``.
+    config:
+        The experiment configuration used.
+    """
+
+    param_x: str
+    param_y: str
+    values_x: Tuple[Any, ...]
+    values_y: Tuple[Any, ...]
+    cells: Tuple[Tuple[Tuple[MechanismMetrics, ...], ...], ...]
+    config: ExperimentConfig
+
+    def metric_grid(
+        self, label: str, metric: str = "welfare"
+    ) -> List[List[Optional[float]]]:
+        """Mean values of one mechanism/metric as a row-major grid."""
+        grid: List[List[Optional[float]]] = []
+        for row in self.cells:
+            out_row: List[Optional[float]] = []
+            for cell in row:
+                found = None
+                for metrics in cell:
+                    if metrics.label == label:
+                        found = metrics
+                        break
+                if found is None:
+                    raise ExperimentError(
+                        f"no mechanism labelled {label!r} in grid"
+                    )
+                summary: Optional[Summary] = getattr(found, metric)
+                out_row.append(None if summary is None else summary.mean)
+            grid.append(out_row)
+        return grid
+
+
+def run_grid(
+    config: ExperimentConfig,
+    param_x: str,
+    values_x: Sequence[Any],
+    param_y: str,
+    values_y: Sequence[Any],
+) -> GridResult:
+    """Measure every ``(y, x)`` combination of two workload parameters."""
+    if not values_x or not values_y:
+        raise ExperimentError("grid axes must not be empty")
+    if param_x == param_y:
+        raise ExperimentError(
+            f"grid parameters must differ, both are {param_x!r}"
+        )
+    rows = []
+    for value_y in values_y:
+        row = []
+        for value_x in values_x:
+            workload = apply_workload_override(
+                config.workload, param_x, value_x
+            )
+            workload = apply_workload_override(workload, param_y, value_y)
+            point = run_point(
+                config,
+                workload=workload,
+                param=f"{param_y}/{param_x}",
+                value=(value_y, value_x),
+            )
+            row.append(point.metrics)
+        rows.append(tuple(row))
+    return GridResult(
+        param_x=param_x,
+        param_y=param_y,
+        values_x=tuple(values_x),
+        values_y=tuple(values_y),
+        cells=tuple(rows),
+        config=config,
+    )
+
+
+def render_grid_heatmap(
+    result: GridResult,
+    label: str,
+    metric: str = "welfare",
+    cell_width: int = 9,
+) -> str:
+    """Render one mechanism/metric grid as numbers + shade heatmap."""
+    grid = result.metric_grid(label, metric)
+    defined = [v for row in grid for v in row if v is not None]
+    if not defined:
+        raise ExperimentError(
+            f"metric {metric!r} undefined on the whole grid"
+        )
+    low, high = min(defined), max(defined)
+    span = (high - low) or 1.0
+
+    def shade(value: Optional[float]) -> str:
+        if value is None:
+            return "?"
+        index = int((value - low) / span * (len(_SHADES) - 1))
+        return _SHADES[index]
+
+    lines = [
+        f"{label} {metric}: rows = {result.param_y}, "
+        f"cols = {result.param_x}   (range {low:.3g} .. {high:.3g})"
+    ]
+    header = " " * 10 + "".join(
+        f"{value!s:>{cell_width}}" for value in result.values_x
+    )
+    lines.append(header)
+    for value_y, row in zip(result.values_y, grid):
+        cells = "".join(
+            f"{('n/a' if v is None else format(v, '.3g')):>{cell_width}}"
+            for v in row
+        )
+        shades = "".join(shade(v) for v in row)
+        lines.append(f"{value_y!s:>10}{cells}   |{shades}|")
+    return "\n".join(lines)

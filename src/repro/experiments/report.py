@@ -1,0 +1,95 @@
+"""Rendering sweep results as text tables, CSV, and ASCII charts."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.ascii_plot import ascii_chart
+from repro.experiments.runner import SweepResult
+from repro.metrics.summary import Summary
+from repro.utils.tables import format_table
+
+_METRICS = ("welfare", "overpayment_ratio", "total_payment", "tasks_served")
+
+
+def _check_metric(metric: str) -> str:
+    if metric not in _METRICS:
+        raise ExperimentError(
+            f"unknown metric {metric!r}; expected one of {_METRICS}"
+        )
+    return metric
+
+
+def render_sweep_table(
+    result: SweepResult, metric: str = "welfare", title: Optional[str] = None
+) -> str:
+    """A mean ± ci95 table: one row per swept value, one pair of columns
+    per mechanism."""
+    _check_metric(metric)
+    labels = [spec.display_label for spec in result.config.mechanisms]
+    headers = [result.param]
+    for label in labels:
+        headers.extend([f"{label} {metric}", "ci95"])
+
+    rows: List[List[object]] = []
+    for point in result.points:
+        row: List[object] = [point.value]
+        for label in labels:
+            summary: Optional[Summary] = getattr(point.of(label), metric)
+            if summary is None:
+                row.extend(["n/a", "n/a"])
+            else:
+                row.extend([summary.mean, summary.ci95])
+        rows.append(row)
+    return format_table(
+        headers, rows, title=title or f"{result.name}: {metric}"
+    )
+
+
+def render_sweep_csv(result: SweepResult, metric: str = "welfare") -> str:
+    """CSV with the same content as :func:`render_sweep_table`."""
+    _check_metric(metric)
+    labels = [spec.display_label for spec in result.config.mechanisms]
+    buffer = io.StringIO()
+    header_cells = [result.param]
+    for label in labels:
+        header_cells.extend([f"{label}_{metric}_mean", f"{label}_{metric}_ci95"])
+    buffer.write(",".join(header_cells) + "\n")
+    for point in result.points:
+        cells = [str(point.value)]
+        for label in labels:
+            summary: Optional[Summary] = getattr(point.of(label), metric)
+            if summary is None:
+                cells.extend(["", ""])
+            else:
+                cells.extend([f"{summary.mean:.6f}", f"{summary.ci95:.6f}"])
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def render_sweep_chart(
+    result: SweepResult,
+    metric: str = "welfare",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """An ASCII line chart of all mechanisms' mean series."""
+    _check_metric(metric)
+    series = {}
+    for spec in result.config.mechanisms:
+        pairs = result.series(spec.display_label, metric)
+        if pairs:
+            series[spec.display_label] = pairs
+    if not series:
+        raise ExperimentError(
+            f"metric {metric!r} is undefined at every point of "
+            f"{result.name!r}"
+        )
+    return ascii_chart(
+        series,
+        title=f"{result.name}: {metric} vs {result.param}",
+        width=width,
+        height=height,
+    )

@@ -1,0 +1,148 @@
+"""Sweep execution: repetitions, metric collection, aggregation.
+
+:func:`run_point` measures every configured mechanism on one workload
+setting over seeded repetitions; :func:`run_sweep` does that for every
+value of the swept parameter.  All scenarios at a sweep point are shared
+across mechanisms (same seeds → same instances), so mechanism
+comparisons are paired, not independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    ExperimentConfig,
+    apply_workload_override,
+)
+from repro.experiments.sweeps import SweepSpec
+from repro.metrics.summary import Summary, summarize
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.workload import WorkloadConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MechanismMetrics:
+    """Aggregated metrics of one mechanism at one sweep point.
+
+    ``overpayment_ratio`` is ``None`` when no repetition produced a
+    defined ratio (nothing allocated anywhere).
+    """
+
+    label: str
+    welfare: Summary
+    overpayment_ratio: Optional[Summary]
+    total_payment: Summary
+    tasks_served: Summary
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """All mechanisms' metrics at one swept parameter value."""
+
+    param: str
+    value: Any
+    metrics: Tuple[MechanismMetrics, ...]
+
+    def of(self, label: str) -> MechanismMetrics:
+        """Metrics of the mechanism with ``label``."""
+        for metric in self.metrics:
+            if metric.label == label:
+                return metric
+        known = [m.label for m in self.metrics]
+        raise ExperimentError(
+            f"no mechanism labelled {label!r} at this point; known: {known}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep: one :class:`SweepPoint` per parameter value."""
+
+    name: str
+    param: str
+    points: Tuple[SweepPoint, ...]
+    config: ExperimentConfig
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        """The swept parameter values, in order."""
+        return tuple(point.value for point in self.points)
+
+    def series(
+        self, label: str, metric: str = "welfare"
+    ) -> List[Tuple[Any, float]]:
+        """``(value, mean)`` pairs for one mechanism and metric.
+
+        ``metric`` is one of ``welfare``, ``overpayment_ratio``,
+        ``total_payment``, ``tasks_served``.  Points where the metric is
+        undefined are skipped.
+        """
+        pairs: List[Tuple[Any, float]] = []
+        for point in self.points:
+            summary = getattr(point.of(label), metric)
+            if summary is None:
+                continue
+            pairs.append((point.value, summary.mean))
+        return pairs
+
+
+def run_point(
+    config: ExperimentConfig,
+    workload: Optional[WorkloadConfig] = None,
+    param: str = "",
+    value: Any = None,
+) -> SweepPoint:
+    """Measure every configured mechanism on one workload setting."""
+    effective = workload if workload is not None else config.workload
+    engine = SimulationEngine()
+    scenarios = [effective.generate(seed) for seed in config.seeds()]
+
+    metrics: List[MechanismMetrics] = []
+    for spec in config.mechanisms:
+        mechanism = spec.build()
+        welfare: List[float] = []
+        ratios: List[Optional[float]] = []
+        payments: List[float] = []
+        served: List[float] = []
+        for scenario in scenarios:
+            result = engine.run(mechanism, scenario)
+            welfare.append(result.true_welfare)
+            ratios.append(result.overpayment_ratio)
+            payments.append(result.total_payment)
+            served.append(float(result.tasks_served))
+        defined_ratios = [r for r in ratios if r is not None]
+        metrics.append(
+            MechanismMetrics(
+                label=spec.display_label,
+                welfare=summarize(welfare),
+                overpayment_ratio=(
+                    summarize(defined_ratios) if defined_ratios else None
+                ),
+                total_payment=summarize(payments),
+                tasks_served=summarize(served),
+            )
+        )
+    return SweepPoint(param=param, value=value, metrics=tuple(metrics))
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute a parameter sweep."""
+    points: List[SweepPoint] = []
+    for value in spec.values:
+        workload = apply_workload_override(
+            spec.config.workload, spec.param, value
+        )
+        points.append(
+            run_point(
+                spec.config, workload=workload, param=spec.param, value=value
+            )
+        )
+    return SweepResult(
+        name=spec.name,
+        param=spec.param,
+        points=tuple(points),
+        config=spec.config,
+    )

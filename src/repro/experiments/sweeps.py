@@ -1,0 +1,42 @@
+"""Declarative sweep specifications."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """One experiment: vary ``param`` over ``values`` under ``config``.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"fig6"``).
+    title:
+        Human-readable description (e.g. the figure caption).
+    param:
+        The :class:`~repro.simulation.WorkloadConfig` field to sweep.
+    values:
+        The parameter values, in plot order.
+    config:
+        Mechanisms, repetitions, seeds, and the base workload.
+    """
+
+    name: str
+    title: str
+    param: str
+    values: Tuple[Any, ...]
+    config: ExperimentConfig
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExperimentError(f"sweep {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ExperimentError(
+                f"sweep {self.name!r} has duplicate values: {self.values}"
+            )

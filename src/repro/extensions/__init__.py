@@ -1,0 +1,36 @@
+"""Extensions beyond the paper's base model.
+
+The paper assumes "a task can be processed by any smartphone in the
+system, i.e., each smartphone can provide all kinds of sensing services"
+(Section III-A).  This package relaxes stated assumptions while keeping
+the mechanisms' guarantees:
+
+* :mod:`repro.extensions.capabilities` — typed sensing tasks and phone
+  capability sets (e.g. a noise sample needs a microphone, an air-quality
+  reading a gas sensor); both mechanisms generalised to the restricted
+  compatibility graph.
+* :mod:`repro.extensions.capacity` — phones serving several tasks per
+  round (unit-expansion matching + whole-phone VCG; offline only — see
+  that module's docstring for why a truthful capacitated *online*
+  mechanism is out of scope).
+"""
+
+from repro.extensions.capabilities import (
+    CapabilityModel,
+    TypedOfflineVCGMechanism,
+    TypedOnlineGreedyMechanism,
+    generate_capability_model,
+)
+from repro.extensions.capacity import (
+    CapacitatedOfflineVCGMechanism,
+    CapacitatedOutcome,
+)
+
+__all__ = [
+    "CapabilityModel",
+    "TypedOfflineVCGMechanism",
+    "TypedOnlineGreedyMechanism",
+    "generate_capability_model",
+    "CapacitatedOfflineVCGMechanism",
+    "CapacitatedOutcome",
+]

@@ -1,0 +1,35 @@
+"""Bipartite matching substrate.
+
+The offline mechanism reduces winning-bid determination to maximum-weight
+bipartite matching (Section IV-B of the paper).  This package provides:
+
+* :mod:`repro.matching.graph` — building the task x smartphone weighted
+  bipartite graph from bids and a task schedule,
+* :mod:`repro.matching.hungarian` — a from-scratch ``O(n^3)`` Hungarian
+  algorithm (potentials + slack arrays) for maximum-weight matching,
+* :mod:`repro.matching.maxcard` — Hopcroft-Karp maximum-cardinality
+  matching (feasibility analysis: how many tasks are serviceable at all),
+* :mod:`repro.matching.bruteforce` — exponential exact matcher used to
+  cross-check the Hungarian implementation on small instances,
+* :mod:`repro.matching.validate` — structural validity checks.
+"""
+
+from repro.matching.bruteforce import brute_force_max_weight_matching
+from repro.matching.graph import TaskAssignmentGraph
+from repro.matching.hungarian import (
+    MatchingResult,
+    max_weight_matching,
+    solve_assignment_min,
+)
+from repro.matching.maxcard import hopcroft_karp
+from repro.matching.validate import check_matching
+
+__all__ = [
+    "TaskAssignmentGraph",
+    "MatchingResult",
+    "max_weight_matching",
+    "solve_assignment_min",
+    "hopcroft_karp",
+    "brute_force_max_weight_matching",
+    "check_matching",
+]

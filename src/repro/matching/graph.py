@@ -1,0 +1,216 @@
+"""Building the task x smartphone weighted bipartite graph.
+
+Section IV-B, "Transforming to matching problem": each task ``τ_{j,k}`` is
+a vertex on one side, each smartphone ``i`` a vertex on the other; the edge
+weight is ``ν − b_i`` when the smartphone's claimed window covers slot
+``j`` and zero otherwise (Fig. 3 of the paper).
+
+The graph owns the weight-to-cost transformation shared by all solves:
+negative weights are clamped to zero (equivalent to leaving the pair
+unmatched), one zero-weight dummy column per task guarantees a feasible
+perfect row assignment, and maximisation becomes minimisation against the
+maximum entry.  On top of the cached full optimum, ``ω*(B₋ᵢ)`` queries
+are answered by the solver's one-augmentation repair instead of full
+re-solves — the difference between ``O(n^4)`` and ``O(n^3)`` for the VCG
+payment pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.matching.solver import AssignmentSolver
+from repro.model.bid import Bid
+from repro.model.task import SensingTask, TaskSchedule
+
+
+class TaskAssignmentGraph:
+    """The weighted bipartite graph of one offline allocation instance.
+
+    Rows are tasks (in schedule order), columns are bids (in phone-id
+    order).  The weight matrix follows the paper exactly:
+    ``w[task][phone] = ν − b_i`` if the phone's claimed window contains the
+    task's slot, else ``0``.  Negative entries (claimed cost above the task
+    value) are kept as-is in :attr:`weights`; matching treats non-positive
+    weights as "never match".
+    """
+
+    def __init__(
+        self,
+        schedule: TaskSchedule,
+        bids: Sequence[Bid],
+        compatible: Optional[Callable[[SensingTask, Bid], bool]] = None,
+    ) -> None:
+        """Build the graph.
+
+        ``compatible`` optionally restricts edges beyond the time
+        windows — e.g. sensing-capability constraints (the typed-task
+        extension in :mod:`repro.extensions.capabilities`).  The paper's
+        base model has every phone able to serve every task, which is
+        the default (``None``).
+        """
+        self._schedule = schedule
+        ordered_bids = sorted(bids, key=lambda bid: bid.phone_id)
+        seen = set()
+        for bid in ordered_bids:
+            if bid.phone_id in seen:
+                raise MatchingError(f"duplicate bid for phone {bid.phone_id}")
+            seen.add(bid.phone_id)
+        self._bids: Tuple[Bid, ...] = tuple(ordered_bids)
+        self._tasks: Tuple[SensingTask, ...] = schedule.tasks
+        self._compatible = compatible
+        self._col_by_phone: Dict[int, int] = {
+            bid.phone_id: col for col, bid in enumerate(self._bids)
+        }
+        self._row_by_task: Dict[int, int] = {
+            task.task_id: row for row, task in enumerate(self._tasks)
+        }
+
+        num_rows = len(self._tasks)
+        num_cols = len(self._bids)
+        raw = np.zeros((num_rows, num_cols), dtype=float)
+        if num_rows and num_cols:
+            values = np.array([task.value for task in self._tasks])
+            costs = np.array([bid.cost for bid in self._bids])
+            slots = np.array([task.slot for task in self._tasks])
+            arrivals = np.array([bid.arrival for bid in self._bids])
+            departures = np.array([bid.departure for bid in self._bids])
+            active = (slots[:, None] >= arrivals[None, :]) & (
+                slots[:, None] <= departures[None, :]
+            )
+            if compatible is not None:
+                mask = np.array(
+                    [
+                        [compatible(task, bid) for bid in self._bids]
+                        for task in self._tasks
+                    ],
+                    dtype=bool,
+                )
+                active &= mask
+            raw = np.where(active, values[:, None] - costs[None, :], 0.0)
+        self._raw_weights = raw
+        self._solver: Optional[AssignmentSolver] = None
+        self._max_entry = 0.0
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> Tuple[SensingTask, ...]:
+        """Row vertices: the tasks, in schedule order."""
+        return self._tasks
+
+    @property
+    def bids(self) -> Tuple[Bid, ...]:
+        """Column vertices: the bids, in phone-id order."""
+        return self._bids
+
+    @property
+    def weights(self) -> List[List[float]]:
+        """A copy of the raw weight matrix (rows = tasks, cols = bids)."""
+        return [list(row) for row in self._raw_weights]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of strictly useful edges (positive weight)."""
+        return int((self._raw_weights > 0.0).sum())
+
+    def weight(self, task_id: int, phone_id: int) -> float:
+        """Edge weight between a task and a phone, by their ids."""
+        try:
+            row = self._row_by_task[task_id]
+        except KeyError:
+            raise MatchingError(f"unknown task_id {task_id}") from None
+        try:
+            col = self._col_by_phone[phone_id]
+        except KeyError:
+            raise MatchingError(f"unknown phone_id {phone_id}") from None
+        return float(self._raw_weights[row, col])
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _ensure_solver(self) -> AssignmentSolver:
+        if self._solver is None:
+            num_rows, num_cols = self._raw_weights.shape
+            clamped = np.maximum(self._raw_weights, 0.0)
+            self._max_entry = float(clamped.max()) if clamped.size else 0.0
+            # One dummy column per row: rows may stay effectively
+            # unmatched at weight zero.
+            cost = np.full(
+                (num_rows, num_cols + num_rows), self._max_entry
+            )
+            cost[:, :num_cols] = self._max_entry - clamped
+            self._solver = AssignmentSolver(cost)
+        return self._solver
+
+    def solve(
+        self, exclude_phone: Optional[int] = None
+    ) -> Tuple[Dict[int, int], float]:
+        """Maximum-weight allocation as ``task_id -> phone_id``.
+
+        ``exclude_phone`` removes one phone's column before solving — the
+        ``ω*(B₋ᵢ)`` computation.  Returns the allocation and its claimed
+        social welfare ``ω*``.  The full solve is cached; exclusions
+        build a fresh reduced instance (use :meth:`welfare_without_phone`
+        for the fast repair-based welfare-only query).
+        """
+        if not self._tasks.__len__() or not self._bids:
+            return {}, 0.0
+        if exclude_phone is None:
+            solver = self._ensure_solver()
+            row_to_col, _ = solver.solve()
+            return self._extract_allocation(row_to_col, list(self._bids))
+
+        if exclude_phone not in self._col_by_phone:
+            raise MatchingError(
+                f"exclude_phone {exclude_phone} is not a column of this "
+                f"graph"
+            )
+        kept_bids = [
+            bid for bid in self._bids if bid.phone_id != exclude_phone
+        ]
+        reduced = TaskAssignmentGraph(
+            self._schedule, kept_bids, compatible=self._compatible
+        )
+        return reduced.solve()
+
+    def welfare_without_phone(self, phone_id: int) -> float:
+        """``ω*(B₋ᵢ)`` via the solver's one-augmentation repair.
+
+        Returns only the welfare (the VCG payment needs nothing more);
+        equal to ``self.solve(exclude_phone=phone_id)[1]`` but roughly a
+        factor ``n`` faster.  Tests cross-check the two paths.
+        """
+        try:
+            column = self._col_by_phone[phone_id]
+        except KeyError:
+            raise MatchingError(
+                f"phone {phone_id} is not a column of this graph"
+            ) from None
+        if not self._tasks:
+            return 0.0
+        solver = self._ensure_solver()
+        solver.solve()
+        reduced_cost = solver.total_cost_without_column(column)
+        return len(self._tasks) * self._max_entry - reduced_cost
+
+    def _extract_allocation(
+        self, row_to_col: np.ndarray, bids: List[Bid]
+    ) -> Tuple[Dict[int, int], float]:
+        allocation: Dict[int, int] = {}
+        welfare = 0.0
+        num_real_cols = len(bids)
+        for row, col in enumerate(row_to_col):
+            col = int(col)
+            if col < 0 or col >= num_real_cols:
+                continue  # dummy column: task left unserved
+            gain = float(self._raw_weights[row, col])
+            if gain <= 0.0:
+                continue  # zero-weight edge: equivalent to unmatched
+            allocation[self._tasks[row].task_id] = bids[col].phone_id
+            welfare += gain
+        return allocation, welfare

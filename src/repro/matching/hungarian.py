@@ -1,0 +1,193 @@
+"""Maximum-weight bipartite matching via the Hungarian algorithm.
+
+This is a from-scratch implementation of the ``O(n^3)`` Hungarian
+(Kuhn-Munkres) algorithm in its potentials-and-slack form (Edmonds-Karp /
+Tomizawa improvement — the same complexity the paper cites for its offline
+winning-bid determination, Theorem 3).
+
+Two layers are exposed:
+
+* :func:`solve_assignment_min` — the classic primitive: given an ``n x m``
+  cost matrix with ``n <= m``, find a minimum-cost assignment matching
+  every row to a distinct column.
+* :func:`max_weight_matching` — what mechanisms actually need: given a
+  rectangular weight matrix where entries ``<= 0`` mean "no useful edge",
+  find a matching maximising total weight, with unmatched rows/columns
+  allowed.  Internally pads with zero-weight dummy columns so that leaving
+  a row unmatched is always feasible, then calls the primitive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import MatchingError
+
+_INF = float("inf")
+
+
+def _validate_matrix(matrix: Sequence[Sequence[float]]) -> Tuple[int, int]:
+    """Check rectangularity and finiteness; return ``(rows, cols)``."""
+    num_rows = len(matrix)
+    if num_rows == 0:
+        return 0, 0
+    num_cols = len(matrix[0])
+    for row_index, row in enumerate(matrix):
+        if len(row) != num_cols:
+            raise MatchingError(
+                f"matrix is ragged: row 0 has {num_cols} entries, row "
+                f"{row_index} has {len(row)}"
+            )
+        for value in row:
+            if not math.isfinite(value):
+                raise MatchingError(
+                    f"matrix entries must be finite, found {value!r} in "
+                    f"row {row_index}"
+                )
+    return num_rows, num_cols
+
+
+def solve_assignment_min(
+    cost: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Minimum-cost assignment for an ``n x m`` matrix with ``n <= m``.
+
+    Returns ``(assignment, total)`` where ``assignment[i]`` is the column
+    matched to row ``i`` and ``total`` is the summed cost.  Every row is
+    matched (callers wanting optional rows add dummy columns).
+
+    Implementation: the standard shortest-augmenting-path formulation with
+    row potentials ``u``, column potentials ``v`` and per-column slack,
+    giving ``O(n^2 m)`` time.
+    """
+    num_rows, num_cols = _validate_matrix(cost)
+    if num_rows == 0:
+        return [], 0.0
+    if num_rows > num_cols:
+        raise MatchingError(
+            f"solve_assignment_min requires rows <= cols, got "
+            f"{num_rows} x {num_cols}"
+        )
+
+    # 1-based arrays in the classic formulation; index 0 is a sentinel.
+    u = [0.0] * (num_rows + 1)
+    v = [0.0] * (num_cols + 1)
+    match_of_col = [0] * (num_cols + 1)  # row currently matched to column j
+    way = [0] * (num_cols + 1)  # predecessor column on the alternating path
+
+    for row in range(1, num_rows + 1):
+        match_of_col[0] = row
+        current_col = 0
+        min_slack = [_INF] * (num_cols + 1)
+        used = [False] * (num_cols + 1)
+        while True:
+            used[current_col] = True
+            current_row = match_of_col[current_col]
+            delta = _INF
+            next_col = 0
+            for col in range(1, num_cols + 1):
+                if used[col]:
+                    continue
+                reduced = (
+                    cost[current_row - 1][col - 1] - u[current_row] - v[col]
+                )
+                if reduced < min_slack[col]:
+                    min_slack[col] = reduced
+                    way[col] = current_col
+                if min_slack[col] < delta:
+                    delta = min_slack[col]
+                    next_col = col
+            for col in range(num_cols + 1):
+                if used[col]:
+                    u[match_of_col[col]] += delta
+                    v[col] -= delta
+                else:
+                    min_slack[col] -= delta
+            current_col = next_col
+            if match_of_col[current_col] == 0:
+                break
+        # Unwind the alternating path, flipping matched edges.
+        while current_col:
+            previous_col = way[current_col]
+            match_of_col[current_col] = match_of_col[previous_col]
+            current_col = previous_col
+
+    assignment = [-1] * num_rows
+    total = 0.0
+    for col in range(1, num_cols + 1):
+        row = match_of_col[col]
+        if row:
+            assignment[row - 1] = col - 1
+            total += cost[row - 1][col - 1]
+    return assignment, total
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchingResult:
+    """Result of a maximum-weight matching computation.
+
+    Attributes
+    ----------
+    pairs:
+        Matched ``(row, col)`` pairs with strictly positive weight,
+        sorted by row.
+    total_weight:
+        Sum of the weights of ``pairs``.
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    total_weight: float
+
+    def row_to_col(self) -> dict:
+        """The matching as a ``{row: col}`` dict."""
+        return {row: col for row, col in self.pairs}
+
+    def col_to_row(self) -> dict:
+        """The matching as a ``{col: row}`` dict."""
+        return {col: row for row, col in self.pairs}
+
+
+def max_weight_matching(
+    weights: Sequence[Sequence[float]],
+) -> MatchingResult:
+    """Maximum-weight bipartite matching with optional participation.
+
+    ``weights[i][j]`` is the gain from matching row ``i`` to column ``j``.
+    Entries ``<= 0`` are treated as "matching is never beneficial" and are
+    never part of the returned matching — equivalently, every vertex may
+    stay unmatched at gain zero.  This matches the paper's graph where an
+    edge between task ``τ_{j,k}`` and an *inactive* smartphone has weight
+    zero and a winning assignment contributes ``ν − b_i``.
+
+    The implementation clamps negative entries to zero, pads the matrix
+    with one zero-weight dummy column per row (so a perfect row assignment
+    always exists), converts to a minimisation problem against the maximum
+    entry, runs :func:`solve_assignment_min`, and finally discards matches
+    whose original weight is not strictly positive.
+    """
+    num_rows, num_cols = _validate_matrix(weights)
+    if num_rows == 0 or num_cols == 0:
+        return MatchingResult(pairs=(), total_weight=0.0)
+
+    import numpy as np
+
+    from repro.matching.solver import AssignmentSolver
+
+    clamped = np.maximum(np.asarray(weights, dtype=float), 0.0)
+    max_entry = float(clamped.max())
+    # One zero-weight dummy column per row guarantees a feasible perfect
+    # row assignment even when every real edge is useless.
+    cost = np.full((num_rows, num_cols + num_rows), max_entry)
+    cost[:, :num_cols] = max_entry - clamped
+    assignment, _ = AssignmentSolver(cost).solve()
+
+    pairs = []
+    total = 0.0
+    for row, col in enumerate(assignment):
+        col = int(col)
+        if 0 <= col < num_cols and weights[row][col] > 0.0:
+            pairs.append((row, col))
+            total += weights[row][col]
+    return MatchingResult(pairs=tuple(pairs), total_weight=total)

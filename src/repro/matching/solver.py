@@ -1,0 +1,203 @@
+"""Vectorised assignment solver with one-column-removal sensitivity.
+
+The offline VCG mechanism needs one full optimum ``ω*(B)`` plus one
+reduced optimum ``ω*(B₋ᵢ)`` *per winner*.  Re-solving from scratch per
+winner costs ``O(n^4)`` overall; this solver instead:
+
+* solves the full min-cost assignment once with a numpy-vectorised
+  shortest-augmenting-path Hungarian (Jonker-Volgenant style potentials),
+* answers "total cost without column ``j``" by *repairing* the cached
+  optimum: un-match the row paired with ``j`` and run a single
+  augmenting-path search with ``j`` forbidden.  The cached dual
+  potentials remain feasible on the reduced column set, and one
+  augmentation restores optimality for all rows — the standard
+  sensitivity-analysis result for the assignment problem.  Each repair is
+  ``O(cols^2)`` instead of a full solve.
+
+Correctness of the repair is cross-checked against full re-solves by the
+property tests in ``tests/matching/``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MatchingError
+
+
+class AssignmentSolver:
+    """Minimum-cost assignment of ``n`` rows to ``m >= n`` columns.
+
+    Every row is matched to a distinct column (callers model optional
+    rows by adding dummy columns).  The matrix is copied; the solver is
+    immutable after construction apart from lazy solving.
+    """
+
+    def __init__(self, cost: np.ndarray) -> None:
+        matrix = np.asarray(cost, dtype=float)
+        if matrix.ndim != 2:
+            raise MatchingError(
+                f"cost must be a 2-D matrix, got ndim={matrix.ndim}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise MatchingError("cost matrix entries must be finite")
+        num_rows, num_cols = matrix.shape
+        if num_rows > num_cols:
+            raise MatchingError(
+                f"AssignmentSolver requires rows <= cols, got "
+                f"{num_rows} x {num_cols}"
+            )
+        self._cost = matrix.copy()
+        self._num_rows = num_rows
+        self._num_cols = num_cols
+        self._solved = False
+        self._u = np.zeros(num_rows)
+        self._v = np.zeros(num_cols)
+        # match_of_col[j] = row matched to column j, -1 when free.
+        self._match_of_col = np.full(num_cols, -1, dtype=np.int64)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(rows, cols)`` of the cost matrix."""
+        return self._num_rows, self._num_cols
+
+    # ------------------------------------------------------------------
+    # Core augmenting-path step
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _augment(
+        cost: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        match_of_col: np.ndarray,
+        row: int,
+        forbidden: Optional[int] = None,
+    ) -> None:
+        """Insert ``row`` into the matching via one Dijkstra-style search.
+
+        Mutates ``u``, ``v``, ``match_of_col`` in place.  ``forbidden``
+        excludes one column entirely (used by the sensitivity repair).
+        """
+        num_cols = v.shape[0]
+        min_slack = np.full(num_cols, np.inf)
+        parent = np.full(num_cols, -2, dtype=np.int64)  # -1 = tree root
+        in_tree = np.zeros(num_cols, dtype=bool)
+        if forbidden is not None:
+            in_tree[forbidden] = True  # never enter; never dual-updated
+            tree_cols = []
+        else:
+            tree_cols = []
+
+        current_row = row
+        previous_col = -1
+        while True:
+            reduced = cost[current_row] - u[current_row] - v
+            better = (~in_tree) & (reduced < min_slack)
+            min_slack[better] = reduced[better]
+            parent[better] = previous_col
+
+            masked = np.where(in_tree, np.inf, min_slack)
+            next_col = int(np.argmin(masked))
+            delta = masked[next_col]
+            if not np.isfinite(delta):
+                raise MatchingError(
+                    "no augmenting path: the reduced problem has no "
+                    "perfect row assignment"
+                )
+
+            # Dual update: rows/cols on the alternating tree shift by
+            # delta, slacks of outside columns shrink by delta.
+            u[row] += delta
+            if tree_cols:
+                tree_idx = np.asarray(tree_cols, dtype=np.int64)
+                u[match_of_col[tree_idx]] += delta
+                v[tree_idx] -= delta
+            outside = ~in_tree
+            min_slack[outside] -= delta
+
+            in_tree[next_col] = True
+            tree_cols.append(next_col)
+            if match_of_col[next_col] == -1:
+                final_col = next_col
+                break
+            current_row = int(match_of_col[next_col])
+            previous_col = next_col
+
+        # Flip matched edges along the path back to the root.
+        col = final_col
+        while True:
+            prev = int(parent[col])
+            if prev == -1:
+                match_of_col[col] = row
+                break
+            match_of_col[col] = match_of_col[prev]
+            col = prev
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self) -> Tuple[np.ndarray, float]:
+        """The optimal assignment: ``(row_to_col, total_cost)``.
+
+        ``row_to_col[i]`` is the column matched to row ``i``.  Cached
+        after the first call.
+        """
+        if not self._solved:
+            for row in range(self._num_rows):
+                self._augment(
+                    self._cost, self._u, self._v, self._match_of_col, row
+                )
+            self._solved = True
+        return self.row_to_col(), self.total_cost()
+
+    def row_to_col(self) -> np.ndarray:
+        """The cached assignment as ``row -> col`` (solves if needed)."""
+        if not self._solved:
+            self.solve()
+        row_to_col = np.full(self._num_rows, -1, dtype=np.int64)
+        matched = self._match_of_col >= 0
+        row_to_col[self._match_of_col[matched]] = np.nonzero(matched)[0]
+        return row_to_col
+
+    def total_cost(self) -> float:
+        """Total cost of the cached optimum (solves if needed)."""
+        if not self._solved:
+            self.solve()
+        cols = np.nonzero(self._match_of_col >= 0)[0]
+        rows = self._match_of_col[cols]
+        return float(self._cost[rows, cols].sum())
+
+    def total_cost_without_column(self, column: int) -> float:
+        """Optimal total cost when ``column`` is removed.
+
+        Uses the single-augmentation repair described in the module
+        docstring; the solver's own state is untouched.
+        """
+        if not (0 <= column < self._num_cols):
+            raise MatchingError(
+                f"column {column} outside [0, {self._num_cols})"
+            )
+        if self._num_rows >= self._num_cols:
+            raise MatchingError(
+                "cannot remove a column: every column is needed to match "
+                "all rows (add dummy columns)"
+            )
+        if not self._solved:
+            self.solve()
+
+        displaced_row = int(self._match_of_col[column])
+        if displaced_row == -1:
+            return self.total_cost()
+
+        u = self._u.copy()
+        v = self._v.copy()
+        match_of_col = self._match_of_col.copy()
+        match_of_col[column] = -1
+        self._augment(
+            self._cost, u, v, match_of_col, displaced_row, forbidden=column
+        )
+        cols = np.nonzero(match_of_col >= 0)[0]
+        rows = match_of_col[cols]
+        return float(self._cost[rows, cols].sum())

@@ -1,0 +1,50 @@
+"""Structural validity checks for matchings.
+
+A matching produced by any matcher in this package must satisfy:
+
+* every row appears at most once, every column appears at most once,
+* every matched pair lies inside the matrix,
+* every matched pair has strictly positive weight (non-positive weights
+  mean "no useful edge" under this package's conventions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import MatchingError
+
+
+def check_matching(
+    weights: Sequence[Sequence[float]],
+    pairs: Iterable[Tuple[int, int]],
+) -> float:
+    """Validate ``pairs`` against ``weights``; return the total weight.
+
+    Raises :class:`~repro.errors.MatchingError` on any structural
+    violation, so tests can use it as a one-line oracle.
+    """
+    num_rows = len(weights)
+    num_cols = len(weights[0]) if num_rows else 0
+    seen_rows = set()
+    seen_cols = set()
+    total = 0.0
+    for row, col in pairs:
+        if not (0 <= row < num_rows) or not (0 <= col < num_cols):
+            raise MatchingError(
+                f"pair ({row}, {col}) outside a {num_rows} x {num_cols} "
+                f"matrix"
+            )
+        if row in seen_rows:
+            raise MatchingError(f"row {row} matched twice")
+        if col in seen_cols:
+            raise MatchingError(f"column {col} matched twice")
+        weight = weights[row][col]
+        if weight <= 0.0:
+            raise MatchingError(
+                f"pair ({row}, {col}) has non-positive weight {weight}"
+            )
+        seen_rows.add(row)
+        seen_cols.add(col)
+        total += weight
+    return total

@@ -1,0 +1,76 @@
+"""The common mechanism interface.
+
+A mechanism is a *pure function* of its inputs: given the submitted bids
+and the task schedule it returns an :class:`~repro.model.AuctionOutcome`.
+Purity matters beyond tidiness — the truthfulness and monotonicity
+auditors in :mod:`repro.metrics.properties` re-run mechanisms against
+counterfactual bids, which is only meaningful when a run has no hidden
+state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+
+
+class Mechanism(abc.ABC):
+    """Abstract base class of every auction mechanism in this package."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether the mechanism is designed to be dominant-strategy truthful.
+    #: Baselines that are known to be manipulable set this to ``False``;
+    #: the property auditors use it to decide whether a detected profitable
+    #: deviation is a bug or the expected behaviour.
+    is_truthful: bool = False
+
+    #: Whether the mechanism only uses information available at the
+    #: current slot (online) or sees the whole round up front (offline).
+    is_online: bool = False
+
+    @abc.abstractmethod
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        """Run one auction round.
+
+        Parameters
+        ----------
+        bids:
+            The claimed bids, at most one per phone.
+        schedule:
+            The round's task arrivals.
+        config:
+            Round configuration; defaults to a config matching the
+            schedule's horizon.
+
+        Returns
+        -------
+        AuctionOutcome
+            Allocation, payments, and payment slots.
+        """
+
+    def _resolve_config(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig],
+    ) -> RoundConfig:
+        """Validate inputs and return the effective round config."""
+        effective = config or RoundConfig.for_schedule(schedule)
+        effective.validate_schedule(schedule)
+        effective.validate_bids(bids)
+        return effective
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

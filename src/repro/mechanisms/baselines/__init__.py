@@ -1,0 +1,30 @@
+"""Baseline mechanisms the paper's designs are compared against.
+
+* :class:`~repro.mechanisms.baselines.second_price.SecondPriceSlotMechanism`
+  — per-slot second-price payments; the paper's Fig. 5 counterexample
+  shows it is *not* time-truthful.
+* :class:`~repro.mechanisms.baselines.fixed_price.FixedPriceMechanism` —
+  a posted price; truthful but welfare-blunt.
+* :class:`~repro.mechanisms.baselines.random_alloc.RandomAllocationMechanism`
+  — pay-as-bid random allocation; neither truthful nor efficient.
+* :class:`~repro.mechanisms.baselines.fifo.FifoMechanism` — first-come
+  first-served, pay-as-bid.
+* :class:`~repro.mechanisms.baselines.offline_greedy.OfflineGreedyMechanism`
+  — the offline allocation done greedily instead of optimally, with
+  VCG-style payments on top; demonstrates why VCG payments require an
+  optimal allocation (ablation).
+"""
+
+from repro.mechanisms.baselines.fifo import FifoMechanism
+from repro.mechanisms.baselines.fixed_price import FixedPriceMechanism
+from repro.mechanisms.baselines.offline_greedy import OfflineGreedyMechanism
+from repro.mechanisms.baselines.random_alloc import RandomAllocationMechanism
+from repro.mechanisms.baselines.second_price import SecondPriceSlotMechanism
+
+__all__ = [
+    "SecondPriceSlotMechanism",
+    "FixedPriceMechanism",
+    "RandomAllocationMechanism",
+    "FifoMechanism",
+    "OfflineGreedyMechanism",
+]

@@ -1,0 +1,68 @@
+"""First-come-first-served, pay-as-bid baseline.
+
+Each slot's tasks go to the longest-waiting active, unallocated phones
+(ties by phone id), each paid its own claimed cost immediately.  FCFS is
+how many deployed crowdsourcing platforms naively dispatch work; the
+benches show how much welfare it leaves on the table relative to
+cost-aware allocation, and pay-as-bid makes it untruthful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.mechanisms.base import Mechanism
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+
+
+class FifoMechanism(Mechanism):
+    """Earliest-arrival-first per-slot allocation, pay-as-bid."""
+
+    name = "fifo"
+    is_truthful = False  # pay-as-bid
+    is_online = True
+
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        self._resolve_config(bids, schedule, config)
+
+        arrivals_by_slot: Dict[int, List[Bid]] = {}
+        for bid in bids:
+            arrivals_by_slot.setdefault(bid.arrival, []).append(bid)
+
+        active: Dict[int, Bid] = {}
+        allocation: Dict[int, int] = {}
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+
+        for slot in range(1, schedule.num_slots + 1):
+            for bid in arrivals_by_slot.get(slot, ()):
+                active[bid.phone_id] = bid
+            for pid in [p for p, b in active.items() if b.departure < slot]:
+                del active[pid]
+
+            for task in schedule.tasks_in_slot(slot):
+                if not active:
+                    break
+                chosen_id = min(
+                    active, key=lambda pid: (active[pid].arrival, pid)
+                )
+                chosen = active.pop(chosen_id)
+                allocation[task.task_id] = chosen.phone_id
+                payments[chosen.phone_id] = chosen.cost
+                payment_slots[chosen.phone_id] = slot
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )

@@ -1,0 +1,96 @@
+"""Posted fixed-price baseline.
+
+The platform posts a price ``P``; in each slot, tasks go to active,
+unallocated phones whose claimed cost is at most ``P``, and every winner
+is paid exactly ``P`` immediately.
+
+Rationing among eligible phones is **by arrival order** (ties by phone
+id), not by claimed cost: under posted prices a bid must only matter
+through the eligibility test ``b_i <= P``.  Cheapest-first rationing
+would reward undercutting (claiming a lower cost raises the chance of
+winning at the same price ``P``), silently breaking truthfulness in
+rationed markets — exactly the kind of subtlety the paper's Fig. 5
+dissects for second-price payments.  With arrival-order rationing the
+mechanism is truthful: misreporting cost either leaves the outcome
+unchanged or makes the phone win at a price below its real cost, and
+window misreports only shrink its opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.mechanisms.base import Mechanism
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+from repro.utils.validation import check_non_negative
+
+
+class FixedPriceMechanism(Mechanism):
+    """Serve tasks with eligible phones in arrival order, at a posted price.
+
+    Parameters
+    ----------
+    price:
+        The posted per-task price ``P >= 0``.
+    """
+
+    name = "fixed-price"
+    is_truthful = True
+    is_online = True
+
+    def __init__(self, price: float) -> None:
+        check_non_negative("price", price)
+        self._price = float(price)
+
+    @property
+    def price(self) -> float:
+        """The posted per-task price."""
+        return self._price
+
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        self._resolve_config(bids, schedule, config)
+
+        arrivals_by_slot: Dict[int, List[Bid]] = {}
+        for bid in bids:
+            arrivals_by_slot.setdefault(bid.arrival, []).append(bid)
+
+        active: Dict[int, Bid] = {}
+        allocation: Dict[int, int] = {}
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+
+        for slot in range(1, schedule.num_slots + 1):
+            for bid in arrivals_by_slot.get(slot, ()):
+                active[bid.phone_id] = bid
+            for pid in [p for p, b in active.items() if b.departure < slot]:
+                del active[pid]
+
+            for task in schedule.tasks_in_slot(slot):
+                eligible = [
+                    b for b in active.values() if b.cost <= self._price
+                ]
+                if not eligible:
+                    continue
+                chosen = min(
+                    eligible, key=lambda b: (b.arrival, b.phone_id)
+                )
+                del active[chosen.phone_id]
+                allocation[task.task_id] = chosen.phone_id
+                payments[chosen.phone_id] = self._price
+                payment_slots[chosen.phone_id] = slot
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )

@@ -1,0 +1,97 @@
+"""Offline greedy allocation with VCG-style payments (ablation baseline).
+
+Section V-A of the paper notes that "the VCG-style payment scheme is no
+longer truthful when the allocation of sensing tasks is not optimal".
+This baseline makes that statement testable: it allocates offline but
+*greedily* (globally cheapest bid first, earliest feasible task) instead
+of optimally, then applies the VCG payment formula on top of the
+suboptimal welfare values.  The ablation bench and the truthfulness
+auditor demonstrate profitable deviations against it, while the same
+auditor finds none against :class:`~repro.mechanisms.OfflineVCGMechanism`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.mechanisms.base import Mechanism
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+
+
+def _greedy_offline_allocation(
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    exclude_phone: Optional[int] = None,
+) -> Tuple[Dict[int, int], float]:
+    """Globally cheapest-first offline allocation; returns claimed welfare.
+
+    Bids are taken cheapest first (ties by arrival then id) and each is
+    given the earliest still-unserved task inside its claimed window with
+    positive claimed gain.
+    """
+    ordered = sorted(
+        (bid for bid in bids if bid.phone_id != exclude_phone),
+        key=lambda b: (b.cost, b.arrival, b.phone_id),
+    )
+    taken_tasks: Set[int] = set()
+    allocation: Dict[int, int] = {}
+    welfare = 0.0
+    for bid in ordered:
+        for task in schedule:
+            if task.task_id in taken_tasks:
+                continue
+            if task.slot < bid.arrival:
+                continue
+            if task.slot > bid.departure:
+                break  # tasks are slot-ordered; none later can fit
+            if task.value - bid.cost <= 0.0:
+                continue
+            taken_tasks.add(task.task_id)
+            allocation[task.task_id] = bid.phone_id
+            welfare += task.value - bid.cost
+            break
+    return allocation, welfare
+
+
+class OfflineGreedyMechanism(Mechanism):
+    """Suboptimal offline allocation + (misapplied) VCG payments."""
+
+    name = "offline-greedy-vcg"
+    is_truthful = False  # VCG payments over a non-optimal allocation
+    is_online = False
+
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        self._resolve_config(bids, schedule, config)
+
+        allocation, welfare = _greedy_offline_allocation(bids, schedule)
+        bid_by_phone = {bid.phone_id: bid for bid in bids}
+
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+        for phone_id in set(allocation.values()):
+            _, welfare_without = _greedy_offline_allocation(
+                bids, schedule, exclude_phone=phone_id
+            )
+            bid = bid_by_phone[phone_id]
+            # VCG formula applied to greedy welfare values: this is the
+            # construction the paper warns against, kept deliberately.
+            payments[phone_id] = max(
+                bid.cost, welfare + bid.cost - welfare_without
+            )
+            payment_slots[phone_id] = bid.departure
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )

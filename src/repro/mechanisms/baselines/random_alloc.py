@@ -1,0 +1,84 @@
+"""Random allocation, pay-as-bid baseline.
+
+Each slot's tasks are assigned to uniformly random active, unallocated
+phones, each paid its own claimed cost immediately.  Pay-as-bid is the
+canonical *untruthful* payment rule (a phone's payment rises with its
+claim, so inflating the claim is profitable whenever it keeps winning);
+the baseline exists to anchor the welfare and truthfulness comparisons.
+
+The mechanism takes an explicit seed so a run remains a deterministic
+function of ``(inputs, seed)`` — required by the property auditors, which
+re-run mechanisms against counterfactual bids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.mechanisms.base import Mechanism
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+from repro.utils.rng import spawn_rng
+
+
+class RandomAllocationMechanism(Mechanism):
+    """Uniform random per-slot allocation, pay-as-bid."""
+
+    name = "random-alloc"
+    is_truthful = False  # pay-as-bid
+    is_online = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The seed that makes runs deterministic."""
+        return self._seed
+
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        self._resolve_config(bids, schedule, config)
+        rng = spawn_rng(self._seed, "random-alloc")
+
+        arrivals_by_slot: Dict[int, List[Bid]] = {}
+        for bid in bids:
+            arrivals_by_slot.setdefault(bid.arrival, []).append(bid)
+
+        active: Dict[int, Bid] = {}
+        allocation: Dict[int, int] = {}
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+
+        for slot in range(1, schedule.num_slots + 1):
+            for bid in arrivals_by_slot.get(slot, ()):
+                active[bid.phone_id] = bid
+            departed = [
+                pid for pid, bid in active.items() if bid.departure < slot
+            ]
+            for pid in departed:
+                del active[pid]
+
+            for task in schedule.tasks_in_slot(slot):
+                if not active:
+                    break
+                candidates = sorted(active)  # sorted ids: stable draws
+                pick = candidates[int(rng.integers(len(candidates)))]
+                chosen = active.pop(pick)
+                allocation[task.task_id] = chosen.phone_id
+                payments[chosen.phone_id] = chosen.cost
+                payment_slots[chosen.phone_id] = slot
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )

@@ -1,0 +1,102 @@
+"""Per-slot second-price payments — the untruthful strawman of Fig. 5.
+
+Section V-C of the paper explains why the classic second-price idea fails
+in the dynamic setting: allocate each slot greedily, pay each winner the
+first *losing* claimed cost of the same slot.  Payments are settled
+immediately in the winning slot.  A phone can then profit by delaying its
+reported arrival into a slot whose second price is higher (Fig. 5:
+Smartphone 1 is paid 4 when truthful but 8 after delaying its arrival by
+two slots), so the rule is not time-truthful.  We implement it to
+reproduce that counterexample and as a baseline in the benches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.greedy_core import bid_sort_key
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.task import TaskSchedule
+
+
+class SecondPriceSlotMechanism(Mechanism):
+    """Greedy per-slot allocation + per-slot second-price payments.
+
+    Winners of slot ``t`` are the ``r_t`` cheapest active unallocated
+    bids (identical to Algorithm 1); every winner of the slot is paid the
+    claimed cost of the cheapest *losing* bid still in the slot's pool.
+    If the pool empties exactly (no losing bid remains), winners are paid
+    their own claimed cost.
+    """
+
+    name = "second-price-slot"
+    is_truthful = False  # the Fig. 5 counterexample
+    is_online = True
+
+    def run(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        config: Optional[RoundConfig] = None,
+    ) -> AuctionOutcome:
+        self._resolve_config(bids, schedule, config)
+
+        arrivals_by_slot: Dict[int, List[Bid]] = {}
+        for bid in bids:
+            arrivals_by_slot.setdefault(bid.arrival, []).append(bid)
+
+        pool: List[Tuple[Tuple[float, int, int], Bid]] = []
+        allocation: Dict[int, int] = {}
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+
+        for slot in range(1, schedule.num_slots + 1):
+            for bid in arrivals_by_slot.get(slot, ()):
+                heapq.heappush(pool, (bid_sort_key(bid), bid))
+
+            tasks = schedule.tasks_in_slot(slot)
+            if not tasks:
+                continue
+
+            slot_winners: List[Bid] = []
+            for task in tasks:
+                chosen: Optional[Bid] = None
+                while pool:
+                    _, candidate = pool[0]
+                    if candidate.departure < slot:
+                        heapq.heappop(pool)
+                        continue
+                    chosen = heapq.heappop(pool)[1]
+                    break
+                if chosen is None:
+                    continue
+                allocation[task.task_id] = chosen.phone_id
+                slot_winners.append(chosen)
+
+            # The slot's "second price": cheapest bid left in the pool.
+            second_price: Optional[float] = None
+            while pool:
+                _, candidate = pool[0]
+                if candidate.departure < slot:
+                    heapq.heappop(pool)
+                    continue
+                second_price = candidate.cost
+                break
+
+            for winner in slot_winners:
+                payments[winner.phone_id] = (
+                    second_price if second_price is not None else winner.cost
+                )
+                payment_slots[winner.phone_id] = slot  # settled immediately
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )

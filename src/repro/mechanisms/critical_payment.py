@@ -1,0 +1,157 @@
+"""Critical-value payments for the online mechanism (Algorithm 2).
+
+The paper pays each online winner ``i`` (who won in slot ``t'_i``) the
+claimed cost of its *critical player*: re-run the greedy allocation with
+``B_i`` removed and take the highest claimed cost among smartphones that
+win in slots ``[t'_i, d̃_i]``, floored at ``b_i`` (Algorithm 2).  Payment
+is delivered in the reported departure slot.
+
+Two payment rules are provided:
+
+* :func:`algorithm2_payment` — the paper's Algorithm 2, verbatim.
+* :func:`exact_critical_payment` — the true critical value
+  ``sup { b : i still wins when bidding b }`` computed by a monotone
+  binary search over candidate thresholds.  The two agree whenever every
+  task in the winner's window is served in the re-run; they differ in
+  *under-supplied* windows, where Algorithm 2 falls back to paying the
+  winner's own bid even though the winner would have won at any price —
+  a known gap in the paper's analysis that breaks cost-truthfulness for
+  uncontested winners (documented in DESIGN.md §7 and exercised by the
+  test suite).  With a reserve price active, the exact rule pays the task
+  value in that case, restoring truthfulness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import MechanismError
+from repro.mechanisms.greedy_core import run_greedy_allocation
+from repro.model.bid import Bid
+from repro.model.task import TaskSchedule
+
+
+def algorithm2_payment(
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    winner: Bid,
+    win_slot: int,
+    reserve_price: bool = False,
+) -> float:
+    """Algorithm 2 of the paper: pay the critical player's claimed cost.
+
+    Re-runs the greedy allocation without ``winner`` up to the winner's
+    reported departure and returns the maximum claimed cost among bids
+    that win in slots ``[win_slot, winner.departure]``, floored at the
+    winner's own claimed cost.
+    """
+    if not (winner.arrival <= win_slot <= winner.departure):
+        raise MechanismError(
+            f"win slot {win_slot} outside phone {winner.phone_id}'s "
+            f"claimed window [{winner.arrival}, {winner.departure}]"
+        )
+    rerun = run_greedy_allocation(
+        bids,
+        schedule,
+        exclude_phone=winner.phone_id,
+        reserve_price=reserve_price,
+        stop_after_slot=winner.departure,
+    )
+    payment = winner.cost
+    for other in rerun.winners_between(win_slot, winner.departure):
+        if other.cost > payment:
+            payment = other.cost
+    return payment
+
+
+def _wins_with_cost(
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    winner: Bid,
+    candidate_cost: float,
+    reserve_price: bool,
+) -> bool:
+    """Whether ``winner`` still wins after replacing its cost."""
+    replaced = [
+        bid.with_cost(candidate_cost) if bid.phone_id == winner.phone_id else bid
+        for bid in bids
+    ]
+    rerun = run_greedy_allocation(
+        replaced,
+        schedule,
+        reserve_price=reserve_price,
+        stop_after_slot=winner.departure,
+    )
+    return winner.phone_id in rerun.win_slots
+
+
+def exact_critical_payment(
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    winner: Bid,
+    reserve_price: bool = False,
+) -> float:
+    """The exact critical value of Definition 9, by binary search.
+
+    Winning is monotone non-increasing in the claimed cost (Theorem 4's
+    monotonicity argument, verified by the property tests), and the
+    win/lose outcome can only change when the claimed cost crosses
+    another bid's cost (or the task value, when a reserve is active).
+    The supremum of winning costs is therefore attained at one of those
+    thresholds, found here with ``O(log n)`` greedy re-runs.
+
+    When the winner is uncontested — it would win at *any* price — the
+    critical value is unbounded.  With ``reserve_price`` the task value
+    caps it; without, we fall back to Algorithm 2's behaviour of paying
+    the winner's own claimed cost (and the caller inherits the
+    truthfulness caveat documented in the module docstring).
+    """
+    thresholds: List[float] = sorted(
+        {
+            bid.cost
+            for bid in bids
+            if bid.phone_id != winner.phone_id
+        }
+        | ({task.value for task in schedule} if reserve_price else set())
+    )
+    thresholds = [t for t in thresholds if t > 0.0]
+
+    if not thresholds:
+        return winner.cost
+
+    # Probe strictly above the largest threshold: uncontested winner?
+    above_all = thresholds[-1] + 1.0
+    if _wins_with_cost(bids, schedule, winner, above_all, reserve_price):
+        return winner.cost if not reserve_price else max(
+            thresholds[-1], winner.cost
+        )
+
+    # Probe region k is (thresholds[k-1], thresholds[k]); its
+    # representative is a midpoint.  Winning is monotone over regions, so
+    # binary-search the last winning region; the critical value is that
+    # region's right endpoint.
+    def representative(region: int) -> float:
+        upper = thresholds[region]
+        lower = 0.0 if region == 0 else thresholds[region - 1]
+        return (lower + upper) / 2.0
+
+    low, high = 0, len(thresholds) - 1
+    # Invariant: the winner wins somewhere at or below region `high + 1`'s
+    # lower edge; it won with its submitted bid, so region containing its
+    # own cost wins.
+    best: Optional[int] = None
+    while low <= high:
+        mid = (low + high) // 2
+        if _wins_with_cost(
+            bids, schedule, winner, representative(mid), reserve_price
+        ):
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    if best is None:
+        # The winner won with its submitted bid yet loses in every probe
+        # region; its own cost must sit exactly on a threshold where the
+        # tie-break favours it.  The critical value is its own cost.
+        return winner.cost
+    return max(thresholds[best], winner.cost)

@@ -1,0 +1,176 @@
+"""The slot-by-slot greedy allocation shared by the online mechanisms.
+
+This module implements Algorithm 1 of the paper ("Winning Bids
+Determination") as a reusable primitive: walk the slots in order,
+maintain the pool of active, not-yet-allocated bids, and hand each newly
+arriving task to the cheapest bid in the pool.  Both the online mechanism
+itself and its payment scheme (Algorithm 2 re-runs the allocation with one
+bid removed) are built on this function, as is the second-price baseline.
+
+Tie-breaking
+------------
+The paper sorts bids "by claimed cost in non-decreasing order" without
+specifying ties.  We break ties deterministically by ``(cost, arrival,
+phone_id)``: earlier-arriving phones first, then lower phone id.  The same
+rule is used everywhere (allocation, payment re-runs, baselines) so that
+the mechanism is a deterministic function of its inputs — a requirement
+for the critical-value payment analysis to be meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.bid import Bid
+from repro.model.task import TaskSchedule
+
+#: Sort key implementing the documented deterministic tie-break.
+def bid_sort_key(bid: Bid) -> Tuple[float, int, int]:
+    """Greedy selection order: cheapest first, ties by arrival then id."""
+    return (bid.cost, bid.arrival, bid.phone_id)
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotOutcome:
+    """What happened in one slot of a greedy run.
+
+    Attributes
+    ----------
+    slot:
+        The 1-based slot index.
+    winners:
+        Winning bids in selection order (cheapest first).
+    unserved:
+        Number of tasks of this slot left unserved (pool exhausted, or —
+        when a reserve price is active — every pooled bid priced above
+        the task value).
+    """
+
+    slot: int
+    winners: Tuple[Bid, ...]
+    unserved: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GreedyRun:
+    """Full record of a greedy allocation run.
+
+    Attributes
+    ----------
+    allocation:
+        ``task_id -> phone_id`` winning assignments.
+    win_slots:
+        ``phone_id -> slot`` in which each winner was selected.
+    slots:
+        Per-slot outcomes in slot order (only slots with tasks appear).
+    """
+
+    allocation: Dict[int, int]
+    win_slots: Dict[int, int]
+    slots: Tuple[SlotOutcome, ...]
+
+    @property
+    def total_unserved(self) -> int:
+        """Total number of tasks that went unserved."""
+        return sum(outcome.unserved for outcome in self.slots)
+
+    def winners_between(self, first_slot: int, last_slot: int) -> List[Bid]:
+        """All winning bids selected in slots ``[first_slot, last_slot]``."""
+        collected: List[Bid] = []
+        for outcome in self.slots:
+            if first_slot <= outcome.slot <= last_slot:
+                collected.extend(outcome.winners)
+        return collected
+
+
+def run_greedy_allocation(
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    exclude_phone: Optional[int] = None,
+    reserve_price: bool = False,
+    stop_after_slot: Optional[int] = None,
+) -> GreedyRun:
+    """Run Algorithm 1 and return the full allocation record.
+
+    Parameters
+    ----------
+    bids:
+        Claimed bids (at most one per phone; validated upstream).
+    schedule:
+        The round's task arrivals.
+    exclude_phone:
+        If given, that phone's bid is ignored — the ``B − B_i`` re-run the
+        payment scheme (Algorithm 2) needs.
+    reserve_price:
+        When ``True``, a bid is only allocated a task whose value is at
+        least the claimed cost (no negative-welfare assignments).  The
+        paper's algorithm has no reserve (its "revealing equivalence" step
+        assumes allocating every task is always worthwhile); the flag is
+        an explicit, documented deviation used by welfare-comparison
+        benches.  Skipped bids stay in the pool.
+    stop_after_slot:
+        Stop the walk after this slot (used by payment re-runs that only
+        need slots up to a departure).
+
+    Notes
+    -----
+    The pool is a heap ordered by :func:`bid_sort_key`; each slot we push
+    the arrivals and lazily pop departed bids, so a run costs
+    ``O((n + γ) log n)`` overall.
+    """
+    last_slot = schedule.num_slots if stop_after_slot is None else min(
+        stop_after_slot, schedule.num_slots
+    )
+
+    arrivals_by_slot: Dict[int, List[Bid]] = {}
+    for bid in bids:
+        if exclude_phone is not None and bid.phone_id == exclude_phone:
+            continue
+        arrivals_by_slot.setdefault(bid.arrival, []).append(bid)
+
+    pool: List[Tuple[Tuple[float, int, int], Bid]] = []
+    allocation: Dict[int, int] = {}
+    win_slots: Dict[int, int] = {}
+    slot_outcomes: List[SlotOutcome] = []
+
+    for slot in range(1, last_slot + 1):
+        for bid in arrivals_by_slot.get(slot, ()):  # newly active bids
+            heapq.heappush(pool, (bid_sort_key(bid), bid))
+
+        tasks = schedule.tasks_in_slot(slot)
+        if not tasks:
+            continue
+
+        winners: List[Bid] = []
+        unserved = 0
+        for task in tasks:
+            chosen: Optional[Bid] = None
+            while pool:
+                _, candidate = pool[0]
+                if candidate.departure < slot:  # departed; discard lazily
+                    heapq.heappop(pool)
+                    continue
+                if reserve_price and candidate.cost > task.value:
+                    # The cheapest pooled bid is already above the task's
+                    # value; with the pool sorted by cost, no pooled bid
+                    # can serve this task profitably.
+                    break
+                chosen = heapq.heappop(pool)[1]
+                break
+            if chosen is None:
+                unserved += 1
+                continue
+            allocation[task.task_id] = chosen.phone_id
+            win_slots[chosen.phone_id] = slot
+            winners.append(chosen)
+        slot_outcomes.append(
+            SlotOutcome(slot=slot, winners=tuple(winners), unserved=unserved)
+        )
+
+    return GreedyRun(
+        allocation=allocation,
+        win_slots=win_slots,
+        slots=tuple(slot_outcomes),
+    )

@@ -1,0 +1,94 @@
+"""Name-based mechanism registry.
+
+Experiment configurations refer to mechanisms by name (strings serialise
+cleanly into sweep configs and traces); this registry maps those names to
+factories.  All built-in mechanisms register at import time; downstream
+users can add their own with :func:`register_mechanism`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ExperimentError
+from repro.mechanisms.base import Mechanism
+
+_FACTORIES: Dict[str, Callable[..., Mechanism]] = {}
+
+
+def register_mechanism(
+    name: str, factory: Callable[..., Mechanism], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    Raises :class:`~repro.errors.ExperimentError` if the name is taken and
+    ``replace`` is not set.
+    """
+    if not name or not isinstance(name, str):
+        raise ExperimentError(f"mechanism name must be a non-empty str, got {name!r}")
+    if name in _FACTORIES and not replace:
+        raise ExperimentError(
+            f"mechanism {name!r} already registered; pass replace=True to "
+            f"override"
+        )
+    _FACTORIES[name] = factory
+
+
+def create_mechanism(name: str, **kwargs) -> Mechanism:
+    """Instantiate a registered mechanism by name.
+
+    Keyword arguments are forwarded to the factory (e.g.
+    ``create_mechanism("fixed-price", price=20.0)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES)) or "<none>"
+        raise ExperimentError(
+            f"unknown mechanism {name!r}; registered: {known}"
+        ) from None
+    mechanism = factory(**kwargs)
+    if not isinstance(mechanism, Mechanism):
+        raise ExperimentError(
+            f"factory for {name!r} returned {type(mechanism).__name__}, "
+            f"not a Mechanism"
+        )
+    return mechanism
+
+
+def available_mechanisms() -> Tuple[str, ...]:
+    """Sorted names of all registered mechanisms."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _register_builtins() -> None:
+    """Register the built-in mechanisms (idempotent)."""
+    # Imported here to avoid a circular import at package load.
+    from repro.mechanisms.baselines.fifo import FifoMechanism
+    from repro.mechanisms.baselines.fixed_price import FixedPriceMechanism
+    from repro.mechanisms.baselines.offline_greedy import (
+        OfflineGreedyMechanism,
+    )
+    from repro.mechanisms.baselines.random_alloc import (
+        RandomAllocationMechanism,
+    )
+    from repro.mechanisms.baselines.second_price import (
+        SecondPriceSlotMechanism,
+    )
+    from repro.mechanisms.offline_vcg import OfflineVCGMechanism
+    from repro.mechanisms.online_greedy import OnlineGreedyMechanism
+
+    builtin = {
+        OfflineVCGMechanism.name: OfflineVCGMechanism,
+        OnlineGreedyMechanism.name: OnlineGreedyMechanism,
+        SecondPriceSlotMechanism.name: SecondPriceSlotMechanism,
+        FixedPriceMechanism.name: FixedPriceMechanism,
+        RandomAllocationMechanism.name: RandomAllocationMechanism,
+        FifoMechanism.name: FifoMechanism,
+        OfflineGreedyMechanism.name: OfflineGreedyMechanism,
+    }
+    for name, factory in builtin.items():
+        register_mechanism(name, factory, replace=True)
+
+
+_register_builtins()

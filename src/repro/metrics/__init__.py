@@ -1,0 +1,82 @@
+"""Evaluation metrics and mechanism-property auditors.
+
+Implements the paper's two reported metrics — social welfare
+(Definition 3) and overpayment ratio (Definition 11) — plus the empirical
+competitive ratio (Theorem 6) and randomized auditors for truthfulness
+(Definition 4), individual rationality (Definition 5), and allocation
+monotonicity (Definition 10).
+"""
+
+from repro.metrics.competitive import empirical_competitive_ratio
+from repro.metrics.overpayment import (
+    overpayment_ratio,
+    total_overpayment,
+    total_real_cost,
+)
+from repro.metrics.properties import (
+    IRViolation,
+    MonotonicityReport,
+    TruthfulnessReport,
+    TruthfulnessViolation,
+    audit_individual_rationality,
+    audit_monotonicity,
+    audit_truthfulness,
+)
+from repro.metrics.compare import PairedComparison, paired_comparison
+from repro.metrics.landscape import (
+    LandscapePoint,
+    UtilityLandscape,
+    arrival_landscape,
+    cost_landscape,
+)
+from repro.metrics.summary import Summary, summarize
+from repro.metrics.timeseries import (
+    WaitingStats,
+    cumulative,
+    payments_by_slot,
+    platform_float_by_slot,
+    pool_occupancy,
+    tasks_served_by_slot,
+    tasks_unserved_by_slot,
+    welfare_by_slot,
+    winner_waiting_stats,
+)
+from repro.metrics.welfare import (
+    phone_utilities,
+    true_social_welfare,
+    welfare_per_task,
+)
+
+__all__ = [
+    "true_social_welfare",
+    "welfare_per_task",
+    "phone_utilities",
+    "overpayment_ratio",
+    "total_overpayment",
+    "total_real_cost",
+    "empirical_competitive_ratio",
+    "audit_individual_rationality",
+    "audit_truthfulness",
+    "audit_monotonicity",
+    "IRViolation",
+    "TruthfulnessViolation",
+    "TruthfulnessReport",
+    "MonotonicityReport",
+    "Summary",
+    "summarize",
+    "welfare_by_slot",
+    "payments_by_slot",
+    "tasks_served_by_slot",
+    "tasks_unserved_by_slot",
+    "pool_occupancy",
+    "winner_waiting_stats",
+    "WaitingStats",
+    "cumulative",
+    "platform_float_by_slot",
+    "cost_landscape",
+    "arrival_landscape",
+    "UtilityLandscape",
+    "LandscapePoint",
+    "paired_comparison",
+    "PairedComparison",
+]

@@ -1,0 +1,141 @@
+"""Utility landscapes: what a phone would earn under every lie.
+
+For a fixed opponent profile, sweep one phone's claimed cost (or claimed
+window) and record its *true* utility at each claim.  Under a truthful
+mechanism the curve is flat at its maximum over the winning region and
+(weakly) lower everywhere else — the visual signature of a dominant
+strategy.  Under pay-as-bid or second-price-per-slot rules the curve
+has a profitable bump away from the truthful claim.
+
+Used by ``examples/strategic_agents.py`` and the test suite; handy for
+debugging any new mechanism's incentives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.mechanisms.base import Mechanism
+from repro.model.bid import Bid
+from repro.model.smartphone import SmartphoneProfile
+from repro.model.task import TaskSchedule
+
+
+@dataclasses.dataclass(frozen=True)
+class LandscapePoint:
+    """One probed claim and the resulting true utility."""
+
+    bid: Bid
+    utility: float
+    won: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilityLandscape:
+    """A swept utility curve for one phone.
+
+    Attributes
+    ----------
+    phone_id:
+        The probed phone.
+    truthful_utility:
+        True utility at the truthful claim.
+    points:
+        The probed claims in sweep order.
+    """
+
+    phone_id: int
+    truthful_utility: float
+    points: Tuple[LandscapePoint, ...]
+
+    @property
+    def max_utility(self) -> float:
+        """Best utility over all probed claims (and the truthful one)."""
+        best = self.truthful_utility
+        for point in self.points:
+            if point.utility > best:
+                best = point.utility
+        return best
+
+    @property
+    def max_gain(self) -> float:
+        """How much the best probed lie beats truth-telling (>= 0)."""
+        return self.max_utility - self.truthful_utility
+
+    @property
+    def is_flat_at_truth(self) -> bool:
+        """Whether no probed claim beats truth (1e-9 tolerance)."""
+        return self.max_gain <= 1e-9
+
+
+def _true_utility(
+    mechanism: Mechanism,
+    profile: SmartphoneProfile,
+    claim: Bid,
+    others: Sequence[Bid],
+    schedule: TaskSchedule,
+) -> Tuple[float, bool]:
+    outcome = mechanism.run(list(others) + [claim], schedule)
+    won = outcome.is_winner(profile.phone_id)
+    utility = profile.utility(
+        payment=outcome.payment(profile.phone_id), allocated=won
+    )
+    return utility, won
+
+
+def cost_landscape(
+    mechanism: Mechanism,
+    profile: SmartphoneProfile,
+    all_bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    claimed_costs: Sequence[float],
+) -> UtilityLandscape:
+    """Sweep the claimed cost, window held truthful."""
+    if not claimed_costs:
+        raise ValidationError("claimed_costs must not be empty")
+    others = [b for b in all_bids if b.phone_id != profile.phone_id]
+    truthful_utility, _ = _true_utility(
+        mechanism, profile, profile.truthful_bid(), others, schedule
+    )
+    points: List[LandscapePoint] = []
+    for cost in claimed_costs:
+        claim = profile.truthful_bid().with_cost(float(cost))
+        utility, won = _true_utility(
+            mechanism, profile, claim, others, schedule
+        )
+        points.append(LandscapePoint(bid=claim, utility=utility, won=won))
+    return UtilityLandscape(
+        phone_id=profile.phone_id,
+        truthful_utility=truthful_utility,
+        points=tuple(points),
+    )
+
+
+def arrival_landscape(
+    mechanism: Mechanism,
+    profile: SmartphoneProfile,
+    all_bids: Sequence[Bid],
+    schedule: TaskSchedule,
+) -> UtilityLandscape:
+    """Sweep the claimed arrival over every feasible delay (Fig. 5's
+    deviation axis), cost and departure held truthful."""
+    others = [b for b in all_bids if b.phone_id != profile.phone_id]
+    truthful_utility, _ = _true_utility(
+        mechanism, profile, profile.truthful_bid(), others, schedule
+    )
+    points: List[LandscapePoint] = []
+    for arrival in range(profile.arrival, profile.departure + 1):
+        claim = profile.truthful_bid().with_window(
+            arrival, profile.departure
+        )
+        utility, won = _true_utility(
+            mechanism, profile, claim, others, schedule
+        )
+        points.append(LandscapePoint(bid=claim, utility=utility, won=won))
+    return UtilityLandscape(
+        phone_id=profile.phone_id,
+        truthful_utility=truthful_utility,
+        points=tuple(points),
+    )

@@ -1,0 +1,68 @@
+"""Overpayment ratio (Definition 11).
+
+The overpayment is the excess of total payments over the total *real*
+costs of contributing (allocated) smartphones; the ratio normalises by
+those real costs:
+
+.. math::
+
+    σ = \\frac{Σ_{i \\in winners} (p_i − c_i)}{Σ_{i \\in winners} c_i}
+
+A ratio of zero means the platform pays exactly cost (no incentive
+margin); the paper reports values around 0.7–1.0 for its workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.outcome import AuctionOutcome
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type hints only; avoids a
+    # metrics <-> simulation import cycle at runtime
+    from repro.simulation.scenario import Scenario
+
+
+def total_real_cost(outcome: AuctionOutcome, scenario: "Scenario") -> float:
+    """Sum of real costs over allocated smartphones."""
+    return sum(
+        scenario.profile(phone_id).cost for phone_id in outcome.winners
+    )
+
+
+def total_overpayment(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> float:
+    """Total payments minus total real costs, over allocated phones.
+
+    Payments to non-winners (possible only under pathological payment
+    rules) are counted in full — they are pure overpayment.
+    """
+    winner_ids = set(outcome.winners)
+    overpayment = 0.0
+    for phone_id, payment in outcome.payments.items():
+        real_cost = (
+            scenario.profile(phone_id).cost if phone_id in winner_ids else 0.0
+        )
+        overpayment += payment - real_cost
+    # Winners that somehow received no payment entry still incur cost.
+    for phone_id in winner_ids:
+        if phone_id not in outcome.payments:
+            overpayment -= scenario.profile(phone_id).cost
+    return overpayment
+
+
+def overpayment_ratio(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> Optional[float]:
+    """Definition 11's ratio ``σ``; ``None`` when nothing was allocated.
+
+    Returning ``None`` (rather than 0 or NaN) for an empty allocation
+    forces callers to handle the degenerate case explicitly; the sweep
+    aggregator skips such rounds.
+    """
+    denominator = total_real_cost(outcome, scenario)
+    if denominator <= 0.0:
+        return None
+    return total_overpayment(outcome, scenario) / denominator

@@ -1,0 +1,290 @@
+"""Randomized auditors for the mechanism-design properties.
+
+The paper proves truthfulness (Theorems 1, 4), individual rationality
+(Theorems 2, 5) and monotonicity (inside Theorem 4's proof).  These
+auditors verify the same properties *empirically* on concrete instances:
+
+* :func:`audit_individual_rationality` — every phone's true utility is
+  non-negative under truthful bidding (Definition 5).
+* :func:`audit_truthfulness` — sampled unilateral deviations never give a
+  phone more true utility than truth-telling (Definition 4).
+* :func:`audit_monotonicity` — if a claim wins, every stronger claim
+  (lower cost, weaker-or-equal window requirement) also wins
+  (Definition 10).
+
+Audits return structured reports instead of raising, so tests can assert
+emptiness against the paper's mechanisms and *non*-emptiness against the
+untruthful baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.base import BiddingStrategy
+from repro.agents.misreport import (
+    CombinedMisreportStrategy,
+    CostAdditiveStrategy,
+    CostScalingStrategy,
+    DelayedArrivalStrategy,
+    EarlyDepartureStrategy,
+    RandomMisreportStrategy,
+)
+from repro.mechanisms.base import Mechanism
+from repro.metrics.welfare import phone_utilities
+from repro.model.bid import Bid
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type hints only; avoids a
+    # metrics <-> simulation import cycle at runtime
+    from repro.simulation.scenario import Scenario
+
+#: Numerical tolerance: a "profitable" deviation must beat truth by this.
+_TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Individual rationality
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class IRViolation:
+    """A phone whose true utility under truthful bidding is negative."""
+
+    phone_id: int
+    utility: float
+
+
+def audit_individual_rationality(
+    mechanism: Mechanism, scenario: "Scenario"
+) -> List[IRViolation]:
+    """Run truthfully; report every phone with negative true utility."""
+    outcome = mechanism.run(scenario.truthful_bids(), scenario.schedule)
+    utilities = phone_utilities(outcome, scenario)
+    return [
+        IRViolation(phone_id=pid, utility=utility)
+        for pid, utility in sorted(utilities.items())
+        if utility < -_TOLERANCE
+    ]
+
+
+# ----------------------------------------------------------------------
+# Truthfulness
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class TruthfulnessViolation:
+    """A unilateral deviation that strictly beat truth-telling."""
+
+    phone_id: int
+    strategy: str
+    deviant_bid: Bid
+    truthful_utility: float
+    deviant_utility: float
+
+    @property
+    def gain(self) -> float:
+        """How much the deviation improved on truth-telling."""
+        return self.deviant_utility - self.truthful_utility
+
+
+@dataclasses.dataclass(frozen=True)
+class TruthfulnessReport:
+    """Result of a truthfulness audit.
+
+    Attributes
+    ----------
+    violations:
+        Profitable deviations found (empty for a truthful mechanism).
+    deviations_tested:
+        Total number of (phone, deviation) pairs evaluated.
+    """
+
+    violations: Tuple[TruthfulnessViolation, ...]
+    deviations_tested: int
+
+    @property
+    def passed(self) -> bool:
+        """Whether no profitable deviation was found."""
+        return not self.violations
+
+
+def default_deviation_strategies() -> List[BiddingStrategy]:
+    """The standard audit battery: one strategy per misreport dimension.
+
+    Covers cost inflation/deflation (multiplicative and additive),
+    arrival delays, early departures, combined misreports, and random
+    feasible deviations.
+    """
+    return [
+        CostScalingStrategy(1.5),
+        CostScalingStrategy(3.0),
+        CostScalingStrategy(0.5),
+        CostAdditiveStrategy(5.0),
+        CostAdditiveStrategy(-5.0),
+        DelayedArrivalStrategy(1),
+        DelayedArrivalStrategy(2),
+        EarlyDepartureStrategy(1),
+        EarlyDepartureStrategy(2),
+        CombinedMisreportStrategy(
+            cost_factor=1.5, arrival_delay=1, departure_advance=1
+        ),
+        RandomMisreportStrategy(),
+        RandomMisreportStrategy(),
+    ]
+
+
+def audit_truthfulness(
+    mechanism: Mechanism,
+    scenario: "Scenario",
+    rng: np.random.Generator,
+    strategies: Optional[Sequence[BiddingStrategy]] = None,
+    max_phones: Optional[int] = None,
+) -> TruthfulnessReport:
+    """Test unilateral deviations against truth-telling.
+
+    All phones bid truthfully except one deviant; the deviant's *true*
+    utility (payment minus real cost) is compared between its truthful
+    and deviant bids.  ``max_phones`` samples a subset of phones for
+    large scenarios.
+    """
+    battery = list(strategies) if strategies is not None else (
+        default_deviation_strategies()
+    )
+    truthful_bids = scenario.truthful_bids()
+    truthful_outcome = mechanism.run(truthful_bids, scenario.schedule)
+    truthful_utils = phone_utilities(truthful_outcome, scenario)
+
+    profiles = list(scenario.profiles)
+    if max_phones is not None and max_phones < len(profiles):
+        chosen = rng.choice(len(profiles), size=max_phones, replace=False)
+        profiles = [profiles[int(i)] for i in chosen]
+
+    violations: List[TruthfulnessViolation] = []
+    tested = 0
+    for profile in profiles:
+        others = [
+            bid for bid in truthful_bids if bid.phone_id != profile.phone_id
+        ]
+        for strategy in battery:
+            deviant_bid = strategy.make_bid(profile, rng)
+            if deviant_bid is None or deviant_bid == profile.truthful_bid():
+                continue
+            tested += 1
+            outcome = mechanism.run(
+                others + [deviant_bid], scenario.schedule
+            )
+            deviant_utility = scenario.profile(profile.phone_id).utility(
+                payment=outcome.payment(profile.phone_id),
+                allocated=outcome.is_winner(profile.phone_id),
+            )
+            if deviant_utility > truthful_utils[profile.phone_id] + _TOLERANCE:
+                violations.append(
+                    TruthfulnessViolation(
+                        phone_id=profile.phone_id,
+                        strategy=strategy.name,
+                        deviant_bid=deviant_bid,
+                        truthful_utility=truthful_utils[profile.phone_id],
+                        deviant_utility=deviant_utility,
+                    )
+                )
+    return TruthfulnessReport(
+        violations=tuple(violations), deviations_tested=tested
+    )
+
+
+# ----------------------------------------------------------------------
+# Monotonicity (Definition 10)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MonotonicityReport:
+    """Result of a monotonicity audit.
+
+    Attributes
+    ----------
+    violations:
+        ``(weaker_bid, stronger_bid)`` pairs where the weaker claim won
+        but the stronger one lost.
+    pairs_tested:
+        Number of (winning weaker claim, stronger claim) pairs checked.
+    """
+
+    violations: Tuple[Tuple[Bid, Bid], ...]
+    pairs_tested: int
+
+    @property
+    def passed(self) -> bool:
+        """Whether no monotonicity violation was found."""
+        return not self.violations
+
+
+def _random_claim(
+    profile, rng: np.random.Generator
+) -> Bid:
+    """A random feasible claim for ``profile``."""
+    window = profile.departure - profile.arrival
+    delay = int(rng.integers(0, window + 1))
+    advance = int(rng.integers(0, window - delay + 1))
+    cost = profile.cost * float(rng.uniform(0.5, 2.0))
+    return Bid(
+        phone_id=profile.phone_id,
+        arrival=profile.arrival + delay,
+        departure=profile.departure - advance,
+        cost=cost,
+    )
+
+
+def _strengthen(bid: Bid, profile, rng: np.random.Generator) -> Bid:
+    """A claim dominating ``bid``: earlier arrival, later departure,
+    lower cost — staying feasible for ``profile``."""
+    arrival = int(rng.integers(profile.arrival, bid.arrival + 1))
+    departure = int(rng.integers(bid.departure, profile.departure + 1))
+    cost = bid.cost * float(rng.uniform(0.3, 1.0))
+    return Bid(
+        phone_id=bid.phone_id,
+        arrival=arrival,
+        departure=departure,
+        cost=cost,
+    )
+
+
+def audit_monotonicity(
+    mechanism: Mechanism,
+    scenario: "Scenario",
+    rng: np.random.Generator,
+    samples: int = 50,
+) -> MonotonicityReport:
+    """Definition 10: a winning claim must keep winning when strengthened.
+
+    Samples random (phone, weaker claim) pairs; whenever the weaker claim
+    wins, a random stronger claim of the same phone is checked to also
+    win, holding everyone else's truthful bids fixed.
+    """
+    truthful_bids = scenario.truthful_bids()
+    violations: List[Tuple[Bid, Bid]] = []
+    tested = 0
+    profiles = list(scenario.profiles)
+    if not profiles:
+        return MonotonicityReport(violations=(), pairs_tested=0)
+    for _ in range(samples):
+        profile = profiles[int(rng.integers(len(profiles)))]
+        weaker = _random_claim(profile, rng)
+        others = [
+            bid for bid in truthful_bids if bid.phone_id != profile.phone_id
+        ]
+        weaker_outcome = mechanism.run(
+            others + [weaker], scenario.schedule
+        )
+        if not weaker_outcome.is_winner(profile.phone_id):
+            continue
+        stronger = _strengthen(weaker, profile, rng)
+        tested += 1
+        stronger_outcome = mechanism.run(
+            others + [stronger], scenario.schedule
+        )
+        if not stronger_outcome.is_winner(profile.phone_id):
+            violations.append((weaker, stronger))
+    return MonotonicityReport(
+        violations=tuple(violations), pairs_tested=tested
+    )

@@ -1,0 +1,82 @@
+"""Aggregation of repeated measurements: mean, spread, confidence.
+
+Sweep points are measured over several seeded repetitions;
+:func:`summarize` reduces the per-repetition values to a
+:class:`Summary` with a normal-approximation 95% confidence interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Optional
+
+from repro.errors import ValidationError
+
+#: Two-sided 97.5% normal quantile, for 95% confidence intervals.
+_Z_95 = 1.959963984540054
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Mean and dispersion of one measured quantity.
+
+    Attributes
+    ----------
+    mean, std, minimum, maximum:
+        The obvious sample statistics (``std`` is the sample standard
+        deviation with Bessel's correction; zero for a single value).
+    count:
+        Number of values aggregated.
+    ci95:
+        Half-width of the normal-approximation 95% confidence interval
+        of the mean.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+    ci95: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.ci95:.3f} (n={self.count})"
+
+
+def summarize(values: Iterable[Optional[float]]) -> Summary:
+    """Aggregate ``values``, skipping ``None`` entries.
+
+    ``None`` entries represent undefined per-repetition measurements
+    (e.g. the overpayment ratio of a round that allocated nothing) and
+    are excluded rather than treated as zero.
+
+    Raises
+    ------
+    ValidationError
+        If no finite value remains.
+    """
+    kept = [float(v) for v in values if v is not None]
+    for value in kept:
+        if not math.isfinite(value):
+            raise ValidationError(f"cannot summarize non-finite value {value!r}")
+    if not kept:
+        raise ValidationError("no values to summarize (all were None)")
+
+    count = len(kept)
+    mean = sum(kept) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in kept) / (count - 1)
+        std = math.sqrt(variance)
+        ci95 = _Z_95 * std / math.sqrt(count)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return Summary(
+        mean=mean,
+        std=std,
+        minimum=min(kept),
+        maximum=max(kept),
+        count=count,
+        ci95=ci95,
+    )

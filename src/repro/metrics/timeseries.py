@@ -1,0 +1,138 @@
+"""Per-slot time series derived from an auction outcome.
+
+The paper's evaluation reports round-level aggregates; operators of a
+real platform also need the within-round picture: how welfare accrues
+slot by slot, when cash actually leaves the platform (payments settle at
+reported departures, not at allocation time), how deep the pool of
+waiting phones is, and how long winners waited.  These functions compute
+those series from an outcome + scenario pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.model.outcome import AuctionOutcome
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type hints only; avoids a
+    # metrics <-> simulation import cycle at runtime
+    from repro.simulation.scenario import Scenario
+
+
+def welfare_by_slot(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> List[float]:
+    """True welfare accrued in each slot (index 0 = slot 1).
+
+    A task's welfare ``ν − c_i`` is booked in the slot the task was
+    served (its arrival slot, since tasks complete within their slot).
+    """
+    series = [0.0] * scenario.num_slots
+    for task_id, phone_id in outcome.allocation.items():
+        task = scenario.schedule.task(task_id)
+        series[task.slot - 1] += task.value - scenario.profile(phone_id).cost
+    return series
+
+
+def payments_by_slot(outcome: AuctionOutcome) -> List[float]:
+    """Cash paid out by the platform in each slot.
+
+    Under the online mechanism payments settle at reported departures,
+    so this series lags :func:`welfare_by_slot` — the platform's
+    float.
+    """
+    series = [0.0] * outcome.schedule.num_slots
+    for phone_id, amount in outcome.payments.items():
+        series[outcome.payment_slot(phone_id) - 1] += amount
+    return series
+
+
+def tasks_served_by_slot(outcome: AuctionOutcome) -> List[int]:
+    """Number of tasks served in each slot."""
+    series = [0] * outcome.schedule.num_slots
+    for task_id in outcome.allocation:
+        series[outcome.schedule.task(task_id).slot - 1] += 1
+    return series
+
+
+def tasks_unserved_by_slot(outcome: AuctionOutcome) -> List[int]:
+    """Number of tasks that went unserved in each slot."""
+    series = [0] * outcome.schedule.num_slots
+    for task in outcome.unserved_tasks:
+        series[task.slot - 1] += 1
+    return series
+
+
+def pool_occupancy(scenario: "Scenario") -> List[int]:
+    """How many phones are (really) active in each slot.
+
+    This is a property of the scenario, independent of any mechanism —
+    the supply side of the per-slot market.
+    """
+    return [
+        len(scenario.active_profiles(slot))
+        for slot in range(1, scenario.num_slots + 1)
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitingStats:
+    """How long winners waited between arrival and allocation.
+
+    Attributes
+    ----------
+    waits:
+        ``phone_id -> slots waited`` (0 = allocated on arrival) for each
+        winner.
+    mean_wait:
+        Average over winners; 0.0 when there are none.
+    max_wait:
+        Worst case; 0 when there are no winners.
+    """
+
+    waits: Dict[int, int]
+    mean_wait: float
+    max_wait: int
+
+
+def winner_waiting_stats(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> WaitingStats:
+    """Waiting time of each winner: win slot minus real arrival slot."""
+    waits: Dict[int, int] = {}
+    for phone_id in outcome.winners:
+        task = outcome.task_of(phone_id)
+        profile = scenario.profile(phone_id)
+        waits[phone_id] = task.slot - profile.arrival
+    if waits:
+        mean_wait = sum(waits.values()) / len(waits)
+        max_wait = max(waits.values())
+    else:
+        mean_wait, max_wait = 0.0, 0
+    return WaitingStats(waits=waits, mean_wait=mean_wait, max_wait=max_wait)
+
+
+def cumulative(series: List[float]) -> List[float]:
+    """Running total of a per-slot series (same length)."""
+    total = 0.0
+    out = []
+    for value in series:
+        total += value
+        out.append(total)
+    return out
+
+
+def platform_float_by_slot(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> List[float]:
+    """Welfare booked minus cash settled, cumulatively per slot.
+
+    Positive values mean the platform has received service it has not
+    yet paid for (payments settle at departures).  Ends at the round's
+    total overclaim of welfare over payments.
+    """
+    earned = cumulative(welfare_by_slot(outcome, scenario))
+    paid = cumulative(payments_by_slot(outcome))
+    return [e - p for e, p in zip(earned, paid)]

@@ -1,0 +1,69 @@
+"""Social welfare (Definitions 2 and 3) evaluated on *real* costs.
+
+An outcome knows the claimed costs it allocated against
+(:attr:`~repro.model.AuctionOutcome.claimed_welfare`); the true welfare
+needs the private profiles, which live in the scenario.  Under a truthful
+mechanism with truthful agents the two coincide — a fact the integration
+tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimulationError
+from repro.model.outcome import AuctionOutcome
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type hints only; avoids a
+    # metrics <-> simulation import cycle at runtime
+    from repro.simulation.scenario import Scenario
+
+
+def true_social_welfare(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> float:
+    """Definition 3: ``ω = Σ_{allocated τ} (ν − c_i)`` with real costs."""
+    total = 0.0
+    for task_id, phone_id in outcome.allocation.items():
+        task = scenario.schedule.task(task_id)
+        total += task.value - scenario.profile(phone_id).cost
+    return total
+
+
+def welfare_per_task(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> Dict[int, float]:
+    """Definition 2 per task: ``u(τ) = ν − c_i`` for each allocated task."""
+    utilities: Dict[int, float] = {}
+    for task_id, phone_id in outcome.allocation.items():
+        task = scenario.schedule.task(task_id)
+        utilities[task_id] = task.value - scenario.profile(phone_id).cost
+    return utilities
+
+
+def phone_utilities(
+    outcome: AuctionOutcome, scenario: "Scenario"
+) -> Dict[int, float]:
+    """Definition 1 per phone: ``u_i = p_i − c_i·I(allocated)``.
+
+    Covers every phone in the scenario; phones that submitted no bid (or
+    lost) have utility equal to their payment, which is zero under all
+    sane mechanisms.
+    """
+    utilities: Dict[int, float] = {}
+    bid_phone_ids = {bid.phone_id for bid in outcome.bids}
+    for profile in scenario.profiles:
+        if profile.phone_id in bid_phone_ids:
+            payment = outcome.payment(profile.phone_id)
+            allocated = outcome.is_winner(profile.phone_id)
+        else:
+            payment, allocated = 0.0, False
+        utilities[profile.phone_id] = profile.utility(payment, allocated)
+    for phone_id in bid_phone_ids:
+        if phone_id not in utilities:
+            raise SimulationError(
+                f"outcome contains a bid from phone {phone_id} that is "
+                f"not in the scenario"
+            )
+    return utilities

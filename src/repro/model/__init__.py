@@ -1,0 +1,16 @@
+"""Domain model: bids, smartphones, sensing tasks, rounds, and outcomes."""
+
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.model.round_config import RoundConfig
+from repro.model.smartphone import SmartphoneProfile
+from repro.model.task import SensingTask, TaskSchedule
+
+__all__ = [
+    "Bid",
+    "SmartphoneProfile",
+    "SensingTask",
+    "TaskSchedule",
+    "RoundConfig",
+    "AuctionOutcome",
+]

@@ -1,0 +1,102 @@
+"""The bid submitted by a smartphone to the platform.
+
+Section III-B of the paper: within a round of ``m`` slots, each smartphone
+``i`` submits at most one bid ``B_i = (ã_i, d̃_i, b_i)`` where ``ã_i`` is
+the claimed begin of active time (arrival slot), ``d̃_i`` the claimed end of
+active time (departure slot), and ``b_i`` the claimed per-task cost.  Slots
+are 1-based and the bid claims the phone is active in every slot ``t`` with
+``ã_i <= t <= d̃_i`` (inclusive on both ends, matching the worked example in
+Fig. 4 where Smartphone 2 is active in slots 1 through 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_non_negative, check_positive, check_type
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Bid:
+    """An immutable claimed bid ``(arrival, departure, cost)`` of one phone.
+
+    Attributes
+    ----------
+    phone_id:
+        Identifier of the submitting smartphone.  Unique within a round.
+    arrival:
+        Claimed first active slot ``ã_i`` (1-based, inclusive).
+    departure:
+        Claimed last active slot ``d̃_i`` (1-based, inclusive).
+    cost:
+        Claimed cost ``b_i >= 0`` for performing one sensing task.
+
+    The ordering (``order=True``) sorts by ``phone_id`` first, which gives
+    deterministic iteration order in reports; mechanisms never rely on this
+    ordering for allocation decisions (they sort explicitly by cost with a
+    documented tie-break).
+    """
+
+    phone_id: int
+    arrival: int
+    departure: int
+    cost: float
+
+    def __post_init__(self) -> None:
+        check_type("phone_id", self.phone_id, int)
+        check_type("arrival", self.arrival, int)
+        check_type("departure", self.departure, int)
+        if self.phone_id < 0:
+            raise ValidationError(f"phone_id must be >= 0, got {self.phone_id}")
+        check_positive("arrival", self.arrival)
+        check_positive("departure", self.departure)
+        if self.departure < self.arrival:
+            raise ValidationError(
+                f"departure ({self.departure}) must be >= arrival "
+                f"({self.arrival}) for phone {self.phone_id}"
+            )
+        check_non_negative("cost", self.cost)
+        # Normalise the cost to float so equality is value-based regardless
+        # of whether the caller passed an int.
+        object.__setattr__(self, "cost", float(self.cost))
+
+    def is_active(self, slot: int) -> bool:
+        """Whether the bid claims activity in ``slot`` (1-based)."""
+        return self.arrival <= slot <= self.departure
+
+    @property
+    def active_length(self) -> int:
+        """Number of slots the bid claims to be active for."""
+        return self.departure - self.arrival + 1
+
+    def with_cost(self, cost: float) -> "Bid":
+        """Return a copy of this bid with a different claimed cost."""
+        return dataclasses.replace(self, cost=cost)
+
+    def with_window(self, arrival: int, departure: int) -> "Bid":
+        """Return a copy of this bid with a different claimed window."""
+        return dataclasses.replace(self, arrival=arrival, departure=departure)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a JSON-friendly dict (used by trace recording)."""
+        return {
+            "phone_id": self.phone_id,
+            "arrival": self.arrival,
+            "departure": self.departure,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Bid":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                phone_id=int(payload["phone_id"]),
+                arrival=int(payload["arrival"]),
+                departure=int(payload["departure"]),
+                cost=float(payload["cost"]),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"bid payload missing key: {exc}") from exc

@@ -1,0 +1,87 @@
+"""Configuration of one auction round.
+
+The paper runs the reverse auction "round by round", each round containing
+``m`` equal-size slots (Section III-B).  :class:`RoundConfig` carries the
+horizon plus the cross-cutting validation a mechanism performs before
+allocating: unique phone ids, bids inside the horizon, schedule matching
+the horizon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+from repro.errors import MechanismError, ValidationError
+from repro.model.bid import Bid
+from repro.model.task import TaskSchedule
+from repro.utils.validation import check_positive, check_type
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundConfig:
+    """Immutable parameters of one auction round.
+
+    Attributes
+    ----------
+    num_slots:
+        The round horizon ``m``; slots are numbered 1..m.
+    """
+
+    num_slots: int
+
+    def __post_init__(self) -> None:
+        check_type("num_slots", self.num_slots, int)
+        check_positive("num_slots", self.num_slots)
+
+    def validate_bids(self, bids: Sequence[Bid]) -> Dict[int, Bid]:
+        """Check bids fit this round; return them indexed by phone id.
+
+        Raises
+        ------
+        MechanismError
+            On duplicate phone ids or a bid whose claimed window falls
+            outside ``[1, num_slots]``.
+        """
+        by_phone: Dict[int, Bid] = {}
+        for bid in bids:
+            if not isinstance(bid, Bid):
+                raise MechanismError(
+                    f"bids must be Bid instances, got {type(bid).__name__}"
+                )
+            if bid.phone_id in by_phone:
+                raise MechanismError(
+                    f"duplicate bid for phone {bid.phone_id}; each "
+                    f"smartphone submits at most one bid per round"
+                )
+            if bid.departure > self.num_slots:
+                raise MechanismError(
+                    f"phone {bid.phone_id} claims departure {bid.departure} "
+                    f"beyond the round horizon of {self.num_slots} slots"
+                )
+            by_phone[bid.phone_id] = bid
+        return by_phone
+
+    def validate_schedule(self, schedule: TaskSchedule) -> TaskSchedule:
+        """Check the task schedule matches this round's horizon."""
+        if not isinstance(schedule, TaskSchedule):
+            raise MechanismError(
+                f"schedule must be a TaskSchedule, got "
+                f"{type(schedule).__name__}"
+            )
+        if schedule.num_slots != self.num_slots:
+            raise MechanismError(
+                f"schedule horizon ({schedule.num_slots} slots) does not "
+                f"match round horizon ({self.num_slots} slots)"
+            )
+        return schedule
+
+    @classmethod
+    def for_schedule(cls, schedule: TaskSchedule) -> "RoundConfig":
+        """Convenience constructor matching a schedule's horizon."""
+        if not isinstance(schedule, TaskSchedule):
+            raise ValidationError(
+                f"schedule must be a TaskSchedule, got "
+                f"{type(schedule).__name__}"
+            )
+        return cls(num_slots=schedule.num_slots)

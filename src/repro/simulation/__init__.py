@@ -1,0 +1,48 @@
+"""Simulation substrate: arrival processes, workloads, scenarios, engine.
+
+This layer generates the random instances of Section VI (Table I defaults:
+Poisson smartphone and task arrivals, uniform active-time lengths and
+costs) and drives mechanisms over them.
+"""
+
+from repro.simulation.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    InhomogeneousPoissonArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.simulation.costs import (
+    ConstantCosts,
+    CostDistribution,
+    ExponentialCosts,
+    UniformCosts,
+)
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.paper_example import (
+    paper_example_profiles,
+    paper_example_schedule,
+)
+from repro.simulation.scenario import Scenario
+from repro.simulation.traces import load_scenario, save_scenario
+from repro.simulation.workload import WorkloadConfig
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "InhomogeneousPoissonArrivals",
+    "TraceArrivals",
+    "CostDistribution",
+    "UniformCosts",
+    "ConstantCosts",
+    "ExponentialCosts",
+    "WorkloadConfig",
+    "Scenario",
+    "SimulationEngine",
+    "SimulationResult",
+    "save_scenario",
+    "load_scenario",
+    "paper_example_profiles",
+    "paper_example_schedule",
+]

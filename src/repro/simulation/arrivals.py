@@ -1,0 +1,144 @@
+"""Arrival processes for smartphones and sensing tasks.
+
+The paper generates both arrival streams "with Poisson distributions"
+(Section VI-A): the number of arrivals per slot is Poisson with the
+configured rate.  Deterministic and trace-driven processes exist for
+worked examples and replay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_non_negative, check_positive, check_type
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces the number of arrivals in each slot of a round."""
+
+    @abc.abstractmethod
+    def counts(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Arrivals per slot: a list of ``num_slots`` non-negative ints."""
+
+    def _check_num_slots(self, num_slots: int) -> int:
+        check_type("num_slots", num_slots, int)
+        check_positive("num_slots", num_slots)
+        return num_slots
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Independent Poisson arrivals with a fixed per-slot rate ``λ``."""
+
+    def __init__(self, rate: float) -> None:
+        check_non_negative("rate", rate)
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """The per-slot arrival rate ``λ``."""
+        return self._rate
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> List[int]:
+        self._check_num_slots(num_slots)
+        return [int(c) for c in rng.poisson(self._rate, size=num_slots)]
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self._rate})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """The same number of arrivals in every slot."""
+
+    def __init__(self, per_slot: int) -> None:
+        check_type("per_slot", per_slot, int)
+        check_non_negative("per_slot", per_slot)
+        self._per_slot = per_slot
+
+    @property
+    def per_slot(self) -> int:
+        """Arrivals in each slot."""
+        return self._per_slot
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> List[int]:
+        self._check_num_slots(num_slots)
+        return [self._per_slot] * num_slots
+
+    def __repr__(self) -> str:
+        return f"DeterministicArrivals(per_slot={self._per_slot})"
+
+
+class InhomogeneousPoissonArrivals(ArrivalProcess):
+    """Poisson arrivals with a per-slot rate profile (diurnal demand).
+
+    The profile is cycled to cover the round, so a 24-entry "hourly"
+    profile drives rounds of any length.  Useful for rush-hour task
+    streams (see ``examples/noise_mapping.py``) while staying Poisson
+    within each slot, as in the paper.
+    """
+
+    def __init__(self, rate_profile: Sequence[float]) -> None:
+        rates = []
+        for index, rate in enumerate(rate_profile):
+            check_non_negative(f"rate_profile[{index}]", rate)
+            rates.append(float(rate))
+        if not rates:
+            raise ValidationError("rate_profile must not be empty")
+        self._rates = tuple(rates)
+
+    @property
+    def rate_profile(self) -> Sequence[float]:
+        """The cyclic per-slot rates."""
+        return self._rates
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> List[int]:
+        self._check_num_slots(num_slots)
+        return [
+            int(rng.poisson(self._rates[slot % len(self._rates)]))
+            for slot in range(num_slots)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"InhomogeneousPoissonArrivals(profile_len={len(self._rates)})"
+        )
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay a recorded per-slot arrival vector.
+
+    The trace must be at least as long as the requested round; extra
+    entries are ignored so one long trace can drive sweeps over ``m``.
+    """
+
+    def __init__(self, trace: Sequence[int]) -> None:
+        validated = []
+        for index, count in enumerate(trace):
+            check_type(f"trace[{index}]", count, int)
+            check_non_negative(f"trace[{index}]", count)
+            validated.append(count)
+        if not validated:
+            raise ValidationError("trace must not be empty")
+        self._trace = tuple(validated)
+
+    @property
+    def trace(self) -> Sequence[int]:
+        """The recorded arrival counts."""
+        return self._trace
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> List[int]:
+        self._check_num_slots(num_slots)
+        if num_slots > len(self._trace):
+            raise ValidationError(
+                f"trace has {len(self._trace)} slots, round needs "
+                f"{num_slots}"
+            )
+        return list(self._trace[:num_slots])
+
+    def __repr__(self) -> str:
+        return f"TraceArrivals(len={len(self._trace)})"

@@ -1,0 +1,135 @@
+"""Cost distributions for smartphone sensing costs.
+
+Table I only fixes the *average* real cost (default 25); the shape is
+unspecified.  The default workload uses :class:`UniformCosts` spanning
+``[1, 2*mean - 1]`` (mean-preserving, bounded away from zero so payments
+and overpayment ratios stay well-conditioned); constant and exponential
+shapes exist for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CostDistribution(abc.ABC):
+    """Samples per-task sensing costs for generated smartphones."""
+
+    @abc.abstractmethod
+    def sample(self, count: int, rng: np.random.Generator) -> List[float]:
+        """Draw ``count`` costs (all ``>= 0``)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution's mean (used in reports and sweeps)."""
+
+    @staticmethod
+    def _check_count(count: int) -> int:
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise ValidationError(
+                f"count must be an int, got {type(count).__name__}"
+            )
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        return count
+
+
+class UniformCosts(CostDistribution):
+    """Costs uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        check_non_negative("low", low)
+        check_non_negative("high", high)
+        if high < low:
+            raise ValidationError(
+                f"high ({high}) must be >= low ({low})"
+            )
+        self._low = float(low)
+        self._high = float(high)
+
+    @classmethod
+    def with_mean(cls, mean: float) -> "UniformCosts":
+        """The default paper-style shape: uniform on ``[1, 2*mean - 1]``.
+
+        Mean-preserving for ``mean >= 1``; degrades to a constant at 1
+        when ``mean == 1``.
+        """
+        check_positive("mean", mean)
+        if mean < 1.0:
+            return cls(low=mean, high=mean)
+        return cls(low=1.0, high=2.0 * mean - 1.0)
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the support."""
+        return self._low
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the support."""
+        return self._high
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[float]:
+        self._check_count(count)
+        return [float(c) for c in rng.uniform(self._low, self._high, size=count)]
+
+    def __repr__(self) -> str:
+        return f"UniformCosts(low={self._low}, high={self._high})"
+
+
+class ConstantCosts(CostDistribution):
+    """Every smartphone has the same cost (degenerate markets, tests)."""
+
+    def __init__(self, value: float) -> None:
+        check_non_negative("value", value)
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The constant cost."""
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[float]:
+        self._check_count(count)
+        return [self._value] * count
+
+    def __repr__(self) -> str:
+        return f"ConstantCosts(value={self._value})"
+
+
+class ExponentialCosts(CostDistribution):
+    """Exponentially distributed costs (heavy right tail).
+
+    Models populations where a few phones are much more expensive to
+    engage — useful for stressing the payment schemes' tails.
+    """
+
+    def __init__(self, mean: float) -> None:
+        check_positive("mean", mean)
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[float]:
+        self._check_count(count)
+        return [float(c) for c in rng.exponential(self._mean, size=count)]
+
+    def __repr__(self) -> str:
+        return f"ExponentialCosts(mean={self._mean})"

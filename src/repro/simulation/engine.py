@@ -1,0 +1,117 @@
+"""The simulation engine: run mechanisms over scenarios, collect metrics.
+
+:class:`SimulationEngine` is the one-stop entry point the examples and
+the experiment harness use: give it a scenario and a mechanism, get back
+a :class:`SimulationResult` with the outcome and every paper metric
+already computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.agents.base import BiddingStrategy
+from repro.mechanisms.base import Mechanism
+from repro.metrics.overpayment import overpayment_ratio, total_overpayment
+from repro.metrics.welfare import phone_utilities, true_social_welfare
+from repro.model.outcome import AuctionOutcome
+from repro.simulation.scenario import Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """One round's outcome plus the metrics of Section VI.
+
+    Attributes
+    ----------
+    mechanism_name:
+        Name of the mechanism that produced the outcome.
+    outcome:
+        The raw allocation/payment record.
+    true_welfare:
+        Social welfare on real costs (Definition 3).
+    claimed_welfare:
+        Social welfare on claimed costs (equal to ``true_welfare`` under
+        truthful bidding).
+    overpayment:
+        Total payments minus total real winner costs.
+    overpayment_ratio:
+        Definition 11's ``σ``; ``None`` if nothing was allocated.
+    utilities:
+        True utility per phone (Definition 1).
+    tasks_served:
+        Number of allocated tasks.
+    """
+
+    mechanism_name: str
+    outcome: AuctionOutcome
+    true_welfare: float
+    claimed_welfare: float
+    overpayment: float
+    overpayment_ratio: Optional[float]
+    utilities: Dict[int, float]
+    tasks_served: int
+
+    @property
+    def total_payment(self) -> float:
+        """Total money the platform paid out."""
+        return self.outcome.total_payment
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of tasks served (1.0 for an empty schedule)."""
+        total = len(self.outcome.schedule)
+        return 1.0 if total == 0 else self.tasks_served / total
+
+
+class SimulationEngine:
+    """Runs mechanisms over scenarios and packages the metrics."""
+
+    def run(
+        self,
+        mechanism: Mechanism,
+        scenario: Scenario,
+        strategies: Optional[Mapping[int, BiddingStrategy]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SimulationResult:
+        """Execute one round.
+
+        Parameters
+        ----------
+        mechanism:
+            The auction mechanism to run.
+        scenario:
+            The round's profiles and task schedule.
+        strategies:
+            Optional per-phone bidding strategies (default: everyone
+            truthful).
+        rng:
+            Random source for stochastic strategies.
+        """
+        if strategies:
+            bids = scenario.bids_from_strategies(strategies, rng)
+        else:
+            bids = scenario.truthful_bids()
+        outcome = mechanism.run(bids, scenario.schedule)
+        return self.package(mechanism.name, outcome, scenario)
+
+    @staticmethod
+    def package(
+        mechanism_name: str,
+        outcome: AuctionOutcome,
+        scenario: Scenario,
+    ) -> SimulationResult:
+        """Compute the metric bundle for an already-produced outcome."""
+        return SimulationResult(
+            mechanism_name=mechanism_name,
+            outcome=outcome,
+            true_welfare=true_social_welfare(outcome, scenario),
+            claimed_welfare=outcome.claimed_welfare,
+            overpayment=total_overpayment(outcome, scenario),
+            overpayment_ratio=overpayment_ratio(outcome, scenario),
+            utilities=phone_utilities(outcome, scenario),
+            tasks_served=len(outcome.allocation),
+        )

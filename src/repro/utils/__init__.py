@@ -1,0 +1,22 @@
+"""Shared low-level utilities: seeded RNG streams, validation, tables."""
+
+from repro.utils.rng import RngStreams, spawn_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "RngStreams",
+    "spawn_rng",
+    "format_table",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,77 @@
+"""Plain-text table formatting for reports, examples, and benchmarks.
+
+The experiment harness prints the paper's tables and figure series as
+monospace text; this module owns the column alignment logic so every
+report looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+
+def _render_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; booleans render as yes/no.
+    Numeric-looking columns are right-aligned, text columns left-aligned.
+
+    Raises :class:`~repro.errors.ValidationError` if any row's length does
+    not match the header count.
+    """
+    header_list = [str(h) for h in headers]
+    if not header_list:
+        raise ValidationError("headers must not be empty")
+
+    rendered: List[List[str]] = []
+    numeric = [True] * len(header_list)
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(header_list):
+            raise ValidationError(
+                f"row has {len(cells)} cells, expected {len(header_list)}: "
+                f"{cells!r}"
+            )
+        rendered.append([_render_cell(c, float_fmt) for c in cells])
+        for idx, cell in enumerate(cells):
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                numeric[idx] = False
+
+    widths = [len(h) for h in header_list]
+    for cells in rendered:
+        for idx, cell in enumerate(cells):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        parts = []
+        for idx, cell in enumerate(cells):
+            if numeric[idx]:
+                parts.append(cell.rjust(widths[idx]))
+            else:
+                parts.append(cell.ljust(widths[idx]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_line(header_list))
+    lines.append(separator)
+    lines.extend(_line(cells) for cells in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Small argument-validation helpers used across the package.
+
+Each helper raises :class:`repro.errors.ValidationError` with a message that
+names the offending argument, so constructors can validate several fields
+with one readable line per field.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple, Type, Union
+
+from repro.errors import ValidationError
+
+Number = Union[int, float]
+
+
+def check_type(name: str, value: Any, expected: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Ensure ``value`` is an instance of ``expected``; return it unchanged.
+
+    ``bool`` is rejected where a numeric type is expected, because ``bool``
+    is a subclass of ``int`` in Python and silently accepting ``True`` as
+    ``1`` hides caller bugs.
+    """
+    expected_tuple = expected if isinstance(expected, tuple) else (expected,)
+    numeric_expected = any(t in (int, float) for t in expected_tuple)
+    if numeric_expected and isinstance(value, bool):
+        raise ValidationError(
+            f"{name} must be a number, got bool {value!r}"
+        )
+    if not isinstance(value, expected_tuple):
+        names = ", ".join(t.__name__ for t in expected_tuple)
+        raise ValidationError(
+            f"{name} must be of type {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_finite(name: str, value: Number) -> Number:
+    """Ensure ``value`` is a finite number (no NaN or infinity)."""
+    check_type(name, value, (int, float))
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Ensure ``value`` is a finite number ``>= 0``."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Ensure ``value`` is a finite number ``> 0``."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: Number,
+    low: Optional[Number] = None,
+    high: Optional[Number] = None,
+) -> Number:
+    """Ensure ``low <= value <= high`` (bounds optional)."""
+    check_finite(name, value)
+    if low is not None and value < low:
+        raise ValidationError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ValidationError(f"{name} must be <= {high}, got {value!r}")
+    return value

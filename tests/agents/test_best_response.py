@@ -1,0 +1,127 @@
+"""Unit tests for the best-response search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import best_response_search, candidate_deviations
+from repro.errors import ValidationError
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.mechanisms.baselines import SecondPriceSlotMechanism
+from repro.model import Bid, SmartphoneProfile
+from repro.simulation.paper_example import (
+    paper_example_bids,
+    paper_example_profiles,
+    paper_example_schedule,
+)
+
+
+class TestCandidateDeviations:
+    def test_all_candidates_feasible(self):
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=2, departure=4, cost=5.0
+        )
+        others = [Bid(phone_id=2, arrival=1, departure=3, cost=3.0)]
+        for bid in candidate_deviations(profile, others):
+            assert profile.is_feasible_claim(bid)
+
+    def test_includes_other_bid_thresholds(self):
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=1, departure=1, cost=5.0
+        )
+        others = [Bid(phone_id=2, arrival=1, departure=1, cost=3.0)]
+        costs = {b.cost for b in candidate_deviations(profile, others)}
+        assert 3.0 in costs
+
+    def test_max_windows_cap(self):
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=1, departure=6, cost=5.0
+        )
+        capped = candidate_deviations(profile, [], max_windows=2)
+        windows = {(b.arrival, b.departure) for b in capped}
+        assert len(windows) == 2
+        assert (1, 6) in windows  # widest kept first
+
+    def test_max_windows_validation(self):
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=1, departure=2, cost=5.0
+        )
+        with pytest.raises(ValidationError):
+            candidate_deviations(profile, [], max_windows=0)
+
+    def test_own_bid_excluded_from_others(self):
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=1, departure=1, cost=5.0
+        )
+        own = Bid(phone_id=1, arrival=1, departure=1, cost=5.0)
+        # Should not crash nor duplicate thresholds from its own bid.
+        candidates = candidate_deviations(profile, [own])
+        assert all(b.phone_id == 1 for b in candidates)
+
+
+class TestBestResponseSearch:
+    def test_no_profitable_deviation_against_online(self):
+        """The paper's mechanism survives the search (competitive case)."""
+        mechanism = OnlineGreedyMechanism()
+        profiles = paper_example_profiles()
+        bids = paper_example_bids()
+        schedule = paper_example_schedule()
+        for profile in profiles:
+            result = best_response_search(
+                mechanism, profile, bids, schedule, max_windows=6
+            )
+            assert not result.profitable, (
+                f"phone {profile.phone_id} gains {result.gain} with "
+                f"{result.best_bid}"
+            )
+
+    def test_rediscovers_fig5_deviation_against_second_price(self):
+        """Against per-slot second price, phone 1 profits by delaying."""
+        mechanism = SecondPriceSlotMechanism()
+        profiles = paper_example_profiles()
+        phone1 = next(p for p in profiles if p.phone_id == 1)
+        result = best_response_search(
+            mechanism, phone1, paper_example_bids(), paper_example_schedule()
+        )
+        assert result.profitable
+        assert result.gain >= 4.0 - 1e-9  # at least the paper's gain
+        # The winning deviation misreports (the search may find an even
+        # better deviation than the paper's 2-slot delay, e.g. cost
+        # inflation up to the second price).
+        assert result.best_bid != phone1.truthful_bid()
+        # And the paper's specific delay deviation is itself profitable:
+        delayed = phone1.truthful_bid().with_window(4, 5)
+        outcome = mechanism.run(
+            [b for b in paper_example_bids() if b.phone_id != 1] + [delayed],
+            paper_example_schedule(),
+        )
+        delayed_utility = outcome.payment(1) - phone1.cost
+        assert delayed_utility - result.truthful_utility == pytest.approx(4.0)
+
+    def test_result_counts_candidates(self):
+        mechanism = OnlineGreedyMechanism()
+        profile = SmartphoneProfile(
+            phone_id=1, arrival=1, departure=1, cost=5.0
+        )
+        result = best_response_search(
+            mechanism,
+            profile,
+            [Bid(phone_id=2, arrival=1, departure=1, cost=3.0)],
+            paper_example_schedule(),
+        )
+        assert result.num_candidates > 1
+
+    def test_truthful_utility_reported(self):
+        mechanism = OnlineGreedyMechanism()
+        profiles = paper_example_profiles()
+        phone1 = next(p for p in profiles if p.phone_id == 1)
+        result = best_response_search(
+            mechanism,
+            phone1,
+            paper_example_bids(),
+            paper_example_schedule(),
+            max_windows=4,
+        )
+        # Phone 1 wins truthfully and is paid 9 against a cost of 3.
+        assert result.truthful_utility == pytest.approx(6.0)
+        assert result.best_utility >= result.truthful_utility

@@ -1,0 +1,142 @@
+"""Unit tests for the misreporting strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    CombinedMisreportStrategy,
+    CostAdditiveStrategy,
+    CostScalingStrategy,
+    DelayedArrivalStrategy,
+    EarlyDepartureStrategy,
+    RandomMisreportStrategy,
+)
+from repro.errors import ValidationError
+from repro.model import SmartphoneProfile
+
+
+@pytest.fixture
+def profile():
+    return SmartphoneProfile(phone_id=1, arrival=2, departure=6, cost=10.0)
+
+
+@pytest.fixture
+def single_slot_profile():
+    return SmartphoneProfile(phone_id=2, arrival=3, departure=3, cost=4.0)
+
+
+class TestCostScaling:
+    def test_inflation(self, profile):
+        bid = CostScalingStrategy(1.5).make_bid(profile)
+        assert bid.cost == pytest.approx(15.0)
+        assert (bid.arrival, bid.departure) == (2, 6)
+
+    def test_deflation(self, profile):
+        bid = CostScalingStrategy(0.5).make_bid(profile)
+        assert bid.cost == pytest.approx(5.0)
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            CostScalingStrategy(0.0)
+
+    def test_factor_property(self):
+        assert CostScalingStrategy(2.0).factor == 2.0
+
+
+class TestCostAdditive:
+    def test_addition(self, profile):
+        assert CostAdditiveStrategy(3.0).make_bid(profile).cost == 13.0
+
+    def test_subtraction_clamped_at_zero(self, profile):
+        assert CostAdditiveStrategy(-99.0).make_bid(profile).cost == 0.0
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ValidationError):
+            CostAdditiveStrategy("five")  # type: ignore[arg-type]
+
+
+class TestDelayedArrival:
+    def test_delay_applied(self, profile):
+        bid = DelayedArrivalStrategy(2).make_bid(profile)
+        assert bid.arrival == 4
+        assert bid.departure == 6
+        assert bid.cost == 10.0
+
+    def test_zero_delay_is_truthful(self, profile):
+        assert DelayedArrivalStrategy(0).make_bid(profile) == (
+            profile.truthful_bid()
+        )
+
+    def test_abstains_when_window_emptied(self, single_slot_profile):
+        assert DelayedArrivalStrategy(1).make_bid(single_slot_profile) is None
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            DelayedArrivalStrategy(-1)
+
+    def test_result_is_feasible(self, profile):
+        bid = DelayedArrivalStrategy(3).make_bid(profile)
+        assert profile.is_feasible_claim(bid)
+
+
+class TestEarlyDeparture:
+    def test_advance_applied(self, profile):
+        bid = EarlyDepartureStrategy(2).make_bid(profile)
+        assert bid.departure == 4
+        assert bid.arrival == 2
+
+    def test_abstains_when_window_emptied(self, single_slot_profile):
+        assert EarlyDepartureStrategy(1).make_bid(single_slot_profile) is None
+
+    def test_result_is_feasible(self, profile):
+        bid = EarlyDepartureStrategy(1).make_bid(profile)
+        assert profile.is_feasible_claim(bid)
+
+
+class TestCombined:
+    def test_all_dimensions(self, profile):
+        strategy = CombinedMisreportStrategy(
+            cost_factor=2.0, arrival_delay=1, departure_advance=1
+        )
+        bid = strategy.make_bid(profile)
+        assert bid.cost == 20.0
+        assert (bid.arrival, bid.departure) == (3, 5)
+
+    def test_abstains_when_window_collapses(self, single_slot_profile):
+        strategy = CombinedMisreportStrategy(arrival_delay=1)
+        assert strategy.make_bid(single_slot_profile) is None
+
+    def test_defaults_are_truthful(self, profile):
+        assert CombinedMisreportStrategy().make_bid(profile) == (
+            profile.truthful_bid()
+        )
+
+
+class TestRandomMisreport:
+    def test_requires_rng(self, profile):
+        with pytest.raises(ValidationError, match="rng"):
+            RandomMisreportStrategy().make_bid(profile, rng=None)
+
+    def test_always_feasible(self, profile):
+        rng = np.random.default_rng(0)
+        strategy = RandomMisreportStrategy()
+        for _ in range(50):
+            bid = strategy.make_bid(profile, rng)
+            assert bid is not None
+            assert profile.is_feasible_claim(bid)
+
+    def test_deterministic_given_rng_state(self, profile):
+        a = RandomMisreportStrategy().make_bid(
+            profile, np.random.default_rng(7)
+        )
+        b = RandomMisreportStrategy().make_bid(
+            profile, np.random.default_rng(7)
+        )
+        assert a == b
+
+    def test_single_slot_profile_supported(self, single_slot_profile):
+        rng = np.random.default_rng(1)
+        bid = RandomMisreportStrategy().make_bid(single_slot_profile, rng)
+        assert bid.arrival == bid.departure == 3

@@ -1,0 +1,24 @@
+"""Unit tests for the truthful strategy."""
+
+from __future__ import annotations
+
+from repro.agents import TruthfulStrategy
+from repro.model import SmartphoneProfile
+
+
+class TestTruthfulStrategy:
+    def test_reports_private_type_verbatim(self):
+        profile = SmartphoneProfile(
+            phone_id=3, arrival=2, departure=6, cost=11.5
+        )
+        bid = TruthfulStrategy().make_bid(profile)
+        assert bid == profile.truthful_bid()
+
+    def test_no_rng_needed(self):
+        profile = SmartphoneProfile(
+            phone_id=0, arrival=1, departure=1, cost=0.0
+        )
+        assert TruthfulStrategy().make_bid(profile, rng=None) is not None
+
+    def test_name(self):
+        assert TruthfulStrategy().name == "truthful"

@@ -1,0 +1,74 @@
+"""Unit tests for the typed platform events."""
+
+from __future__ import annotations
+
+from repro.auction.events import (
+    AuctionEvent,
+    BidSubmitted,
+    PaymentSettled,
+    SlotClosed,
+    TaskAllocated,
+    TasksAnnounced,
+    TaskUnserved,
+)
+
+
+class TestEventDescriptions:
+    def test_base_event(self):
+        assert AuctionEvent(slot=3).describe() == "[slot 3] AuctionEvent"
+
+    def test_bid_submitted(self):
+        event = BidSubmitted(
+            slot=1, phone_id=5, arrival=1, departure=4, cost=7.5
+        )
+        text = event.describe()
+        assert "[slot 1]" in text
+        assert "phone 5" in text
+        assert "[1, 4]" in text
+        assert "7.5" in text
+
+    def test_tasks_announced(self):
+        assert "3 task(s)" in TasksAnnounced(slot=2, count=3).describe()
+
+    def test_task_allocated(self):
+        event = TaskAllocated(
+            slot=2, task_id=9, phone_id=4, claimed_cost=3.0
+        )
+        text = event.describe()
+        assert "task 9" in text and "phone 4" in text
+
+    def test_task_unserved(self):
+        assert "unserved" in TaskUnserved(slot=2, task_id=9).describe()
+
+    def test_payment_settled(self):
+        event = PaymentSettled(slot=5, phone_id=2, amount=12.5)
+        assert "paid" in event.describe()
+        assert "12.5" in event.describe()
+
+    def test_slot_closed(self):
+        assert "3 active" in SlotClosed(slot=1, pool_size=3).describe()
+
+
+class TestEventSemantics:
+    def test_events_are_frozen(self):
+        import pytest
+
+        event = TasksAnnounced(slot=1, count=2)
+        with pytest.raises(Exception):
+            event.count = 5  # type: ignore[misc]
+
+    def test_events_are_value_objects(self):
+        a = PaymentSettled(slot=1, phone_id=2, amount=3.0)
+        b = PaymentSettled(slot=1, phone_id=2, amount=3.0)
+        assert a == b
+
+    def test_all_events_subclass_base(self):
+        for cls in (
+            BidSubmitted,
+            TasksAnnounced,
+            TaskAllocated,
+            TaskUnserved,
+            PaymentSettled,
+            SlotClosed,
+        ):
+            assert issubclass(cls, AuctionEvent)

@@ -1,0 +1,145 @@
+"""Unit tests for multi-round campaign operation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auction import RETRY_LOSERS, RETRY_NONE, run_campaign
+from repro.errors import SimulationError, ValidationError
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.simulation import WorkloadConfig
+
+
+@pytest.fixture
+def workload():
+    return WorkloadConfig(
+        num_slots=8,
+        phone_rate=3.0,
+        task_rate=2.0,
+        mean_cost=10.0,
+        mean_active_length=2,
+        task_value=15.0,
+    )
+
+
+class TestCampaign:
+    def test_per_round_results(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=3, seed=1
+        )
+        assert result.num_rounds == 3
+        assert result.total_welfare == pytest.approx(
+            sum(r.true_welfare for r in result.rounds)
+        )
+        assert result.total_payment == pytest.approx(
+            sum(r.total_payment for r in result.rounds)
+        )
+        assert result.welfare_per_round.count == 3
+
+    def test_rounds_are_independent_draws(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=3, seed=1
+        )
+        welfares = [r.true_welfare for r in result.rounds]
+        assert len(set(welfares)) > 1  # not the same round repeated
+
+    def test_deterministic_given_seed(self, workload):
+        a = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=2, seed=5
+        )
+        b = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=2, seed=5
+        )
+        assert [r.true_welfare for r in a.rounds] == [
+            r.true_welfare for r in b.rounds
+        ]
+
+    def test_different_seeds_differ(self, workload):
+        a = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=2, seed=5
+        )
+        b = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=2, seed=6
+        )
+        assert [r.true_welfare for r in a.rounds] != [
+            r.true_welfare for r in b.rounds
+        ]
+
+    def test_no_retry_has_no_returning_phones(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=1,
+            retry_policy=RETRY_NONE,
+        )
+        assert result.returning_phones == 0
+
+    def test_retry_losers_adds_phones(self, workload):
+        baseline = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=3, seed=1
+        )
+        retry = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=1,
+            retry_policy=RETRY_LOSERS,
+        )
+        assert retry.returning_phones > 0
+        # Later rounds see strictly more phones than the baseline draw.
+        for base_round, retry_round in zip(
+            baseline.rounds[1:], retry.rounds[1:]
+        ):
+            assert len(retry_round.utilities) >= len(base_round.utilities)
+
+    def test_retry_increases_supply_and_welfare(self, workload):
+        """More (cheap-retaining) supply should not hurt welfare."""
+        scarce = workload.replace(phone_rate=1.0, task_rate=3.0)
+        baseline = run_campaign(
+            OnlineGreedyMechanism(reserve_price=True),
+            scarce,
+            num_rounds=4,
+            seed=2,
+        )
+        retry = run_campaign(
+            OnlineGreedyMechanism(reserve_price=True),
+            scarce,
+            num_rounds=4,
+            seed=2,
+            retry_policy=RETRY_LOSERS,
+        )
+        assert retry.total_welfare >= baseline.total_welfare - 1e-6
+
+    def test_max_retries_cap(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=1,
+            retry_policy=RETRY_LOSERS,
+            max_retries_per_round=1,
+        )
+        assert result.returning_phones <= 2  # at most 1 per later round
+
+
+class TestValidation:
+    def test_zero_rounds_rejected(self, workload):
+        with pytest.raises(ValidationError):
+            run_campaign(OnlineGreedyMechanism(), workload, num_rounds=0)
+
+    def test_unknown_policy_rejected(self, workload):
+        with pytest.raises(SimulationError, match="retry_policy"):
+            run_campaign(
+                OnlineGreedyMechanism(),
+                workload,
+                num_rounds=1,
+                retry_policy="always",
+            )
+
+    def test_single_round_campaign(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=1, seed=0
+        )
+        assert result.num_rounds == 1
+        assert result.welfare_per_round.std == 0.0

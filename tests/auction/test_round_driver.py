@@ -1,0 +1,81 @@
+"""Unit tests for the scenario replay driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import CostScalingStrategy
+from repro.auction import replay_scenario
+from repro.auction.events import PaymentSettled, TaskAllocated
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.simulation import WorkloadConfig
+
+
+@pytest.fixture
+def scenario():
+    return WorkloadConfig(
+        num_slots=8,
+        phone_rate=3.0,
+        task_rate=2.0,
+        mean_cost=10.0,
+        mean_active_length=2,
+        task_value=15.0,
+    ).generate(seed=5)
+
+
+class TestReplay:
+    def test_outcome_equals_batch_mechanism(self, scenario):
+        """The headline equivalence: incremental == batch."""
+        outcome, _ = replay_scenario(scenario)
+        batch = OnlineGreedyMechanism().run(
+            scenario.truthful_bids(), scenario.schedule
+        )
+        assert outcome.allocation == batch.allocation
+        assert outcome.payments == pytest.approx(batch.payments)
+        for phone_id in batch.winners:
+            assert outcome.payment_slot(phone_id) == batch.payment_slot(
+                phone_id
+            )
+
+    def test_equivalence_with_reserve_and_exact_rule(self, scenario):
+        outcome, _ = replay_scenario(
+            scenario, reserve_price=True, payment_rule="exact"
+        )
+        batch = OnlineGreedyMechanism(
+            reserve_price=True, payment_rule="exact"
+        ).run(scenario.truthful_bids(), scenario.schedule)
+        assert outcome.allocation == batch.allocation
+        assert outcome.payments == pytest.approx(batch.payments)
+
+    def test_event_log_covers_all_allocations(self, scenario):
+        outcome, events = replay_scenario(scenario)
+        allocated_events = [
+            e for e in events if isinstance(e, TaskAllocated)
+        ]
+        assert len(allocated_events) == len(outcome.allocation)
+
+    def test_payments_settled_at_departures(self, scenario):
+        outcome, events = replay_scenario(scenario)
+        settlements = {
+            e.phone_id: e.slot
+            for e in events
+            if isinstance(e, PaymentSettled)
+        }
+        for phone_id in outcome.winners:
+            assert settlements[phone_id] == outcome.bid_of(
+                phone_id
+            ).departure
+
+    def test_strategies_forwarded(self, scenario):
+        # Inflate everyone: allocations may change but it must still run.
+        outcome, _ = replay_scenario(
+            scenario,
+            strategies={
+                p.phone_id: CostScalingStrategy(1.2)
+                for p in scenario.profiles
+            },
+        )
+        for bid in outcome.bids:
+            assert bid.cost == pytest.approx(
+                scenario.profile(bid.phone_id).cost * 1.2
+            )

@@ -1,0 +1,70 @@
+"""Shared fixtures: the paper's worked example and small workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.simulation import SimulationEngine, WorkloadConfig
+from repro.simulation.paper_example import (
+    paper_example_bids,
+    paper_example_profiles,
+    paper_example_schedule,
+)
+
+
+@pytest.fixture
+def paper_profiles():
+    """The 7 private profiles of the Fig. 4 worked example."""
+    return paper_example_profiles()
+
+
+@pytest.fixture
+def paper_bids():
+    """The truthful bids of the Fig. 4 worked example."""
+    return paper_example_bids()
+
+
+@pytest.fixture
+def paper_schedule():
+    """One task per slot over 5 slots (Figs. 4/5)."""
+    return paper_example_schedule()
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def offline_mechanism():
+    return OfflineVCGMechanism()
+
+
+@pytest.fixture
+def online_mechanism():
+    return OnlineGreedyMechanism()
+
+
+@pytest.fixture
+def small_workload():
+    """A small, dense workload that keeps full VCG runs fast."""
+    return WorkloadConfig(
+        num_slots=10,
+        phone_rate=4.0,
+        task_rate=2.0,
+        mean_cost=10.0,
+        mean_active_length=3,
+        task_value=15.0,
+    )
+
+
+@pytest.fixture
+def small_scenario(small_workload):
+    return small_workload.generate(seed=42)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series(self):
+        chart = ascii_chart({"a": [(0, 0.0), (1, 1.0)]}, title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "o = a" in chart
+        assert "o" in chart
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"a": [(0, 0.0), (1, 1.0)], "b": [(0, 1.0), (1, 0.0)]}
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_y_axis_labels(self):
+        chart = ascii_chart({"a": [(0, 2.0), (1, 8.0)]})
+        assert "8" in chart
+        assert "2" in chart
+
+    def test_constant_series_supported(self):
+        chart = ascii_chart({"a": [(0, 5.0), (1, 5.0)]})
+        assert chart  # no zero-division on flat data
+
+    def test_single_point_supported(self):
+        assert ascii_chart({"a": [(3, 7.0)]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({})
+        with pytest.raises(ExperimentError, match="empty"):
+            ascii_chart({"a": []})
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ExperimentError, match="at least"):
+            ascii_chart({"a": [(0, 0.0)]}, width=5, height=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0, float(i))] for i in range(9)}
+        with pytest.raises(ExperimentError, match="at most"):
+            ascii_chart(series)
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart(
+            {"a": [(0, 0.0), (1, 1.0)]}, width=30, height=8
+        )
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 8

@@ -1,0 +1,99 @@
+"""Unit tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, MechanismSpec
+from repro.experiments.config import (
+    apply_workload_override,
+    paper_mechanisms,
+)
+from repro.mechanisms import OfflineVCGMechanism
+from repro.simulation import WorkloadConfig
+
+
+class TestMechanismSpec:
+    def test_of_builder(self):
+        spec = MechanismSpec.of("fixed-price", price=5.0)
+        assert spec.name == "fixed-price"
+        assert dict(spec.kwargs) == {"price": 5.0}
+
+    def test_build(self):
+        spec = MechanismSpec.of("offline-vcg")
+        assert isinstance(spec.build(), OfflineVCGMechanism)
+
+    def test_build_with_kwargs(self):
+        spec = MechanismSpec.of("fixed-price", price=7.5)
+        assert spec.build().price == 7.5
+
+    def test_display_label_defaults_to_name(self):
+        assert MechanismSpec.of("offline-vcg").display_label == "offline-vcg"
+
+    def test_custom_label(self):
+        spec = MechanismSpec.of("online-greedy", label="online+reserve",
+                                reserve_price=True)
+        assert spec.display_label == "online+reserve"
+
+    def test_hashable(self):
+        assert hash(MechanismSpec.of("offline-vcg")) == hash(
+            MechanismSpec.of("offline-vcg")
+        )
+
+
+class TestExperimentConfig:
+    def test_defaults_use_paper_mechanisms(self):
+        config = ExperimentConfig()
+        labels = [s.display_label for s in config.mechanisms]
+        assert labels == ["offline", "online"]
+        assert config.workload == WorkloadConfig.paper_default()
+
+    def test_seeds(self):
+        config = ExperimentConfig(repetitions=3, base_seed=100)
+        assert config.seeds() == (100, 101, 102)
+
+    def test_empty_mechanisms_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(mechanisms=())
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(repetitions=0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ExperimentError, match="unique"):
+            ExperimentConfig(
+                mechanisms=(
+                    MechanismSpec.of("offline-vcg"),
+                    MechanismSpec.of("offline-vcg"),
+                )
+            )
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        text = json.dumps(ExperimentConfig().describe())
+        assert "offline" in text
+
+    def test_replace(self):
+        config = ExperimentConfig().replace(repetitions=2)
+        assert config.repetitions == 2
+
+
+class TestWorkloadOverride:
+    def test_valid_override(self):
+        workload = apply_workload_override(
+            WorkloadConfig.paper_default(), "num_slots", 80
+        )
+        assert workload.num_slots == 80
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ExperimentError, match="unknown workload parameter"):
+            apply_workload_override(
+                WorkloadConfig.paper_default(), "bogus", 1
+            )
+
+    def test_paper_mechanisms_truthful(self):
+        for spec in paper_mechanisms():
+            assert spec.build().is_truthful

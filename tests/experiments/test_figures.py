@@ -1,0 +1,83 @@
+"""Unit tests for the paper-figure sweep specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import figure_spec, list_figures
+from repro.experiments.figures import (
+    FIGURE_METRIC,
+    MEAN_COST_VALUES,
+    PHONE_RATE_VALUES,
+    SLOT_VALUES,
+)
+
+
+class TestFigureRegistry:
+    def test_all_six_figures(self):
+        assert list_figures() == (
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+        )
+
+    def test_unknown_figure(self):
+        with pytest.raises(ExperimentError, match="unknown figure"):
+            figure_spec("fig99")
+
+    def test_metric_assignment(self):
+        assert FIGURE_METRIC["fig6"] == "welfare"
+        assert FIGURE_METRIC["fig9"] == "overpayment_ratio"
+
+
+class TestAxes:
+    def test_fig6_axis_from_paper(self):
+        spec = figure_spec("fig6")
+        assert spec.param == "num_slots"
+        assert spec.values == SLOT_VALUES == (30, 40, 50, 60, 70, 80)
+
+    def test_fig7_axis_from_paper(self):
+        spec = figure_spec("fig7")
+        assert spec.param == "phone_rate"
+        assert spec.values == PHONE_RATE_VALUES == (4.0, 5.0, 6.0, 7.0, 8.0)
+
+    def test_fig8_axis_from_paper(self):
+        spec = figure_spec("fig8")
+        assert spec.param == "mean_cost"
+        assert spec.values == MEAN_COST_VALUES == (
+            10.0,
+            20.0,
+            30.0,
+            40.0,
+            50.0,
+        )
+
+    def test_overpayment_figures_share_axes(self):
+        assert figure_spec("fig9").values == figure_spec("fig6").values
+        assert figure_spec("fig10").values == figure_spec("fig7").values
+        assert figure_spec("fig11").values == figure_spec("fig8").values
+
+
+class TestConfiguration:
+    def test_repetitions_forwarded(self):
+        assert figure_spec("fig6", repetitions=3).config.repetitions == 3
+
+    def test_base_seed_forwarded(self):
+        assert figure_spec("fig6", base_seed=7).config.base_seed == 7
+
+    def test_default_mechanisms_are_paper_pair(self):
+        labels = [
+            s.display_label for s in figure_spec("fig6").config.mechanisms
+        ]
+        assert labels == ["offline", "online"]
+
+    def test_base_workload_is_table1(self):
+        from repro.simulation import WorkloadConfig
+
+        assert figure_spec("fig7").config.workload == (
+            WorkloadConfig.paper_default()
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for 2-D grid sweeps and heatmap rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig
+from repro.experiments.grid import render_grid_heatmap, run_grid
+from repro.simulation import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    config = ExperimentConfig(
+        workload=WorkloadConfig(
+            num_slots=6,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=2,
+            task_value=15.0,
+        ),
+        repetitions=2,
+        base_seed=3,
+    )
+    return run_grid(
+        config,
+        param_x="task_rate",
+        values_x=(1.0, 3.0),
+        param_y="num_slots",
+        values_y=(4, 8),
+    )
+
+
+class TestRunGrid:
+    def test_shape(self, grid_result):
+        assert grid_result.values_x == (1.0, 3.0)
+        assert grid_result.values_y == (4, 8)
+        assert len(grid_result.cells) == 2
+        assert len(grid_result.cells[0]) == 2
+
+    def test_metric_grid_values(self, grid_result):
+        grid = grid_result.metric_grid("online", "welfare")
+        assert len(grid) == 2 and len(grid[0]) == 2
+        # More slots and more tasks => more welfare: corner dominance.
+        assert grid[1][1] > grid[0][0]
+
+    def test_welfare_monotone_along_both_axes(self, grid_result):
+        grid = grid_result.metric_grid("offline", "welfare")
+        assert grid[0][1] >= grid[0][0]  # more tasks helps
+        assert grid[1][0] >= grid[0][0]  # more slots helps
+
+    def test_unknown_label(self, grid_result):
+        with pytest.raises(ExperimentError, match="labelled"):
+            grid_result.metric_grid("bogus")
+
+    def test_same_param_rejected(self):
+        config = ExperimentConfig(repetitions=1)
+        with pytest.raises(ExperimentError, match="must differ"):
+            run_grid(
+                config,
+                param_x="num_slots",
+                values_x=(1,),
+                param_y="num_slots",
+                values_y=(2,),
+            )
+
+    def test_empty_axis_rejected(self):
+        config = ExperimentConfig(repetitions=1)
+        with pytest.raises(ExperimentError, match="empty"):
+            run_grid(
+                config,
+                param_x="num_slots",
+                values_x=(),
+                param_y="task_rate",
+                values_y=(1.0,),
+            )
+
+
+class TestHeatmap:
+    def test_renders_axes_and_range(self, grid_result):
+        text = render_grid_heatmap(grid_result, "online", "welfare")
+        assert "rows = num_slots" in text
+        assert "cols = task_rate" in text
+        assert "range" in text
+        assert "1.0" in text and "3.0" in text
+
+    def test_contains_shade_bars(self, grid_result):
+        text = render_grid_heatmap(grid_result, "online", "welfare")
+        bars = [line for line in text.splitlines() if line.endswith("|")]
+        assert len(bars) == 2  # one per row
+
+    def test_all_metrics_render(self, grid_result):
+        for metric in ("welfare", "total_payment", "tasks_served"):
+            assert render_grid_heatmap(grid_result, "offline", metric)

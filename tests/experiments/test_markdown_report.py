@@ -1,0 +1,51 @@
+"""Unit tests for the Markdown reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.markdown_report import (
+    PAPER_CLAIMS,
+    build_reproduction_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # One repetition keeps this fast; layout is what is under test.
+    return build_reproduction_report(repetitions=1, base_seed=7)
+
+
+class TestReport:
+    def test_contains_all_figures(self, report):
+        for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11"):
+            assert f"## {name}:" in report
+
+    def test_quotes_paper_claims(self, report):
+        for claim in PAPER_CLAIMS.values():
+            assert claim in report
+
+    def test_markdown_tables_well_formed(self, report):
+        table_lines = [
+            line for line in report.splitlines() if line.startswith("|")
+        ]
+        assert table_lines
+        for line in table_lines:
+            assert line.endswith("|")
+        # Separator rows exist for each table.
+        assert any(set(line) <= {"|", "-"} for line in table_lines)
+
+    def test_mentions_calibration_caveat(self, report):
+        assert "task value ν" in report
+
+    def test_header_records_parameters(self, report):
+        assert "repetitions=1" in report
+        assert "base_seed=7" in report
+
+    def test_figure_pairs_share_sweep_axes(self, report):
+        """fig6/fig9 derive from one sweep over the same slot values."""
+        fig6_section = report.split("## fig6:")[1].split("## ")[0]
+        fig9_section = report.split("## fig9:")[1].split("## ")[0]
+        for value in (30, 40, 50, 60, 70, 80):
+            assert f"| {value} |" in fig6_section
+            assert f"| {value} |" in fig9_section

@@ -1,0 +1,99 @@
+"""Unit tests for sweep report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    SweepSpec,
+    render_sweep_csv,
+    render_sweep_table,
+    run_sweep,
+)
+from repro.experiments.report import render_sweep_chart
+from repro.simulation import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        workload=WorkloadConfig(
+            num_slots=6,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=2,
+            task_value=15.0,
+        ),
+        repetitions=2,
+        base_seed=9,
+    )
+    spec = SweepSpec(
+        name="mini",
+        title="mini sweep",
+        param="num_slots",
+        values=(5, 8),
+        config=config,
+    )
+    return run_sweep(spec)
+
+
+class TestTable:
+    def test_contains_param_and_labels(self, result):
+        text = render_sweep_table(result, "welfare")
+        assert "num_slots" in text
+        assert "offline welfare" in text
+        assert "online welfare" in text
+
+    def test_one_row_per_value(self, result):
+        text = render_sweep_table(result, "welfare")
+        # title + underline + header + separator + 2 rows
+        assert len(text.splitlines()) == 6
+
+    def test_custom_title(self, result):
+        text = render_sweep_table(result, "welfare", title="Fig. 6")
+        assert text.splitlines()[0] == "Fig. 6"
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(ExperimentError, match="unknown metric"):
+            render_sweep_table(result, "bogus")
+
+    def test_all_metrics_render(self, result):
+        for metric in (
+            "welfare",
+            "overpayment_ratio",
+            "total_payment",
+            "tasks_served",
+        ):
+            assert render_sweep_table(result, metric)
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        csv = render_sweep_csv(result, "welfare")
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("num_slots,offline_welfare_mean")
+        assert len(lines) == 3
+
+    def test_values_parse_as_float(self, result):
+        csv = render_sweep_csv(result, "welfare")
+        for line in csv.strip().splitlines()[1:]:
+            cells = line.split(",")
+            assert float(cells[1]) >= 0.0
+
+
+class TestChart:
+    def test_chart_contains_legend(self, result):
+        chart = render_sweep_chart(result, "welfare")
+        assert "= offline" in chart
+        assert "= online" in chart
+
+    def test_chart_axis_labels(self, result):
+        chart = render_sweep_chart(result, "welfare")
+        assert "5" in chart and "8" in chart
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(ExperimentError):
+            render_sweep_chart(result, "bogus")

@@ -1,0 +1,290 @@
+"""Unit tests for the typed-task / capability extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError, ValidationError
+from repro.extensions import (
+    CapabilityModel,
+    TypedOfflineVCGMechanism,
+    TypedOnlineGreedyMechanism,
+    generate_capability_model,
+)
+from repro.extensions.capabilities import GENERIC_KIND, check_typed_outcome
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.metrics import audit_individual_rationality, audit_truthfulness
+from repro.model import Bid, TaskSchedule
+from repro.simulation import Scenario, WorkloadConfig
+
+
+@pytest.fixture
+def schedule():
+    return TaskSchedule.from_counts([2, 1], value=20.0)
+
+
+@pytest.fixture
+def bids():
+    return [
+        Bid(phone_id=1, arrival=1, departure=2, cost=2.0),   # mic only
+        Bid(phone_id=2, arrival=1, departure=2, cost=5.0),   # gas only
+        Bid(phone_id=3, arrival=1, departure=2, cost=9.0),   # both
+    ]
+
+
+@pytest.fixture
+def model():
+    # Task 0: mic, task 1: gas, task 2: mic.
+    return CapabilityModel(
+        task_kinds={0: "mic", 1: "gas", 2: "mic"},
+        phone_capabilities={
+            1: frozenset({"mic"}),
+            2: frozenset({"gas"}),
+            3: frozenset({"mic", "gas"}),
+        },
+    )
+
+
+class TestCapabilityModel:
+    def test_kind_defaults_to_generic(self, model, schedule):
+        unknown = TaskSchedule.from_counts([1], value=5.0).task(0)
+        assert model.kind_of(unknown) in (GENERIC_KIND, "mic")
+
+    def test_compatible(self, model, schedule, bids):
+        task_mic = schedule.task(0)
+        task_gas = schedule.task(1)
+        assert model.compatible(task_mic, bids[0])
+        assert not model.compatible(task_gas, bids[0])
+        assert model.compatible(task_gas, bids[1])
+        assert model.compatible(task_mic, bids[2])
+
+    def test_everyone_supports_generic(self, model):
+        generic_task = TaskSchedule.from_counts([1], value=5.0).task(0)
+        unlisted = Bid(phone_id=99, arrival=1, departure=1, cost=1.0)
+        assert CapabilityModel().compatible(generic_task, unlisted)
+
+    def test_kinds_listing(self, model):
+        assert set(model.kinds()) == {"mic", "gas", GENERIC_KIND}
+
+    def test_generate_random_model(self, schedule):
+        rng = np.random.default_rng(0)
+        generated = generate_capability_model(
+            schedule, [1, 2, 3], ["mic", "gas"], rng,
+            capability_probability=1.0,
+        )
+        assert set(generated.task_kinds.values()) <= {"mic", "gas"}
+        for phone_id in (1, 2, 3):
+            assert generated.capabilities_of(phone_id) >= {"mic", "gas"}
+
+    def test_generate_validation(self, schedule):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            generate_capability_model(schedule, [1], [], rng)
+        with pytest.raises(ValidationError):
+            generate_capability_model(
+                schedule, [1], ["mic"], rng, capability_probability=2.0
+            )
+
+
+class TestTypedOffline:
+    def test_respects_capabilities(self, schedule, bids, model):
+        outcome = TypedOfflineVCGMechanism(model).run(bids, schedule)
+        check_typed_outcome(outcome, model)
+        # Gas task (1) must go to phone 2 or 3.
+        assert outcome.phone_of(1) in (2, 3)
+
+    def test_reduces_to_base_when_unrestricted(self, schedule, bids):
+        typed = TypedOfflineVCGMechanism(
+            CapabilityModel()  # everything generic
+        ).run(bids, schedule)
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert typed.allocation == base.allocation
+        assert typed.payments == pytest.approx(base.payments)
+
+    def test_optimal_on_restricted_graph(self, schedule, bids, model):
+        outcome = TypedOfflineVCGMechanism(model).run(bids, schedule)
+        # Optimal: task0 -> 1 (mic, 2), task1 -> 2 (gas, 5),
+        # task2... wait task2 is slot 2 mic -> phone 3 (9).
+        assert outcome.claimed_welfare == pytest.approx(
+            (20 - 2) + (20 - 5) + (20 - 9)
+        )
+
+    def test_restriction_never_increases_welfare(self):
+        workload = WorkloadConfig(
+            num_slots=8, phone_rate=3.0, task_rate=2.0,
+            mean_cost=10.0, mean_active_length=3, task_value=20.0,
+        )
+        for seed in range(3):
+            scenario = workload.generate(seed=seed)
+            bids = scenario.truthful_bids()
+            rng = np.random.default_rng(seed)
+            model = generate_capability_model(
+                scenario.schedule,
+                [b.phone_id for b in bids],
+                ["a", "b", "c"],
+                rng,
+                capability_probability=0.5,
+            )
+            restricted = TypedOfflineVCGMechanism(model).run(
+                bids, scenario.schedule
+            )
+            base = OfflineVCGMechanism().run(bids, scenario.schedule)
+            assert (
+                restricted.claimed_welfare <= base.claimed_welfare + 1e-9
+            )
+
+    def test_vcg_payment_formula(self, schedule, bids, model):
+        mechanism = TypedOfflineVCGMechanism(model)
+        outcome = mechanism.run(bids, schedule)
+        for phone_id in outcome.winners:
+            assert (
+                outcome.payment(phone_id)
+                >= outcome.bid_of(phone_id).cost - 1e-9
+            )
+
+
+class TestTypedOnline:
+    def test_respects_capabilities(self, schedule, bids, model):
+        outcome = TypedOnlineGreedyMechanism(model).run(bids, schedule)
+        check_typed_outcome(outcome, model)
+
+    def test_cheapest_capable_wins(self, schedule, bids, model):
+        outcome = TypedOnlineGreedyMechanism(model).run(bids, schedule)
+        # Slot 1 has a mic and a gas task: phone 1 (cheapest mic-capable
+        # ... actually cheapest overall) takes the mic task; phone 2
+        # takes the gas task even though phone 1 is cheaper (incapable).
+        assert outcome.phone_of(0) == 1
+        assert outcome.phone_of(1) == 2
+
+    def test_skips_task_with_no_capable_phone(self, schedule, model):
+        only_gas = [Bid(phone_id=2, arrival=1, departure=2, cost=5.0)]
+        outcome = TypedOnlineGreedyMechanism(model).run(only_gas, schedule)
+        # Mic tasks (0, 2) unserved; gas task (1) served.
+        assert set(outcome.allocation) == {1}
+
+    def test_reduces_to_base_when_unrestricted(self):
+        workload = WorkloadConfig(
+            num_slots=8, phone_rate=3.0, task_rate=2.0,
+            mean_cost=10.0, mean_active_length=3, task_value=25.0,
+        )
+        scenario = workload.generate(seed=4)
+        bids = scenario.truthful_bids()
+        typed = TypedOnlineGreedyMechanism(CapabilityModel()).run(
+            bids, scenario.schedule
+        )
+        base = OnlineGreedyMechanism(
+            reserve_price=True, payment_rule="exact"
+        ).run(bids, scenario.schedule)
+        assert typed.allocation == base.allocation
+        assert typed.payments == pytest.approx(base.payments)
+
+    def test_critical_payment_threshold_semantics(self, schedule, model):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=2.0),
+            Bid(phone_id=4, arrival=1, departure=2, cost=7.0),  # mic rival
+        ]
+        rival_model = CapabilityModel(
+            task_kinds={0: "mic", 1: "gas", 2: "mic"},
+            phone_capabilities={
+                1: frozenset({"mic"}),
+                4: frozenset({"mic"}),
+            },
+        )
+        mechanism = TypedOnlineGreedyMechanism(rival_model)
+        outcome = mechanism.run(bids, schedule)
+        # Phone 1 wins a mic task; its only rival bids 7; with two mic
+        # tasks and two mic phones both win => critical = task value 20.
+        assert outcome.is_winner(1)
+        threshold = outcome.payment(1)
+        above = [
+            b.with_cost(threshold + 0.01) if b.phone_id == 1 else b
+            for b in bids
+        ]
+        assert not mechanism.run(above, schedule).is_winner(1)
+        below = [
+            b.with_cost(threshold - 0.01) if b.phone_id == 1 else b
+            for b in bids
+        ]
+        assert mechanism.run(below, schedule).is_winner(1)
+
+
+class TestTypedProperties:
+    @pytest.fixture
+    def typed_scenario(self):
+        workload = WorkloadConfig(
+            num_slots=6, phone_rate=4.0, task_rate=1.5,
+            mean_cost=10.0, mean_active_length=3, task_value=25.0,
+        )
+        scenario = workload.generate(seed=2)
+        rng = np.random.default_rng(2)
+        model = generate_capability_model(
+            scenario.schedule,
+            [p.phone_id for p in scenario.profiles],
+            ["mic", "gas", "cam"],
+            rng,
+            capability_probability=0.6,
+        )
+        return scenario, model
+
+    def test_offline_truthful(self, typed_scenario):
+        scenario, model = typed_scenario
+        report = audit_truthfulness(
+            TypedOfflineVCGMechanism(model),
+            scenario,
+            np.random.default_rng(0),
+            max_phones=8,
+        )
+        assert report.passed, report.violations
+
+    def test_online_truthful(self, typed_scenario):
+        scenario, model = typed_scenario
+        report = audit_truthfulness(
+            TypedOnlineGreedyMechanism(model),
+            scenario,
+            np.random.default_rng(0),
+            max_phones=6,
+        )
+        assert report.passed, report.violations
+
+    def test_individual_rationality(self, typed_scenario):
+        scenario, model = typed_scenario
+        for mechanism in (
+            TypedOfflineVCGMechanism(model),
+            TypedOnlineGreedyMechanism(model),
+        ):
+            assert (
+                audit_individual_rationality(mechanism, scenario) == []
+            ), mechanism.name
+
+    def test_offline_dominates_online(self, typed_scenario):
+        scenario, model = typed_scenario
+        bids = scenario.truthful_bids()
+        offline = TypedOfflineVCGMechanism(model).run(
+            bids, scenario.schedule
+        )
+        online = TypedOnlineGreedyMechanism(model).run(
+            bids, scenario.schedule
+        )
+        assert offline.claimed_welfare >= online.claimed_welfare - 1e-9
+
+    def test_check_typed_outcome_catches_violation(self):
+        # Run the *base* mechanism, which ignores capabilities; the
+        # cheapest phone (mic-only) grabs the gas task — the checker
+        # must flag the incompatible assignment.
+        gas_only_schedule = TaskSchedule.from_counts([1], value=20.0)
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=2.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=5.0),
+        ]
+        model = CapabilityModel(
+            task_kinds={0: "gas"},
+            phone_capabilities={
+                1: frozenset({"mic"}),
+                2: frozenset({"gas"}),
+            },
+        )
+        outcome = OnlineGreedyMechanism().run(bids, gas_only_schedule)
+        assert outcome.phone_of(0) == 1  # base rule ignores capabilities
+        with pytest.raises(MechanismError, match="capabilities"):
+            check_typed_outcome(outcome, model)

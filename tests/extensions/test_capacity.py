@@ -1,0 +1,193 @@
+"""Unit tests for the capacitated-supply extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.extensions import CapacitatedOfflineVCGMechanism
+from repro.extensions.capacity import check_capacitated_outcome
+from repro.mechanisms import OfflineVCGMechanism
+from repro.model import Bid, TaskSchedule
+
+
+def _schedule(counts, value=10.0):
+    return TaskSchedule.from_counts(counts, value=value)
+
+
+class TestConstruction:
+    def test_default_capacity_is_one(self):
+        mechanism = CapacitatedOfflineVCGMechanism()
+        assert mechanism.capacity_of(7) == 1
+
+    def test_explicit_capacities(self):
+        mechanism = CapacitatedOfflineVCGMechanism({1: 3})
+        assert mechanism.capacity_of(1) == 3
+        assert mechanism.capacity_of(2) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            CapacitatedOfflineVCGMechanism({1: 0})
+
+    def test_non_int_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            CapacitatedOfflineVCGMechanism({1: 1.5})  # type: ignore[dict-item]
+
+
+class TestAllocation:
+    def test_capacity_used_across_slots(self):
+        """One phone with capacity 2 serves both slots' tasks."""
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=2.0)]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2})
+        outcome = mechanism.run(bids, _schedule([1, 1]))
+        assert outcome.units_of(1) == 2
+        assert outcome.claimed_welfare == pytest.approx(16.0)
+        check_capacitated_outcome(outcome, mechanism)
+
+    def test_capacity_respected(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=3, cost=2.0)]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2})
+        outcome = mechanism.run(bids, _schedule([1, 1, 1]))
+        assert outcome.units_of(1) == 2  # not 3
+        check_capacitated_outcome(outcome, mechanism)
+
+    def test_one_task_per_slot_per_unit(self):
+        """Capacity does not let a phone serve two tasks in one slot —
+        unit columns compete for distinct tasks, and each task has one
+        row, so two same-slot tasks CAN go to the same phone (it has
+        two units).  Capacity is per round, not per slot, matching the
+        relaxation's semantics."""
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=2.0)]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2})
+        outcome = mechanism.run(bids, _schedule([2]))
+        assert outcome.units_of(1) == 2
+
+    def test_capacity_one_equals_base_mechanism(self):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        schedule = _schedule([1, 1])
+        capacitated = CapacitatedOfflineVCGMechanism().run(bids, schedule)
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert capacitated.allocation == base.allocation
+        assert capacitated.claimed_welfare == pytest.approx(
+            base.claimed_welfare
+        )
+        for phone_id in base.winners:
+            assert capacitated.payments[phone_id] == pytest.approx(
+                base.payment(phone_id)
+            )
+
+    def test_unprofitable_units_unused(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=50.0)]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2})
+        outcome = mechanism.run(bids, _schedule([1, 1], value=10.0))
+        assert outcome.allocation == {}
+        assert outcome.payments == {}
+
+    def test_empty_inputs(self):
+        mechanism = CapacitatedOfflineVCGMechanism()
+        outcome = mechanism.run([], _schedule([1]))
+        assert outcome.allocation == {}
+        outcome = mechanism.run(
+            [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)],
+            _schedule([0]),
+        )
+        assert outcome.allocation == {}
+
+
+class TestPayments:
+    def test_monopolist_paid_value_per_unit(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=2.0)]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2})
+        outcome = mechanism.run(bids, _schedule([1, 1], value=10.0))
+        # ω* = 16, ω*₋₁ = 0: p = 16 + 2·2 − 0 = 20 = 2 tasks × ν.
+        assert outcome.payments[1] == pytest.approx(20.0)
+
+    def test_competition_caps_payment(self):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=2.0),
+            Bid(phone_id=2, arrival=1, departure=2, cost=6.0),
+        ]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2, 2: 2})
+        outcome = mechanism.run(bids, _schedule([1, 1], value=10.0))
+        # Phone 1 serves both; without it phone 2 would: ω*₋₁ = 8.
+        # p₁ = 16 + 4 − 8 = 12 (= both tasks at the rival's cost).
+        assert outcome.units_of(1) == 2
+        assert outcome.payments[1] == pytest.approx(12.0)
+
+    def test_payment_at_least_claimed_cost_times_units(self):
+        bids = [
+            Bid(phone_id=i, arrival=1, departure=3, cost=float(i))
+            for i in range(1, 5)
+        ]
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2, 2: 2})
+        outcome = mechanism.run(bids, _schedule([2, 1, 1], value=20.0))
+        bid_costs = {b.phone_id: b.cost for b in bids}
+        for phone_id, payment in outcome.payments.items():
+            floor = bid_costs[phone_id] * outcome.units_of(phone_id)
+            assert payment >= floor - 1e-9
+
+
+class TestTruthfulness:
+    @pytest.mark.parametrize("factor", [0.5, 0.8, 1.3, 2.0])
+    def test_cost_misreport_never_profits(self, factor):
+        """Whole-phone VCG: unilateral cost misreports never profit."""
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=3, cost=3.0),
+            Bid(phone_id=2, arrival=1, departure=2, cost=5.0),
+            Bid(phone_id=3, arrival=2, departure=3, cost=7.0),
+        ]
+        schedule = _schedule([1, 1, 1], value=20.0)
+        mechanism = CapacitatedOfflineVCGMechanism({1: 2, 2: 2, 3: 1})
+        true_cost = 3.0
+
+        truthful = mechanism.run(bids, schedule)
+        truthful_u = truthful.payments.get(1, 0.0) - (
+            true_cost * truthful.units_of(1)
+        )
+        deviated_bids = [
+            b.with_cost(true_cost * factor) if b.phone_id == 1 else b
+            for b in bids
+        ]
+        deviated = mechanism.run(deviated_bids, schedule)
+        deviated_u = deviated.payments.get(1, 0.0) - (
+            true_cost * deviated.units_of(1)
+        )
+        assert deviated_u <= truthful_u + 1e-9
+
+    def test_individual_rationality(self):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=3, cost=3.0),
+            Bid(phone_id=2, arrival=1, departure=2, cost=5.0),
+        ]
+        schedule = _schedule([1, 1, 1], value=20.0)
+        mechanism = CapacitatedOfflineVCGMechanism({1: 3, 2: 2})
+        outcome = mechanism.run(bids, schedule)
+        bid_costs = {b.phone_id: b.cost for b in bids}
+        for phone_id, payment in outcome.payments.items():
+            utility = payment - bid_costs[phone_id] * outcome.units_of(
+                phone_id
+            )
+            assert utility >= -1e-9
+
+    def test_higher_capacity_never_lowers_welfare(self):
+        from repro.simulation import WorkloadConfig
+
+        workload = WorkloadConfig(
+            num_slots=6, phone_rate=2.0, task_rate=2.0,
+            mean_cost=10.0, mean_active_length=3, task_value=20.0,
+        )
+        for seed in range(3):
+            scenario = workload.generate(seed=seed)
+            bids = scenario.truthful_bids()
+            unit = CapacitatedOfflineVCGMechanism().run(
+                bids, scenario.schedule
+            )
+            doubled = CapacitatedOfflineVCGMechanism(
+                {b.phone_id: 2 for b in bids}
+            ).run(bids, scenario.schedule)
+            assert (
+                doubled.claimed_welfare >= unit.claimed_welfare - 1e-9
+            )

@@ -1,0 +1,237 @@
+"""Integration: the paper's theorems, audited on random workloads.
+
+* Theorems 1/4 (truthfulness) — the deviation battery and best-response
+  search find nothing against the paper's mechanisms on competitive
+  workloads, and *do* find deviations against the untruthful baselines.
+* Theorems 2/5 (individual rationality) — no phone ends up negative.
+* Theorem 6 (1/2-competitiveness) — checked across seeds.
+
+Competitive workloads (supply comfortably above demand) are used for the
+online mechanism's truthfulness audit: in under-supplied rounds the
+paper's Algorithm 2 pays uncontested winners their own bid, a documented
+gap (DESIGN.md §7) exercised separately below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import best_response_search
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import (
+    FifoMechanism,
+    SecondPriceSlotMechanism,
+)
+from repro.metrics import (
+    audit_individual_rationality,
+    audit_truthfulness,
+    empirical_competitive_ratio,
+)
+from repro.model import Bid, TaskSchedule
+from repro.simulation import Scenario, SimulationEngine, WorkloadConfig
+
+#: Dense market: λ phones >> λ_t tasks, so every window is contested.
+COMPETITIVE = WorkloadConfig(
+    num_slots=10,
+    phone_rate=5.0,
+    task_rate=1.5,
+    mean_cost=10.0,
+    mean_active_length=3,
+    task_value=25.0,
+)
+
+
+class TestTruthfulnessOnRandomWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_online_audit_passes_saturated(self, seed):
+        """Paper rule in a saturated market: every slot's pool non-empty
+        under any unilateral deviation (Theorem 4's regime)."""
+        from repro.simulation import DeterministicArrivals
+
+        scenario = COMPETITIVE.generate(
+            seed=seed,
+            phone_arrivals=DeterministicArrivals(5),
+            task_arrivals=DeterministicArrivals(1),
+        )
+        rng = np.random.default_rng(seed)
+        report = audit_truthfulness(
+            OnlineGreedyMechanism(), scenario, rng, max_phones=12
+        )
+        assert report.passed, report.violations
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_online_exact_rule_audit_passes_poisson(self, seed):
+        """Exact rule + reserve stays truthful on Poisson workloads,
+        including unserved-task lulls."""
+        scenario = COMPETITIVE.generate(seed=seed)
+        rng = np.random.default_rng(seed)
+        report = audit_truthfulness(
+            OnlineGreedyMechanism(reserve_price=True, payment_rule="exact"),
+            scenario,
+            rng,
+            max_phones=10,
+        )
+        assert report.passed, report.violations
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_offline_audit_passes(self, seed):
+        scenario = COMPETITIVE.generate(seed=seed)
+        rng = np.random.default_rng(seed)
+        report = audit_truthfulness(
+            OfflineVCGMechanism(), scenario, rng, max_phones=8
+        )
+        assert report.passed, report.violations
+
+    def test_second_price_audit_fails_somewhere(self):
+        """Across seeds, the audit catches the strawman."""
+        caught = False
+        for seed in range(6):
+            scenario = COMPETITIVE.generate(seed=seed)
+            rng = np.random.default_rng(seed)
+            report = audit_truthfulness(
+                SecondPriceSlotMechanism(), scenario, rng, max_phones=15
+            )
+            if not report.passed:
+                caught = True
+                break
+        assert caught
+
+    def test_fifo_pay_as_bid_fails(self):
+        caught = False
+        for seed in range(6):
+            scenario = COMPETITIVE.generate(seed=seed)
+            rng = np.random.default_rng(seed)
+            report = audit_truthfulness(
+                FifoMechanism(), scenario, rng, max_phones=15
+            )
+            if not report.passed:
+                caught = True
+                break
+        assert caught
+
+    def test_best_response_finds_nothing_online_saturated(self):
+        """Paper payment rule, saturated market (Theorem 4's regime).
+
+        With 5 phones arriving per slot and 1 task per slot, every slot's
+        pool stays non-empty under any unilateral deviation, so the
+        Algorithm-2 payment is a genuine critical value and no deviation
+        can profit.  (In markets with unserved-task lulls the verbatim
+        rule has a documented gap — see TestKnownAlgorithm2Gap.)
+        """
+        from repro.simulation import DeterministicArrivals
+
+        scenario = COMPETITIVE.replace(num_slots=6).generate(
+            seed=3,
+            phone_arrivals=DeterministicArrivals(5),
+            task_arrivals=DeterministicArrivals(1),
+        )
+        mechanism = OnlineGreedyMechanism()
+        bids = scenario.truthful_bids()
+        rng = np.random.default_rng(3)
+        sampled = rng.choice(
+            len(scenario.profiles), size=min(6, len(scenario.profiles)),
+            replace=False,
+        )
+        for index in sampled:
+            profile = scenario.profiles[int(index)]
+            result = best_response_search(
+                mechanism, profile, bids, scenario.schedule, max_windows=4
+            )
+            assert not result.profitable, (
+                f"phone {profile.phone_id}: {result.best_bid} gains "
+                f"{result.gain}"
+            )
+
+    def test_best_response_finds_nothing_exact_rule_sparse(self):
+        """Exact critical-value rule + reserve survives sparse markets
+        where the verbatim Algorithm 2 does not."""
+        scenario = COMPETITIVE.replace(
+            num_slots=6, phone_rate=1.5, task_rate=2.0
+        ).generate(seed=3)
+        mechanism = OnlineGreedyMechanism(
+            reserve_price=True, payment_rule="exact"
+        )
+        bids = scenario.truthful_bids()
+        rng = np.random.default_rng(3)
+        sampled = rng.choice(
+            len(scenario.profiles), size=min(6, len(scenario.profiles)),
+            replace=False,
+        )
+        for index in sampled:
+            profile = scenario.profiles[int(index)]
+            result = best_response_search(
+                mechanism, profile, bids, scenario.schedule, max_windows=4
+            )
+            assert not result.profitable, (
+                f"phone {profile.phone_id}: {result.best_bid} gains "
+                f"{result.gain}"
+            )
+
+
+class TestKnownAlgorithm2Gap:
+    """The documented deviation of the paper's verbatim payment rule."""
+
+    def test_uncontested_winner_profits_under_paper_rule(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        schedule = TaskSchedule.from_counts([1], value=10.0)
+        mechanism = OnlineGreedyMechanism()  # paper rule, no reserve
+        truthful = mechanism.run(bids, schedule)
+        inflated = mechanism.run([bids[0].with_cost(9.0)], schedule)
+        truthful_utility = truthful.payment(1) - 3.0
+        inflated_utility = inflated.payment(1) - 3.0
+        assert inflated_utility > truthful_utility  # the gap
+
+    def test_exact_rule_with_reserve_closes_the_gap(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        schedule = TaskSchedule.from_counts([1], value=10.0)
+        mechanism = OnlineGreedyMechanism(
+            reserve_price=True, payment_rule="exact"
+        )
+        truthful = mechanism.run(bids, schedule)
+        inflated = mechanism.run([bids[0].with_cost(9.0)], schedule)
+        over = mechanism.run([bids[0].with_cost(11.0)], schedule)
+        assert truthful.payment(1) == pytest.approx(10.0)
+        assert inflated.payment(1) == pytest.approx(10.0)  # no gain
+        assert not over.is_winner(1)  # priced out at the reserve
+
+
+class TestIndividualRationality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_both_mechanisms_ir(self, seed):
+        scenario = COMPETITIVE.generate(seed=seed)
+        for mechanism in (OfflineVCGMechanism(), OnlineGreedyMechanism()):
+            assert (
+                audit_individual_rationality(mechanism, scenario) == []
+            ), mechanism.name
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ir_in_undersupplied_markets(self, seed):
+        scarce = COMPETITIVE.replace(phone_rate=1.0, task_rate=3.0)
+        scenario = scarce.generate(seed=seed)
+        for mechanism in (OfflineVCGMechanism(), OnlineGreedyMechanism()):
+            assert (
+                audit_individual_rationality(mechanism, scenario) == []
+            ), mechanism.name
+
+
+class TestCompetitiveRatio:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem6_across_seeds(self, seed):
+        scenario = COMPETITIVE.generate(seed=100 + seed)
+        ratio = empirical_competitive_ratio(
+            scenario.truthful_bids(), scenario.schedule
+        )
+        if ratio is not None:
+            assert 0.5 - 1e-9 <= ratio <= 1.0 + 1e-9
+
+
+class TestTruthTellingIsConsistent:
+    def test_claimed_equals_true_welfare_under_truth(self):
+        scenario = COMPETITIVE.generate(seed=11)
+        engine = SimulationEngine()
+        for mechanism in (OfflineVCGMechanism(), OnlineGreedyMechanism()):
+            result = engine.run(mechanism, scenario)
+            assert result.claimed_welfare == pytest.approx(
+                result.true_welfare
+            )

@@ -1,0 +1,73 @@
+"""Unit tests for the brute-force matcher and Hungarian cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import brute_force_max_weight_matching, max_weight_matching
+from repro.matching.validate import check_matching
+
+
+class TestBruteForce:
+    def test_known_instance(self):
+        weights = [[3.0, 1.0], [1.0, 3.0]]
+        result = brute_force_max_weight_matching(weights)
+        assert result.total_weight == 6.0
+
+    def test_skips_negative(self):
+        weights = [[-1.0, -2.0]]
+        result = brute_force_max_weight_matching(weights)
+        assert result.pairs == ()
+
+    def test_empty(self):
+        assert brute_force_max_weight_matching([]).total_weight == 0.0
+
+    def test_size_limit(self):
+        big = [[1.0] * 2 for _ in range(13)]
+        with pytest.raises(MatchingError, match="limited"):
+            brute_force_max_weight_matching(big)
+
+    def test_partial_matching_beats_full(self):
+        # Matching both rows costs more than matching row 0 alone.
+        weights = [[10.0, 0.0], [9.0, -100.0]]
+        result = brute_force_max_weight_matching(weights)
+        assert result.total_weight == 10.0
+
+
+class TestHungarianAgainstBruteForce:
+    """The headline cross-check: Hungarian == exhaustive optimum."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 7))
+        cols = int(rng.integers(1, 7))
+        weights = rng.uniform(-5.0, 10.0, size=(rows, cols)).tolist()
+        fast = max_weight_matching(weights)
+        exact = brute_force_max_weight_matching(weights)
+        assert fast.total_weight == pytest.approx(exact.total_weight)
+        check_matching(weights, fast.pairs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sparse_instances(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        rows = int(rng.integers(1, 7))
+        cols = int(rng.integers(1, 7))
+        weights = np.where(
+            rng.random((rows, cols)) < 0.3,
+            rng.uniform(0.1, 10.0, size=(rows, cols)),
+            0.0,
+        ).tolist()
+        fast = max_weight_matching(weights)
+        exact = brute_force_max_weight_matching(weights)
+        assert fast.total_weight == pytest.approx(exact.total_weight)
+
+    def test_integer_weights_with_ties(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            weights = rng.integers(0, 4, size=(4, 4)).astype(float).tolist()
+            fast = max_weight_matching(weights)
+            exact = brute_force_max_weight_matching(weights)
+            assert fast.total_weight == pytest.approx(exact.total_weight)

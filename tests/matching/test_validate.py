@@ -1,0 +1,43 @@
+"""Unit tests for matching validity checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import check_matching
+
+WEIGHTS = [
+    [1.0, 2.0, 0.0],
+    [3.0, -1.0, 4.0],
+]
+
+
+class TestCheckMatching:
+    def test_valid_matching_total(self):
+        assert check_matching(WEIGHTS, [(0, 1), (1, 2)]) == 6.0
+
+    def test_empty_matching(self):
+        assert check_matching(WEIGHTS, []) == 0.0
+
+    def test_row_matched_twice(self):
+        with pytest.raises(MatchingError, match="row 0 matched twice"):
+            check_matching(WEIGHTS, [(0, 0), (0, 1)])
+
+    def test_col_matched_twice(self):
+        with pytest.raises(MatchingError, match="column 0 matched twice"):
+            check_matching(WEIGHTS, [(0, 0), (1, 0)])
+
+    def test_out_of_range(self):
+        with pytest.raises(MatchingError, match="outside"):
+            check_matching(WEIGHTS, [(2, 0)])
+        with pytest.raises(MatchingError, match="outside"):
+            check_matching(WEIGHTS, [(0, 3)])
+
+    def test_zero_weight_pair_rejected(self):
+        with pytest.raises(MatchingError, match="non-positive"):
+            check_matching(WEIGHTS, [(0, 2)])
+
+    def test_negative_weight_pair_rejected(self):
+        with pytest.raises(MatchingError, match="non-positive"):
+            check_matching(WEIGHTS, [(1, 1)])

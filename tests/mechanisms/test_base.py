@@ -1,0 +1,51 @@
+"""Unit tests for the Mechanism base-class plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanisms import Mechanism, OnlineGreedyMechanism
+from repro.model import Bid, RoundConfig, TaskSchedule
+
+
+class TestResolveConfig:
+    def test_default_config_matches_schedule(self):
+        mechanism = OnlineGreedyMechanism()
+        schedule = TaskSchedule.from_counts([1, 1], value=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=1.0)]
+        # No explicit config: the horizon is taken from the schedule.
+        outcome = mechanism.run(bids, schedule)
+        assert outcome.schedule.num_slots == 2
+
+    def test_explicit_config_accepted_when_consistent(self):
+        mechanism = OnlineGreedyMechanism()
+        schedule = TaskSchedule.from_counts([1, 1], value=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=1.0)]
+        outcome = mechanism.run(
+            bids, schedule, config=RoundConfig(num_slots=2)
+        )
+        assert outcome.allocation
+
+    def test_bid_outside_horizon_rejected_via_config(self):
+        mechanism = OnlineGreedyMechanism()
+        schedule = TaskSchedule.from_counts([1], value=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=3, cost=1.0)]
+        with pytest.raises(MechanismError, match="horizon"):
+            mechanism.run(bids, schedule)
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Mechanism()  # type: ignore[abstract]
+
+    def test_repr_contains_name(self):
+        assert "online-greedy" in repr(OnlineGreedyMechanism())
+
+    def test_metadata_defaults(self):
+        class Minimal(Mechanism):
+            def run(self, bids, schedule, config=None):  # pragma: no cover
+                raise NotImplementedError
+
+        assert Minimal.name == "abstract"
+        assert Minimal.is_truthful is False
+        assert Minimal.is_online is False

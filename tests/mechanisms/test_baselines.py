@@ -1,0 +1,201 @@
+"""Unit tests for fixed-price, random, FIFO, and offline-greedy baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mechanisms.baselines import (
+    FifoMechanism,
+    FixedPriceMechanism,
+    OfflineGreedyMechanism,
+    RandomAllocationMechanism,
+)
+from repro.mechanisms import OfflineVCGMechanism
+from repro.model import Bid, TaskSchedule
+
+
+def _schedule(counts, value=10.0):
+    return TaskSchedule.from_counts(counts, value=value)
+
+
+class TestFixedPrice:
+    def test_only_bids_at_or_below_price_win(self):
+        mechanism = FixedPriceMechanism(price=5.0)
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=4.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=6.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([2]))
+        assert outcome.winners == (1,)
+
+    def test_winner_paid_posted_price(self):
+        mechanism = FixedPriceMechanism(price=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.payment(1) == 5.0
+
+    def test_exact_price_accepted(self):
+        mechanism = FixedPriceMechanism(price=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=5.0)]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.winners == (1,)
+
+    def test_rationing_by_arrival_not_cost(self):
+        """Eligible phones are served in arrival order — undercutting
+        must not improve a phone's chance of winning (truthfulness)."""
+        mechanism = FixedPriceMechanism(price=10.0)
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=9.0),
+            Bid(phone_id=2, arrival=2, departure=2, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([0, 1]))
+        assert outcome.winners == (1,)  # earlier arrival wins at slot 2
+
+    def test_arrival_tie_broken_by_phone_id(self):
+        mechanism = FixedPriceMechanism(price=10.0)
+        bids = [
+            Bid(phone_id=5, arrival=1, departure=1, cost=9.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.winners == (2,)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValidationError):
+            FixedPriceMechanism(price=-1.0)
+
+    def test_payment_immediate(self):
+        mechanism = FixedPriceMechanism(price=5.0)
+        bids = [Bid(phone_id=1, arrival=1, departure=3, cost=1.0)]
+        outcome = mechanism.run(bids, _schedule([1, 0, 0]))
+        assert outcome.payment_slot(1) == 1
+
+    def test_marked_truthful(self):
+        assert FixedPriceMechanism(price=1.0).is_truthful
+
+
+class TestRandomAllocation:
+    def test_deterministic_given_seed(self):
+        bids = [
+            Bid(phone_id=i, arrival=1, departure=2, cost=float(i))
+            for i in range(1, 6)
+        ]
+        schedule = _schedule([1, 1])
+        a = RandomAllocationMechanism(seed=5).run(bids, schedule)
+        b = RandomAllocationMechanism(seed=5).run(bids, schedule)
+        assert a.allocation == b.allocation
+
+    def test_different_seeds_can_differ(self):
+        bids = [
+            Bid(phone_id=i, arrival=1, departure=4, cost=1.0)
+            for i in range(1, 9)
+        ]
+        schedule = _schedule([1, 1, 1, 1])
+        allocations = {
+            tuple(
+                sorted(
+                    RandomAllocationMechanism(seed=s)
+                    .run(bids, schedule)
+                    .allocation.items()
+                )
+            )
+            for s in range(8)
+        }
+        assert len(allocations) > 1
+
+    def test_pay_as_bid(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        outcome = RandomAllocationMechanism(seed=0).run(bids, _schedule([1]))
+        assert outcome.payment(1) == 3.0
+
+    def test_respects_windows(self):
+        bids = [Bid(phone_id=1, arrival=2, departure=2, cost=1.0)]
+        outcome = RandomAllocationMechanism(seed=0).run(
+            bids, _schedule([1, 0])
+        )
+        assert outcome.allocation == {}
+
+    def test_not_marked_truthful(self):
+        assert not RandomAllocationMechanism().is_truthful
+
+
+class TestFifo:
+    def test_earliest_arrival_wins(self):
+        bids = [
+            Bid(phone_id=1, arrival=2, departure=3, cost=0.5),
+            Bid(phone_id=2, arrival=1, departure=3, cost=9.0),
+        ]
+        outcome = FifoMechanism().run(bids, _schedule([0, 0, 1]))
+        assert outcome.winners == (2,)  # earlier arrival beats cheaper
+
+    def test_tie_broken_by_phone_id(self):
+        bids = [
+            Bid(phone_id=5, arrival=1, departure=1, cost=1.0),
+            Bid(phone_id=3, arrival=1, departure=1, cost=1.0),
+        ]
+        outcome = FifoMechanism().run(bids, _schedule([1]))
+        assert outcome.winners == (3,)
+
+    def test_pay_as_bid(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=7.0)]
+        outcome = FifoMechanism().run(bids, _schedule([1]))
+        assert outcome.payment(1) == 7.0
+
+    def test_departed_phones_skipped(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)]
+        outcome = FifoMechanism().run(bids, _schedule([0, 1]))
+        assert outcome.allocation == {}
+
+
+class TestOfflineGreedy:
+    def test_suboptimal_on_deferral_instance(self):
+        """Greedy-by-cost misses the optimum the VCG mechanism finds."""
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        schedule = _schedule([1, 1])
+        greedy = OfflineGreedyMechanism().run(bids, schedule)
+        optimal = OfflineVCGMechanism().run(bids, schedule)
+        assert greedy.claimed_welfare < optimal.claimed_welfare
+
+    def test_never_better_than_optimal(self):
+        from repro.simulation import WorkloadConfig
+
+        workload = WorkloadConfig(
+            num_slots=10,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=3,
+            task_value=15.0,
+        )
+        for seed in range(4):
+            scenario = workload.generate(seed=seed)
+            bids = scenario.truthful_bids()
+            greedy = OfflineGreedyMechanism().run(bids, scenario.schedule)
+            optimal = OfflineVCGMechanism().run(bids, scenario.schedule)
+            assert (
+                greedy.claimed_welfare <= optimal.claimed_welfare + 1e-9
+            )
+
+    def test_skips_unprofitable_tasks(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=50.0)]
+        outcome = OfflineGreedyMechanism().run(bids, _schedule([1]))
+        assert outcome.allocation == {}
+
+    def test_payment_floored_at_claimed_cost(self):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = OfflineGreedyMechanism().run(bids, _schedule([1, 1]))
+        for phone_id in outcome.winners:
+            assert (
+                outcome.payment(phone_id)
+                >= outcome.bid_of(phone_id).cost - 1e-9
+            )
+
+    def test_not_marked_truthful(self):
+        assert not OfflineGreedyMechanism().is_truthful

@@ -1,0 +1,156 @@
+"""Unit tests for the offline optimal VCG mechanism (Section IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.matching.graph import TaskAssignmentGraph
+from repro.mechanisms import OfflineVCGMechanism
+from repro.model import Bid, RoundConfig, TaskSchedule
+
+
+@pytest.fixture
+def mechanism():
+    return OfflineVCGMechanism()
+
+
+def _schedule(counts, value=10.0):
+    return TaskSchedule.from_counts(counts, value=value)
+
+
+class TestAllocation:
+    def test_single_task_cheapest_wins(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=4.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.allocation == {0: 2}
+
+    def test_optimal_beats_myopic(self, mechanism):
+        """The offline optimum defers a flexible cheap phone.
+
+        Phone 1 (cost 1) covers both slots; phone 2 (cost 2) only slot 1.
+        Myopic greedy serves slot 1 with phone 1 and slot 2 goes unserved;
+        the optimum uses phone 2 in slot 1 and phone 1 in slot 2.
+        """
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1, 1]))
+        assert outcome.allocation == {0: 2, 1: 1}
+        assert outcome.claimed_welfare == pytest.approx((10 - 2) + (10 - 1))
+
+    def test_unprofitable_task_unserved(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=15.0)]
+        outcome = mechanism.run(bids, _schedule([1], value=10.0))
+        assert outcome.allocation == {}
+        assert outcome.payments == {}
+
+    def test_no_bids(self, mechanism):
+        outcome = mechanism.run([], _schedule([2]))
+        assert outcome.allocation == {}
+        assert outcome.total_payment == 0.0
+
+    def test_no_tasks(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=1.0)]
+        outcome = mechanism.run(bids, _schedule([0, 0]))
+        assert outcome.allocation == {}
+
+    def test_respects_active_windows(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=2, departure=2, cost=1.0)]
+        outcome = mechanism.run(bids, _schedule([1, 0]))
+        assert outcome.allocation == {}
+
+    def test_duplicate_phone_rejected(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=1.0),
+            Bid(phone_id=1, arrival=1, departure=1, cost=2.0),
+        ]
+        with pytest.raises(MechanismError, match="duplicate"):
+            mechanism.run(bids, _schedule([1]))
+
+    def test_explicit_config_mismatch_rejected(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)]
+        with pytest.raises(MechanismError, match="does not match"):
+            mechanism.run(bids, _schedule([1]), config=RoundConfig(num_slots=9))
+
+
+class TestVCGPayments:
+    def test_second_price_in_single_slot(self, mechanism):
+        """With one task and two phones, VCG degenerates to second price."""
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=4.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1]))
+        # ω*(B) = 8, ω*(B₋2) = 6 ⇒ p2 = 8 + 2 − 6 = 4 (the loser's cost).
+        assert outcome.payment(2) == pytest.approx(4.0)
+
+    def test_uncontested_winner_paid_task_value(self, mechanism):
+        """Removing a monopolist loses the whole task: p = ν."""
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        outcome = mechanism.run(bids, _schedule([1], value=10.0))
+        # ω*(B) = 7, ω*(B₋1) = 0 ⇒ p = 7 + 3 − 0 = 10 = ν.
+        assert outcome.payment(1) == pytest.approx(10.0)
+
+    def test_payment_formula_explicit(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+            Bid(phone_id=3, arrival=2, departure=2, cost=5.0),
+        ]
+        schedule = _schedule([1, 1])
+        outcome = mechanism.run(bids, schedule)
+        graph = TaskAssignmentGraph(schedule, bids)
+        _, full = graph.solve()
+        for phone_id in outcome.winners:
+            _, without = graph.solve(exclude_phone=phone_id)
+            bid = outcome.bid_of(phone_id)
+            assert outcome.payment(phone_id) == pytest.approx(
+                full + bid.cost - without
+            )
+
+    def test_losers_not_paid(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=4.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.payment(1) == 0.0
+        assert 1 not in outcome.payments
+
+    def test_payment_at_least_claimed_cost(self, mechanism):
+        """VCG individual rationality on the claimed bid."""
+        bids = [
+            Bid(phone_id=i, arrival=1, departure=2, cost=float(i))
+            for i in range(1, 6)
+        ]
+        outcome = mechanism.run(bids, _schedule([2, 1]))
+        for phone_id in outcome.winners:
+            assert outcome.payment(phone_id) >= outcome.bid_of(phone_id).cost - 1e-9
+
+    def test_payment_settled_at_reported_departure(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=2, cost=1.0)]
+        outcome = mechanism.run(bids, _schedule([1, 0]))
+        assert outcome.payment_slot(1) == 2
+
+
+class TestOptimalWelfare:
+    def test_matches_run(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        schedule = _schedule([1, 1])
+        outcome = mechanism.run(bids, schedule)
+        assert mechanism.optimal_welfare(bids, schedule) == pytest.approx(
+            outcome.claimed_welfare
+        )
+
+    def test_metadata_flags(self, mechanism):
+        assert mechanism.is_truthful
+        assert not mechanism.is_online
+        assert mechanism.name == "offline-vcg"

@@ -1,0 +1,196 @@
+"""Unit tests for the online greedy mechanism (Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.model import Bid, TaskSchedule
+from repro.simulation.paper_example import (
+    paper_example_bids,
+    paper_example_schedule,
+)
+
+
+@pytest.fixture
+def mechanism():
+    return OnlineGreedyMechanism()
+
+
+def _schedule(counts, value=10.0):
+    return TaskSchedule.from_counts(counts, value=value)
+
+
+class TestPaperExample:
+    def test_allocation_matches_fig4(self, mechanism):
+        outcome = mechanism.run(paper_example_bids(), paper_example_schedule())
+        schedule = paper_example_schedule()
+        by_slot = {
+            schedule.task(t).slot: p for t, p in outcome.allocation.items()
+        }
+        assert by_slot == {1: 2, 2: 1, 3: 7, 4: 6, 5: 4}
+
+    def test_phone1_paid_9(self, mechanism):
+        """Section V-C's worked payment: Smartphone 1 is paid 9."""
+        outcome = mechanism.run(paper_example_bids(), paper_example_schedule())
+        assert outcome.payment(1) == pytest.approx(9.0)
+
+    def test_payments_settled_at_reported_departures(self, mechanism):
+        outcome = mechanism.run(paper_example_bids(), paper_example_schedule())
+        for phone_id in outcome.winners:
+            assert outcome.payment_slot(phone_id) == outcome.bid_of(
+                phone_id
+            ).departure
+
+
+class TestAllocation:
+    def test_greedy_is_myopic(self, mechanism):
+        """Same instance where the offline optimum defers phone 1."""
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1, 1]))
+        # Greedy grabs phone 1 at slot 1; slot 2 then goes unserved.
+        assert outcome.allocation == {0: 1}
+
+    def test_no_bids(self, mechanism):
+        outcome = mechanism.run([], _schedule([1, 1]))
+        assert outcome.allocation == {}
+
+    def test_duplicate_phone_rejected(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=1.0),
+            Bid(phone_id=1, arrival=1, departure=1, cost=2.0),
+        ]
+        with pytest.raises(MechanismError, match="duplicate"):
+            mechanism.run(bids, _schedule([1]))
+
+    def test_without_reserve_takes_unprofitable(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=50.0)]
+        outcome = mechanism.run(bids, _schedule([1], value=10.0))
+        assert outcome.allocation == {0: 1}  # paper semantics
+
+    def test_with_reserve_refuses_unprofitable(self):
+        mechanism = OnlineGreedyMechanism(reserve_price=True)
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=50.0)]
+        outcome = mechanism.run(bids, _schedule([1], value=10.0))
+        assert outcome.allocation == {}
+
+
+class TestAlgorithm2Payments:
+    def test_critical_player_in_window(self, mechanism):
+        """Winner paid the max winning cost in [t', d] of the re-run."""
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=2, cost=2.0),
+            Bid(phone_id=3, arrival=2, departure=2, cost=10.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1, 1], value=20.0))
+        # Phone 1 wins slot 1. Without it: slot1 -> 2, slot2 -> 3 (cost 10).
+        # Window [1, 2] ⇒ payment = 10 (also phone 1's critical value).
+        assert outcome.payment(1) == pytest.approx(10.0)
+
+    def test_uncontested_winner_paid_own_bid(self, mechanism):
+        """Algorithm 2's floor: no critical player ⇒ pay the claimed cost.
+
+        This is the paper's verbatim rule; DESIGN.md §7 documents the
+        truthfulness gap it opens for uncontested winners.
+        """
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.payment(1) == pytest.approx(3.0)
+
+    def test_payment_never_below_claimed_cost(self, mechanism):
+        bids = [
+            Bid(phone_id=i, arrival=1, departure=3, cost=float(i))
+            for i in range(1, 7)
+        ]
+        outcome = mechanism.run(bids, _schedule([1, 2, 1], value=30.0))
+        for phone_id in outcome.winners:
+            assert (
+                outcome.payment(phone_id)
+                >= outcome.bid_of(phone_id).cost - 1e-9
+            )
+
+    def test_losers_unpaid(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        outcome = mechanism.run(bids, _schedule([1]))
+        assert outcome.payment(2) == 0.0
+
+
+class TestExactPaymentRule:
+    def test_equal_to_paper_when_fully_served(self):
+        """With ample supply the two payment rules agree."""
+        paper = OnlineGreedyMechanism(payment_rule="paper")
+        exact = OnlineGreedyMechanism(payment_rule="exact")
+        bids = paper_example_bids()
+        schedule = paper_example_schedule()
+        paper_outcome = paper.run(bids, schedule)
+        exact_outcome = exact.run(bids, schedule)
+        assert paper_outcome.allocation == exact_outcome.allocation
+        for phone_id in paper_outcome.winners:
+            assert paper_outcome.payment(phone_id) == pytest.approx(
+                exact_outcome.payment(phone_id)
+            )
+
+    def test_exact_with_reserve_pays_value_to_monopolist(self):
+        mechanism = OnlineGreedyMechanism(
+            reserve_price=True, payment_rule="exact"
+        )
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
+        outcome = mechanism.run(bids, _schedule([1], value=10.0))
+        # The monopolist wins at any bid up to ν ⇒ critical value is ν.
+        assert outcome.payment(1) == pytest.approx(10.0)
+
+    def test_exact_payment_is_win_lose_threshold(self):
+        mechanism = OnlineGreedyMechanism(payment_rule="exact")
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=2, cost=2.0),
+            Bid(phone_id=3, arrival=2, departure=2, cost=10.0),
+        ]
+        schedule = _schedule([1, 1], value=20.0)
+        outcome = mechanism.run(bids, schedule)
+        threshold = outcome.payment(1)
+        below = [b if b.phone_id != 1 else b.with_cost(threshold - 0.01) for b in bids]
+        above = [b if b.phone_id != 1 else b.with_cost(threshold + 0.01) for b in bids]
+        assert mechanism.run(below, schedule).is_winner(1)
+        assert not mechanism.run(above, schedule).is_winner(1)
+
+    def test_unknown_payment_rule_rejected(self):
+        with pytest.raises(MechanismError, match="payment_rule"):
+            OnlineGreedyMechanism(payment_rule="vcg")
+
+    def test_metadata_flags(self, mechanism):
+        assert mechanism.is_truthful
+        assert mechanism.is_online
+        assert mechanism.name == "online-greedy"
+        assert mechanism.payment_rule == "paper"
+        assert not mechanism.reserve_price
+
+
+class TestOnlineVsOffline:
+    def test_offline_weakly_dominates(self):
+        offline = OfflineVCGMechanism()
+        online = OnlineGreedyMechanism(reserve_price=True)
+        from repro.simulation import WorkloadConfig
+
+        workload = WorkloadConfig(
+            num_slots=12,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=3,
+            task_value=15.0,
+        )
+        for seed in range(5):
+            scenario = workload.generate(seed=seed)
+            bids = scenario.truthful_bids()
+            off = offline.run(bids, scenario.schedule)
+            on = online.run(bids, scenario.schedule)
+            assert off.claimed_welfare >= on.claimed_welfare - 1e-9

@@ -1,0 +1,78 @@
+"""Unit tests for the mechanism registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.mechanisms import (
+    Mechanism,
+    OfflineVCGMechanism,
+    available_mechanisms,
+    create_mechanism,
+    register_mechanism,
+)
+
+
+class TestBuiltins:
+    def test_all_builtins_registered(self):
+        names = available_mechanisms()
+        for expected in (
+            "offline-vcg",
+            "online-greedy",
+            "second-price-slot",
+            "fixed-price",
+            "random-alloc",
+            "fifo",
+            "offline-greedy-vcg",
+        ):
+            assert expected in names
+
+    def test_create_by_name(self):
+        mechanism = create_mechanism("offline-vcg")
+        assert isinstance(mechanism, OfflineVCGMechanism)
+
+    def test_create_with_kwargs(self):
+        mechanism = create_mechanism("fixed-price", price=7.0)
+        assert mechanism.price == 7.0
+
+    def test_create_online_with_options(self):
+        mechanism = create_mechanism(
+            "online-greedy", reserve_price=True, payment_rule="exact"
+        )
+        assert mechanism.reserve_price
+        assert mechanism.payment_rule == "exact"
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError, match="unknown mechanism"):
+            create_mechanism("does-not-exist")
+
+
+class TestRegistration:
+    def test_register_and_create(self):
+        class Custom(OfflineVCGMechanism):
+            name = "custom-test-mechanism"
+
+        register_mechanism("custom-test-mechanism", Custom, replace=True)
+        assert isinstance(
+            create_mechanism("custom-test-mechanism"), Custom
+        )
+        assert "custom-test-mechanism" in available_mechanisms()
+
+    def test_duplicate_without_replace_rejected(self):
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_mechanism("offline-vcg", OfflineVCGMechanism)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_mechanism("", OfflineVCGMechanism)
+
+    def test_factory_must_return_mechanism(self):
+        register_mechanism(
+            "broken-test-mechanism", lambda: "nope", replace=True
+        )
+        with pytest.raises(ExperimentError, match="not a Mechanism"):
+            create_mechanism("broken-test-mechanism")
+
+    def test_mechanism_repr(self):
+        assert "offline-vcg" in repr(OfflineVCGMechanism())

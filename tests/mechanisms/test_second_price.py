@@ -1,0 +1,103 @@
+"""Unit tests for the per-slot second-price baseline (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms.baselines import SecondPriceSlotMechanism
+from repro.model import Bid, TaskSchedule
+from repro.simulation.paper_example import (
+    paper_example_bids,
+    paper_example_schedule,
+)
+
+
+@pytest.fixture
+def mechanism():
+    return SecondPriceSlotMechanism()
+
+
+class TestFig5aTruthfulReports:
+    """Fig. 5(a): everyone truthful under the second-price rule."""
+
+    def test_phone2_paid_6_in_slot_1(self, mechanism):
+        outcome = mechanism.run(paper_example_bids(), paper_example_schedule())
+        # "Smartphone 2 is chosen ... and the second lowest price in the
+        # first slot is 6 which is reported by Smartphone 7".
+        assert outcome.payment(2) == pytest.approx(6.0)
+        assert outcome.payment_slot(2) == 1
+
+    def test_phone1_paid_4_in_slot_2(self, mechanism):
+        outcome = mechanism.run(paper_example_bids(), paper_example_schedule())
+        # "In the second slot the sensing task is allocated to
+        # Smartphone 1 and it is paid 4."
+        assert outcome.payment(1) == pytest.approx(4.0)
+        assert outcome.payment_slot(1) == 2
+
+
+class TestFig5bArrivalDelayDeviation:
+    """Fig. 5(b): Smartphone 1 delays its arrival by 2 slots and gains."""
+
+    def _deviated_bids(self):
+        bids = []
+        for bid in paper_example_bids():
+            if bid.phone_id == 1:
+                bids.append(bid.with_window(4, 5))  # reports [4, 5]
+            else:
+                bids.append(bid)
+        return bids
+
+    def test_phone1_wins_slot_4_and_paid_8(self, mechanism):
+        outcome = mechanism.run(self._deviated_bids(), paper_example_schedule())
+        schedule = paper_example_schedule()
+        assert schedule.task(
+            next(t for t, p in outcome.allocation.items() if p == 1)
+        ).slot == 4
+        # "it obtains a payment of 8"
+        assert outcome.payment(1) == pytest.approx(8.0)
+
+    def test_deviation_is_profitable(self, mechanism):
+        """The paper's conclusion: utility increases by 4."""
+        truthful = mechanism.run(
+            paper_example_bids(), paper_example_schedule()
+        )
+        deviated = mechanism.run(
+            self._deviated_bids(), paper_example_schedule()
+        )
+        real_cost = 3.0  # phone 1's real cost
+        truthful_utility = truthful.payment(1) - real_cost
+        deviated_utility = deviated.payment(1) - real_cost
+        assert deviated_utility - truthful_utility == pytest.approx(4.0)
+
+
+class TestMechanics:
+    def test_winner_pays_first_losing_bid(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=1, cost=2.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=5.0),
+            Bid(phone_id=3, arrival=1, departure=1, cost=9.0),
+        ]
+        schedule = TaskSchedule.from_counts([2], value=10.0)
+        outcome = mechanism.run(bids, schedule)
+        # Phones 1 and 2 win; the first losing bid is phone 3 at 9.
+        assert outcome.payment(1) == pytest.approx(9.0)
+        assert outcome.payment(2) == pytest.approx(9.0)
+
+    def test_empty_pool_pays_own_bid(self, mechanism):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=2.0)]
+        schedule = TaskSchedule.from_counts([1], value=10.0)
+        outcome = mechanism.run(bids, schedule)
+        assert outcome.payment(1) == pytest.approx(2.0)
+
+    def test_payment_immediate(self, mechanism):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=5, cost=2.0),
+            Bid(phone_id=2, arrival=1, departure=5, cost=5.0),
+        ]
+        schedule = TaskSchedule.from_counts([1, 0, 0, 0, 0], value=10.0)
+        outcome = mechanism.run(bids, schedule)
+        assert outcome.payment_slot(1) == 1  # not the departure slot
+
+    def test_not_marked_truthful(self, mechanism):
+        assert not mechanism.is_truthful
+        assert mechanism.is_online

@@ -1,0 +1,110 @@
+"""Unit tests for the paired mechanism comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import FifoMechanism
+from repro.metrics.compare import paired_comparison
+from repro.simulation import WorkloadConfig
+
+
+@pytest.fixture
+def workload():
+    return WorkloadConfig(
+        num_slots=10,
+        phone_rate=3.0,
+        task_rate=2.0,
+        mean_cost=10.0,
+        mean_active_length=3,
+        task_value=20.0,
+    )
+
+
+class TestPairedComparison:
+    def test_offline_beats_online_pointwise(self, workload):
+        result = paired_comparison(
+            OfflineVCGMechanism(),
+            OnlineGreedyMechanism(reserve_price=True),
+            workload,
+            seeds=range(6),
+        )
+        assert result.losses == 0  # offline optimum never trails
+        assert result.diff.mean >= 0.0
+        assert len(result.differences) == 6
+
+    def test_online_beats_fifo_significantly(self, workload):
+        result = paired_comparison(
+            OnlineGreedyMechanism(),
+            FifoMechanism(),
+            workload,
+            seeds=range(10),
+        )
+        assert result.diff.mean > 0.0
+        assert result.wins > result.losses
+        assert result.significant_at_95
+
+    def test_self_comparison_is_all_ties(self, workload):
+        result = paired_comparison(
+            OnlineGreedyMechanism(),
+            OnlineGreedyMechanism(),
+            workload,
+            seeds=range(4),
+        )
+        assert result.ties == 4
+        assert result.diff.mean == 0.0
+        assert result.t_statistic is None
+        assert not result.significant_at_95
+
+    def test_payment_metric(self, workload):
+        result = paired_comparison(
+            OfflineVCGMechanism(),
+            OnlineGreedyMechanism(),
+            workload,
+            seeds=range(4),
+            metric="total_payment",
+        )
+        assert result.metric == "total_payment"
+        assert len(result.differences) == 4
+
+    def test_tasks_served_metric(self, workload):
+        result = paired_comparison(
+            OnlineGreedyMechanism(),
+            FifoMechanism(),
+            workload,
+            seeds=range(3),
+            metric="tasks_served",
+        )
+        assert result.metric == "tasks_served"
+
+    def test_describe(self, workload):
+        result = paired_comparison(
+            OfflineVCGMechanism(),
+            OnlineGreedyMechanism(),
+            workload,
+            seeds=range(3),
+        )
+        text = result.describe("offline", "online")
+        assert "offline − online" in text
+        assert "w/t/l" in text
+
+    def test_unknown_metric_rejected(self, workload):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            paired_comparison(
+                OfflineVCGMechanism(),
+                OnlineGreedyMechanism(),
+                workload,
+                seeds=range(2),
+                metric="bogus",
+            )
+
+    def test_empty_seeds_rejected(self, workload):
+        with pytest.raises(ValidationError, match="seeds"):
+            paired_comparison(
+                OfflineVCGMechanism(),
+                OnlineGreedyMechanism(),
+                workload,
+                seeds=[],
+            )

@@ -1,0 +1,80 @@
+"""Unit tests for the empirical competitive ratio (Theorem 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.metrics import empirical_competitive_ratio
+from repro.model import Bid, TaskSchedule
+from repro.simulation import WorkloadConfig
+
+
+class TestEmpiricalCompetitiveRatio:
+    def test_ratio_at_most_one(self):
+        workload = WorkloadConfig(
+            num_slots=10,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=3,
+            task_value=25.0,
+        )
+        for seed in range(5):
+            scenario = workload.generate(seed=seed)
+            ratio = empirical_competitive_ratio(
+                scenario.truthful_bids(), scenario.schedule
+            )
+            if ratio is not None:
+                assert ratio <= 1.0 + 1e-9
+
+    def test_theorem6_bound_on_random_instances(self):
+        """ω_apx / ω_opt >= 1/2 when ν dominates costs."""
+        workload = WorkloadConfig(
+            num_slots=10,
+            phone_rate=3.0,
+            task_rate=2.0,
+            mean_cost=10.0,
+            mean_active_length=3,
+            task_value=25.0,  # ν > max cost (19): all weights positive
+        )
+        for seed in range(10):
+            scenario = workload.generate(seed=seed)
+            ratio = empirical_competitive_ratio(
+                scenario.truthful_bids(), scenario.schedule
+            )
+            if ratio is not None:
+                assert ratio >= 0.5 - 1e-9, f"seed {seed}: {ratio}"
+
+    def test_half_is_approached_by_adversarial_instance(self):
+        """The classic instance where greedy hits exactly ~1/2.
+
+        Phone 1 (cheap, flexible) is grabbed at slot 1; the slot-2 task
+        then has nobody.  As ν → max-cost the ratio → 1/2.
+        """
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=9.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=10.0),
+        ]
+        schedule = TaskSchedule.from_counts([1, 1], value=11.0)
+        ratio = empirical_competitive_ratio(bids, schedule)
+        # online: serves slot 1 with phone 1 (gain 2); offline: 1 + 2.
+        assert ratio == pytest.approx(2.0 / 3.0)
+        assert ratio >= 0.5
+
+    def test_none_when_optimum_zero(self):
+        bids = [Bid(phone_id=1, arrival=1, departure=1, cost=50.0)]
+        schedule = TaskSchedule.from_counts([1], value=10.0)
+        assert empirical_competitive_ratio(bids, schedule) is None
+
+    def test_custom_online_mechanism(self):
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
+        ]
+        schedule = TaskSchedule.from_counts([1, 1], value=10.0)
+        ratio = empirical_competitive_ratio(
+            bids, schedule, online=OnlineGreedyMechanism()
+        )
+        # online greedy: 9; offline: 8 + 9 = 17.
+        assert ratio == pytest.approx(9.0 / 17.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the utility-landscape analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import SecondPriceSlotMechanism
+from repro.metrics import arrival_landscape, cost_landscape
+from repro.simulation.paper_example import (
+    paper_example_bids,
+    paper_example_profiles,
+    paper_example_schedule,
+)
+
+
+@pytest.fixture
+def phone1():
+    return next(p for p in paper_example_profiles() if p.phone_id == 1)
+
+
+@pytest.fixture
+def bids():
+    return paper_example_bids()
+
+
+@pytest.fixture
+def schedule():
+    return paper_example_schedule()
+
+
+class TestCostLandscape:
+    def test_truthful_utility_recorded(self, phone1, bids, schedule):
+        landscape = cost_landscape(
+            OnlineGreedyMechanism(), phone1, bids, schedule,
+            claimed_costs=[1.0, 3.0, 5.0],
+        )
+        # Phone 1 is paid 9 against cost 3 when truthful.
+        assert landscape.truthful_utility == pytest.approx(6.0)
+        assert landscape.phone_id == 1
+
+    def test_flat_at_truth_for_truthful_mechanisms(
+        self, phone1, bids, schedule
+    ):
+        costs = list(np.linspace(0.5, 12.0, 24))
+        for mechanism in (OnlineGreedyMechanism(), OfflineVCGMechanism()):
+            landscape = cost_landscape(
+                mechanism, phone1, bids, schedule, claimed_costs=costs
+            )
+            assert landscape.is_flat_at_truth, (
+                mechanism.name,
+                landscape.max_gain,
+            )
+
+    def test_winning_region_has_constant_utility(
+        self, phone1, bids, schedule
+    ):
+        """Critical-value payments: while winning, utility is constant."""
+        landscape = cost_landscape(
+            OnlineGreedyMechanism(), phone1, bids, schedule,
+            claimed_costs=[1.0, 2.0, 4.0, 8.0],
+        )
+        winning_utilities = {
+            round(p.utility, 9) for p in landscape.points if p.won
+        }
+        assert len(winning_utilities) == 1
+
+    def test_losing_region_utility_zero(self, phone1, bids, schedule):
+        landscape = cost_landscape(
+            OnlineGreedyMechanism(), phone1, bids, schedule,
+            claimed_costs=[50.0],
+        )
+        point = landscape.points[0]
+        assert not point.won
+        assert point.utility == 0.0
+
+    def test_empty_costs_rejected(self, phone1, bids, schedule):
+        with pytest.raises(ValidationError):
+            cost_landscape(
+                OnlineGreedyMechanism(), phone1, bids, schedule,
+                claimed_costs=[],
+            )
+
+
+class TestArrivalLandscape:
+    def test_covers_all_feasible_arrivals(self, phone1, bids, schedule):
+        landscape = arrival_landscape(
+            OnlineGreedyMechanism(), phone1, bids, schedule
+        )
+        arrivals = [p.bid.arrival for p in landscape.points]
+        assert arrivals == [2, 3, 4, 5]
+
+    def test_flat_for_our_mechanism(self, phone1, bids, schedule):
+        landscape = arrival_landscape(
+            OnlineGreedyMechanism(), phone1, bids, schedule
+        )
+        assert landscape.is_flat_at_truth
+
+    def test_bump_under_second_price(self, phone1, bids, schedule):
+        """The Fig. 5 deviation shows up as a bump in the landscape."""
+        landscape = arrival_landscape(
+            SecondPriceSlotMechanism(), phone1, bids, schedule
+        )
+        assert not landscape.is_flat_at_truth
+        # The paper's 2-slot delay (claimed arrival 4) gains exactly 4...
+        delayed = next(p for p in landscape.points if p.bid.arrival == 4)
+        assert delayed.utility - landscape.truthful_utility == (
+            pytest.approx(4.0)
+        )
+        # ...and the landscape shows the full extent of the problem: an
+        # even later claim (slot 5, second price 9) gains 5.
+        assert landscape.max_gain >= 4.0

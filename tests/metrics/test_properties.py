@@ -1,0 +1,203 @@
+"""Unit tests for the property auditors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import CostScalingStrategy, DelayedArrivalStrategy
+from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms.baselines import (
+    RandomAllocationMechanism,
+    SecondPriceSlotMechanism,
+)
+from repro.metrics import (
+    audit_individual_rationality,
+    audit_monotonicity,
+    audit_truthfulness,
+)
+from repro.metrics.properties import default_deviation_strategies
+from repro.model import SmartphoneProfile, TaskSchedule
+from repro.simulation import Scenario
+from repro.simulation.paper_example import (
+    paper_example_profiles,
+    paper_example_schedule,
+)
+
+
+@pytest.fixture
+def paper_scenario():
+    return Scenario(paper_example_profiles(), paper_example_schedule())
+
+
+@pytest.fixture
+def dense_scenario(small_workload):
+    return small_workload.generate(seed=7)
+
+
+class TestIndividualRationality:
+    def test_online_passes(self, paper_scenario):
+        violations = audit_individual_rationality(
+            OnlineGreedyMechanism(), paper_scenario
+        )
+        assert violations == []
+
+    def test_offline_passes(self, paper_scenario):
+        violations = audit_individual_rationality(
+            OfflineVCGMechanism(), paper_scenario
+        )
+        assert violations == []
+
+    def test_dense_scenario_passes(self, dense_scenario):
+        for mechanism in (OfflineVCGMechanism(), OnlineGreedyMechanism()):
+            assert (
+                audit_individual_rationality(mechanism, dense_scenario)
+                == []
+            )
+
+    def test_violation_detected(self):
+        """A deliberately broken mechanism (pays less than cost)."""
+
+        class Underpaying(OnlineGreedyMechanism):
+            def run(self, bids, schedule, config=None):
+                outcome = super().run(bids, schedule, config)
+                from repro.model import AuctionOutcome
+
+                return AuctionOutcome(
+                    bids=outcome.bids,
+                    schedule=outcome.schedule,
+                    allocation=outcome.allocation,
+                    payments={p: 0.0 for p in outcome.payments},
+                )
+
+        profiles = [
+            SmartphoneProfile(phone_id=1, arrival=1, departure=1, cost=5.0)
+        ]
+        scenario = Scenario(
+            profiles, TaskSchedule.from_counts([1], value=10.0)
+        )
+        violations = audit_individual_rationality(Underpaying(), scenario)
+        assert len(violations) == 1
+        assert violations[0].phone_id == 1
+        assert violations[0].utility == pytest.approx(-5.0)
+
+
+class TestTruthfulnessAudit:
+    def test_online_passes_on_paper_example(self, paper_scenario, rng):
+        report = audit_truthfulness(
+            OnlineGreedyMechanism(), paper_scenario, rng
+        )
+        assert report.passed, report.violations
+        assert report.deviations_tested > 0
+
+    def test_offline_passes_on_paper_example(self, paper_scenario, rng):
+        report = audit_truthfulness(
+            OfflineVCGMechanism(), paper_scenario, rng
+        )
+        assert report.passed, report.violations
+
+    def test_second_price_fails(self, paper_scenario, rng):
+        """The audit rediscovers the Fig. 5 deviation."""
+        report = audit_truthfulness(
+            SecondPriceSlotMechanism(),
+            paper_scenario,
+            rng,
+            strategies=[DelayedArrivalStrategy(2)],
+        )
+        assert not report.passed
+        delayed = [v for v in report.violations if v.phone_id == 1]
+        assert delayed
+        assert delayed[0].gain == pytest.approx(4.0)
+
+    def test_pay_as_bid_fails_on_cost_inflation(self, rng):
+        profiles = [
+            SmartphoneProfile(phone_id=1, arrival=1, departure=1, cost=2.0)
+        ]
+        scenario = Scenario(
+            profiles, TaskSchedule.from_counts([1], value=10.0)
+        )
+        report = audit_truthfulness(
+            RandomAllocationMechanism(seed=0),
+            scenario,
+            rng,
+            strategies=[CostScalingStrategy(2.0)],
+        )
+        assert not report.passed
+        assert report.violations[0].strategy == "cost-scaling"
+
+    def test_max_phones_sampling(self, dense_scenario, rng):
+        report = audit_truthfulness(
+            OnlineGreedyMechanism(),
+            dense_scenario,
+            rng,
+            strategies=[CostScalingStrategy(1.5)],
+            max_phones=5,
+        )
+        assert report.deviations_tested <= 5
+
+    def test_default_battery_covers_three_dimensions(self):
+        names = {s.name for s in default_deviation_strategies()}
+        assert "cost-scaling" in names
+        assert "delayed-arrival" in names
+        assert "early-departure" in names
+        assert "combined-misreport" in names
+
+
+class TestMonotonicityAudit:
+    def test_online_monotone(self, paper_scenario, rng):
+        report = audit_monotonicity(
+            OnlineGreedyMechanism(), paper_scenario, rng, samples=60
+        )
+        assert report.passed, report.violations
+        assert report.pairs_tested > 0
+
+    def test_online_monotone_dense(self, dense_scenario, rng):
+        report = audit_monotonicity(
+            OnlineGreedyMechanism(), dense_scenario, rng, samples=40
+        )
+        assert report.passed, report.violations
+
+    def test_empty_scenario(self, rng):
+        scenario = Scenario(
+            [], TaskSchedule.from_counts([1], value=10.0)
+        )
+        report = audit_monotonicity(
+            OnlineGreedyMechanism(), scenario, rng
+        )
+        assert report.passed
+        assert report.pairs_tested == 0
+
+    def test_non_monotone_mechanism_caught(self, paper_scenario, rng):
+        """A deliberately broken rule: highest cost wins."""
+        from repro.mechanisms.base import Mechanism
+        from repro.model import AuctionOutcome
+
+        class HighestWins(Mechanism):
+            name = "highest-wins"
+
+            def run(self, bids, schedule, config=None):
+                self._resolve_config(bids, schedule, config)
+                allocation = {}
+                used = set()
+                for task in schedule:
+                    active = [
+                        b
+                        for b in bids
+                        if b.is_active(task.slot) and b.phone_id not in used
+                    ]
+                    if not active:
+                        continue
+                    winner = max(active, key=lambda b: (b.cost, b.phone_id))
+                    allocation[task.task_id] = winner.phone_id
+                    used.add(winner.phone_id)
+                return AuctionOutcome(
+                    bids=bids,
+                    schedule=schedule,
+                    allocation=allocation,
+                    payments={},
+                )
+
+        report = audit_monotonicity(
+            HighestWins(), paper_scenario, rng, samples=80
+        )
+        assert not report.passed

@@ -1,0 +1,64 @@
+"""Unit tests for measurement aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics import Summary, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(
+            math.sqrt(sum((v - 2.5) ** 2 for v in [1, 2, 3, 4]) / 3)
+        )
+
+    def test_ci95_formula(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        expected = 1.959963984540054 * summary.std / 2.0
+        assert summary.ci95 == pytest.approx(expected)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci95 == 0.0
+        assert summary.count == 1
+
+    def test_none_entries_skipped(self):
+        summary = summarize([1.0, None, 3.0])
+        assert summary.count == 2
+        assert summary.mean == 2.0
+
+    def test_all_none_rejected(self):
+        with pytest.raises(ValidationError, match="no values"):
+            summarize([None, None])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            summarize([1.0, float("nan")])
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "±" in text
+        assert "n=2" in text
+
+    def test_ints_accepted(self):
+        assert summarize([1, 2, 3]).mean == pytest.approx(2.0)
+
+    def test_frozen(self):
+        summary = summarize([1.0])
+        with pytest.raises(Exception):
+            summary.mean = 9.0  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Unit tests for the per-slot time-series metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.metrics import (
+    cumulative,
+    payments_by_slot,
+    platform_float_by_slot,
+    pool_occupancy,
+    tasks_served_by_slot,
+    tasks_unserved_by_slot,
+    welfare_by_slot,
+    winner_waiting_stats,
+)
+from repro.metrics.welfare import true_social_welfare
+from repro.model import SmartphoneProfile, TaskSchedule
+from repro.simulation import Scenario
+
+
+@pytest.fixture
+def scenario():
+    profiles = [
+        SmartphoneProfile(phone_id=1, arrival=1, departure=3, cost=2.0),
+        SmartphoneProfile(phone_id=2, arrival=1, departure=3, cost=5.0),
+        SmartphoneProfile(phone_id=3, arrival=3, departure=3, cost=1.0),
+    ]
+    schedule = TaskSchedule.from_counts([1, 0, 2], value=10.0)
+    return Scenario(profiles, schedule)
+
+
+@pytest.fixture
+def outcome(scenario):
+    return OnlineGreedyMechanism().run(
+        scenario.truthful_bids(), scenario.schedule
+    )
+
+
+class TestWelfareSeries:
+    def test_per_slot_values(self, outcome, scenario):
+        series = welfare_by_slot(outcome, scenario)
+        assert len(series) == 3
+        # Slot 1: phone 1 (cost 2) -> 8.  Slot 3: phones 3 and 2.
+        assert series[0] == pytest.approx(8.0)
+        assert series[1] == 0.0
+        assert series[2] == pytest.approx((10 - 1) + (10 - 5))
+
+    def test_sums_to_total_welfare(self, outcome, scenario):
+        assert sum(welfare_by_slot(outcome, scenario)) == pytest.approx(
+            true_social_welfare(outcome, scenario)
+        )
+
+
+class TestPaymentSeries:
+    def test_settles_at_departures(self, outcome, scenario):
+        series = payments_by_slot(outcome)
+        # All three phones report departure 3, so all cash flows there.
+        assert series[0] == 0.0
+        assert series[1] == 0.0
+        assert series[2] == pytest.approx(outcome.total_payment)
+
+    def test_sums_to_total_payment(self, outcome):
+        assert sum(payments_by_slot(outcome)) == pytest.approx(
+            outcome.total_payment
+        )
+
+
+class TestTaskSeries:
+    def test_served_by_slot(self, outcome):
+        assert tasks_served_by_slot(outcome) == [1, 0, 2]
+
+    def test_unserved_by_slot(self, scenario):
+        # Remove the cheap phones: only phone 2 remains for 3 tasks.
+        bids = [scenario.profile(2).truthful_bid()]
+        outcome = OnlineGreedyMechanism().run(bids, scenario.schedule)
+        served = tasks_served_by_slot(outcome)
+        unserved = tasks_unserved_by_slot(outcome)
+        assert [s + u for s, u in zip(served, unserved)] == [1, 0, 2]
+        assert sum(unserved) == 2
+
+    def test_served_plus_unserved_covers_schedule(self, outcome, scenario):
+        served = tasks_served_by_slot(outcome)
+        unserved = tasks_unserved_by_slot(outcome)
+        assert [s + u for s, u in zip(served, unserved)] == list(
+            scenario.schedule.counts
+        )
+
+
+class TestPoolOccupancy:
+    def test_counts_active_profiles(self, scenario):
+        assert pool_occupancy(scenario) == [2, 2, 3]
+
+
+class TestWaitingStats:
+    def test_waits(self, outcome, scenario):
+        stats = winner_waiting_stats(outcome, scenario)
+        # Phone 1 wins slot 1 (arrived 1): wait 0.
+        # Phone 3 wins slot 3 (arrived 3): wait 0.
+        # Phone 2 wins slot 3 (arrived 1): wait 2.
+        assert stats.waits == {1: 0, 2: 2, 3: 0}
+        assert stats.mean_wait == pytest.approx(2 / 3)
+        assert stats.max_wait == 2
+
+    def test_empty_outcome(self, scenario):
+        outcome = OnlineGreedyMechanism().run([], scenario.schedule)
+        stats = winner_waiting_stats(outcome, scenario)
+        assert stats.waits == {}
+        assert stats.mean_wait == 0.0
+        assert stats.max_wait == 0
+
+
+class TestCumulativeAndFloat:
+    def test_cumulative(self):
+        assert cumulative([1.0, 2.0, -1.0]) == [1.0, 3.0, 2.0]
+        assert cumulative([]) == []
+
+    def test_platform_float(self, outcome, scenario):
+        series = platform_float_by_slot(outcome, scenario)
+        assert len(series) == 3
+        # Before settlement the platform holds positive float.
+        assert series[0] == pytest.approx(8.0)
+        # At round end: total welfare minus total payments.
+        expected_end = true_social_welfare(
+            outcome, scenario
+        ) - outcome.total_payment
+        assert series[-1] == pytest.approx(expected_end)

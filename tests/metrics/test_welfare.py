@@ -1,0 +1,93 @@
+"""Unit tests for social-welfare metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.metrics import phone_utilities, true_social_welfare
+from repro.metrics.welfare import welfare_per_task
+from repro.model import AuctionOutcome, SmartphoneProfile, TaskSchedule
+from repro.simulation import Scenario
+
+
+@pytest.fixture
+def scenario():
+    profiles = [
+        SmartphoneProfile(phone_id=1, arrival=1, departure=2, cost=2.0),
+        SmartphoneProfile(phone_id=2, arrival=1, departure=2, cost=6.0),
+        SmartphoneProfile(phone_id=3, arrival=2, departure=2, cost=9.0),
+    ]
+    schedule = TaskSchedule.from_counts([1, 1], value=10.0)
+    return Scenario(profiles, schedule)
+
+
+@pytest.fixture
+def outcome(scenario):
+    return AuctionOutcome(
+        bids=scenario.truthful_bids(),
+        schedule=scenario.schedule,
+        allocation={0: 1, 1: 2},
+        payments={1: 6.0, 2: 9.0},
+    )
+
+
+class TestTrueSocialWelfare:
+    def test_definition3(self, outcome, scenario):
+        assert true_social_welfare(outcome, scenario) == pytest.approx(
+            (10 - 2) + (10 - 6)
+        )
+
+    def test_empty_allocation(self, scenario):
+        empty = AuctionOutcome(
+            bids=scenario.truthful_bids(),
+            schedule=scenario.schedule,
+            allocation={},
+            payments={},
+        )
+        assert true_social_welfare(empty, scenario) == 0.0
+
+    def test_uses_real_cost_not_claim(self, scenario):
+        """A lying winner is valued at its real cost."""
+        lying_bid = scenario.profile(1).truthful_bid().with_cost(7.0)
+        bids = [lying_bid] + [
+            p.truthful_bid() for p in scenario.profiles if p.phone_id != 1
+        ]
+        outcome = AuctionOutcome(
+            bids=bids,
+            schedule=scenario.schedule,
+            allocation={0: 1},
+            payments={1: 7.0},
+        )
+        assert outcome.claimed_welfare == pytest.approx(3.0)
+        assert true_social_welfare(outcome, scenario) == pytest.approx(8.0)
+
+
+class TestWelfarePerTask:
+    def test_definition2(self, outcome, scenario):
+        per_task = welfare_per_task(outcome, scenario)
+        assert per_task == {0: pytest.approx(8.0), 1: pytest.approx(4.0)}
+
+
+class TestPhoneUtilities:
+    def test_definition1(self, outcome, scenario):
+        utilities = phone_utilities(outcome, scenario)
+        assert utilities[1] == pytest.approx(4.0)  # paid 6, cost 2
+        assert utilities[2] == pytest.approx(3.0)  # paid 9, cost 6
+        assert utilities[3] == 0.0
+
+    def test_covers_non_bidding_phones(self, scenario):
+        """Phones in the scenario that submitted no bid have utility 0."""
+        bids = [scenario.profile(1).truthful_bid()]
+        outcome = OnlineGreedyMechanism().run(bids, scenario.schedule)
+        utilities = phone_utilities(outcome, scenario)
+        assert set(utilities) == {1, 2, 3}
+        assert utilities[2] == 0.0
+        assert utilities[3] == 0.0
+
+    def test_truthful_online_utilities_nonnegative(self, scenario):
+        outcome = OnlineGreedyMechanism().run(
+            scenario.truthful_bids(), scenario.schedule
+        )
+        for utility in phone_utilities(outcome, scenario).values():
+            assert utility >= -1e-9

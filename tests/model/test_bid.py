@@ -1,0 +1,131 @@
+"""Unit tests for the Bid model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Bid
+
+
+class TestBidConstruction:
+    def test_basic_fields(self):
+        bid = Bid(phone_id=3, arrival=2, departure=5, cost=7.5)
+        assert bid.phone_id == 3
+        assert bid.arrival == 2
+        assert bid.departure == 5
+        assert bid.cost == 7.5
+
+    def test_cost_normalised_to_float(self):
+        bid = Bid(phone_id=0, arrival=1, departure=1, cost=4)
+        assert isinstance(bid.cost, float)
+        assert bid == Bid(phone_id=0, arrival=1, departure=1, cost=4.0)
+
+    def test_single_slot_window_allowed(self):
+        bid = Bid(phone_id=1, arrival=3, departure=3, cost=1.0)
+        assert bid.active_length == 1
+
+    def test_zero_cost_allowed(self):
+        assert Bid(phone_id=1, arrival=1, departure=2, cost=0.0).cost == 0.0
+
+    def test_negative_phone_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=-1, arrival=1, departure=2, cost=1.0)
+
+    def test_zero_arrival_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=0, departure=2, cost=1.0)
+
+    def test_departure_before_arrival_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=4, departure=3, cost=1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=1, departure=2, cost=-0.1)
+
+    def test_nan_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=1, departure=2, cost=float("nan"))
+
+    def test_infinite_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=1, departure=2, cost=float("inf"))
+
+    def test_non_int_arrival_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=0, arrival=1.5, departure=2, cost=1.0)
+
+    def test_bool_phone_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid(phone_id=True, arrival=1, departure=2, cost=1.0)
+
+
+class TestBidBehaviour:
+    def test_is_active_inclusive_bounds(self):
+        bid = Bid(phone_id=0, arrival=2, departure=4, cost=1.0)
+        assert not bid.is_active(1)
+        assert bid.is_active(2)
+        assert bid.is_active(3)
+        assert bid.is_active(4)
+        assert not bid.is_active(5)
+
+    def test_active_length(self):
+        bid = Bid(phone_id=0, arrival=2, departure=4, cost=1.0)
+        assert bid.active_length == 3
+
+    def test_with_cost_creates_new_bid(self):
+        bid = Bid(phone_id=0, arrival=1, departure=2, cost=1.0)
+        changed = bid.with_cost(9.0)
+        assert changed.cost == 9.0
+        assert bid.cost == 1.0
+        assert changed.phone_id == bid.phone_id
+
+    def test_with_window_creates_new_bid(self):
+        bid = Bid(phone_id=0, arrival=1, departure=5, cost=1.0)
+        changed = bid.with_window(2, 3)
+        assert (changed.arrival, changed.departure) == (2, 3)
+        assert (bid.arrival, bid.departure) == (1, 5)
+
+    def test_with_window_validates(self):
+        bid = Bid(phone_id=0, arrival=1, departure=5, cost=1.0)
+        with pytest.raises(ValidationError):
+            bid.with_window(4, 2)
+
+    def test_frozen(self):
+        bid = Bid(phone_id=0, arrival=1, departure=2, cost=1.0)
+        with pytest.raises(Exception):
+            bid.cost = 3.0  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        a = Bid(phone_id=0, arrival=1, departure=2, cost=1.0)
+        b = Bid(phone_id=0, arrival=1, departure=2, cost=1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != b.with_cost(2.0)
+
+    def test_ordering_by_phone_id_first(self):
+        a = Bid(phone_id=0, arrival=9, departure=9, cost=100.0)
+        b = Bid(phone_id=1, arrival=1, departure=1, cost=0.0)
+        assert a < b
+
+
+class TestBidSerialisation:
+    def test_round_trip(self):
+        bid = Bid(phone_id=7, arrival=2, departure=6, cost=3.25)
+        assert Bid.from_dict(bid.to_dict()) == bid
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ValidationError, match="missing key"):
+            Bid.from_dict({"phone_id": 1, "arrival": 1, "departure": 2})
+
+    def test_from_dict_coerces_types(self):
+        payload = {
+            "phone_id": "3",
+            "arrival": "1",
+            "departure": "2",
+            "cost": "4.5",
+        }
+        bid = Bid.from_dict(payload)
+        assert bid.phone_id == 3
+        assert bid.cost == 4.5

@@ -1,0 +1,77 @@
+"""Unit tests for RoundConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MechanismError, ValidationError
+from repro.model import Bid, RoundConfig, TaskSchedule
+
+
+class TestConstruction:
+    def test_basic(self):
+        assert RoundConfig(num_slots=5).num_slots == 5
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValidationError):
+            RoundConfig(num_slots=0)
+
+    def test_for_schedule(self):
+        schedule = TaskSchedule.from_counts([1, 0, 1], value=1.0)
+        assert RoundConfig.for_schedule(schedule).num_slots == 3
+
+    def test_for_schedule_type_check(self):
+        with pytest.raises(ValidationError):
+            RoundConfig.for_schedule("not-a-schedule")  # type: ignore[arg-type]
+
+
+class TestValidateBids:
+    def test_indexes_by_phone(self):
+        config = RoundConfig(num_slots=5)
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=2, arrival=3, departure=5, cost=2.0),
+        ]
+        by_phone = config.validate_bids(bids)
+        assert set(by_phone) == {1, 2}
+
+    def test_duplicate_phone_rejected(self):
+        config = RoundConfig(num_slots=5)
+        bids = [
+            Bid(phone_id=1, arrival=1, departure=2, cost=1.0),
+            Bid(phone_id=1, arrival=3, departure=4, cost=2.0),
+        ]
+        with pytest.raises(MechanismError, match="duplicate bid"):
+            config.validate_bids(bids)
+
+    def test_departure_beyond_horizon_rejected(self):
+        config = RoundConfig(num_slots=5)
+        with pytest.raises(MechanismError, match="beyond the round horizon"):
+            config.validate_bids(
+                [Bid(phone_id=1, arrival=1, departure=6, cost=1.0)]
+            )
+
+    def test_non_bid_rejected(self):
+        config = RoundConfig(num_slots=5)
+        with pytest.raises(MechanismError, match="must be Bid"):
+            config.validate_bids(["nope"])  # type: ignore[list-item]
+
+    def test_empty_bids_fine(self):
+        assert RoundConfig(num_slots=5).validate_bids([]) == {}
+
+
+class TestValidateSchedule:
+    def test_matching_horizon_accepted(self):
+        schedule = TaskSchedule.from_counts([1, 1], value=1.0)
+        config = RoundConfig(num_slots=2)
+        assert config.validate_schedule(schedule) is schedule
+
+    def test_mismatched_horizon_rejected(self):
+        schedule = TaskSchedule.from_counts([1, 1], value=1.0)
+        config = RoundConfig(num_slots=3)
+        with pytest.raises(MechanismError, match="does not match"):
+            config.validate_schedule(schedule)
+
+    def test_non_schedule_rejected(self):
+        with pytest.raises(MechanismError):
+            RoundConfig(num_slots=2).validate_schedule("nope")  # type: ignore[arg-type]

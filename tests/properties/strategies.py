@@ -1,0 +1,74 @@
+"""Shared hypothesis strategies for auction instances."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.model import Bid, SmartphoneProfile, TaskSchedule
+
+MAX_SLOTS = 6
+
+costs = st.floats(
+    min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def bids(draw, phone_id: int, max_slots: int = MAX_SLOTS):
+    """One bid with a window inside ``[1, max_slots]``."""
+    arrival = draw(st.integers(1, max_slots))
+    departure = draw(st.integers(arrival, max_slots))
+    cost = draw(costs)
+    return Bid(
+        phone_id=phone_id, arrival=arrival, departure=departure, cost=cost
+    )
+
+
+@st.composite
+def bid_lists(draw, max_phones: int = 8, max_slots: int = MAX_SLOTS):
+    """Between 0 and ``max_phones`` bids with distinct phone ids."""
+    count = draw(st.integers(0, max_phones))
+    return [draw(bids(phone_id=pid, max_slots=max_slots)) for pid in range(count)]
+
+
+@st.composite
+def schedules(draw, max_slots: int = MAX_SLOTS, max_per_slot: int = 3):
+    """A task schedule over exactly ``max_slots`` slots."""
+    counts = draw(
+        st.lists(
+            st.integers(0, max_per_slot),
+            min_size=max_slots,
+            max_size=max_slots,
+        )
+    )
+    value = draw(st.floats(min_value=1.0, max_value=30.0, allow_nan=False))
+    return TaskSchedule.from_counts(counts, value=value)
+
+
+@st.composite
+def instances(draw, max_phones: int = 8, max_slots: int = MAX_SLOTS):
+    """A full (bids, schedule) auction instance."""
+    return (
+        draw(bid_lists(max_phones=max_phones, max_slots=max_slots)),
+        draw(schedules(max_slots=max_slots)),
+    )
+
+
+@st.composite
+def profile_lists(draw, max_phones: int = 8, max_slots: int = MAX_SLOTS):
+    """Private profiles with distinct ids inside ``[1, max_slots]``."""
+    count = draw(st.integers(0, max_phones))
+    profiles = []
+    for pid in range(count):
+        arrival = draw(st.integers(1, max_slots))
+        departure = draw(st.integers(arrival, max_slots))
+        cost = draw(costs)
+        profiles.append(
+            SmartphoneProfile(
+                phone_id=pid,
+                arrival=arrival,
+                departure=departure,
+                cost=cost,
+            )
+        )
+    return profiles

@@ -1,0 +1,103 @@
+"""Property-based tests of the capacitated-supply extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import CapacitatedOfflineVCGMechanism
+from repro.extensions.capacity import check_capacitated_outcome
+from repro.mechanisms import OfflineVCGMechanism
+from repro.model import TaskSchedule
+from tests.properties.strategies import MAX_SLOTS, bid_lists
+
+
+@st.composite
+def capacitated_instances(draw):
+    bids = draw(bid_lists(max_phones=5))
+    counts = draw(
+        st.lists(
+            st.integers(0, 2), min_size=MAX_SLOTS, max_size=MAX_SLOTS
+        )
+    )
+    schedule = TaskSchedule.from_counts(counts, value=25.0)
+    capacities = {
+        bid.phone_id: draw(st.integers(1, 3)) for bid in bids
+    }
+    return bids, schedule, capacities
+
+
+class TestCapacitatedStructure:
+    @given(instance=capacitated_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_capacities_respected(self, instance):
+        bids, schedule, capacities = instance
+        mechanism = CapacitatedOfflineVCGMechanism(capacities)
+        outcome = mechanism.run(bids, schedule)
+        check_capacitated_outcome(outcome, mechanism)
+
+    @given(instance=capacitated_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_dominates_unit_capacity(self, instance):
+        """Capacity >= 1 everywhere can only improve on the base model."""
+        bids, schedule, capacities = instance
+        capacitated = CapacitatedOfflineVCGMechanism(capacities).run(
+            bids, schedule
+        )
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert capacitated.claimed_welfare >= base.claimed_welfare - 1e-9
+
+    @given(instance=capacitated_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_unit_capacities_equal_base(self, instance):
+        bids, schedule, _ = instance
+        capacitated = CapacitatedOfflineVCGMechanism().run(bids, schedule)
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert capacitated.claimed_welfare == pytest.approx(
+            base.claimed_welfare
+        )
+
+    @given(instance=capacitated_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_ir_on_claims(self, instance):
+        """Payment covers claimed cost x units served."""
+        bids, schedule, capacities = instance
+        outcome = CapacitatedOfflineVCGMechanism(capacities).run(
+            bids, schedule
+        )
+        costs = {b.phone_id: b.cost for b in bids}
+        for phone_id, payment in outcome.payments.items():
+            floor = costs[phone_id] * outcome.units_of(phone_id)
+            assert payment >= floor - 1e-9
+
+
+class TestCapacitatedTruthfulness:
+    @given(
+        instance=capacitated_instances(),
+        deviant=st.integers(0, 4),
+        factor=st.floats(0.3, 3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cost_misreport_never_profits(self, instance, deviant, factor):
+        bids, schedule, capacities = instance
+        assume(deviant < len(bids))
+        mechanism = CapacitatedOfflineVCGMechanism(capacities)
+        true_bid = bids[deviant]
+        true_cost = true_bid.cost
+
+        truthful = mechanism.run(bids, schedule)
+        truthful_u = truthful.payments.get(true_bid.phone_id, 0.0) - (
+            true_cost * truthful.units_of(true_bid.phone_id)
+        )
+        deviated_bids = [
+            b.with_cost(true_cost * factor)
+            if b.phone_id == true_bid.phone_id
+            else b
+            for b in bids
+        ]
+        deviated = mechanism.run(deviated_bids, schedule)
+        deviated_u = deviated.payments.get(true_bid.phone_id, 0.0) - (
+            true_cost * deviated.units_of(true_bid.phone_id)
+        )
+        assert deviated_u <= truthful_u + 1e-6

@@ -1,0 +1,118 @@
+"""Property-based tests of the domain model and aggregation layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import summarize
+from repro.model import Bid, SmartphoneProfile, TaskSchedule
+from tests.properties.strategies import bids as bid_strategy
+from tests.properties.strategies import profile_lists
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSerializationRoundTrips:
+    @given(bid=bid_strategy(phone_id=3))
+    @settings(max_examples=50, deadline=None)
+    def test_bid_round_trip(self, bid):
+        assert Bid.from_dict(bid.to_dict()) == bid
+
+    @given(profiles=profile_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_profile_round_trip(self, profiles):
+        for profile in profiles:
+            assert (
+                SmartphoneProfile.from_dict(profile.to_dict()) == profile
+            )
+
+    @given(
+        counts=st.lists(st.integers(0, 4), min_size=1, max_size=8),
+        value=st.floats(0.0, 100.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_counts_round_trip(self, counts, value):
+        schedule = TaskSchedule.from_counts(counts, value=value)
+        assert list(schedule.counts) == counts
+        assert len(schedule) == sum(counts)
+        assert schedule.total_value == pytest.approx(value * sum(counts))
+
+
+class TestBidProperties:
+    @given(bid=bid_strategy(phone_id=1))
+    @settings(max_examples=50, deadline=None)
+    def test_active_exactly_inside_window(self, bid):
+        for slot in range(1, 10):
+            assert bid.is_active(slot) == (
+                bid.arrival <= slot <= bid.departure
+            )
+
+    @given(bid=bid_strategy(phone_id=1))
+    @settings(max_examples=50, deadline=None)
+    def test_active_length_consistent(self, bid):
+        active_slots = sum(bid.is_active(s) for s in range(1, 10))
+        assert active_slots == bid.active_length
+
+
+class TestProfileClaimProperties:
+    @given(profiles=profile_lists(max_phones=4))
+    @settings(max_examples=50, deadline=None)
+    def test_truthful_bid_always_feasible(self, profiles):
+        for profile in profiles:
+            assert profile.is_feasible_claim(profile.truthful_bid())
+
+    @given(
+        profiles=profile_lists(max_phones=4),
+        delay=st.integers(0, 5),
+        advance=st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shrunk_windows_always_feasible(self, profiles, delay, advance):
+        for profile in profiles:
+            arrival = profile.arrival + delay
+            departure = profile.departure - advance
+            assume_valid = arrival <= departure
+            if not assume_valid:
+                continue
+            claim = Bid(
+                phone_id=profile.phone_id,
+                arrival=arrival,
+                departure=departure,
+                cost=profile.cost,
+            )
+            assert profile.is_feasible_claim(claim)
+
+
+class TestSummarizeProperties:
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=30)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_within_bounds(self, values):
+        summary = summarize(values)
+        assert summary.minimum - 1e-6 <= summary.mean <= summary.maximum + 1e-6
+        assert summary.count == len(values)
+        assert summary.std >= 0.0
+        assert summary.ci95 >= 0.0
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=20),
+        shift=finite_floats,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shift_equivariance(self, values, shift):
+        assume(all(abs(v + shift) < 1e12 for v in values))
+        base = summarize(values)
+        shifted = summarize([v + shift for v in values])
+        assert shifted.mean == pytest.approx(base.mean + shift, abs=1e-3)
+        assert shifted.std == pytest.approx(base.std, abs=1e-3)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_none_padding_is_ignored(self, values):
+        padded = [None] + list(values) + [None]
+        assert summarize(padded) == summarize(values)

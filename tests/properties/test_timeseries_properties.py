@@ -1,0 +1,100 @@
+"""Property-based conservation laws for the time-series metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import OnlineGreedyMechanism
+from repro.metrics import (
+    cumulative,
+    payments_by_slot,
+    platform_float_by_slot,
+    pool_occupancy,
+    tasks_served_by_slot,
+    tasks_unserved_by_slot,
+    welfare_by_slot,
+    winner_waiting_stats,
+)
+from repro.metrics.welfare import true_social_welfare
+from repro.model import TaskSchedule
+from repro.simulation import Scenario
+from tests.properties.strategies import MAX_SLOTS, profile_lists
+
+ONLINE = OnlineGreedyMechanism()
+
+
+@st.composite
+def scenarios(draw):
+    profiles = draw(profile_lists(max_phones=8))
+    counts = draw(
+        st.lists(
+            st.integers(0, 2), min_size=MAX_SLOTS, max_size=MAX_SLOTS
+        )
+    )
+    schedule = TaskSchedule.from_counts(counts, value=25.0)
+    return Scenario(profiles, schedule)
+
+
+class TestConservationLaws:
+    @given(scenario=scenarios())
+    @settings(max_examples=50, deadline=None)
+    def test_welfare_series_sums_to_total(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        assert sum(welfare_by_slot(outcome, scenario)) == pytest.approx(
+            true_social_welfare(outcome, scenario)
+        )
+
+    @given(scenario=scenarios())
+    @settings(max_examples=50, deadline=None)
+    def test_payment_series_sums_to_total(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        assert sum(payments_by_slot(outcome)) == pytest.approx(
+            outcome.total_payment
+        )
+
+    @given(scenario=scenarios())
+    @settings(max_examples=50, deadline=None)
+    def test_served_plus_unserved_equals_schedule(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        served = tasks_served_by_slot(outcome)
+        unserved = tasks_unserved_by_slot(outcome)
+        assert [s + u for s, u in zip(served, unserved)] == list(
+            scenario.schedule.counts
+        )
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_float_ends_at_welfare_minus_payment(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        series = platform_float_by_slot(outcome, scenario)
+        assert series[-1] == pytest.approx(
+            true_social_welfare(outcome, scenario) - outcome.total_payment
+        )
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_cumulative_is_monotone_for_nonnegative(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        series = cumulative(payments_by_slot(outcome))
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_pool_occupancy_bounds_winners(self, scenario):
+        """No slot can serve more tasks than phones active in it."""
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        occupancy = pool_occupancy(scenario)
+        served = tasks_served_by_slot(outcome)
+        for active, winners in zip(occupancy, served):
+            assert winners <= active
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_waits_fit_inside_windows(self, scenario):
+        outcome = ONLINE.run(scenario.truthful_bids(), scenario.schedule)
+        stats = winner_waiting_stats(outcome, scenario)
+        for phone_id, wait in stats.waits.items():
+            profile = scenario.profile(phone_id)
+            assert 0 <= wait <= profile.active_length - 1

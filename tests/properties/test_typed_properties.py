@@ -1,0 +1,164 @@
+"""Property-based tests of the typed-task (capabilities) extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import (
+    CapabilityModel,
+    TypedOfflineVCGMechanism,
+    TypedOnlineGreedyMechanism,
+)
+from repro.extensions.capabilities import check_typed_outcome
+from repro.mechanisms import OfflineVCGMechanism
+from repro.model import TaskSchedule
+from tests.properties.strategies import MAX_SLOTS, bid_lists
+
+KINDS = ("a", "b")
+
+
+@st.composite
+def typed_instances(draw):
+    """(bids, schedule, model) with random kinds and capabilities."""
+    bids = draw(bid_lists(max_phones=6))
+    counts = draw(
+        st.lists(
+            st.integers(0, 2), min_size=MAX_SLOTS, max_size=MAX_SLOTS
+        )
+    )
+    schedule = TaskSchedule.from_counts(counts, value=25.0)
+    task_kinds = {
+        task.task_id: draw(st.sampled_from(KINDS)) for task in schedule
+    }
+    phone_capabilities = {
+        bid.phone_id: frozenset(
+            kind for kind in KINDS if draw(st.booleans())
+        )
+        for bid in bids
+    }
+    model = CapabilityModel(
+        task_kinds=task_kinds, phone_capabilities=phone_capabilities
+    )
+    return bids, schedule, model
+
+
+class TestTypedStructure:
+    @given(instance=typed_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_offline_respects_capabilities(self, instance):
+        bids, schedule, model = instance
+        outcome = TypedOfflineVCGMechanism(model).run(bids, schedule)
+        check_typed_outcome(outcome, model)
+
+    @given(instance=typed_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_online_respects_capabilities(self, instance):
+        bids, schedule, model = instance
+        outcome = TypedOnlineGreedyMechanism(model).run(bids, schedule)
+        check_typed_outcome(outcome, model)
+
+    @given(instance=typed_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_offline_dominates_online(self, instance):
+        bids, schedule, model = instance
+        offline = TypedOfflineVCGMechanism(model).run(bids, schedule)
+        online = TypedOnlineGreedyMechanism(model).run(bids, schedule)
+        assert offline.claimed_welfare >= online.claimed_welfare - 1e-9
+
+    @given(instance=typed_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_restriction_never_beats_base(self, instance):
+        bids, schedule, model = instance
+        typed = TypedOfflineVCGMechanism(model).run(bids, schedule)
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert typed.claimed_welfare <= base.claimed_welfare + 1e-9
+
+    @given(instance=typed_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_payments_cover_claimed_costs(self, instance):
+        bids, schedule, model = instance
+        for mechanism in (
+            TypedOfflineVCGMechanism(model),
+            TypedOnlineGreedyMechanism(model),
+        ):
+            outcome = mechanism.run(bids, schedule)
+            for phone_id in outcome.winners:
+                assert (
+                    outcome.payment(phone_id)
+                    >= outcome.bid_of(phone_id).cost - 1e-9
+                )
+
+
+class TestTypedTruthfulness:
+    @given(
+        instance=typed_instances(),
+        deviant=st.integers(0, 5),
+        factor=st.floats(0.3, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_offline_cost_truthfulness(self, instance, deviant, factor):
+        bids, schedule, model = instance
+        assume(deviant < len(bids))
+        mechanism = TypedOfflineVCGMechanism(model)
+        true_bid = bids[deviant]
+        true_cost = true_bid.cost
+
+        truthful = mechanism.run(bids, schedule)
+        truthful_u = truthful.payment(true_bid.phone_id) - (
+            true_cost if truthful.is_winner(true_bid.phone_id) else 0.0
+        )
+        deviated_bids = [
+            b.with_cost(true_cost * factor)
+            if b.phone_id == true_bid.phone_id
+            else b
+            for b in bids
+        ]
+        deviated = mechanism.run(deviated_bids, schedule)
+        deviated_u = deviated.payment(true_bid.phone_id) - (
+            true_cost if deviated.is_winner(true_bid.phone_id) else 0.0
+        )
+        assert deviated_u <= truthful_u + 1e-6
+
+    @given(
+        instance=typed_instances(),
+        deviant=st.integers(0, 5),
+        factor=st.floats(0.3, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_online_cost_truthfulness(self, instance, deviant, factor):
+        bids, schedule, model = instance
+        assume(deviant < len(bids))
+        mechanism = TypedOnlineGreedyMechanism(model)
+        true_bid = bids[deviant]
+        true_cost = true_bid.cost
+
+        truthful = mechanism.run(bids, schedule)
+        truthful_u = truthful.payment(true_bid.phone_id) - (
+            true_cost if truthful.is_winner(true_bid.phone_id) else 0.0
+        )
+        deviated_bids = [
+            b.with_cost(true_cost * factor)
+            if b.phone_id == true_bid.phone_id
+            else b
+            for b in bids
+        ]
+        deviated = mechanism.run(deviated_bids, schedule)
+        deviated_u = deviated.payment(true_bid.phone_id) - (
+            true_cost if deviated.is_winner(true_bid.phone_id) else 0.0
+        )
+        assert deviated_u <= truthful_u + 1e-6
+
+
+class TestUnrestrictedReduction:
+    @given(bids=bid_lists(max_phones=5))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_model_equals_base_offline(self, bids):
+        schedule = TaskSchedule.from_counts([1] * MAX_SLOTS, value=25.0)
+        typed = TypedOfflineVCGMechanism(CapabilityModel()).run(
+            bids, schedule
+        )
+        base = OfflineVCGMechanism().run(bids, schedule)
+        assert typed.claimed_welfare == pytest.approx(base.claimed_welfare)
+        assert typed.payments == pytest.approx(base.payments)

@@ -1,0 +1,124 @@
+"""Unit tests for arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import (
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_length_and_nonnegativity(self):
+        counts = PoissonArrivals(3.0).counts(50, np.random.default_rng(0))
+        assert len(counts) == 50
+        assert all(isinstance(c, int) and c >= 0 for c in counts)
+
+    def test_mean_close_to_rate(self):
+        counts = PoissonArrivals(6.0).counts(
+            5000, np.random.default_rng(1)
+        )
+        assert np.mean(counts) == pytest.approx(6.0, rel=0.05)
+
+    def test_zero_rate_gives_zero_arrivals(self):
+        counts = PoissonArrivals(0.0).counts(20, np.random.default_rng(0))
+        assert counts == [0] * 20
+
+    def test_deterministic_given_rng(self):
+        a = PoissonArrivals(3.0).counts(10, np.random.default_rng(5))
+        b = PoissonArrivals(3.0).counts(10, np.random.default_rng(5))
+        assert a == b
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            PoissonArrivals(-1.0)
+
+    def test_invalid_num_slots(self):
+        with pytest.raises(ValidationError):
+            PoissonArrivals(1.0).counts(0, np.random.default_rng(0))
+
+
+class TestDeterministicArrivals:
+    def test_constant_counts(self):
+        counts = DeterministicArrivals(2).counts(
+            5, np.random.default_rng(0)
+        )
+        assert counts == [2, 2, 2, 2, 2]
+
+    def test_zero_allowed(self):
+        assert DeterministicArrivals(0).counts(
+            3, np.random.default_rng(0)
+        ) == [0, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            DeterministicArrivals(-1)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            DeterministicArrivals(1.5)  # type: ignore[arg-type]
+
+
+class TestInhomogeneousPoisson:
+    def test_zero_rate_slots_are_empty(self):
+        from repro.simulation import InhomogeneousPoissonArrivals
+
+        process = InhomogeneousPoissonArrivals([0.0, 5.0])
+        counts = process.counts(10, np.random.default_rng(0))
+        assert all(counts[i] == 0 for i in range(0, 10, 2))
+
+    def test_profile_cycles(self):
+        from repro.simulation import InhomogeneousPoissonArrivals
+
+        process = InhomogeneousPoissonArrivals([0.0, 0.0, 100.0])
+        counts = process.counts(9, np.random.default_rng(1))
+        # Rate-100 slots are 3, 6, 9 (1-based) = indices 2, 5, 8.
+        for index in (2, 5, 8):
+            assert counts[index] > 0
+        for index in (0, 1, 3, 4, 6, 7):
+            assert counts[index] == 0
+
+    def test_mean_tracks_profile(self):
+        from repro.simulation import InhomogeneousPoissonArrivals
+
+        process = InhomogeneousPoissonArrivals([2.0, 8.0])
+        counts = process.counts(4000, np.random.default_rng(2))
+        low = np.mean(counts[0::2])
+        high = np.mean(counts[1::2])
+        assert low == pytest.approx(2.0, rel=0.1)
+        assert high == pytest.approx(8.0, rel=0.1)
+
+    def test_empty_profile_rejected(self):
+        from repro.simulation import InhomogeneousPoissonArrivals
+
+        with pytest.raises(ValidationError):
+            InhomogeneousPoissonArrivals([])
+
+    def test_negative_rate_rejected(self):
+        from repro.simulation import InhomogeneousPoissonArrivals
+
+        with pytest.raises(ValidationError):
+            InhomogeneousPoissonArrivals([1.0, -2.0])
+
+
+class TestTraceArrivals:
+    def test_replays_prefix(self):
+        process = TraceArrivals([1, 2, 3, 4])
+        assert process.counts(3, np.random.default_rng(0)) == [1, 2, 3]
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValidationError, match="trace has"):
+            TraceArrivals([1, 2]).counts(3, np.random.default_rng(0))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceArrivals([])
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceArrivals([1, -1])

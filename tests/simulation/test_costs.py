@@ -1,0 +1,77 @@
+"""Unit tests for cost distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import ConstantCosts, ExponentialCosts, UniformCosts
+
+
+class TestUniformCosts:
+    def test_bounds_respected(self):
+        samples = UniformCosts(2.0, 8.0).sample(
+            1000, np.random.default_rng(0)
+        )
+        assert all(2.0 <= c <= 8.0 for c in samples)
+
+    def test_mean_property(self):
+        assert UniformCosts(2.0, 8.0).mean == 5.0
+
+    def test_with_mean_paper_shape(self):
+        dist = UniformCosts.with_mean(25.0)
+        assert dist.low == 1.0
+        assert dist.high == 49.0
+        assert dist.mean == 25.0
+
+    def test_with_mean_empirical(self):
+        dist = UniformCosts.with_mean(25.0)
+        samples = dist.sample(20000, np.random.default_rng(1))
+        assert np.mean(samples) == pytest.approx(25.0, rel=0.03)
+
+    def test_with_mean_below_one_degenerates(self):
+        dist = UniformCosts.with_mean(0.5)
+        assert dist.low == dist.high == 0.5
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            UniformCosts(5.0, 2.0)
+
+    def test_zero_count(self):
+        assert UniformCosts(1.0, 2.0).sample(0, np.random.default_rng(0)) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            UniformCosts(1.0, 2.0).sample(-1, np.random.default_rng(0))
+
+
+class TestConstantCosts:
+    def test_all_equal(self):
+        samples = ConstantCosts(7.0).sample(5, np.random.default_rng(0))
+        assert samples == [7.0] * 5
+
+    def test_mean(self):
+        assert ConstantCosts(7.0).mean == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstantCosts(-1.0)
+
+
+class TestExponentialCosts:
+    def test_nonnegative(self):
+        samples = ExponentialCosts(5.0).sample(
+            1000, np.random.default_rng(0)
+        )
+        assert all(c >= 0.0 for c in samples)
+
+    def test_mean_empirical(self):
+        samples = ExponentialCosts(5.0).sample(
+            20000, np.random.default_rng(1)
+        )
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.05)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialCosts(0.0)

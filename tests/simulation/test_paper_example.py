@@ -1,0 +1,78 @@
+"""Consistency checks on the reconstructed Fig. 4 / Fig. 5 instance.
+
+Every assertion here is a number stated in the paper's prose; the
+reconstruction in :mod:`repro.simulation.paper_example` must satisfy all
+of them simultaneously.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.paper_example import (
+    EXAMPLE_TASK_VALUE,
+    paper_example_bids,
+    paper_example_profiles,
+    paper_example_schedule,
+)
+
+
+class TestReconstruction:
+    def test_seven_smartphones(self):
+        assert len(paper_example_profiles()) == 7
+
+    def test_phone2_window_and_cost(self):
+        """'Smartphone 2 begins its active time in the 1st slot and ends
+        ... in the 4th slot. It claims a cost of 5.'"""
+        phone2 = next(
+            p for p in paper_example_profiles() if p.phone_id == 2
+        )
+        assert (phone2.arrival, phone2.departure, phone2.cost) == (1, 4, 5.0)
+
+    def test_slot3_pool_is_3_6_7(self):
+        """'the dynamic pool contains 3 smartphones, i.e., 3, 6, and 7'
+        (slot 3, after phones 2 and 1 won slots 1 and 2)."""
+        profiles = paper_example_profiles()
+        active = {p.phone_id for p in profiles if p.is_active(3)}
+        active -= {2, 1}  # already allocated in slots 1 and 2
+        assert active == {3, 6, 7}
+
+    def test_slot3_costs_are_11_8_6(self):
+        """'its cost 6 is smaller than those of Smartphones 3 and 6
+        (with a cost of 11 and 8, respectively)'."""
+        by_id = {p.phone_id: p for p in paper_example_profiles()}
+        assert by_id[7].cost == 6.0
+        assert by_id[3].cost == 11.0
+        assert by_id[6].cost == 8.0
+
+    def test_phone1_cost_3_window_2_5(self):
+        """Fig. 5(b): phone 1 delayed by 2 reports [4, 5] ⇒ truth [2, 5];
+        the second-price walk-through pays it 4 against real cost 3."""
+        phone1 = next(
+            p for p in paper_example_profiles() if p.phone_id == 1
+        )
+        assert (phone1.arrival, phone1.departure, phone1.cost) == (2, 5, 3.0)
+
+    def test_rerun_costs_4_6_8_9(self):
+        """'the tasks would be allocated to smartphones 5, 7, 6, 4 with
+        claimed costs of 4, 6, 8, 9'."""
+        by_id = {p.phone_id: p for p in paper_example_profiles()}
+        assert [by_id[i].cost for i in (5, 7, 6, 4)] == [4.0, 6.0, 8.0, 9.0]
+
+    def test_schedule_one_task_per_slot(self):
+        schedule = paper_example_schedule()
+        assert schedule.counts == (1, 1, 1, 1, 1)
+
+    def test_task_value_covers_all_costs(self):
+        """Any ν ≥ 11 keeps the example's allocation unchanged."""
+        max_cost = max(p.cost for p in paper_example_profiles())
+        assert EXAMPLE_TASK_VALUE >= max_cost
+
+    def test_bids_match_profiles(self):
+        bids = paper_example_bids()
+        profiles = paper_example_profiles()
+        assert bids == [p.truthful_bid() for p in profiles]
+
+    def test_custom_task_value(self):
+        schedule = paper_example_schedule(task_value=100.0)
+        assert all(t.value == 100.0 for t in schedule)

@@ -1,0 +1,112 @@
+"""Unit tests for Scenario assembly and strategy-driven bidding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import CostScalingStrategy, DelayedArrivalStrategy
+from repro.errors import SimulationError, ValidationError
+from repro.model import SmartphoneProfile, TaskSchedule
+from repro.simulation import Scenario
+
+
+@pytest.fixture
+def profiles():
+    return [
+        SmartphoneProfile(phone_id=1, arrival=1, departure=2, cost=3.0),
+        SmartphoneProfile(phone_id=2, arrival=2, departure=3, cost=4.0),
+    ]
+
+
+@pytest.fixture
+def schedule():
+    return TaskSchedule.from_counts([1, 1, 1], value=10.0)
+
+
+@pytest.fixture
+def scenario(profiles, schedule):
+    return Scenario(profiles, schedule, metadata={"origin": "test"})
+
+
+class TestConstruction:
+    def test_counts(self, scenario):
+        assert scenario.num_phones == 2
+        assert scenario.num_tasks == 3
+        assert scenario.num_slots == 3
+
+    def test_profiles_sorted_by_id(self, profiles, schedule):
+        scenario = Scenario(list(reversed(profiles)), schedule)
+        assert [p.phone_id for p in scenario.profiles] == [1, 2]
+
+    def test_duplicate_profile_rejected(self, profiles, schedule):
+        with pytest.raises(SimulationError, match="duplicate"):
+            Scenario(profiles + [profiles[0]], schedule)
+
+    def test_departure_beyond_horizon_rejected(self, schedule):
+        late = SmartphoneProfile(phone_id=9, arrival=1, departure=4, cost=1.0)
+        with pytest.raises(SimulationError, match="beyond"):
+            Scenario([late], schedule)
+
+    def test_non_profile_rejected(self, schedule):
+        with pytest.raises(ValidationError):
+            Scenario(["phone"], schedule)  # type: ignore[list-item]
+
+    def test_metadata_copied(self, scenario):
+        meta = scenario.metadata
+        meta["origin"] = "mutated"
+        assert scenario.metadata["origin"] == "test"
+
+
+class TestAccess:
+    def test_profile_lookup(self, scenario, profiles):
+        assert scenario.profile(1) == profiles[0]
+        with pytest.raises(SimulationError):
+            scenario.profile(9)
+
+    def test_active_profiles(self, scenario):
+        assert [p.phone_id for p in scenario.active_profiles(2)] == [1, 2]
+        assert [p.phone_id for p in scenario.active_profiles(3)] == [2]
+
+
+class TestBidding:
+    def test_truthful_bids(self, scenario, profiles):
+        bids = scenario.truthful_bids()
+        assert bids == [p.truthful_bid() for p in profiles]
+
+    def test_default_strategy_is_truthful(self, scenario):
+        assert scenario.bids_from_strategies() == scenario.truthful_bids()
+
+    def test_per_phone_strategy(self, scenario):
+        bids = scenario.bids_from_strategies(
+            {1: CostScalingStrategy(2.0)}
+        )
+        by_phone = {b.phone_id: b for b in bids}
+        assert by_phone[1].cost == 6.0
+        assert by_phone[2].cost == 4.0
+
+    def test_custom_default_strategy(self, scenario):
+        bids = scenario.bids_from_strategies(
+            default=CostScalingStrategy(2.0)
+        )
+        assert all(b.cost in (6.0, 8.0) for b in bids)
+
+    def test_abstaining_strategy_drops_bid(self, scenario):
+        # Phone 1's window is [1, 2]; a 2-slot delay empties it.
+        bids = scenario.bids_from_strategies(
+            {1: DelayedArrivalStrategy(2)}
+        )
+        assert [b.phone_id for b in bids] == [2]
+
+    def test_unknown_phone_in_strategies_rejected(self, scenario):
+        with pytest.raises(SimulationError, match="unknown phone_id"):
+            scenario.bids_from_strategies({9: CostScalingStrategy(2.0)})
+
+    def test_rng_forwarded(self, scenario):
+        from repro.agents import RandomMisreportStrategy
+
+        bids = scenario.bids_from_strategies(
+            {1: RandomMisreportStrategy()},
+            rng=np.random.default_rng(0),
+        )
+        assert len(bids) == 2

@@ -1,0 +1,143 @@
+"""Unit tests for Table I workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import (
+    ConstantCosts,
+    DeterministicArrivals,
+    WorkloadConfig,
+)
+from repro.simulation.workload import generate_many
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        config = WorkloadConfig.paper_default()
+        assert config.num_slots == 50
+        assert config.phone_rate == 6.0
+        assert config.task_rate == 3.0
+        assert config.mean_cost == 25.0
+        assert config.mean_active_length == 5
+        assert config.task_value == 30.0
+
+    def test_replace(self):
+        config = WorkloadConfig.paper_default().replace(num_slots=80)
+        assert config.num_slots == 80
+        assert config.phone_rate == 6.0
+
+    def test_to_dict_round_trip(self):
+        config = WorkloadConfig.paper_default()
+        assert WorkloadConfig(**config.to_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(num_slots=0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(phone_rate=-1.0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mean_cost=0.0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mean_active_length=0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = WorkloadConfig.paper_default()
+        a = config.generate(seed=9)
+        b = config.generate(seed=9)
+        assert a.profiles == b.profiles
+        assert a.schedule == b.schedule
+
+    def test_different_seeds_differ(self):
+        config = WorkloadConfig.paper_default()
+        assert config.generate(seed=1).profiles != config.generate(
+            seed=2
+        ).profiles
+
+    def test_profiles_within_horizon(self):
+        scenario = WorkloadConfig.paper_default().generate(seed=3)
+        for profile in scenario.profiles:
+            assert 1 <= profile.arrival <= profile.departure <= 50
+
+    def test_tasks_within_horizon(self):
+        scenario = WorkloadConfig.paper_default().generate(seed=3)
+        for task in scenario.schedule:
+            assert 1 <= task.slot <= 50
+            assert task.value == 30.0
+
+    def test_phone_count_near_rate(self):
+        scenario = WorkloadConfig.paper_default().generate(seed=4)
+        # 50 slots x λ=6: expect ~300 phones.
+        assert 200 <= scenario.num_phones <= 400
+
+    def test_task_count_near_rate(self):
+        scenario = WorkloadConfig.paper_default().generate(seed=4)
+        assert 100 <= scenario.num_tasks <= 200
+
+    def test_active_length_mean(self):
+        config = WorkloadConfig.paper_default().replace(num_slots=500)
+        scenario = config.generate(seed=5)
+        # Sample lengths away from the horizon edge (no clamping bias).
+        lengths = [
+            p.active_length
+            for p in scenario.profiles
+            if p.arrival <= 480
+        ]
+        assert np.mean(lengths) == pytest.approx(5.0, abs=0.4)
+
+    def test_costs_match_distribution_mean(self):
+        config = WorkloadConfig.paper_default().replace(num_slots=200)
+        scenario = config.generate(seed=6)
+        costs = [p.cost for p in scenario.profiles]
+        assert np.mean(costs) == pytest.approx(25.0, rel=0.1)
+        assert all(1.0 <= c <= 49.0 for c in costs)
+
+    def test_metadata_records_parameters(self):
+        scenario = WorkloadConfig.paper_default().generate(seed=7)
+        metadata = scenario.metadata
+        assert metadata["seed"] == 7
+        assert metadata["num_slots"] == 50
+        assert "UniformCosts" in metadata["cost_distribution"]
+
+    def test_custom_processes(self):
+        config = WorkloadConfig(
+            num_slots=4,
+            phone_rate=1.0,
+            task_rate=1.0,
+            mean_cost=5.0,
+            mean_active_length=2,
+            task_value=10.0,
+        )
+        scenario = config.generate(
+            seed=0,
+            phone_arrivals=DeterministicArrivals(2),
+            task_arrivals=DeterministicArrivals(1),
+            cost_distribution=ConstantCosts(5.0),
+        )
+        assert scenario.num_phones == 8
+        assert scenario.schedule.counts == (1, 1, 1, 1)
+        assert all(p.cost == 5.0 for p in scenario.profiles)
+
+    def test_sweeping_task_rate_keeps_phone_population(self):
+        """Independent streams: task-rate changes don't move phones."""
+        base = WorkloadConfig.paper_default()
+        a = base.generate(seed=11)
+        b = base.replace(task_rate=8.0).generate(seed=11)
+        assert a.profiles == b.profiles
+        assert a.schedule != b.schedule
+
+
+class TestGenerateMany:
+    def test_one_scenario_per_seed(self):
+        scenarios = generate_many(
+            WorkloadConfig.paper_default().replace(num_slots=5), [1, 2, 3]
+        )
+        assert len(scenarios) == 3
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_many(WorkloadConfig.paper_default(), [])

@@ -1,0 +1,73 @@
+"""The public API surface: everything in ``repro.__all__`` works."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_classes_exported(self):
+        for name in (
+            "Bid",
+            "SmartphoneProfile",
+            "TaskSchedule",
+            "OfflineVCGMechanism",
+            "OnlineGreedyMechanism",
+            "WorkloadConfig",
+            "SimulationEngine",
+            "CrowdsourcingPlatform",
+            "run_campaign",
+        ):
+            assert name in repro.__all__
+
+    def test_module_docstring_quickstart_runs(self):
+        """The doctest-style snippet in the package docstring is live."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_errors_exported_and_hierarchical(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.MechanismError, repro.ReproError)
+        assert issubclass(repro.BidConstraintError, repro.ValidationError)
+        assert issubclass(repro.ValidationError, ValueError)
+
+    def test_mechanism_registry_reachable(self):
+        names = repro.available_mechanisms()
+        assert "offline-vcg" in names
+        mechanism = repro.create_mechanism("online-greedy")
+        assert isinstance(mechanism, repro.OnlineGreedyMechanism)
+
+
+class TestEndToEndViaPublicApi:
+    """The README quickstart, as a test."""
+
+    def test_readme_quickstart(self):
+        scenario = repro.WorkloadConfig.paper_default().generate(seed=7)
+        engine = repro.SimulationEngine()
+        offline = engine.run(repro.OfflineVCGMechanism(), scenario)
+        online = engine.run(repro.OnlineGreedyMechanism(), scenario)
+        assert offline.true_welfare > 0
+        assert online.true_welfare > 0
+        assert offline.claimed_welfare >= online.claimed_welfare
+
+    def test_readme_worked_example(self):
+        from repro.simulation.paper_example import (
+            paper_example_bids,
+            paper_example_schedule,
+        )
+
+        outcome = repro.OnlineGreedyMechanism().run(
+            paper_example_bids(), paper_example_schedule()
+        )
+        assert outcome.payment(1) == pytest.approx(9.0)

@@ -1,0 +1,194 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--slots", "8", "--seed", "1"
+        )
+        assert code == 0
+        assert "Round metrics" in out
+        assert "social welfare" in out
+
+    def test_mechanism_choice(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "--slots", "8",
+            "--mechanism", "offline-vcg",
+        )
+        assert code == 0
+        assert "offline-vcg" in out
+
+    def test_fixed_price_requires_price(self, capsys):
+        code, _, err = run_cli(
+            capsys, "simulate", "--slots", "8", "--mechanism", "fixed-price"
+        )
+        assert code == 2
+        assert "--price is required" in err
+
+    def test_fixed_price_with_price(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "--slots", "8",
+            "--mechanism", "fixed-price",
+            "--price", "20",
+        )
+        assert code == 0
+
+    def test_trace_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "round.json"
+        code, out_saved, _ = run_cli(
+            capsys,
+            "simulate",
+            "--slots", "8",
+            "--seed", "4",
+            "--save-trace", str(trace),
+        )
+        assert code == 0
+        assert trace.exists()
+        json.loads(trace.read_text())  # valid JSON
+
+        code, out_replayed, _ = run_cli(
+            capsys, "simulate", "--from-trace", str(trace)
+        )
+        assert code == 0
+
+        def metrics_only(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "welfare" in line or "payment" in line
+            ]
+
+        assert metrics_only(out_saved) == metrics_only(out_replayed)
+
+    def test_online_options(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "simulate",
+            "--slots", "8",
+            "--reserve-price",
+            "--payment-rule", "exact",
+        )
+        assert code == 0
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "figures", "fig7", "--repetitions", "1"
+        )
+        assert code == 0
+        assert "Fig. 7" in out
+        assert "offline" in out and "online" in out
+
+    def test_unknown_figure(self, capsys):
+        code, _, err = run_cli(capsys, "figures", "fig99")
+        assert code == 2
+        assert "unknown figure" in err
+
+    def test_csv_export(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "figures",
+            "fig7",
+            "--repetitions", "1",
+            "--csv-dir", str(tmp_path),
+        )
+        assert code == 0
+        csv = (tmp_path / "fig7.csv").read_text()
+        assert csv.startswith("phone_rate,")
+
+
+class TestAudit:
+    def test_truthful_mechanism_passes(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "audit",
+            "--slots", "8",
+            "--mechanism", "offline-vcg",
+            "--max-phones", "5",
+        )
+        assert code == 0
+        assert "PASS" in out
+
+    def test_untruthful_mechanism_fails(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "audit",
+            "--slots", "10",
+            "--seed", "1",
+            "--mechanism", "second-price-slot",
+            "--max-phones", "15",
+        )
+        assert code == 1
+        assert "FAIL" in out
+
+
+class TestCampaign:
+    def test_basic_campaign(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "--slots", "6",
+            "--rounds", "2",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "Per-round results" in out
+        assert "total welfare" in out
+
+    def test_retry_losers(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "--slots", "6",
+            "--rounds", "2",
+            "--retry-losers",
+        )
+        assert code == 0
+        assert "retry=losers" in out
+
+
+class TestExample:
+    def test_worked_example(self, capsys):
+        code, out, _ = run_cli(capsys, "example")
+        assert code == 0
+        assert "Fig. 4" in out
+        assert "gain" in out and "4" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "report", "--repetitions", "1")
+        assert code == 0
+        assert "# Reproduction report" in out
+        assert "## fig11:" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code, out, _ = run_cli(
+            capsys,
+            "report",
+            "--repetitions", "1",
+            "--out", str(target),
+        )
+        assert code == 0
+        assert "written to" in out
+        assert target.read_text().startswith("# Reproduction report")

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are user-facing documentation; a broken example is a bug.  Each
+script is executed in-process (fast, importable) with its ``main()``
+entry point; ``paper_figures`` gets a tiny repetition count via argv.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "second_price_failure.py",
+    "noise_mapping.py",
+    "traffic_monitoring.py",
+    "strategic_agents.py",
+    "campaign_cashflow.py",
+    "heterogeneous_sensors.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_paper_figures_example(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        [
+            "paper_figures.py",
+            "--repetitions", "1",
+            "--out", str(tmp_path),
+        ],
+    )
+    runpy.run_path(
+        str(EXAMPLES_DIR / "paper_figures.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    for name in ("FIG6", "FIG7", "FIG8", "FIG9", "FIG10", "FIG11"):
+        assert name in out
+    for name in ("fig6", "fig11"):
+        assert (tmp_path / f"{name}.csv").exists()
+
+
+def test_every_example_has_a_smoke_test():
+    """New example scripts must be added to the smoke list above."""
+    scripts = {
+        p.name
+        for p in EXAMPLES_DIR.glob("*.py")
+        if not p.name.startswith("_")
+    }
+    covered = set(FAST_EXAMPLES) | {"paper_figures.py"}
+    assert scripts == covered, (
+        f"examples without smoke tests: {scripts - covered}; "
+        f"stale entries: {covered - scripts}"
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for the seeded RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngStreams, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_same_name_identical(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(8, "x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rng(True, "x")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rng(1.5, "x")  # type: ignore[arg-type]
+
+
+class TestRngStreams:
+    def test_streams_cached(self):
+        streams = RngStreams(seed=3)
+        assert streams.get("a") is streams.get("a")
+
+    def test_stream_independent_of_request_order(self):
+        first = RngStreams(seed=3)
+        first.get("a")
+        value_after_a = first.get("b").random()
+
+        second = RngStreams(seed=3)
+        value_direct = second.get("b").random()
+        assert value_after_a == value_direct
+
+    def test_fresh_resets_stream(self):
+        streams = RngStreams(seed=3)
+        original = streams.get("a").random(3)
+        streams.get("a").random(10)  # advance
+        replayed = streams.fresh("a").random(3)
+        assert np.allclose(original, replayed)
+
+    def test_child_deterministic(self):
+        a = RngStreams(seed=3).child(1).get("x").random(3)
+        b = RngStreams(seed=3).child(1).get("x").random(3)
+        assert np.allclose(a, b)
+
+    def test_children_independent(self):
+        a = RngStreams(seed=3).child(1).get("x").random(3)
+        b = RngStreams(seed=3).child(2).get("x").random(3)
+        assert not np.allclose(a, b)
+
+    def test_child_offset_validation(self):
+        with pytest.raises(ValidationError):
+            RngStreams(seed=3).child("one")  # type: ignore[arg-type]
+
+    def test_seed_property(self):
+        assert RngStreams(seed=11).seed == 11
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValidationError):
+            RngStreams(seed="abc")  # type: ignore[arg-type]

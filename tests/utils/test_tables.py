@@ -1,0 +1,60 @@
+"""Unit tests for the plain-text table formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_rendered(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]], float_fmt=".2f")
+        assert "1.23" in text
+        assert "1.234" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_text_columns_left_aligned(self):
+        text = format_table(["s", "n"], [["a", 1], ["long", 2]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a ")
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_no_rows_renders_headers_only(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_column_width_expands_to_content(self):
+        text = format_table(["x"], [["wide-content"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("wide-content")

@@ -1,0 +1,69 @@
+"""Unit tests for the validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="x must be of type int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_for_numeric(self):
+        with pytest.raises(ValidationError, match="got bool"):
+            check_type("x", True, int)
+
+    def test_accepts_bool_when_bool_expected(self):
+        assert check_type("flag", True, bool) is True
+
+
+class TestNumericChecks:
+    def test_check_finite_accepts(self):
+        assert check_finite("x", 1.5) == 1.5
+        assert check_finite("x", -2) == -2
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_check_finite_rejects(self, bad):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite("x", bad)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValidationError, match=">= 0"):
+            check_non_negative("x", -0.001)
+
+    def test_check_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+        with pytest.raises(ValidationError, match="> 0"):
+            check_positive("x", 0)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, low=1, high=10) == 5
+        assert check_in_range("x", 5, low=5, high=5) == 5
+        with pytest.raises(ValidationError, match=">= 6"):
+            check_in_range("x", 5, low=6)
+        with pytest.raises(ValidationError, match="<= 4"):
+            check_in_range("x", 5, high=4)
+
+    def test_check_in_range_unbounded(self):
+        assert check_in_range("x", -1e9) == -1e9
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="price"):
+            check_positive("price", -1)
