@@ -1,0 +1,53 @@
+"""Static and dynamic enforcement of the repository's invariants.
+
+The correctness story of this reproduction rests on conventions that are
+documented (ARCHITECTURE.md, ``mechanisms/base.py``) but were historically
+unenforced.  This package enforces them mechanically, in two layers:
+
+* :mod:`repro.analysis.linter` — a custom AST lint pass with one rule per
+  repo-specific invariant (no global-state randomness, no float ``==`` on
+  money, mechanism ``run()`` purity, the mechanism registration contract,
+  no bare ``except``, no mutable default arguments).  Run it via
+  ``repro-crowd lint`` or ``python -m repro.analysis``.
+* :mod:`repro.analysis.sanitizer` — a runtime wrapper that validates every
+  :class:`~repro.model.AuctionOutcome` a mechanism produces against the
+  paper's structural feasibility, individual-rationality, and
+  welfare-accounting invariants (Theorems 1-5).
+
+Both layers report structured records (:class:`LintViolation`,
+:class:`Violation`) rather than strings, so tooling and tests can assert
+on them precisely.
+"""
+
+from repro.analysis.linter import (
+    DEFAULT_LINT_PATHS,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, default_rules, get_rule
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+from repro.analysis.sanitizer import (
+    SanitizedMechanism,
+    Violation,
+    sanitize_outcome,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_LINT_PATHS",
+    "LintRule",
+    "LintViolation",
+    "SanitizedMechanism",
+    "SourceFile",
+    "Violation",
+    "default_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sanitize_outcome",
+]

@@ -1,0 +1,77 @@
+"""``python -m repro.analysis`` — standalone entry to the lint pass.
+
+Mirrors ``repro-crowd lint``; exists so CI and editors can run the
+analyzer without installing the console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.linter import DEFAULT_LINT_PATHS, lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repo-specific AST invariant linter.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_LINT_PATHS),
+        help=f"files/directories to lint (default: {DEFAULT_LINT_PATHS})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        choices=sorted(ALL_RULES),
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv``, lint, print a report; 0 iff clean."""
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_rules:
+        for name in sorted(ALL_RULES):
+            rule = ALL_RULES[name]
+            print(f"{rule.code}  {name:22s} {rule.description}")
+        return 0
+    rules = default_rules(args.rules)
+    try:
+        violations = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))
+    return 1 if violations else 0
+
+
+def main() -> int:  # pragma: no cover - thin shim
+    return run()
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,111 @@
+"""The lint engine: file collection, parsing, rule dispatch, suppression.
+
+The engine is deliberately small — rules carry all the judgement.  It
+parses each file once into a shared :class:`SourceFile`, runs every rule
+over it, drops violations suppressed by ``# repro: noqa-<rule>``
+comments, and returns the findings sorted by location.  A file that does
+not parse yields a single ``REP000`` syntax-error violation instead of
+aborting the run, so one broken file cannot hide findings in the rest of
+the tree.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+
+#: What ``repro-crowd lint`` checks when no paths are given.
+DEFAULT_LINT_PATHS = ("src", "tests", "benchmarks")
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def iter_python_files(
+    paths: Iterable[pathlib.Path],
+) -> List[pathlib.Path]:
+    """All ``*.py`` files under ``paths``, depth-first, sorted, deduped."""
+    found: List[pathlib.Path] = []
+    seen = set()
+    for path in paths:
+        path = pathlib.Path(path)
+        if not path.exists():
+            # A typo'd path must not report "clean"; fail loudly so a
+            # misconfigured CI invocation cannot silently pass.
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[pathlib.Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in candidate.parts)
+            )
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                found.append(candidate)
+    return found
+
+
+def _syntax_violation(path: str, error: SyntaxError) -> LintViolation:
+    return LintViolation(
+        path=path,
+        line=error.lineno or 1,
+        col=(error.offset or 1) - 1,
+        code="REP000",
+        rule="syntax-error",
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[LintViolation]:
+    """Lint one source string; the unit every test builds on."""
+    active = list(rules) if rules is not None else default_rules()
+    try:
+        parsed = SourceFile.parse(source, path=path)
+    except SyntaxError as error:
+        return [_syntax_violation(path, error)]
+    violations: List[LintViolation] = []
+    for rule in active:
+        for violation in rule.check(parsed):
+            if not parsed.is_suppressed(violation.line, violation.rule):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def lint_file(
+    path: pathlib.Path,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[LintViolation]:
+    """Lint one file from disk."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path), rules=rules)
+
+
+def lint_paths(
+    paths: Optional[Sequence[object]] = None,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[LintViolation]:
+    """Lint every Python file under ``paths`` (default: src/tests/benchmarks).
+
+    Rules are instantiated once and shared across files so per-rule
+    caches (e.g. the registry source in ``mechanism-contract``) are read
+    a single time per run.
+    """
+    targets = [pathlib.Path(p) for p in (paths or DEFAULT_LINT_PATHS)]
+    active = list(rules) if rules is not None else default_rules()
+    violations: List[LintViolation] = []
+    for path in iter_python_files(targets):
+        violations.extend(lint_file(path, rules=active))
+    return sorted(violations)

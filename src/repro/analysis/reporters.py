@@ -1,0 +1,43 @@
+"""Render lint findings for humans (text) and tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.rules.base import LintViolation
+
+
+def render_text(violations: Sequence[LintViolation]) -> str:
+    """One ``path:line:col: CODE [rule] message`` line each, plus a tally."""
+    if not violations:
+        return "lint: clean (0 violations)"
+    lines = [violation.format() for violation in violations]
+    by_rule: Dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    tally = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append(
+        f"lint: {len(violations)} violation"
+        f"{'s' if len(violations) != 1 else ''} ({tally})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[LintViolation]) -> str:
+    """Stable JSON: ``{"count": N, "violations": [...]}``."""
+    payload = {
+        "count": len(violations),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def summarize(violations: Sequence[LintViolation]) -> List[str]:
+    """Rule names present in ``violations``, sorted and deduplicated."""
+    return sorted({violation.rule for violation in violations})
+
+
+__all__ = ["render_json", "render_text", "summarize"]

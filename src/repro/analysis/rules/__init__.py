@@ -1,0 +1,69 @@
+"""Rule registry: one class per repo-specific invariant.
+
+``ALL_RULES`` maps stable rule names to rule classes; the engine
+instantiates :func:`default_rules` unless the caller narrows the set
+(``repro-crowd lint --rule no-bare-except ...``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+from repro.analysis.rules.contract import MechanismContractRule
+from repro.analysis.rules.float_equality import NoFloatEqualityRule
+from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
+from repro.analysis.rules.purity import NoRunMutationRule
+from repro.analysis.rules.randomness import NoGlobalRandomRule
+
+#: Every shipped rule, keyed by its stable kebab-case name.
+ALL_RULES: Dict[str, Type[LintRule]] = {
+    rule.name: rule
+    for rule in (
+        NoGlobalRandomRule,
+        NoFloatEqualityRule,
+        NoRunMutationRule,
+        MechanismContractRule,
+        NoBareExceptRule,
+        NoMutableDefaultRule,
+    )
+}
+
+
+def get_rule(name: str) -> LintRule:
+    """Instantiate the rule registered under ``name``.
+
+    Raises :class:`KeyError` with the known names on a miss.
+    """
+    try:
+        rule_class = ALL_RULES[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_RULES))
+        raise KeyError(
+            f"unknown lint rule {name!r}; known rules: {known}"
+        ) from None
+    return rule_class()
+
+
+def default_rules(
+    names: Optional[Sequence[str]] = None,
+) -> List[LintRule]:
+    """Instantiate the selected rules (all of them by default)."""
+    selected = sorted(ALL_RULES) if names is None else list(names)
+    return [get_rule(name) for name in selected]
+
+
+__all__ = [
+    "ALL_RULES",
+    "LintRule",
+    "LintViolation",
+    "MechanismContractRule",
+    "NoBareExceptRule",
+    "NoFloatEqualityRule",
+    "NoGlobalRandomRule",
+    "NoMutableDefaultRule",
+    "NoRunMutationRule",
+    "SourceFile",
+    "default_rules",
+    "get_rule",
+]

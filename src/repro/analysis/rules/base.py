@@ -1,0 +1,184 @@
+"""The lint-rule framework: source model, violations, rule base class.
+
+A rule is a small class with a stable kebab-case :attr:`LintRule.name`, a
+``REPnnn`` :attr:`LintRule.code`, and a :meth:`LintRule.check` method that
+yields :class:`LintViolation` records for one parsed
+:class:`SourceFile`.  Rules never see the filesystem directly — the
+engine in :mod:`repro.analysis.linter` handles file collection, parsing,
+and suppression filtering — which keeps every rule unit-testable from a
+source string.
+
+Suppression
+-----------
+A violation is suppressed by a trailing comment on the flagged line::
+
+    outcome_a == outcome_b  # repro: noqa-no-float-equality -- dict identity
+
+``# repro: noqa`` (no rule list) suppresses every rule on that line;
+``# repro: noqa-rule-a,rule-b`` suppresses exactly the named rules.
+Anything after ``--`` is a free-form justification and is encouraged.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa-<rule>[,<rule>...]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<rules>[a-z0-9][a-z0-9,-]*))?", re.IGNORECASE
+)
+
+#: Sentinel rule-set meaning "suppress every rule on this line".
+_SUPPRESS_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class LintViolation:
+    """One finding of one rule at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The conventional one-line ``path:line:col: CODE message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by the JSON reporter)."""
+        return dataclasses.asdict(self)
+
+
+def _parse_noqa(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names suppressed there."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            suppressions[lineno] = _SUPPRESS_ALL
+        else:
+            names = frozenset(
+                part.strip() for part in listed.split(",") if part.strip()
+            )
+            # ``-- justification`` text after the rule list is free-form;
+            # splitting on "," already keeps it out because rule names
+            # never contain spaces.  Strip a trailing "--" fragment.
+            suppressions[lineno] = frozenset(
+                name.split("--")[0].strip("-") or name for name in names
+            )
+    return suppressions
+
+
+class SourceFile:
+    """A parsed Python source file handed to every rule.
+
+    Attributes
+    ----------
+    path:
+        Display path of the file (repo-relative when linted via the
+        engine; arbitrary for string-based tests).
+    source:
+        Full source text.
+    tree:
+        The parsed :class:`ast.Module`.
+    lines:
+        Source split into lines (1-based access via ``lines[lineno-1]``).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self._suppressions = _parse_noqa(self.lines)
+
+    @classmethod
+    def parse(cls, source: str, path: str = "<string>") -> "SourceFile":
+        """Parse ``source``; raises :class:`SyntaxError` on bad input."""
+        return cls(path=path, source=source, tree=ast.parse(source))
+
+    def is_suppressed(self, line: int, rule_name: str) -> bool:
+        """Whether ``rule_name`` is noqa'd on 1-based ``line``."""
+        listed = self._suppressions.get(line)
+        if listed is None:
+            return False
+        return listed is _SUPPRESS_ALL or rule_name in listed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceFile(path={self.path!r}, lines={len(self.lines)})"
+
+
+class LintRule(abc.ABC):
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`name`, :attr:`code`, and :attr:`description`,
+    and implement :meth:`check`.  The engine filters suppressed
+    violations, so rules simply report everything they see.
+    """
+
+    #: Stable kebab-case identifier, used in ``# repro: noqa-<name>``.
+    name: str = "abstract"
+    #: Short ``REPnnn`` code for compact reporting.
+    code: str = "REP000"
+    #: One-line human description (shown by ``lint --list-rules``).
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        """Yield every violation of this rule found in ``source``."""
+
+    def violation(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        message: str,
+        line: Optional[int] = None,
+    ) -> LintViolation:
+        """Build a :class:`LintViolation` anchored at ``node``."""
+        return LintViolation(
+            path=source.path,
+            line=line if line is not None else getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, code={self.code!r})"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost ``Name`` under attribute/subscript chains, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None

@@ -1,0 +1,137 @@
+"""Rule ``mechanism-contract``: concrete mechanisms declare and register.
+
+Experiment configs refer to mechanisms by name
+(:mod:`repro.mechanisms.registry`), and the property auditors branch on
+``is_truthful`` to decide whether a profitable deviation is a bug or
+expected baseline behaviour.  A concrete mechanism that forgets the
+class attributes inherits ``name = "abstract"`` / ``is_truthful =
+False`` from the base class and silently corrupts both subsystems, and
+one missing from the registry is unreachable from sweep configs and the
+CLI.
+
+For every class deriving *directly* from the abstract ``Mechanism`` root
+and defining ``run`` (i.e. concrete), the rule requires:
+
+* class-body assignments for ``name``, ``is_truthful``, ``is_online``;
+* for library code (paths under ``src/repro/``), the class name must
+  appear in ``mechanisms/registry.py``.
+
+Subclasses of concrete mechanisms inherit all three attributes, so only
+direct ``Mechanism`` children are checked for the attribute triple.
+Wrapper classes that forward identity dynamically (e.g. the outcome
+sanitizer) suppress with a justified ``# repro: noqa-mechanism-contract``.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import pathlib
+from typing import Iterator, Optional, Set
+
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+
+_REQUIRED_ATTRS = ("name", "is_truthful", "is_online")
+
+
+def _registry_source_default() -> str:
+    """Text of the shipped ``repro/mechanisms/registry.py``."""
+    spec = importlib.util.find_spec("repro.mechanisms.registry")
+    if spec is None or spec.origin is None:  # pragma: no cover - defensive
+        return ""
+    return pathlib.Path(spec.origin).read_text(encoding="utf-8")
+
+
+def _base_terminal_name(base: ast.AST) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _assigned_class_attrs(node: ast.ClassDef) -> Set[str]:
+    assigned: Set[str] = set()
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+        elif isinstance(item, ast.AnnAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            if item.value is not None:
+                assigned.add(item.target.id)
+    return assigned
+
+
+def _defines_run(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(item, ast.FunctionDef) and item.name == "run"
+        for item in node.body
+    )
+
+
+def _is_library_path(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    return "repro" in parts and "tests" not in parts and (
+        "benchmarks" not in parts
+    )
+
+
+class MechanismContractRule(LintRule):
+    """Concrete ``Mechanism`` subclasses declare identity and register."""
+
+    name = "mechanism-contract"
+    code = "REP004"
+    description = (
+        "concrete Mechanism subclasses must set name/is_truthful/"
+        "is_online and appear in mechanisms/registry.py"
+    )
+
+    def __init__(self, registry_source: Optional[str] = None) -> None:
+        self._registry_source = registry_source
+
+    @property
+    def registry_source(self) -> str:
+        if self._registry_source is None:
+            self._registry_source = _registry_source_default()
+        return self._registry_source
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        # The registry module itself references every class by design.
+        if pathlib.PurePath(source.path).name == "registry.py":
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = {
+                _base_terminal_name(base) for base in node.bases
+            }
+            if "Mechanism" not in base_names:
+                continue
+            if not _defines_run(node):
+                continue  # still abstract; nothing to check
+            assigned = _assigned_class_attrs(node)
+            missing = [
+                attr for attr in _REQUIRED_ATTRS if attr not in assigned
+            ]
+            if missing:
+                yield self.violation(
+                    source,
+                    node,
+                    f"concrete Mechanism subclass {node.name!r} does not "
+                    f"declare {', '.join(missing)} in its class body; the "
+                    f"registry and property auditors depend on all three",
+                )
+            if _is_library_path(source.path) and (
+                node.name not in self.registry_source
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    f"concrete Mechanism subclass {node.name!r} is not "
+                    f"referenced by mechanisms/registry.py; register it "
+                    f"(or suppress with a justification for non-registry "
+                    f"wrappers)",
+                )

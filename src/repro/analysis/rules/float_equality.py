@@ -1,0 +1,161 @@
+"""Rule ``no-float-equality``: no ``==``/``!=`` on money-valued operands.
+
+Costs, payments, prices, utilities, and welfare are floats shaped by
+solver round-off (Hungarian matching, VCG subtractions), so exact
+equality is a latent flake.  Comparisons on operands whose names mark
+them as money must go through the epsilon helpers in
+:mod:`repro.utils.numeric` (``float_eq`` / ``float_ne``) or, in tests,
+``pytest.approx``.
+
+The rule fires when an ``==``/``!=`` comparand pair has a money-named
+operand on one side and either a numeric literal or another money-named
+operand on the other.  Comparisons that already route through an
+approx/epsilon helper call, compare against strings/None/booleans, or
+compare container displays are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional
+
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+
+#: Identifiers treated as money-valued.
+_MONEY_RE = re.compile(
+    r"(cost|payment|price|welfare|utilit|budget|revenue|surplus|overpay)",
+    re.IGNORECASE,
+)
+
+#: Identifiers excluded even when the money pattern matches ("payment_slot",
+#: "payment_rule", "cost_kind" are discrete, not money).
+_EXCLUDE_RE = re.compile(
+    r"(slot|rule|name|label|kind|mode|count|index|key|_id$|^id$)",
+    re.IGNORECASE,
+)
+
+#: Call targets that make a comparison epsilon-aware already.
+_SAFE_CALLS = frozenset(
+    {"approx", "float_eq", "float_ne", "isclose", "allclose", "pytest_approx"}
+)
+
+#: Container displays / comprehensions: comparing these is structural
+#: equality, not float arithmetic.
+_CONTAINER_NODES = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.Tuple,
+    ast.DictComp,
+    ast.ListComp,
+    ast.SetComp,
+)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_money_identifier(identifier: str) -> bool:
+    return bool(
+        _MONEY_RE.search(identifier) and not _EXCLUDE_RE.search(identifier)
+    )
+
+
+def _money_names(node: ast.AST) -> List[str]:
+    """Money-marking identifiers that decide the *value* of ``node``.
+
+    Judged by the terminal identifier of the operand expression — for
+    ``result.welfare_per_round.count`` the value is the ``count``, not
+    the welfare series it hangs off, so only the outermost name counts.
+    Arithmetic expressions are money if any term is.
+    """
+    if isinstance(node, ast.Name):
+        return [node.id] if _is_money_identifier(node.id) else []
+    if isinstance(node, ast.Attribute):
+        return [node.attr] if _is_money_identifier(node.attr) else []
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        return [name] if name and _is_money_identifier(name) else []
+    if isinstance(node, ast.Subscript):
+        return _money_names(node.value)
+    if isinstance(node, ast.BinOp):
+        return _money_names(node.left) + _money_names(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _money_names(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _money_names(node.body) + _money_names(node.orelse)
+    return []
+
+
+def _is_safe_operand(node: ast.AST) -> bool:
+    """Operands that make the whole comparison exempt."""
+    if isinstance(node, ast.Call) and _call_name(node) in _SAFE_CALLS:
+        return True
+    if isinstance(node, _CONTAINER_NODES):
+        return True
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, bytes, bool)
+    ):
+        return True
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    return False
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_numeric_literal(node.operand)
+    return False
+
+
+class NoFloatEqualityRule(LintRule):
+    """Require epsilon helpers for equality on money-named floats."""
+
+    name = "no-float-equality"
+    code = "REP002"
+    description = (
+        "== / != on cost/payment/welfare-named operands must use the "
+        "utils.numeric epsilon helpers (or pytest.approx in tests)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_safe_operand(left) or _is_safe_operand(right):
+                    continue
+                left_money = _money_names(left)
+                right_money = _money_names(right)
+                if left_money and right_money:
+                    offender = left_money[0]
+                elif left_money and _is_numeric_literal(right):
+                    offender = left_money[0]
+                elif right_money and _is_numeric_literal(left):
+                    offender = right_money[0]
+                else:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.violation(
+                    source,
+                    node,
+                    f"float {symbol} on money-valued operand "
+                    f"{offender!r}; use float_eq/float_ne from "
+                    f"repro.utils.numeric (tests: pytest.approx)",
+                )

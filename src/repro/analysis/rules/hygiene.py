@@ -1,0 +1,86 @@
+"""General-hygiene rules: no bare ``except``, no mutable default args.
+
+These two are classic Python footguns with repo-specific teeth:
+
+* a bare ``except:`` swallows :class:`KeyboardInterrupt` during
+  hour-long sweep runs and hides :class:`~repro.errors.ReproError`
+  subclasses the experiment harness relies on for error routing;
+* a mutable default argument (``def f(x, acc=[])``) is module-global
+  hidden state — the exact class of bug the purity contract exists to
+  keep out of mechanism code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+
+
+class NoBareExceptRule(LintRule):
+    """Ban ``except:`` without an exception type."""
+
+    name = "no-bare-except"
+    code = "REP005"
+    description = (
+        "bare 'except:' swallows KeyboardInterrupt and hides typed "
+        "ReproError routing; name the exception class"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    source,
+                    node,
+                    "bare 'except:'; catch a specific exception type "
+                    "(ReproError at API boundaries, Exception at worst)",
+                )
+
+
+#: Calls producing fresh mutable containers still shared across calls
+#: when used as defaults.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    ):
+        return True
+    return False
+
+
+class NoMutableDefaultRule(LintRule):
+    """Ban mutable default argument values."""
+
+    name = "no-mutable-default"
+    code = "REP006"
+    description = (
+        "mutable default arguments are shared, hidden state; default to "
+        "None and create the container inside the function"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is not None and _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        source,
+                        default,
+                        f"mutable default argument in {label!r}; use "
+                        f"None and build the container in the body",
+                    )

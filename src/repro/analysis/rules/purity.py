@@ -1,0 +1,173 @@
+"""Rule ``no-run-mutation``: ``Mechanism.run`` must not mutate its inputs.
+
+``mechanisms/base.py`` declares every mechanism a *pure function* of its
+inputs.  The property auditors in :mod:`repro.metrics.properties` re-run
+mechanisms against counterfactual bid vectors; a ``run()`` that mutates
+the bid list, a bid object, the schedule, or hidden state on ``self``
+silently corrupts every subsequent counterfactual, producing audits that
+pass (or fail) for the wrong reason.
+
+Inside any ``run`` method of a ``Mechanism`` subclass, this rule flags:
+
+* rebinding a parameter (``bids = ...``, ``bids += ...``);
+* attribute or item writes through a parameter
+  (``schedule.tasks = ...``, ``bids[0] = ...``, ``del bids[0]``);
+* known mutating method calls on a parameter
+  (``bids.sort()``, ``payments_arg.update(...)``);
+* writes to ``self`` (hidden state across runs).
+
+Aliased mutation (``alias = bids; alias.sort()``) is out of static
+reach; the runtime sanitizer plus the conventions here keep that
+honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import (
+    LintRule,
+    LintViolation,
+    SourceFile,
+    root_name,
+)
+
+#: Method names that mutate their receiver in-place for the containers
+#: and domain objects a ``run()`` receives.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
+
+def _is_mechanism_class(node: ast.ClassDef) -> bool:
+    """Whether a class statically looks like a ``Mechanism`` subclass."""
+    for base in node.bases:
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if name is not None and (
+            name == "Mechanism" or name.endswith("Mechanism")
+        ):
+            return True
+    return False
+
+
+class NoRunMutationRule(LintRule):
+    """Enforce the purity contract on every ``Mechanism.run``."""
+
+    name = "no-run-mutation"
+    code = "REP003"
+    description = (
+        "Mechanism.run() may not mutate its bid/schedule/config "
+        "arguments or write to self (the purity contract)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _is_mechanism_class(node):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name == "run"
+                    ):
+                        yield from self._check_run(source, node, item)
+
+    def _check_run(
+        self,
+        source: SourceFile,
+        klass: ast.ClassDef,
+        run: ast.FunctionDef,
+    ) -> Iterator[LintViolation]:
+        args = run.args
+        all_args = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        params: Set[str] = {a.arg for a in all_args}
+        self_name = all_args[0].arg if all_args else "self"
+        params.discard(self_name)
+
+        def describe(target_root: str) -> str:
+            if target_root == self_name:
+                return (
+                    f"writes hidden state on '{self_name}' across runs"
+                )
+            return f"mutates the run() argument {target_root!r}"
+
+        for stmt in ast.walk(run):
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            elif isinstance(stmt, ast.Delete):
+                targets = stmt.targets
+            for target in targets:
+                for element in self._flatten(target):
+                    yield from self._check_write(
+                        source, element, params, self_name, describe
+                    )
+            if isinstance(stmt, ast.Call) and isinstance(
+                stmt.func, ast.Attribute
+            ):
+                if stmt.func.attr in _MUTATOR_METHODS:
+                    root = root_name(stmt.func.value)
+                    if root in params:
+                        yield self.violation(
+                            source,
+                            stmt,
+                            f"{klass.name}.run() calls mutating method "
+                            f"'.{stmt.func.attr}()' on its argument "
+                            f"{root!r}; mechanisms are pure functions",
+                        )
+
+    @staticmethod
+    def _flatten(target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from NoRunMutationRule._flatten(element)
+        else:
+            yield target
+
+    def _check_write(
+        self, source, target, params, self_name, describe
+    ) -> Iterator[LintViolation]:
+        if isinstance(target, ast.Name):
+            if target.id in params:
+                yield self.violation(
+                    source,
+                    target,
+                    f"run() rebinds its parameter {target.id!r}; bind a "
+                    f"new local name instead",
+                )
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = root_name(target)
+            if root in params or root == self_name:
+                kind = (
+                    "attribute" if isinstance(target, ast.Attribute)
+                    else "item"
+                )
+                yield self.violation(
+                    source,
+                    target,
+                    f"run() {kind} write {describe(root)}; mechanisms "
+                    f"are pure functions of (bids, schedule, config)",
+                )

@@ -1,0 +1,141 @@
+"""Rule ``no-global-random``: all randomness must flow through Generators.
+
+The purity contract (ARCHITECTURE.md, "The purity invariant") requires
+every stochastic component to draw from an explicitly passed
+:class:`numpy.random.Generator`, derived from a named stream in
+:mod:`repro.utils.rng`.  Global-state randomness breaks replayability:
+the truthfulness auditors re-run mechanisms against counterfactual bids
+and compare utilities, which is meaningless if two runs of the same
+inputs can differ.
+
+Flagged:
+
+* ``import random`` / ``from random import ...`` (the stdlib module is a
+  process-global PRNG);
+* calls through the stdlib module, e.g. ``random.choice(...)``;
+* ``np.random.seed(...)`` (mutates numpy's hidden global state);
+* legacy global draws, e.g. ``np.random.uniform(...)``.
+
+Allowed: ``np.random.default_rng``, ``np.random.Generator``,
+``np.random.SeedSequence`` and the BitGenerator constructors — the
+modern, explicit-state API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import (
+    LintRule,
+    LintViolation,
+    SourceFile,
+    dotted_name,
+)
+
+#: ``numpy.random`` attributes that do not touch global state.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class NoGlobalRandomRule(LintRule):
+    """Ban the stdlib ``random`` module and numpy's legacy global PRNG."""
+
+    name = "no-global-random"
+    code = "REP001"
+    description = (
+        "randomness must come from np.random.default_rng / a passed-in "
+        "Generator (utils/rng.py), never global PRNG state"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        numpy_aliases: Set[str] = {"numpy"}
+        random_aliases: Set[str] = set()
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        random_aliases.add(alias.asname or alias.name)
+                        yield self.violation(
+                            source,
+                            node,
+                            "import of the stdlib 'random' module; use "
+                            "np.random.default_rng / repro.utils.rng "
+                            "streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        source,
+                        node,
+                        "from-import of the stdlib 'random' module; use "
+                        "np.random.default_rng / repro.utils.rng streams "
+                        "instead",
+                    )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if (
+                            node.module == "numpy.random"
+                            and alias.name not in _ALLOWED_NP_RANDOM
+                        ):
+                            yield self.violation(
+                                source,
+                                node,
+                                f"from-import of legacy global "
+                                f"numpy.random.{alias.name}; only the "
+                                f"Generator API "
+                                f"({', '.join(sorted(_ALLOWED_NP_RANDOM))})"
+                                f" is allowed",
+                            )
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            # random.<fn>(...) through the stdlib module (or an alias).
+            if len(parts) >= 2 and (
+                parts[0] == "random" or parts[0] in random_aliases
+            ):
+                if parts[0] == "random" and parts[1] in _ALLOWED_NP_RANDOM:
+                    # e.g. a local ``random = np.random`` alias calling
+                    # default_rng; tolerated.
+                    continue
+                yield self.violation(
+                    source,
+                    node,
+                    f"call to global-state '{chain}'; draw from an "
+                    f"explicit np.random.Generator instead",
+                )
+            # np.random.<fn>(...) outside the Generator API.
+            elif (
+                len(parts) >= 3
+                and parts[0] in numpy_aliases
+                and parts[1] == "random"
+                and parts[2] not in _ALLOWED_NP_RANDOM
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    f"call to legacy global '{chain}'; only "
+                    f"np.random.default_rng / Generator / SeedSequence "
+                    f"touch no global state",
+                )

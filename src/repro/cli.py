@@ -17,6 +17,9 @@ Commands
     III-B) with optional loser re-entry.
 ``example``
     Walk through the paper's Fig. 4 / Fig. 5 worked example.
+``lint``
+    Run the repo-specific AST invariant linter
+    (:mod:`repro.analysis`) over source trees.
 """
 
 from __future__ import annotations
@@ -328,6 +331,22 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import default_rules, lint_paths, render_json, render_text
+
+    try:
+        rules = default_rules(args.rules)
+    except KeyError as exc:
+        raise ReproError(str(exc.args[0])) from exc
+    try:
+        violations = lint_paths(args.paths or None, rules=rules)
+    except FileNotFoundError as exc:
+        raise ReproError(str(exc)) from exc
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))
+    return 1 if violations else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.markdown_report import build_reproduction_report
 
@@ -412,6 +431,30 @@ def build_parser() -> argparse.ArgumentParser:
         "example", help="walk through the paper's worked example"
     )
     example.set_defaults(func=_cmd_example)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific AST invariant linter",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     report = subparsers.add_parser(
         "report",

@@ -51,6 +51,22 @@ class MechanismError(ReproError):
     """
 
 
+class SanitizationError(MechanismError):
+    """A mechanism produced an outcome violating a paper invariant.
+
+    Raised by :class:`repro.analysis.sanitizer.SanitizedMechanism` when a
+    wrapped run yields an outcome that fails structural feasibility
+    (constraints (4)-(6)), individual rationality (Definition 5, Theorems
+    2 and 5), or welfare-accounting consistency (Definition 3).  Carries
+    the structured violation reports on :attr:`violations`.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        #: Tuple of :class:`repro.analysis.sanitizer.Violation`.
+        self.violations = tuple(violations)
+
+
 class SimulationError(ReproError):
     """The simulation layer hit an inconsistent state.
 

@@ -4,16 +4,37 @@ Experiment configurations refer to mechanisms by name (strings serialise
 cleanly into sweep configs and traces); this registry maps those names to
 factories.  All built-in mechanisms register at import time; downstream
 users can add their own with :func:`register_mechanism`.
+
+Two guarantees beyond plain lookup:
+
+* **Name coherence** — the first time a factory's product is
+  constructed, its ``name`` attribute must match the key it was
+  registered under; a mis-keyed registration raises
+  :class:`~repro.errors.ExperimentError` naming both sides instead of
+  silently serving a mechanism whose reports and audits carry the wrong
+  identity.
+* **Optional outcome sanitization** — with
+  :func:`set_sanitize_outcomes` (or ``sanitize=True`` per call), every
+  product is wrapped in
+  :class:`repro.analysis.sanitizer.SanitizedMechanism`, so each ``run``
+  is checked against the paper's feasibility / IR / welfare-accounting
+  invariants.  The test suite switches this on globally.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ExperimentError
 from repro.mechanisms.base import Mechanism
 
 _FACTORIES: Dict[str, Callable[..., Mechanism]] = {}
+
+#: Registration keys whose product has already passed name validation.
+_NAME_CHECKED: set = set()
+
+#: Process-wide default for wrapping products in the outcome sanitizer.
+_SANITIZE_OUTCOMES = False
 
 
 def register_mechanism(
@@ -22,7 +43,9 @@ def register_mechanism(
     """Register ``factory`` under ``name``.
 
     Raises :class:`~repro.errors.ExperimentError` if the name is taken and
-    ``replace`` is not set.
+    ``replace`` is not set.  The factory's product is validated lazily at
+    first construction (see :func:`create_mechanism`): it must be a
+    :class:`Mechanism` whose ``name`` equals the registration key.
     """
     if not name or not isinstance(name, str):
         raise ExperimentError(f"mechanism name must be a non-empty str, got {name!r}")
@@ -32,13 +55,36 @@ def register_mechanism(
             f"override"
         )
     _FACTORIES[name] = factory
+    # A replaced registration must be re-validated against the new factory.
+    _NAME_CHECKED.discard(name)
 
 
-def create_mechanism(name: str, **kwargs) -> Mechanism:
+def set_sanitize_outcomes(enabled: bool) -> None:
+    """Toggle the process-wide outcome-sanitizer default.
+
+    When enabled, every mechanism served by :func:`create_mechanism` is
+    wrapped in :class:`repro.analysis.sanitizer.SanitizedMechanism`, so
+    each run raises :class:`~repro.errors.SanitizationError` on an
+    infeasible, IR-violating, or mis-accounted outcome.
+    """
+    global _SANITIZE_OUTCOMES
+    _SANITIZE_OUTCOMES = bool(enabled)
+
+
+def sanitize_outcomes_enabled() -> bool:
+    """Whether :func:`create_mechanism` wraps products by default."""
+    return _SANITIZE_OUTCOMES
+
+
+def create_mechanism(
+    name: str, sanitize: Optional[bool] = None, **kwargs
+) -> Mechanism:
     """Instantiate a registered mechanism by name.
 
     Keyword arguments are forwarded to the factory (e.g.
-    ``create_mechanism("fixed-price", price=20.0)``).
+    ``create_mechanism("fixed-price", price=20.0)``).  ``sanitize``
+    overrides the process-wide default from :func:`set_sanitize_outcomes`
+    for this one product.
     """
     try:
         factory = _FACTORIES[name]
@@ -47,12 +93,34 @@ def create_mechanism(name: str, **kwargs) -> Mechanism:
         raise ExperimentError(
             f"unknown mechanism {name!r}; registered: {known}"
         ) from None
-    mechanism = factory(**kwargs)
+    try:
+        mechanism = factory(**kwargs)
+    except TypeError as exc:
+        raise ExperimentError(
+            f"factory for {name!r} rejected arguments {sorted(kwargs)}: "
+            f"{exc}"
+        ) from exc
     if not isinstance(mechanism, Mechanism):
         raise ExperimentError(
             f"factory for {name!r} returned {type(mechanism).__name__}, "
             f"not a Mechanism"
         )
+    if name not in _NAME_CHECKED:
+        if mechanism.name != name:
+            raise ExperimentError(
+                f"mechanism registered under {name!r} reports name "
+                f"{mechanism.name!r}; registration key and Mechanism.name "
+                f"must match (mis-keyed registrations corrupt sweep "
+                f"configs and audit reports)"
+            )
+        _NAME_CHECKED.add(name)
+    wrap = _SANITIZE_OUTCOMES if sanitize is None else bool(sanitize)
+    if wrap:
+        # Imported here: analysis depends on mechanisms.base, so a
+        # module-level import would be circular.
+        from repro.analysis.sanitizer import SanitizedMechanism
+
+        return SanitizedMechanism(mechanism)
     return mechanism
 
 
@@ -64,6 +132,10 @@ def available_mechanisms() -> Tuple[str, ...]:
 def _register_builtins() -> None:
     """Register the built-in mechanisms (idempotent)."""
     # Imported here to avoid a circular import at package load.
+    from repro.extensions.capabilities import (
+        TypedOfflineVCGMechanism,
+        TypedOnlineGreedyMechanism,
+    )
     from repro.mechanisms.baselines.fifo import FifoMechanism
     from repro.mechanisms.baselines.fixed_price import FixedPriceMechanism
     from repro.mechanisms.baselines.offline_greedy import (
@@ -86,6 +158,10 @@ def _register_builtins() -> None:
         RandomAllocationMechanism.name: RandomAllocationMechanism,
         FifoMechanism.name: FifoMechanism,
         OfflineGreedyMechanism.name: OfflineGreedyMechanism,
+        # Capability-typed extensions; their factories require a
+        # ``model=CapabilityModel(...)`` keyword.
+        TypedOfflineVCGMechanism.name: TypedOfflineVCGMechanism,
+        TypedOnlineGreedyMechanism.name: TypedOnlineGreedyMechanism,
     }
     for name, factory in builtin.items():
         register_mechanism(name, factory, replace=True)

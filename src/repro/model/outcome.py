@@ -286,7 +286,7 @@ class AuctionOutcome:
             self._bids_by_phone == other._bids_by_phone
             and self._schedule == other._schedule
             and self._allocation == other._allocation
-            and self._payments == other._payments
+            and self._payments == other._payments  # repro: noqa-no-float-equality -- record identity: outcomes are equal iff stored exactly alike
             and self._payment_slots == other._payment_slots
         )
 

@@ -1,5 +1,12 @@
 """Shared low-level utilities: seeded RNG streams, validation, tables."""
 
+from repro.utils.numeric import (
+    DEFAULT_TOLERANCE,
+    float_eq,
+    float_ge,
+    float_le,
+    float_ne,
+)
 from repro.utils.rng import RngStreams, spawn_rng
 from repro.utils.tables import format_table
 from repro.utils.validation import (
@@ -11,6 +18,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
+    "float_eq",
+    "float_ge",
+    "float_le",
+    "float_ne",
     "RngStreams",
     "spawn_rng",
     "format_table",

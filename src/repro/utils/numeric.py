@@ -1,0 +1,48 @@
+"""Epsilon-aware float comparison helpers.
+
+Costs, payments, and welfare values are floats that accumulate rounding
+error through matching solvers and VCG subtractions; comparing them with
+``==`` makes correctness depend on the order of floating-point
+operations.  The custom lint rule ``no-float-equality`` (see
+:mod:`repro.analysis.rules.float_equality`) bans direct ``==``/``!=`` on
+money-named operands across the repository and points offenders here.
+
+The default tolerance matches the auditors in
+:mod:`repro.metrics.properties`: tight enough that a real profitable
+deviation (always a discrete cost step in the paper's model) is never
+masked, loose enough to absorb solver round-off.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default absolute tolerance for money comparisons (costs, payments,
+#: welfare).  Chosen to sit far below the smallest meaningful cost step
+#: in the paper's workloads (integer-ish costs around 1..100) while
+#: comfortably above accumulated double round-off.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def float_eq(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``a`` and ``b`` are equal up to ``tolerance``.
+
+    Uses a combined relative/absolute test so it behaves sensibly both
+    near zero and for large welfare totals.
+    """
+    return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+
+
+def float_ne(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``a`` and ``b`` differ by more than ``tolerance``."""
+    return not float_eq(a, b, tolerance)
+
+
+def float_le(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``a <= b`` up to ``tolerance`` (``a`` may exceed by eps)."""
+    return a <= b + tolerance or float_eq(a, b, tolerance)
+
+
+def float_ge(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``a >= b`` up to ``tolerance`` (``a`` may trail by eps)."""
+    return a + tolerance >= b or float_eq(a, b, tolerance)

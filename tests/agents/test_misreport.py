@@ -47,10 +47,10 @@ class TestCostScaling:
 
 class TestCostAdditive:
     def test_addition(self, profile):
-        assert CostAdditiveStrategy(3.0).make_bid(profile).cost == 13.0
+        assert CostAdditiveStrategy(3.0).make_bid(profile).cost == pytest.approx(13.0)
 
     def test_subtraction_clamped_at_zero(self, profile):
-        assert CostAdditiveStrategy(-99.0).make_bid(profile).cost == 0.0
+        assert CostAdditiveStrategy(-99.0).make_bid(profile).cost == pytest.approx(0.0)
 
     def test_non_number_rejected(self):
         with pytest.raises(ValidationError):
@@ -62,7 +62,7 @@ class TestDelayedArrival:
         bid = DelayedArrivalStrategy(2).make_bid(profile)
         assert bid.arrival == 4
         assert bid.departure == 6
-        assert bid.cost == 10.0
+        assert bid.cost == pytest.approx(10.0)
 
     def test_zero_delay_is_truthful(self, profile):
         assert DelayedArrivalStrategy(0).make_bid(profile) == (
@@ -101,7 +101,7 @@ class TestCombined:
             cost_factor=2.0, arrival_delay=1, departure_advance=1
         )
         bid = strategy.make_bid(profile)
-        assert bid.cost == 20.0
+        assert bid.cost == pytest.approx(20.0)
         assert (bid.arrival, bid.departure) == (3, 5)
 
     def test_abstains_when_window_collapses(self, single_slot_profile):

@@ -1,0 +1,1 @@
+"""Tests for the static/dynamic invariant analyzer (repro.analysis)."""

@@ -1,0 +1,451 @@
+"""Per-rule positive/negative fixtures for the AST linter.
+
+Every rule gets at least one snippet it must flag and one it must not;
+the engine-level behaviours (noqa suppression, syntax-error reporting,
+path collection, reporters) are covered at the end.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    default_rules,
+    get_rule,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules.contract import MechanismContractRule
+from repro.analysis.rules.float_equality import NoFloatEqualityRule
+from repro.analysis.rules.hygiene import (
+    NoBareExceptRule,
+    NoMutableDefaultRule,
+)
+from repro.analysis.rules.purity import NoRunMutationRule
+from repro.analysis.rules.randomness import NoGlobalRandomRule
+
+
+def lint(source, rule, path="src/repro/fake.py"):
+    return lint_source(textwrap.dedent(source), path=path, rules=[rule])
+
+
+# ----------------------------------------------------------------------
+# no-global-random
+# ----------------------------------------------------------------------
+class TestNoGlobalRandom:
+    def test_stdlib_import_flagged(self):
+        found = lint("import random\n", NoGlobalRandomRule())
+        assert [v.rule for v in found] == ["no-global-random"]
+
+    def test_stdlib_call_flagged(self):
+        found = lint(
+            """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+            """,
+            NoGlobalRandomRule(),
+        )
+        assert len(found) == 2  # the import and the call
+
+    def test_np_random_seed_flagged(self):
+        found = lint(
+            """
+            import numpy as np
+
+            np.random.seed(42)
+            """,
+            NoGlobalRandomRule(),
+        )
+        assert len(found) == 1
+        assert "np.random.seed" in found[0].message
+
+    def test_legacy_np_random_draw_flagged(self):
+        found = lint(
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.uniform(0.0, 1.0)
+            """,
+            NoGlobalRandomRule(),
+        )
+        assert len(found) == 1
+
+    def test_from_import_of_legacy_name_flagged(self):
+        found = lint(
+            "from numpy.random import uniform\n", NoGlobalRandomRule()
+        )
+        assert len(found) == 1
+
+    def test_default_rng_allowed(self):
+        found = lint(
+            """
+            import numpy as np
+            from numpy.random import SeedSequence
+
+            def make(seed):
+                return np.random.default_rng(SeedSequence(seed))
+            """,
+            NoGlobalRandomRule(),
+        )
+        assert found == []
+
+    def test_passed_in_generator_allowed(self):
+        found = lint(
+            """
+            def draw(rng):
+                return rng.uniform(0.0, 1.0)
+            """,
+            NoGlobalRandomRule(),
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# no-float-equality
+# ----------------------------------------------------------------------
+class TestNoFloatEquality:
+    def test_money_vs_literal_flagged(self):
+        found = lint(
+            "assert outcome.payment(1) == 12.0\n", NoFloatEqualityRule()
+        )
+        assert [v.rule for v in found] == ["no-float-equality"]
+
+    def test_money_vs_money_flagged(self):
+        found = lint(
+            "ok = claimed_welfare != true_welfare\n", NoFloatEqualityRule()
+        )
+        assert len(found) == 1
+        assert "!=" in found[0].message
+
+    def test_pytest_approx_allowed(self):
+        found = lint(
+            "assert bid.cost == pytest.approx(4.5)\n",
+            NoFloatEqualityRule(),
+        )
+        assert found == []
+
+    def test_epsilon_helper_allowed(self):
+        found = lint(
+            "ok = float_eq(total_payment, 12.0)\n", NoFloatEqualityRule()
+        )
+        assert found == []
+
+    def test_string_comparison_allowed(self):
+        found = lint(
+            'if payment_rule == "paper":\n    pass\n',
+            NoFloatEqualityRule(),
+        )
+        assert found == []
+
+    def test_container_comparison_allowed(self):
+        found = lint("assert payments == {}\n", NoFloatEqualityRule())
+        assert found == []
+
+    def test_non_money_names_allowed(self):
+        found = lint("assert num_slots == 5\n", NoFloatEqualityRule())
+        assert found == []
+
+    def test_terminal_attribute_decides(self):
+        # the *count* of a welfare series is an int, not money
+        found = lint(
+            "assert result.welfare_per_round.count == 3\n",
+            NoFloatEqualityRule(),
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# no-run-mutation
+# ----------------------------------------------------------------------
+class TestNoRunMutation:
+    def test_mutating_method_on_argument_flagged(self):
+        found = lint(
+            """
+            class Bad(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    bids.sort()
+                    return None
+            """,
+            NoRunMutationRule(),
+        )
+        assert [v.rule for v in found] == ["no-run-mutation"]
+        assert ".sort()" in found[0].message
+
+    def test_rebinding_argument_flagged(self):
+        found = lint(
+            """
+            class Bad(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    bids = list(bids)
+                    return None
+            """,
+            NoRunMutationRule(),
+        )
+        assert len(found) == 1
+        assert "rebinds" in found[0].message
+
+    def test_attribute_write_through_argument_flagged(self):
+        found = lint(
+            """
+            class Bad(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    schedule.tasks = []
+                    return None
+            """,
+            NoRunMutationRule(),
+        )
+        assert len(found) == 1
+
+    def test_item_write_through_argument_flagged(self):
+        found = lint(
+            """
+            class Bad(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    bids[0] = None
+                    return None
+            """,
+            NoRunMutationRule(),
+        )
+        assert len(found) == 1
+
+    def test_hidden_state_on_self_flagged(self):
+        found = lint(
+            """
+            class Bad(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    self._cache = list(bids)
+                    return None
+            """,
+            NoRunMutationRule(),
+        )
+        assert len(found) == 1
+        assert "hidden state" in found[0].message
+
+    def test_pure_run_allowed(self):
+        found = lint(
+            """
+            class Good(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    ordered = sorted(bids, key=lambda b: b.cost)
+                    allocation = {}
+                    for bid in ordered:
+                        allocation[bid.phone_id] = bid
+                    return allocation
+            """,
+            NoRunMutationRule(),
+        )
+        assert found == []
+
+    def test_non_mechanism_run_ignored(self):
+        found = lint(
+            """
+            class Driver:
+                def run(self, bids):
+                    bids.sort()
+            """,
+            NoRunMutationRule(),
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# mechanism-contract
+# ----------------------------------------------------------------------
+_REGISTRY_STUB = "builtin = {RegisteredMechanism.name: RegisteredMechanism}"
+
+
+class TestMechanismContract:
+    def test_missing_attrs_flagged(self):
+        found = lint(
+            """
+            class RegisteredMechanism(Mechanism):
+                def run(self, bids, schedule, config=None):
+                    return None
+            """,
+            MechanismContractRule(registry_source=_REGISTRY_STUB),
+        )
+        assert len(found) == 1
+        assert "name, is_truthful, is_online" in found[0].message
+
+    def test_unregistered_class_flagged(self):
+        found = lint(
+            """
+            class OrphanMechanism(Mechanism):
+                name = "orphan"
+                is_truthful = False
+                is_online = False
+
+                def run(self, bids, schedule, config=None):
+                    return None
+            """,
+            MechanismContractRule(registry_source=_REGISTRY_STUB),
+        )
+        assert len(found) == 1
+        assert "registry" in found[0].message
+
+    def test_compliant_class_passes(self):
+        found = lint(
+            """
+            class RegisteredMechanism(Mechanism):
+                name = "registered"
+                is_truthful = True
+                is_online = False
+
+                def run(self, bids, schedule, config=None):
+                    return None
+            """,
+            MechanismContractRule(registry_source=_REGISTRY_STUB),
+        )
+        assert found == []
+
+    def test_abstract_subclass_ignored(self):
+        found = lint(
+            """
+            class StillAbstract(Mechanism):
+                \"\"\"No run() yet.\"\"\"
+            """,
+            MechanismContractRule(registry_source=_REGISTRY_STUB),
+        )
+        assert found == []
+
+    def test_registration_not_required_outside_library(self):
+        found = lint(
+            """
+            class OrphanMechanism(Mechanism):
+                name = "orphan"
+                is_truthful = False
+                is_online = False
+
+                def run(self, bids, schedule, config=None):
+                    return None
+            """,
+            MechanismContractRule(registry_source=_REGISTRY_STUB),
+            path="tests/fake_test.py",
+        )
+        assert found == []
+
+    def test_shipped_tree_registry_is_readable(self):
+        # the default registry source resolves to the installed module
+        rule = MechanismContractRule()
+        assert "register_mechanism" in rule.registry_source
+
+
+# ----------------------------------------------------------------------
+# no-bare-except / no-mutable-default
+# ----------------------------------------------------------------------
+class TestHygieneRules:
+    def test_bare_except_flagged(self):
+        found = lint(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+            NoBareExceptRule(),
+        )
+        assert [v.rule for v in found] == ["no-bare-except"]
+
+    def test_typed_except_allowed(self):
+        found = lint(
+            """
+            try:
+                risky()
+            except ValueError:
+                pass
+            """,
+            NoBareExceptRule(),
+        )
+        assert found == []
+
+    def test_mutable_default_flagged(self):
+        found = lint(
+            "def f(x, acc=[]):\n    return acc\n", NoMutableDefaultRule()
+        )
+        assert [v.rule for v in found] == ["no-mutable-default"]
+
+    def test_mutable_factory_default_flagged(self):
+        found = lint(
+            "def f(x, acc=dict()):\n    return acc\n",
+            NoMutableDefaultRule(),
+        )
+        assert len(found) == 1
+
+    def test_kwonly_mutable_default_flagged(self):
+        found = lint(
+            "def f(*, acc={}):\n    return acc\n", NoMutableDefaultRule()
+        )
+        assert len(found) == 1
+
+    def test_none_default_allowed(self):
+        found = lint(
+            "def f(x, acc=None):\n    return acc or []\n",
+            NoMutableDefaultRule(),
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviours
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_noqa_suppresses_named_rule(self):
+        source = (
+            "a_cost == 1.0  # repro: noqa-no-float-equality -- exact by "
+            "construction\n"
+        )
+        assert lint_source(source, rules=[NoFloatEqualityRule()]) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = "import random  # repro: noqa\n"
+        assert lint_source(source, rules=[NoGlobalRandomRule()]) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        source = "import random  # repro: noqa-no-bare-except\n"
+        found = lint_source(source, rules=[NoGlobalRandomRule()])
+        assert len(found) == 1
+
+    def test_syntax_error_reported_not_raised(self):
+        found = lint_source("def broken(:\n")
+        assert [v.rule for v in found] == ["syntax-error"]
+        assert found[0].code == "REP000"
+
+    def test_all_rules_have_unique_codes(self):
+        codes = [rule.code for rule in ALL_RULES.values()]
+        assert len(codes) == len(set(codes))
+        assert len(ALL_RULES) >= 6
+
+    def test_default_rules_instantiates_all(self):
+        rules = default_rules()
+        assert {rule.name for rule in rules} == set(ALL_RULES)
+
+    def test_get_rule_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown lint rule"):
+            get_rule("no-such-rule")
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_text_lists_and_tallies(self):
+        found = lint_source("import random\n", path="pkg/mod.py")
+        text = render_text(found)
+        assert "pkg/mod.py:1" in text
+        assert "no-global-random=1" in text
+
+    def test_json_roundtrip(self):
+        import json
+
+        found = lint_source("import random\n", path="pkg/mod.py")
+        payload = json.loads(render_json(found))
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "no-global-random"
+        assert payload["violations"][0]["path"] == "pkg/mod.py"

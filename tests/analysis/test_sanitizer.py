@@ -1,0 +1,310 @@
+"""Tests for the runtime outcome sanitizer.
+
+Two halves: hand-built pathological outcomes must be *caught* (one test
+per check), and every mechanism in the registry must *pass* a sanitized
+run on the paper's worked example.  The doctored-baseline test seeds an
+IR violation inside a real mechanism and shows the wrapper raising at
+the first bad run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizedMechanism,
+    Violation,
+    sanitize_outcome,
+)
+from repro.errors import ExperimentError, SanitizationError
+from repro.extensions.capabilities import CapabilityModel
+from repro.mechanisms import OnlineGreedyMechanism, registry
+from repro.model import AuctionOutcome, Bid, TaskSchedule
+from repro.simulation.paper_example import (
+    EXAMPLE_TASK_VALUE,
+    paper_example_bids,
+    paper_example_schedule,
+)
+
+
+def one_task_schedule(value: float = 10.0) -> TaskSchedule:
+    return TaskSchedule.from_counts([1], value=value)
+
+
+def bid(phone_id: int = 1, cost: float = 5.0, arrival: int = 1,
+        departure: int = 1) -> Bid:
+    return Bid(
+        phone_id=phone_id, arrival=arrival, departure=departure, cost=cost
+    )
+
+
+class _DoctoredOutcome(AuctionOutcome):
+    """An outcome whose *reported* state diverges from what it validated.
+
+    ``AuctionOutcome.__init__`` rejects structurally infeasible inputs,
+    so to exercise the sanitizer's feasibility and accounting checks we
+    construct a valid outcome and then override the reported properties
+    — exactly the shape of bug the sanitizer exists to catch (a record
+    whose accessors disagree with the invariants).
+    """
+
+    def __init__(self, *args, allocation_override=None,
+                 welfare_override=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._allocation_override = allocation_override
+        self._welfare_override = welfare_override
+
+    @property
+    def allocation(self):
+        if self._allocation_override is not None:
+            return dict(self._allocation_override)
+        return super().allocation
+
+    @property
+    def claimed_welfare(self):
+        if self._welfare_override is not None:
+            return self._welfare_override
+        return super().claimed_welfare
+
+
+def checks(violations):
+    return [v.check for v in violations]
+
+
+# ----------------------------------------------------------------------
+# sanitize_outcome: each check fires on a hand-built bad outcome
+# ----------------------------------------------------------------------
+class TestFeasibilityChecks:
+    def test_clean_outcome_has_no_violations(self):
+        outcome = AuctionOutcome(
+            bids=[bid()],
+            schedule=one_task_schedule(),
+            allocation={0: 1},
+            payments={1: 6.0},
+        )
+        assert sanitize_outcome(outcome) == []
+
+    def test_unknown_task_caught(self):
+        outcome = _DoctoredOutcome(
+            bids=[bid()],
+            schedule=one_task_schedule(),
+            allocation={},
+            payments={},
+            allocation_override={99: 1},
+        )
+        found = sanitize_outcome(outcome)
+        assert "feasibility.unknown-task" in checks(found)
+        assert found[0].task_id == 99
+
+    def test_phone_overload_caught(self):
+        schedule = TaskSchedule.from_counts([2], value=10.0)
+        outcome = _DoctoredOutcome(
+            bids=[bid(departure=1)],
+            schedule=schedule,
+            allocation={},
+            payments={},
+            allocation_override={0: 1, 1: 1},  # both tasks to phone 1
+        )
+        found = sanitize_outcome(outcome)
+        assert "feasibility.phone-overload" in checks(found)
+
+    def test_unknown_phone_caught(self):
+        outcome = _DoctoredOutcome(
+            bids=[bid()],
+            schedule=one_task_schedule(),
+            allocation={},
+            payments={},
+            allocation_override={0: 42},  # phone 42 never bid
+        )
+        found = sanitize_outcome(outcome)
+        assert "feasibility.unknown-phone" in checks(found)
+
+    def test_inactive_winner_caught(self):
+        schedule = TaskSchedule.from_counts([0, 1], value=10.0)
+        sleeper = bid(phone_id=1, arrival=1, departure=1)  # gone by slot 2
+        awake = bid(phone_id=2, arrival=2, departure=2)
+        outcome = _DoctoredOutcome(
+            bids=[sleeper, awake],
+            schedule=schedule,
+            allocation={0: 2},
+            payments={},
+            allocation_override={0: 1},  # slot-2 task to the sleeper
+        )
+        found = sanitize_outcome(outcome)
+        assert "feasibility.inactive-winner" in checks(found)
+
+
+class TestPaymentAndWelfareChecks:
+    def test_loser_payment_caught(self):
+        losers_paid = AuctionOutcome(
+            bids=[bid(phone_id=1), bid(phone_id=2, cost=7.0)],
+            schedule=one_task_schedule(),
+            allocation={0: 1},
+            payments={1: 6.0, 2: 3.0},  # phone 2 lost
+        )
+        found = sanitize_outcome(losers_paid)
+        assert checks(found) == ["payments.loser-paid"]
+        assert found[0].phone_id == 2
+
+    def test_ir_violation_caught_for_truthful_mechanism(self):
+        underpaid = AuctionOutcome(
+            bids=[bid(cost=5.0)],
+            schedule=one_task_schedule(),
+            allocation={0: 1},
+            payments={1: 2.0},  # below the claimed cost
+        )
+        found = sanitize_outcome(
+            underpaid, mechanism=OnlineGreedyMechanism()
+        )
+        assert checks(found) == ["ir.underpaid-winner"]
+        assert found[0].phone_id == 1
+
+    def test_ir_not_required_without_truthfulness_claim(self):
+        underpaid = AuctionOutcome(
+            bids=[bid(cost=5.0)],
+            schedule=one_task_schedule(),
+            allocation={0: 1},
+            payments={1: 2.0},
+        )
+        # No mechanism context: the IR obligation does not apply.
+        assert sanitize_outcome(underpaid) == []
+
+    def test_welfare_mismatch_caught(self):
+        cooked_books = _DoctoredOutcome(
+            bids=[bid(cost=5.0)],
+            schedule=one_task_schedule(value=10.0),
+            allocation={0: 1},
+            payments={1: 6.0},
+            welfare_override=999.0,  # truth is 10 - 5 = 5
+        )
+        found = sanitize_outcome(cooked_books)
+        assert checks(found) == ["welfare.accounting-mismatch"]
+        assert "999" in found[0].message
+
+    def test_violation_str_names_the_check(self):
+        violation = Violation(check="ir.underpaid-winner", message="boom")
+        assert str(violation) == "[ir.underpaid-winner] boom"
+
+
+# ----------------------------------------------------------------------
+# SanitizedMechanism wrapper
+# ----------------------------------------------------------------------
+class _UnderpayingGreedy(OnlineGreedyMechanism):
+    """A doctored baseline: same allocation, payments halved.
+
+    It still (falsely) claims ``is_truthful``, so the sanitizer must
+    hold it to the IR obligation and catch the seeded violation.
+    """
+
+    def run(self, bids, schedule, config=None):
+        outcome = super().run(bids, schedule, config)
+        return AuctionOutcome(
+            bids=outcome.bids,
+            schedule=outcome.schedule,
+            allocation=outcome.allocation,
+            payments={
+                phone: amount / 2.0
+                for phone, amount in outcome.payments.items()
+            },
+        )
+
+
+class TestSanitizedMechanism:
+    def test_doctored_baseline_raises_at_first_bad_run(self):
+        wrapped = SanitizedMechanism(_UnderpayingGreedy())
+        with pytest.raises(SanitizationError) as excinfo:
+            wrapped.run(paper_example_bids(), paper_example_schedule())
+        assert excinfo.value.violations
+        assert all(
+            v.check == "ir.underpaid-winner"
+            for v in excinfo.value.violations
+        )
+
+    def test_collect_mode_returns_outcome_and_records(self):
+        wrapped = SanitizedMechanism(
+            _UnderpayingGreedy(), on_violation="collect"
+        )
+        outcome = wrapped.run(
+            paper_example_bids(), paper_example_schedule()
+        )
+        assert outcome.winners  # the outcome still comes back
+        assert wrapped.collected_violations
+        assert wrapped.collected_violations[0].check == (
+            "ir.underpaid-winner"
+        )
+
+    def test_clean_mechanism_passes_through(self):
+        wrapped = SanitizedMechanism(OnlineGreedyMechanism())
+        outcome = wrapped.run(
+            paper_example_bids(), paper_example_schedule()
+        )
+        assert outcome.claimed_welfare > 0.0
+
+    def test_wrapper_is_transparent(self):
+        inner = OnlineGreedyMechanism()
+        wrapped = SanitizedMechanism(inner)
+        assert wrapped.name == inner.name
+        assert wrapped.is_truthful is inner.is_truthful
+        assert wrapped.is_online is inner.is_online
+        assert isinstance(wrapped, OnlineGreedyMechanism)
+        assert wrapped.inner is inner
+        # Mechanism-specific options forward through the wrapper.
+        assert wrapped.payment_rule == inner.payment_rule
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_violation"):
+            SanitizedMechanism(OnlineGreedyMechanism(), on_violation="log")
+
+
+# ----------------------------------------------------------------------
+# Registry integration
+# ----------------------------------------------------------------------
+
+#: Factory kwargs needed by mechanisms that take required arguments.
+#: fixed-price must post a price above every paper-example cost so the
+#: posted-price run stays individually rational.
+_FACTORY_KWARGS = {
+    "fixed-price": {"price": EXAMPLE_TASK_VALUE},
+    "typed-offline-vcg": {"model": CapabilityModel()},
+    "typed-online-greedy": {"model": CapabilityModel()},
+}
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name", registry.available_mechanisms())
+    def test_every_registered_mechanism_passes_sanitized_run(self, name):
+        mechanism = registry.create_mechanism(
+            name, sanitize=True, **_FACTORY_KWARGS.get(name, {})
+        )
+        assert type(mechanism) is SanitizedMechanism
+        outcome = mechanism.run(
+            paper_example_bids(), paper_example_schedule()
+        )
+        assert sanitize_outcome(outcome, mechanism=mechanism.inner) == []
+
+    def test_sanitize_flag_off_returns_bare_mechanism(self):
+        mechanism = registry.create_mechanism(
+            "online-greedy", sanitize=False
+        )
+        assert type(mechanism) is OnlineGreedyMechanism
+
+    def test_suite_runs_with_sanitizer_enabled(self):
+        # tests/conftest.py switches the process-wide default on for the
+        # whole session; products therefore come wrapped by default.
+        assert registry.sanitize_outcomes_enabled()
+        mechanism = registry.create_mechanism("online-greedy")
+        assert type(mechanism) is SanitizedMechanism
+
+    def test_mis_keyed_registration_raises_with_both_names(self):
+        registry.register_mechanism(
+            "wrong-key", OnlineGreedyMechanism, replace=True
+        )
+        try:
+            with pytest.raises(ExperimentError) as excinfo:
+                registry.create_mechanism("wrong-key")
+            message = str(excinfo.value)
+            assert "wrong-key" in message
+            assert "online-greedy" in message
+        finally:
+            registry._FACTORIES.pop("wrong-key", None)
+            registry._NAME_CHECKED.discard("wrong-key")

@@ -47,7 +47,7 @@ class TestLifecycle:
             platform.close_slot()
         outcome = platform.finalize()
         assert outcome.allocation == {}
-        assert outcome.total_payment == 0.0
+        assert outcome.total_payment == pytest.approx(0.0)
 
     def test_invalid_payment_rule(self):
         with pytest.raises(MechanismError):

@@ -5,13 +5,31 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import SanitizedMechanism
 from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
+from repro.mechanisms import registry as mechanism_registry
 from repro.simulation import SimulationEngine, WorkloadConfig
 from repro.simulation.paper_example import (
     paper_example_bids,
     paper_example_profiles,
     paper_example_schedule,
 )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_all_mechanisms():
+    """Run the whole suite with the outcome sanitizer switched on.
+
+    Every mechanism served by the registry is wrapped in
+    :class:`SanitizedMechanism`, so each ``run`` anywhere in the suite
+    re-checks structural feasibility, individual rationality, and
+    welfare accounting (see ``repro/analysis/sanitizer.py``).  A
+    mechanism regression then fails loudly at its first bad outcome
+    instead of skewing downstream metrics.
+    """
+    mechanism_registry.set_sanitize_outcomes(True)
+    yield
+    mechanism_registry.set_sanitize_outcomes(False)
 
 
 @pytest.fixture
@@ -39,12 +57,12 @@ def engine():
 
 @pytest.fixture
 def offline_mechanism():
-    return OfflineVCGMechanism()
+    return SanitizedMechanism(OfflineVCGMechanism())
 
 
 @pytest.fixture
 def online_mechanism():
-    return OnlineGreedyMechanism()
+    return SanitizedMechanism(OnlineGreedyMechanism())
 
 
 @pytest.fixture

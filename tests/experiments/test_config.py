@@ -26,7 +26,7 @@ class TestMechanismSpec:
 
     def test_build_with_kwargs(self):
         spec = MechanismSpec.of("fixed-price", price=7.5)
-        assert spec.build().price == 7.5
+        assert spec.build().price == pytest.approx(7.5)
 
     def test_display_label_defaults_to_name(self):
         assert MechanismSpec.of("offline-vcg").display_label == "offline-vcg"

@@ -89,14 +89,14 @@ class TestSolve:
         graph = TaskAssignmentGraph(schedule, [])
         allocation, welfare = graph.solve()
         assert allocation == {}
-        assert welfare == 0.0
+        assert welfare == pytest.approx(0.0)
 
     def test_empty_schedule(self, bids):
         schedule = TaskSchedule.from_counts([0, 0], value=10.0)
         graph = TaskAssignmentGraph(schedule, bids)
         allocation, welfare = graph.solve()
         assert allocation == {}
-        assert welfare == 0.0
+        assert welfare == pytest.approx(0.0)
 
 
 class TestWelfareWithoutPhone:

@@ -42,7 +42,7 @@ class TestResolveConfig:
         assert "online-greedy" in repr(OnlineGreedyMechanism())
 
     def test_metadata_defaults(self):
-        class Minimal(Mechanism):
+        class Minimal(Mechanism):  # repro: noqa-mechanism-contract -- this test asserts the inherited defaults, so it must not declare them
             def run(self, bids, schedule, config=None):  # pragma: no cover
                 raise NotImplementedError
 

@@ -33,7 +33,7 @@ class TestFixedPrice:
         mechanism = FixedPriceMechanism(price=5.0)
         bids = [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)]
         outcome = mechanism.run(bids, _schedule([1]))
-        assert outcome.payment(1) == 5.0
+        assert outcome.payment(1) == pytest.approx(5.0)
 
     def test_exact_price_accepted(self):
         mechanism = FixedPriceMechanism(price=5.0)
@@ -107,7 +107,7 @@ class TestRandomAllocation:
     def test_pay_as_bid(self):
         bids = [Bid(phone_id=1, arrival=1, departure=1, cost=3.0)]
         outcome = RandomAllocationMechanism(seed=0).run(bids, _schedule([1]))
-        assert outcome.payment(1) == 3.0
+        assert outcome.payment(1) == pytest.approx(3.0)
 
     def test_respects_windows(self):
         bids = [Bid(phone_id=1, arrival=2, departure=2, cost=1.0)]
@@ -140,7 +140,7 @@ class TestFifo:
     def test_pay_as_bid(self):
         bids = [Bid(phone_id=1, arrival=1, departure=1, cost=7.0)]
         outcome = FifoMechanism().run(bids, _schedule([1]))
-        assert outcome.payment(1) == 7.0
+        assert outcome.payment(1) == pytest.approx(7.0)
 
     def test_departed_phones_skipped(self):
         bids = [Bid(phone_id=1, arrival=1, departure=1, cost=1.0)]

@@ -52,7 +52,7 @@ class TestAllocation:
     def test_no_bids(self, mechanism):
         outcome = mechanism.run([], _schedule([2]))
         assert outcome.allocation == {}
-        assert outcome.total_payment == 0.0
+        assert outcome.total_payment == pytest.approx(0.0)
 
     def test_no_tasks(self, mechanism):
         bids = [Bid(phone_id=1, arrival=1, departure=2, cost=1.0)]
@@ -119,7 +119,7 @@ class TestVCGPayments:
             Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
         ]
         outcome = mechanism.run(bids, _schedule([1]))
-        assert outcome.payment(1) == 0.0
+        assert outcome.payment(1) == pytest.approx(0.0)
         assert 1 not in outcome.payments
 
     def test_payment_at_least_claimed_cost(self, mechanism):

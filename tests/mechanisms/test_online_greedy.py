@@ -120,7 +120,7 @@ class TestAlgorithm2Payments:
             Bid(phone_id=2, arrival=1, departure=1, cost=2.0),
         ]
         outcome = mechanism.run(bids, _schedule([1]))
-        assert outcome.payment(2) == 0.0
+        assert outcome.payment(2) == pytest.approx(0.0)
 
 
 class TestExactPaymentRule:

@@ -34,7 +34,7 @@ class TestBuiltins:
 
     def test_create_with_kwargs(self):
         mechanism = create_mechanism("fixed-price", price=7.0)
-        assert mechanism.price == 7.0
+        assert mechanism.price == pytest.approx(7.0)
 
     def test_create_online_with_options(self):
         mechanism = create_mechanism(

@@ -74,7 +74,7 @@ class TestCostLandscape:
         )
         point = landscape.points[0]
         assert not point.won
-        assert point.utility == 0.0
+        assert point.utility == pytest.approx(0.0)
 
     def test_empty_costs_rejected(self, phone1, bids, schedule):
         with pytest.raises(ValidationError):

@@ -34,7 +34,7 @@ class TestDefinition11:
             scenario, {0: 1, 1: 2}, {1: 6.0, 2: 9.0}
         )
         # Overpayment = (6−4) + (9−6) = 5; real costs = 10.
-        assert total_real_cost(outcome, scenario) == 10.0
+        assert total_real_cost(outcome, scenario) == pytest.approx(10.0)
         assert total_overpayment(outcome, scenario) == pytest.approx(5.0)
         assert overpayment_ratio(outcome, scenario) == pytest.approx(0.5)
 

@@ -174,6 +174,8 @@ class TestMonotonicityAudit:
 
         class HighestWins(Mechanism):
             name = "highest-wins"
+            is_truthful = False  # deliberately manipulable
+            is_online = False
 
             def run(self, bids, schedule, config=None):
                 self._resolve_config(bids, schedule, config)

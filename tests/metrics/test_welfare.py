@@ -45,7 +45,7 @@ class TestTrueSocialWelfare:
             allocation={},
             payments={},
         )
-        assert true_social_welfare(empty, scenario) == 0.0
+        assert true_social_welfare(empty, scenario) == pytest.approx(0.0)
 
     def test_uses_real_cost_not_claim(self, scenario):
         """A lying winner is valued at its real cost."""
@@ -74,7 +74,7 @@ class TestPhoneUtilities:
         utilities = phone_utilities(outcome, scenario)
         assert utilities[1] == pytest.approx(4.0)  # paid 6, cost 2
         assert utilities[2] == pytest.approx(3.0)  # paid 9, cost 6
-        assert utilities[3] == 0.0
+        assert utilities[3] == pytest.approx(0.0)
 
     def test_covers_non_bidding_phones(self, scenario):
         """Phones in the scenario that submitted no bid have utility 0."""
@@ -82,8 +82,8 @@ class TestPhoneUtilities:
         outcome = OnlineGreedyMechanism().run(bids, scenario.schedule)
         utilities = phone_utilities(outcome, scenario)
         assert set(utilities) == {1, 2, 3}
-        assert utilities[2] == 0.0
-        assert utilities[3] == 0.0
+        assert utilities[2] == pytest.approx(0.0)
+        assert utilities[3] == pytest.approx(0.0)
 
     def test_truthful_online_utilities_nonnegative(self, scenario):
         outcome = OnlineGreedyMechanism().run(

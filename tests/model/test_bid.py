@@ -14,7 +14,7 @@ class TestBidConstruction:
         assert bid.phone_id == 3
         assert bid.arrival == 2
         assert bid.departure == 5
-        assert bid.cost == 7.5
+        assert bid.cost == pytest.approx(7.5)
 
     def test_cost_normalised_to_float(self):
         bid = Bid(phone_id=0, arrival=1, departure=1, cost=4)
@@ -26,7 +26,7 @@ class TestBidConstruction:
         assert bid.active_length == 1
 
     def test_zero_cost_allowed(self):
-        assert Bid(phone_id=1, arrival=1, departure=2, cost=0.0).cost == 0.0
+        assert Bid(phone_id=1, arrival=1, departure=2, cost=0.0).cost == pytest.approx(0.0)
 
     def test_negative_phone_id_rejected(self):
         with pytest.raises(ValidationError):
@@ -77,8 +77,8 @@ class TestBidBehaviour:
     def test_with_cost_creates_new_bid(self):
         bid = Bid(phone_id=0, arrival=1, departure=2, cost=1.0)
         changed = bid.with_cost(9.0)
-        assert changed.cost == 9.0
-        assert bid.cost == 1.0
+        assert changed.cost == pytest.approx(9.0)
+        assert bid.cost == pytest.approx(1.0)
         assert changed.phone_id == bid.phone_id
 
     def test_with_window_creates_new_bid(self):
@@ -128,4 +128,4 @@ class TestBidSerialisation:
         }
         bid = Bid.from_dict(payload)
         assert bid.phone_id == 3
-        assert bid.cost == 4.5
+        assert bid.cost == pytest.approx(4.5)

@@ -95,7 +95,7 @@ class TestAccessors:
         assert [t.task_id for t in outcome.unserved_tasks] == [2]
 
     def test_payment_defaults_to_zero(self, outcome):
-        assert outcome.payment(2) == 0.0
+        assert outcome.payment(2) == pytest.approx(0.0)
 
     def test_payment_unknown_phone(self, outcome):
         with pytest.raises(MechanismError):
@@ -107,10 +107,10 @@ class TestAccessors:
         assert outcome.payment_slot(2) == 3
 
     def test_total_payment(self, outcome):
-        assert outcome.total_payment == 12.0
+        assert outcome.total_payment == pytest.approx(12.0)
 
     def test_bid_of(self, outcome):
-        assert outcome.bid_of(2).cost == 4.0
+        assert outcome.bid_of(2).cost == pytest.approx(4.0)
         with pytest.raises(MechanismError):
             outcome.bid_of(9)
 
@@ -125,7 +125,7 @@ class TestClaimedWelfare:
 
     def test_empty_allocation_zero(self, bids, schedule):
         empty = AuctionOutcome(bids, schedule, allocation={}, payments={})
-        assert empty.claimed_welfare == 0.0
+        assert empty.claimed_welfare == pytest.approx(0.0)
 
     def test_equality(self, bids, schedule, outcome):
         twin = AuctionOutcome(

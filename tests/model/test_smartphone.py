@@ -18,7 +18,7 @@ class TestProfileConstruction:
         assert profile.phone_id == 5
         assert profile.arrival == 2
         assert profile.departure == 6
-        assert profile.cost == 10.0
+        assert profile.cost == pytest.approx(10.0)
 
     def test_active_length(self, profile):
         assert profile.active_length == 5
@@ -83,16 +83,16 @@ class TestClaimConstraints:
 
 class TestUtility:
     def test_winner_utility(self, profile):
-        assert profile.utility(payment=15.0, allocated=True) == 5.0
+        assert profile.utility(payment=15.0, allocated=True) == pytest.approx(5.0)
 
     def test_loser_utility_zero_payment(self, profile):
-        assert profile.utility(payment=0.0, allocated=False) == 0.0
+        assert profile.utility(payment=0.0, allocated=False) == pytest.approx(0.0)
 
     def test_loser_with_payment_is_pure_gain(self, profile):
-        assert profile.utility(payment=3.0, allocated=False) == 3.0
+        assert profile.utility(payment=3.0, allocated=False) == pytest.approx(3.0)
 
     def test_underpaid_winner_negative(self, profile):
-        assert profile.utility(payment=4.0, allocated=True) == -6.0
+        assert profile.utility(payment=4.0, allocated=True) == pytest.approx(-6.0)
 
 
 class TestSerialisation:

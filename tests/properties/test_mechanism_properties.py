@@ -103,7 +103,7 @@ class TestPaymentInvariants:
             winner_ids = set(outcome.winners)
             for bid in bids:
                 if bid.phone_id not in winner_ids:
-                    assert outcome.payment(bid.phone_id) == 0.0
+                    assert outcome.payment(bid.phone_id) == pytest.approx(0.0)
 
     @given(instance=instances())
     @settings(max_examples=40, deadline=None)

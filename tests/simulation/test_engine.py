@@ -39,7 +39,7 @@ class TestRun:
             OfflineVCGMechanism(), tiny_scenario
         )
         assert result.utilities[1] == pytest.approx(2.0)
-        assert result.utilities[2] == 0.0
+        assert result.utilities[2] == pytest.approx(0.0)
 
     def test_service_rate(self, tiny_scenario):
         result = SimulationEngine().run(

@@ -41,9 +41,9 @@ class TestReconstruction:
         """'its cost 6 is smaller than those of Smartphones 3 and 6
         (with a cost of 11 and 8, respectively)'."""
         by_id = {p.phone_id: p for p in paper_example_profiles()}
-        assert by_id[7].cost == 6.0
-        assert by_id[3].cost == 11.0
-        assert by_id[6].cost == 8.0
+        assert by_id[7].cost == pytest.approx(6.0)
+        assert by_id[3].cost == pytest.approx(11.0)
+        assert by_id[6].cost == pytest.approx(8.0)
 
     def test_phone1_cost_3_window_2_5(self):
         """Fig. 5(b): phone 1 delayed by 2 reports [4, 5] ⇒ truth [2, 5];

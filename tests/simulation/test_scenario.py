@@ -82,8 +82,8 @@ class TestBidding:
             {1: CostScalingStrategy(2.0)}
         )
         by_phone = {b.phone_id: b for b in bids}
-        assert by_phone[1].cost == 6.0
-        assert by_phone[2].cost == 4.0
+        assert by_phone[1].cost == pytest.approx(6.0)
+        assert by_phone[2].cost == pytest.approx(4.0)
 
     def test_custom_default_strategy(self, scenario):
         bids = scenario.bids_from_strategies(

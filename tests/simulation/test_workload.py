@@ -20,7 +20,7 @@ class TestDefaults:
         assert config.num_slots == 50
         assert config.phone_rate == 6.0
         assert config.task_rate == 3.0
-        assert config.mean_cost == 25.0
+        assert config.mean_cost == pytest.approx(25.0)
         assert config.mean_active_length == 5
         assert config.task_value == 30.0
 
@@ -120,7 +120,7 @@ class TestGeneration:
         )
         assert scenario.num_phones == 8
         assert scenario.schedule.counts == (1, 1, 1, 1)
-        assert all(p.cost == 5.0 for p in scenario.profiles)
+        assert all(p.cost == pytest.approx(5.0) for p in scenario.profiles)
 
     def test_sweeping_task_rate_keeps_phone_population(self):
         """Independent streams: task-rate changes don't move phones."""

@@ -174,6 +174,60 @@ class TestExample:
         assert "gain" in out and "4" in out
 
 
+class TestLint:
+    def test_dirty_tree_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        code, out, _ = run_cli(capsys, "lint", str(tmp_path))
+        assert code == 1
+        assert "no-global-random" in out
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("import numpy as np\n\nrng = np.random.default_rng(0)\n")
+        code, out, _ = run_cli(capsys, "lint", str(tmp_path))
+        assert code == 0
+        assert "clean" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(acc=[]):\n    return acc\n")
+        code, out, _ = run_cli(
+            capsys, "lint", str(tmp_path), "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "no-mutable-default"
+
+    def test_rule_selection(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n\ndef f(acc=[]):\n    return acc\n")
+        code, out, _ = run_cli(
+            capsys, "lint", str(tmp_path), "--rule", "no-global-random"
+        )
+        assert code == 1
+        assert "no-mutable-default" not in out
+
+    def test_nonexistent_path_rejected(self, capsys, tmp_path):
+        # A typo'd path must not look clean.
+        code, _, err = run_cli(capsys, "lint", str(tmp_path / "nope"))
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_unknown_rule_rejected(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "lint", str(tmp_path), "--rule", "no-such-rule"
+        )
+        assert code == 2
+        assert "unknown lint rule" in err
+
+    def test_shipped_tree_is_clean(self, capsys):
+        # The acceptance bar: the linter passes on the repo itself.
+        code, out, _ = run_cli(capsys, "lint", "src", "tests", "benchmarks")
+        assert code == 0, out
+
+
 class TestReport:
     def test_report_to_stdout(self, capsys):
         code, out, _ = run_cli(capsys, "report", "--repetitions", "1")
