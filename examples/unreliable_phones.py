@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""How unreliable phones degrade the crowdsourcing market.
+
+The paper's model assumes every winner delivers its sensing task.  This
+example drops that assumption: phones drop out before their reported
+departure or simply fail to deliver, the platform withholds their
+payments and reallocates the task to the next cheapest active phone
+(bounded retry chain), and we measure what reliability costs — task
+completion rate and social-welfare degradation against a *paired*
+fault-free run of the exact same bids — as the dropout probability
+rises.
+
+Run:  python examples/unreliable_phones.py
+"""
+
+from __future__ import annotations
+
+from repro import WorkloadConfig
+from repro.experiments.ascii_plot import ascii_chart
+from repro.faults import FaultConfig, run_with_faults
+from repro.utils.tables import format_table
+
+WORKLOAD = WorkloadConfig(
+    num_slots=25,
+    phone_rate=5.0,
+    task_rate=2.5,
+    mean_cost=12.0,
+    mean_active_length=4,
+    task_value=25.0,
+)
+
+DROPOUT_PROBS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+SEEDS = range(5)
+
+
+def main() -> None:
+    scenarios = [WORKLOAD.generate(seed=seed) for seed in SEEDS]
+
+    rows = []
+    completion_curve = []
+    welfare_curve = []
+    for dropout in DROPOUT_PROBS:
+        config = FaultConfig(
+            dropout_prob=dropout,
+            task_failure_prob=0.05,
+        )
+        completion = []
+        recovered = []
+        degradation = []
+        withheld = []
+        for seed, scenario in zip(SEEDS, scenarios):
+            run = run_with_faults(
+                scenario, config, seed=seed, paired=True
+            )
+            reliability = run.reliability
+            completion.append(reliability.completion_rate)
+            recovered.append(reliability.recovered_fraction)
+            degradation.append(reliability.welfare_degradation)
+            withheld.append(reliability.payments_withheld)
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        rows.append(
+            [
+                f"{dropout:.1f}",
+                f"{100 * mean(completion):.1f}%",
+                f"{100 * mean(recovered):.1f}%",
+                f"{100 * mean(degradation):.1f}%",
+                f"{mean(withheld):.1f}",
+            ]
+        )
+        completion_curve.append((dropout, mean(completion)))
+        welfare_curve.append((dropout, 1.0 - mean(degradation)))
+
+    print(
+        format_table(
+            [
+                "dropout prob",
+                "completion",
+                "recovered",
+                "welfare lost",
+                "payments withheld",
+            ],
+            rows,
+            title=(
+                "Reliability vs. dropout probability "
+                f"(mean over {len(list(SEEDS))} seeded rounds, "
+                "paired fault-free baseline)"
+            ),
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            {
+                "completion rate": completion_curve,
+                "welfare retained": welfare_curve,
+            },
+            title="Reliability vs. dropout probability (x: prob, y: rate)",
+        )
+    )
+    print(
+        "\nEvery recovered outcome above passed the fault-aware "
+        "sanitizer: feasibility (4)-(6), IR for every paid winner, and "
+        "zero payment to any phone that failed to deliver."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,12 @@ from repro.experiments import (
     run_point,
     run_sweep,
 )
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    run_with_faults,
+)
 from repro.mechanisms import (
     Mechanism,
     OfflineVCGMechanism,
@@ -147,6 +153,11 @@ __all__ = [
     "replay_scenario",
     "run_campaign",
     "CampaignResult",
+    # fault injection & recovery
+    "FaultConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "run_with_faults",
     # metrics
     "true_social_welfare",
     "overpayment_ratio",

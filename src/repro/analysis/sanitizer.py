@@ -28,6 +28,12 @@ invariants that must hold on **all** runs:
     The outcome's reported claimed welfare equals ``Σ (ν − b_i)``
     recomputed independently over the allocation (Definition 3).
 
+``faults.nondeliverer-paid`` / ``faults.nondeliverer-allocated``
+    Fault-aware outcomes only (``non_deliverers`` given): a winner whose
+    delivery failed — it dropped out or never handed in results — must
+    receive zero payment and must not appear in the final allocation
+    (the recovery layer reassigns or abandons its task).
+
 :func:`sanitize_outcome` returns structured :class:`Violation` records;
 :class:`SanitizedMechanism` wraps any mechanism and either raises
 :class:`~repro.errors.SanitizationError` or collects.  The registry can
@@ -38,7 +44,7 @@ which the test suite switches on globally in ``tests/conftest.py``.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import SanitizationError
 from repro.mechanisms.base import Mechanism
@@ -80,12 +86,21 @@ def sanitize_outcome(
     outcome: AuctionOutcome,
     mechanism: Optional[Mechanism] = None,
     tolerance: float = _MONEY_TOLERANCE,
+    non_deliverers: Optional[Iterable[int]] = None,
+    require_ir: Optional[bool] = None,
 ) -> List[Violation]:
     """Check ``outcome`` against every per-run invariant.
 
     ``mechanism`` enables the mechanism-aware checks (IR is only an
     obligation for mechanisms declaring ``is_truthful``); without it the
     structural and accounting checks still run.
+
+    ``non_deliverers`` switches on the fault-aware checks for recovered
+    outcomes: phones listed there failed to deliver, so they must be
+    paid nothing and hold no final allocation.  ``require_ir`` forces
+    the individual-rationality check on (or off) regardless of the
+    mechanism's declaration — the fault-recovery layer passes ``True``
+    because IR for paying winners must survive reallocation.
     """
     violations: List[Violation] = []
     schedule = outcome.schedule
@@ -168,8 +183,46 @@ def sanitize_outcome(
                 )
             )
 
+    # -- Fault-aware checks (recovered outcomes) ------------------------
+    if non_deliverers is not None:
+        for phone_id in sorted(set(non_deliverers)):
+            amount = outcome.payments.get(phone_id, 0.0)
+            if amount > tolerance:
+                violations.append(
+                    Violation(
+                        check="faults.nondeliverer-paid",
+                        message=(
+                            f"phone {phone_id} failed to deliver but is "
+                            f"paid {amount:g}; payments are for "
+                            f"delivered sensing results only"
+                        ),
+                        phone_id=phone_id,
+                    )
+                )
+            for task_id, winner_id in allocation.items():
+                if winner_id == phone_id:
+                    violations.append(
+                        Violation(
+                            check="faults.nondeliverer-allocated",
+                            message=(
+                                f"task {task_id} is finally allocated "
+                                f"to phone {phone_id}, whose delivery "
+                                f"failed; the recovery layer must "
+                                f"reassign or abandon it"
+                            ),
+                            phone_id=phone_id,
+                            task_id=task_id,
+                        )
+                    )
+
     # -- Individual rationality (Definition 5) --------------------------
-    if mechanism is not None and getattr(mechanism, "is_truthful", False):
+    ir_obligation = (
+        require_ir
+        if require_ir is not None
+        else mechanism is not None
+        and getattr(mechanism, "is_truthful", False)
+    )
+    if ir_obligation:
         for task_id, phone_id in allocation.items():
             bid = bids_by_phone.get(phone_id)
             if bid is None:

@@ -13,8 +13,12 @@ from repro.auction.events import (
     AuctionEvent,
     BidSubmitted,
     PaymentSettled,
+    PaymentWithheld,
+    PhoneDropped,
     SlotClosed,
     TaskAllocated,
+    TaskFailed,
+    TaskReassigned,
     TasksAnnounced,
     TaskUnserved,
 )
@@ -41,4 +45,8 @@ __all__ = [
     "TaskUnserved",
     "PaymentSettled",
     "SlotClosed",
+    "PhoneDropped",
+    "TaskFailed",
+    "TaskReassigned",
+    "PaymentWithheld",
 ]

@@ -98,3 +98,70 @@ class SlotClosed(AuctionEvent):
             f"[slot {self.slot}] closed; {self.pool_size} active "
             f"unallocated phone(s) remain"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class PhoneDropped(AuctionEvent):
+    """A smartphone departed early, without notice, during ``slot``."""
+
+    phone_id: int
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] phone {self.phone_id} dropped out "
+            f"before its reported departure"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailed(AuctionEvent):
+    """An allocated task's winner failed to deliver it.
+
+    ``reason`` is ``"dropout"`` (the winner departed early) or
+    ``"no-delivery"`` (the winner stayed but never handed in results).
+    """
+
+    task_id: int
+    phone_id: int
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] task {self.task_id} failed: phone "
+            f"{self.phone_id} did not deliver ({self.reason})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskReassigned(AuctionEvent):
+    """A failed task was reallocated to the next cheapest eligible bid."""
+
+    task_id: int
+    from_phone: int
+    to_phone: int
+    claimed_cost: float
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] task {self.task_id} reassigned: phone "
+            f"{self.from_phone} -> phone {self.to_phone} (claimed cost "
+            f"{self.claimed_cost:g})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PaymentWithheld(AuctionEvent):
+    """A non-delivering winner's payment was withheld.
+
+    The payment rule pays for delivered sensing results only; a winner
+    that drops out or fails its task is paid nothing.
+    """
+
+    phone_id: int
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] payment withheld from phone "
+            f"{self.phone_id} ({self.reason})"
+        )

@@ -12,7 +12,7 @@ per-round plus cumulative accounting.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.mechanisms.base import Mechanism
@@ -23,6 +23,9 @@ from repro.simulation.scenario import Scenario
 from repro.simulation.workload import WorkloadConfig
 from repro.utils.rng import RngStreams
 from repro.utils.validation import check_in_range, check_positive, check_type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.faults.plan import FaultConfig
 
 #: Retry policies for phones that ended a round unallocated.
 RETRY_NONE = "none"       # every round draws a fresh population
@@ -45,6 +48,9 @@ class CampaignResult:
         ``None`` when no round had a defined ratio).
     returning_phones:
         How many phones re-entered later rounds under the retry policy.
+    dropped_phones / delivery_failures / recovered_tasks:
+        Cumulative fault accounting across rounds (all zero unless the
+        campaign ran with ``fault_config``).
     """
 
     rounds: Tuple[SimulationResult, ...]
@@ -53,6 +59,9 @@ class CampaignResult:
     welfare_per_round: Summary
     overpayment_per_round: Optional[Summary]
     returning_phones: int
+    dropped_phones: int = 0
+    delivery_failures: int = 0
+    recovered_tasks: int = 0
 
     @property
     def num_rounds(self) -> int:
@@ -88,6 +97,8 @@ def run_campaign(
     seed: int = 0,
     retry_policy: str = RETRY_NONE,
     max_retries_per_round: int = 1000,
+    fault_config: Optional["FaultConfig"] = None,
+    fault_seed: Optional[int] = None,
 ) -> CampaignResult:
     """Run ``num_rounds`` consecutive rounds of ``workload``.
 
@@ -107,6 +118,17 @@ def run_campaign(
         (and a fresh id, since ids are per-round).
     max_retries_per_round:
         Safety cap on carried-over phones per round.
+    fault_config:
+        Optional :class:`~repro.faults.FaultConfig`; when given, every
+        round runs through the fault-aware platform driver
+        (:func:`~repro.faults.run_with_faults`) instead of the plain
+        mechanism, and only *delivering* winners count as winners — a
+        phone that dropped out or failed its task re-enters the next
+        round under the ``"losers"`` policy.  Requires the
+        ``online-greedy`` mechanism (faults are a platform-level
+        phenomenon; batch mechanisms have no slot to drop out of).
+    fault_seed:
+        Master seed of the per-round fault draws (default: ``seed``).
     """
     check_type("num_rounds", num_rounds, int)
     check_positive("num_rounds", num_rounds)
@@ -116,12 +138,22 @@ def run_campaign(
             f"unknown retry_policy {retry_policy!r}; expected one of "
             f"{_POLICIES}"
         )
+    if fault_config is not None and mechanism.name != "online-greedy":
+        raise SimulationError(
+            f"fault injection requires the 'online-greedy' mechanism "
+            f"(faults unfold slot by slot on the platform), got "
+            f"{mechanism.name!r}"
+        )
 
     streams = RngStreams(seed)
+    fault_streams = RngStreams(fault_seed if fault_seed is not None else seed)
     engine = SimulationEngine()
     results: List[SimulationResult] = []
     carried: List[SmartphoneProfile] = []
     returning = 0
+    dropped = 0
+    failures = 0
+    recovered = 0
 
     for round_index in range(num_rounds):
         base = workload.generate(seed=streams.child(round_index).seed)
@@ -144,11 +176,25 @@ def run_campaign(
             base.schedule,
             metadata={**base.metadata, "round": round_index},
         )
-        result = engine.run(mechanism, scenario)
+        if fault_config is not None:
+            from repro.faults.recovery import run_with_faults
+
+            faulty = run_with_faults(
+                scenario,
+                fault_config,
+                seed=fault_streams.child(round_index).seed,
+            )
+            result = faulty.result
+            winner_ids = set(faulty.report.delivered)
+            dropped += len(faulty.report.dropped)
+            failures += len(faulty.report.failed_deliverers)
+            recovered += len(faulty.report.recovered_tasks)
+        else:
+            result = engine.run(mechanism, scenario)
+            winner_ids = set(result.outcome.winners)
         results.append(result)
 
         if retry_policy == RETRY_LOSERS:
-            winner_ids = set(result.outcome.winners)
             carried = [
                 profile
                 for profile in scenario.profiles
@@ -166,4 +212,7 @@ def run_campaign(
         welfare_per_round=summarize([r.true_welfare for r in results]),
         overpayment_per_round=summarize(defined) if defined else None,
         returning_phones=returning,
+        dropped_phones=dropped,
+        delivery_failures=failures,
+        recovered_tasks=recovered,
     )

@@ -15,19 +15,37 @@ deployed platform would:
 
 The integration tests assert that a full platform run produces an
 outcome equal to the batch mechanism's on the same inputs.
+
+Fault recovery
+--------------
+Real smartphones are unreliable: they depart early without notice or
+fail to hand in sensing results.  The platform supports both through
+:meth:`~CrowdsourcingPlatform.report_dropout` and
+:meth:`~CrowdsourcingPlatform.report_task_failure`.  Delivery is
+confirmed when a winner's payment settles (its reported departure slot);
+a winner that drops out or fails before then forfeits its task and its
+payment (``PaymentWithheld``), and the platform reallocates the task
+in-slot to the next cheapest active unallocated bid whose claimed window
+covers the task's slot (a bounded retry chain, ``max_reassignments`` per
+task).  When no faults are reported the behaviour — and the outcome — is
+identical to the fault-free platform.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.auction.events import (
     AuctionEvent,
     BidSubmitted,
     PaymentSettled,
+    PaymentWithheld,
+    PhoneDropped,
     SlotClosed,
     TaskAllocated,
+    TaskFailed,
+    TaskReassigned,
     TasksAnnounced,
     TaskUnserved,
 )
@@ -56,10 +74,15 @@ class CrowdsourcingPlatform:
     payment_rule:
         ``"paper"`` (Algorithm 2) or ``"exact"`` (binary-search critical
         value).
+    max_reassignments:
+        Bound on the per-task recovery chain: after this many
+        reassignments a task that fails again is abandoned
+        (``TaskUnserved``).
 
     Usage: per slot, call :meth:`submit_bid` / :meth:`submit_tasks` in
     any order, then :meth:`close_slot`; after the last slot call
-    :meth:`finalize`.
+    :meth:`finalize`.  :meth:`report_dropout` and
+    :meth:`report_task_failure` may be called in any open slot.
     """
 
     def __init__(
@@ -67,6 +90,7 @@ class CrowdsourcingPlatform:
         num_slots: int,
         reserve_price: bool = False,
         payment_rule: str = "paper",
+        max_reassignments: int = 3,
     ) -> None:
         check_type("num_slots", num_slots, int)
         check_positive("num_slots", num_slots)
@@ -74,15 +98,23 @@ class CrowdsourcingPlatform:
             raise MechanismError(
                 f"unknown payment_rule {payment_rule!r}"
             )
+        check_type("max_reassignments", max_reassignments, int)
+        if max_reassignments < 0:
+            raise MechanismError(
+                f"max_reassignments must be >= 0, got {max_reassignments}"
+            )
         self._num_slots = num_slots
         self._reserve_price = bool(reserve_price)
         self._payment_rule = payment_rule
+        self._max_reassignments = max_reassignments
 
         self._current_slot = 1
         self._finished = False
+        self._finalized = False
         self._all_bids: Dict[int, Bid] = {}
         self._pool: List[Tuple[Tuple[float, int, int], Bid]] = []
         self._tasks: List[SensingTask] = []
+        self._tasks_by_id: Dict[int, SensingTask] = {}
         self._pending_tasks: List[SensingTask] = []
         self._next_task_id = 0
         self._allocation: Dict[int, int] = {}
@@ -90,6 +122,14 @@ class CrowdsourcingPlatform:
         self._payments: Dict[int, float] = {}
         self._payment_slots: Dict[int, int] = {}
         self._events: List[AuctionEvent] = []
+        # -- fault-recovery state ---------------------------------------
+        self._dropped: Dict[int, int] = {}      # phone -> drop slot
+        self._unreliable: Set[int] = set()      # will fail delivery
+        self._failed: Dict[int, int] = {}       # phone -> failure slot
+        self._withheld: Dict[int, int] = {}     # phone -> withhold slot
+        self._delivered: Set[int] = set()       # delivery confirmed
+        self._reassigned: Set[int] = set()      # won via reassignment
+        self._reassign_counts: Dict[int, int] = {}  # task -> chain length
 
     # ------------------------------------------------------------------
     # State inspection
@@ -121,7 +161,34 @@ class CrowdsourcingPlatform:
             1
             for _, bid in self._pool
             if bid.departure >= self._current_slot
+            and bid.phone_id not in self._dropped
+            and bid.phone_id not in self._failed
         )
+
+    @property
+    def dropped_phones(self) -> Dict[int, int]:
+        """Copy of the ``phone_id -> slot`` early-departure record."""
+        return dict(self._dropped)
+
+    @property
+    def failed_deliverers(self) -> Dict[int, int]:
+        """Copy of the ``phone_id -> slot`` delivery-failure record."""
+        return dict(self._failed)
+
+    @property
+    def withheld_payments(self) -> Dict[int, int]:
+        """Copy of the ``phone_id -> slot`` payment-withhold record."""
+        return dict(self._withheld)
+
+    @property
+    def delivered_phones(self) -> Tuple[int, ...]:
+        """Phones whose delivery was confirmed (settled), sorted."""
+        return tuple(sorted(self._delivered))
+
+    @property
+    def reassignment_counts(self) -> Dict[int, int]:
+        """Copy of the ``task_id -> reassignments`` recovery record."""
+        return dict(self._reassign_counts)
 
     # ------------------------------------------------------------------
     # Submissions
@@ -187,6 +254,148 @@ class CrowdsourcingPlatform:
         return created
 
     # ------------------------------------------------------------------
+    # Fault reports
+    # ------------------------------------------------------------------
+    def report_dropout(self, phone_id: int) -> None:
+        """A phone departed during the current slot, without notice.
+
+        The phone leaves the pool immediately and can never be allocated
+        again.  If it holds an allocation whose delivery was not yet
+        confirmed (delivery is confirmed at payment settlement, i.e. the
+        reported departure slot), the task fails, the payment is
+        withheld, and the platform attempts an in-slot reallocation.
+        """
+        self._check_open()
+        bid = self._all_bids.get(phone_id)
+        if bid is None:
+            raise MechanismError(
+                f"cannot drop phone {phone_id}: it never submitted a bid"
+            )
+        if phone_id in self._dropped:
+            raise MechanismError(
+                f"phone {phone_id} already dropped out in slot "
+                f"{self._dropped[phone_id]}"
+            )
+        if bid.departure < self._current_slot:
+            raise MechanismError(
+                f"phone {phone_id} reported departure {bid.departure} and "
+                f"has already left; it cannot drop out in slot "
+                f"{self._current_slot}"
+            )
+        slot = self._current_slot
+        self._dropped[phone_id] = slot
+        self._events.append(PhoneDropped(slot=slot, phone_id=phone_id))
+        if phone_id in self._win_slots and phone_id not in self._delivered:
+            self._fail_delivery(phone_id, reason="dropout")
+
+    def report_task_failure(self, phone_id: int) -> None:
+        """Mark a phone as a non-deliverer: it will fail its task.
+
+        The phone behaves normally through bidding and allocation, but
+        when its delivery would be confirmed (its reported departure
+        slot) it hands in nothing — the task fails, the payment is
+        withheld, and the platform attempts an in-slot reallocation.
+        """
+        self._check_open()
+        if phone_id not in self._all_bids:
+            raise MechanismError(
+                f"cannot mark phone {phone_id} as failing: it never "
+                f"submitted a bid"
+            )
+        if phone_id in self._delivered:
+            raise MechanismError(
+                f"phone {phone_id} already delivered its task; it cannot "
+                f"fail retroactively"
+            )
+        if phone_id in self._dropped:
+            raise MechanismError(
+                f"phone {phone_id} already dropped out; reporting a task "
+                f"failure as well is redundant"
+            )
+        self._unreliable.add(phone_id)
+
+    def _fail_delivery(self, phone_id: int, reason: str) -> None:
+        """A winner did not deliver: forfeit task + payment, reallocate."""
+        slot = self._current_slot
+        task_id = next(
+            tid for tid, pid in self._allocation.items() if pid == phone_id
+        )
+        del self._allocation[task_id]
+        del self._win_slots[phone_id]
+        self._failed[phone_id] = slot
+        self._withheld[phone_id] = slot
+        self._events.append(
+            TaskFailed(
+                slot=slot, task_id=task_id, phone_id=phone_id, reason=reason
+            )
+        )
+        self._events.append(
+            PaymentWithheld(slot=slot, phone_id=phone_id, reason=reason)
+        )
+        self._reassign(task_id, failed_phone=phone_id)
+
+    def _reassign(self, task_id: int, failed_phone: int) -> None:
+        """Reallocate a failed task to the next cheapest eligible bid.
+
+        Eligibility: pooled (unallocated), still present, not dropped or
+        failed, claimed window covering the task's slot (constraint (4)),
+        and — with a reserve price — claimed cost at most the task value.
+        The chain is bounded by ``max_reassignments`` per task.
+        """
+        slot = self._current_slot
+        task = self._tasks_by_id[task_id]
+        count = self._reassign_counts.get(task_id, 0)
+        candidate = None
+        if count < self._max_reassignments:
+            candidate = self._pop_cheapest_covering(task)
+        if candidate is None:
+            self._events.append(TaskUnserved(slot=slot, task_id=task_id))
+            return
+        self._reassign_counts[task_id] = count + 1
+        self._allocation[task_id] = candidate.phone_id
+        self._win_slots[candidate.phone_id] = task.slot
+        self._reassigned.add(candidate.phone_id)
+        self._events.append(
+            TaskReassigned(
+                slot=slot,
+                task_id=task_id,
+                from_phone=failed_phone,
+                to_phone=candidate.phone_id,
+                claimed_cost=candidate.cost,
+            )
+        )
+
+    def _pop_cheapest_covering(self, task: SensingTask) -> Optional[Bid]:
+        """Cheapest pooled bid whose claimed window covers ``task``'s slot.
+
+        Unlike :meth:`_pop_cheapest`, eligibility is not monotone in the
+        heap order (a cheap bid may have arrived after the task's slot),
+        so ineligible-but-alive entries are stashed and pushed back.
+        """
+        slot = self._current_slot
+        stash: List[Tuple[Tuple[float, int, int], Bid]] = []
+        chosen: Optional[Bid] = None
+        while self._pool:
+            key, candidate = heapq.heappop(self._pool)
+            if (
+                candidate.departure < slot
+                or candidate.phone_id in self._dropped
+                or candidate.phone_id in self._failed
+            ):
+                continue  # permanently gone; drop from the heap
+            if self._reserve_price and candidate.cost > task.value:
+                stash.append((key, candidate))
+                break  # heap is cost-ordered: nobody cheaper remains
+            if candidate.arrival > task.slot:
+                stash.append((key, candidate))
+                continue  # alive but cannot cover the task's slot
+            chosen = candidate
+            break
+        for entry in stash:
+            heapq.heappush(self._pool, entry)
+        return chosen
+
+    # ------------------------------------------------------------------
     # Slot processing
     # ------------------------------------------------------------------
     def close_slot(self) -> None:
@@ -197,6 +406,7 @@ class CrowdsourcingPlatform:
         for task in self._pending_tasks:
             chosen = self._pop_cheapest(slot, task.value)
             self._tasks.append(task)
+            self._tasks_by_id[task.task_id] = task
             if chosen is None:
                 self._events.append(
                     TaskUnserved(slot=slot, task_id=task.task_id)
@@ -226,7 +436,11 @@ class CrowdsourcingPlatform:
         """The cheapest active pooled bid, honouring the reserve price."""
         while self._pool:
             _, candidate = self._pool[0]
-            if candidate.departure < slot:
+            if (
+                candidate.departure < slot
+                or candidate.phone_id in self._dropped
+                or candidate.phone_id in self._failed
+            ):
                 heapq.heappop(self._pool)
                 continue
             if self._reserve_price and candidate.cost > task_value:
@@ -235,53 +449,107 @@ class CrowdsourcingPlatform:
         return None
 
     def _settle_departures(self, slot: int) -> None:
-        """Pay every winner whose reported departure is this slot.
+        """Confirm deliveries and pay winners departing this slot.
 
         Algorithm 2 only consumes bids that arrived by the winner's
         departure and tasks announced by then — all known now — so the
         payment computed here equals the batch mechanism's.
+
+        A due winner previously marked unreliable
+        (:meth:`report_task_failure`) fails instead of delivering; the
+        resulting reallocation may hand the task to another phone that is
+        *also* due this slot, so the scan repeats until no due winner
+        remains (the chain is finite: every failure burns a phone).
         """
         schedule_so_far = TaskSchedule(
             num_slots=self._num_slots, tasks=self._tasks
         )
         known_bids = list(self._all_bids.values())
-        for phone_id, win_slot in self._win_slots.items():
-            if phone_id in self._payments:
-                continue
-            winner = self._all_bids[phone_id]
-            if winner.departure != slot:
-                continue
-            if self._payment_rule == "paper":
-                amount = algorithm2_payment(
-                    known_bids,
-                    schedule_so_far,
-                    winner,
-                    win_slot,
-                    reserve_price=self._reserve_price,
+        while True:
+            due = [
+                (phone_id, win_slot)
+                for phone_id, win_slot in self._win_slots.items()
+                if phone_id not in self._payments
+                and self._all_bids[phone_id].departure == slot
+            ]
+            if not due:
+                return
+            for phone_id, win_slot in due:
+                if self._win_slots.get(phone_id) != win_slot:
+                    continue  # reassigned away during this scan
+                if phone_id in self._unreliable:
+                    self._fail_delivery(phone_id, reason="no-delivery")
+                    continue
+                winner = self._all_bids[phone_id]
+                if self._payment_rule == "paper":
+                    amount = algorithm2_payment(
+                        known_bids,
+                        schedule_so_far,
+                        winner,
+                        win_slot,
+                        reserve_price=self._reserve_price,
+                    )
+                else:
+                    amount = exact_critical_payment(
+                        known_bids,
+                        schedule_so_far,
+                        winner,
+                        reserve_price=self._reserve_price,
+                    )
+                if phone_id in self._reassigned and amount < winner.cost:
+                    # A recovery winner was not the greedy choice in its
+                    # task's slot, so its critical value can sit below its
+                    # claimed cost; floor the payment to preserve
+                    # individual rationality for paying winners.
+                    amount = winner.cost
+                self._payments[phone_id] = amount
+                self._payment_slots[phone_id] = slot
+                self._delivered.add(phone_id)
+                self._events.append(
+                    PaymentSettled(
+                        slot=slot, phone_id=phone_id, amount=amount
+                    )
                 )
-            else:
-                amount = exact_critical_payment(
-                    known_bids,
-                    schedule_so_far,
-                    winner,
-                    reserve_price=self._reserve_price,
-                )
-            self._payments[phone_id] = amount
-            self._payment_slots[phone_id] = slot
-            self._events.append(
-                PaymentSettled(slot=slot, phone_id=phone_id, amount=amount)
+
+    def advance_to(self, slot: int) -> None:
+        """Close empty slots until ``slot`` is the open slot.
+
+        Convenience for sparse rounds.  Raises
+        :class:`~repro.errors.MechanismError` on out-of-order advancement
+        (a slot already closed) or a slot beyond the round horizon.
+        """
+        self._check_open()
+        check_type("slot", slot, int)
+        if slot < self._current_slot:
+            raise MechanismError(
+                f"cannot advance to slot {slot}: slot "
+                f"{self._current_slot} is already open (slots advance "
+                f"monotonically)"
             )
+        if slot > self._num_slots:
+            raise MechanismError(
+                f"cannot advance to slot {slot}: the round horizon is "
+                f"{self._num_slots}"
+            )
+        while self._current_slot < slot:
+            self.close_slot()
 
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def finalize(self) -> AuctionOutcome:
         """The round's outcome; requires every slot to be closed."""
+        if self._finalized:
+            raise MechanismError(
+                "finalize() already called: a round produces exactly one "
+                "outcome"
+            )
         if not self._finished:
             raise MechanismError(
                 f"round not finished: slot {self._current_slot} of "
                 f"{self._num_slots} still open"
             )
+        self._finalized = True
         schedule = TaskSchedule(num_slots=self._num_slots, tasks=self._tasks)
         return AuctionOutcome(
             bids=list(self._all_bids.values()),

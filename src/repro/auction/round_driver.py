@@ -16,6 +16,7 @@ import numpy as np
 from repro.agents.base import BiddingStrategy
 from repro.auction.events import AuctionEvent
 from repro.auction.platform import CrowdsourcingPlatform
+from repro.errors import SimulationError
 from repro.model.bid import Bid
 from repro.model.outcome import AuctionOutcome
 from repro.simulation.scenario import Scenario
@@ -34,7 +35,22 @@ def replay_scenario(
     full ordered event log.  With default arguments the outcome is
     identical to ``OnlineGreedyMechanism().run(...)`` on the truthful
     bids (asserted by the integration tests).
+
+    Raises
+    ------
+    SimulationError
+        If ``strategies`` assigns a strategy to a phone id that does not
+        exist in the scenario (a silent skip would make a typo in an
+        experiment config unfalsifiable).
     """
+    if strategies is not None:
+        known = {profile.phone_id for profile in scenario.profiles}
+        unknown = sorted(set(strategies) - known)
+        if unknown:
+            raise SimulationError(
+                f"strategies assigned to phone ids {unknown} that do not "
+                f"exist in the scenario (known ids: {sorted(known)})"
+            )
     if strategies:
         bids = scenario.bids_from_strategies(strategies, rng)
     else:

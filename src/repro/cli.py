@@ -14,7 +14,11 @@ Commands
     mechanism.
 ``campaign``
     Run a multi-round campaign (round-by-round operation, Section
-    III-B) with optional loser re-entry.
+    III-B) with optional loser re-entry and fault injection.
+``chaos``
+    Run one round under injected faults (dropouts, delivery failures,
+    bid delays/losses) paired against the fault-free run of the same
+    bids; print the reliability report.
 ``example``
     Walk through the paper's Fig. 4 / Fig. 5 worked example.
 ``lint``
@@ -122,6 +126,45 @@ def _add_mechanism_argument(
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dropout-prob", type=float, default=0.0,
+        help="probability a phone departs early without notice",
+    )
+    parser.add_argument(
+        "--failure-prob", type=float, default=0.0,
+        help="probability a winner fails to deliver its task",
+    )
+    parser.add_argument(
+        "--bid-delay-prob", type=float, default=0.0,
+        help="probability a bid reaches the platform late",
+    )
+    parser.add_argument(
+        "--bid-loss-prob", type=float, default=0.0,
+        help="probability a bid never reaches the platform",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault draw (default: the workload seed)",
+    )
+    parser.add_argument(
+        "--max-reassign", type=int, default=3,
+        help="recovery attempts per failed task (default 3)",
+    )
+
+
+def _fault_config_from_args(args: argparse.Namespace):
+    from repro.faults import FaultConfig
+
+    return FaultConfig(
+        dropout_prob=args.dropout_prob,
+        task_failure_prob=args.failure_prob,
+        bid_delay_prob=args.bid_delay_prob,
+        bid_loss_prob=args.bid_loss_prob,
+        max_reassignments=args.max_reassign,
+    )
+
+
 def _mechanism_from_args(args: argparse.Namespace):
     kwargs = {}
     if args.mechanism == "online-greedy":
@@ -183,6 +226,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         raise ReproError(
             f"unknown figure(s) {unknown}; available: {list(list_figures())}"
         )
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        from repro.experiments import CheckpointStore
+
+        checkpoint = CheckpointStore(args.checkpoint_dir)
     cache = {}
     for name in names:
         spec = figure_spec(
@@ -190,7 +238,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         )
         key = (spec.param, spec.values)
         if key not in cache:
-            cache[key] = run_sweep(spec)
+            cache[key] = run_sweep(
+                spec,
+                checkpoint=checkpoint,
+                retries=args.retries,
+                backoff=args.backoff,
+            )
         result = cache[key]
         metric = FIGURE_METRIC[name]
         print()
@@ -240,14 +293,76 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.passed and not ir else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import run_with_faults
+
+    scenario = _workload_from_args(args).generate(seed=args.seed)
+    config = _fault_config_from_args(args)
+    run = run_with_faults(
+        scenario,
+        config,
+        seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        reserve_price=args.reserve_price,
+        payment_rule=args.payment_rule,
+        paired=True,
+    )
+    report, reliability = run.report, run.reliability
+    print(
+        f"\n{scenario.num_phones} phones, {scenario.num_tasks} tasks, "
+        f"{scenario.num_slots} slots; faults: dropout={config.dropout_prob} "
+        f"failure={config.task_failure_prob} "
+        f"delay={config.bid_delay_prob} loss={config.bid_loss_prob}\n"
+    )
+    print(
+        format_table(
+            ["fault", "count"],
+            [
+                ["bids lost in transit", len(report.lost_bids)],
+                ["bids delayed", len(report.delayed_bids)],
+                ["phones dropped out", len(report.dropped)],
+                ["deliveries failed", len(report.failed_deliverers)],
+                ["payments withheld", len(report.withheld)],
+                ["tasks recovered", len(report.recovered_tasks)],
+                ["tasks abandoned", len(report.abandoned_tasks)],
+            ],
+            title="Injected faults & recovery",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["tasks delivered", reliability.tasks_delivered],
+                ["completion rate", reliability.completion_rate],
+                ["recovered fraction", reliability.recovered_fraction],
+                ["welfare (faulty)", reliability.welfare_faulty],
+                ["welfare (fault-free)", reliability.welfare_fault_free],
+                ["welfare degradation", reliability.welfare_degradation],
+            ],
+            title="Reliability vs. paired fault-free run",
+        )
+    )
+    print("\nrecovered outcome passed all fault-aware invariant checks")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     mechanism = _mechanism_from_args(args)
+    fault_config = None
+    if (
+        args.dropout_prob or args.failure_prob
+        or args.bid_delay_prob or args.bid_loss_prob
+    ):
+        fault_config = _fault_config_from_args(args)
     result = run_campaign(
         mechanism,
         _workload_from_args(args),
         num_rounds=args.rounds,
         seed=args.seed,
         retry_policy=RETRY_LOSERS if args.retry_losers else RETRY_NONE,
+        fault_config=fault_config,
+        fault_seed=args.fault_seed,
     )
     print(
         f"\ncampaign: {result.num_rounds} rounds, mechanism "
@@ -276,6 +391,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"total payment:    {result.total_payment:.1f}")
     print(f"welfare/round:    {result.welfare_per_round}")
     print(f"returning phones: {result.returning_phones}")
+    if fault_config is not None:
+        print(f"phones dropped:   {result.dropped_phones}")
+        print(f"failed deliveries:{result.delivery_failures}")
+        print(f"tasks recovered:  {result.recovered_tasks}")
     return 0
 
 
@@ -402,6 +521,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", type=pathlib.Path, default=None,
         help="also write each figure's CSV into this directory",
     )
+    figures.add_argument(
+        "--checkpoint-dir", type=pathlib.Path, default=None,
+        help="checkpoint each sweep point here; a rerun resumes past "
+        "completed points",
+    )
+    figures.add_argument(
+        "--retries", type=int, default=0,
+        help="retry a failing repetition this many times (default 0)",
+    )
+    figures.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base seconds between retry attempts (default 0)",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     audit = subparsers.add_parser(
@@ -425,7 +557,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-losers", action="store_true",
         help="losers of one round re-enter the next",
     )
+    _add_fault_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run one round under injected faults, paired fault-free",
+    )
+    _add_workload_arguments(chaos)
+    _add_fault_arguments(chaos)
+    chaos.add_argument(
+        "--reserve-price", action="store_true",
+        help="refuse bids above the task value",
+    )
+    chaos.add_argument(
+        "--payment-rule",
+        choices=("paper", "exact"),
+        default="paper",
+        help="Algorithm 2 or exact critical value",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     example = subparsers.add_parser(
         "example", help="walk through the paper's worked example"

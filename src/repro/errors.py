@@ -75,9 +75,27 @@ class SimulationError(ReproError):
     """
 
 
+class FaultError(SimulationError):
+    """The fault-injection layer was configured or used inconsistently.
+
+    Examples: a fault probability outside ``[0, 1]``, a dropout slot
+    outside the phone's active window, or a fault plan applied to a
+    scenario it was not built for.
+    """
+
+
 class ExperimentError(ReproError):
     """The experiment harness was configured inconsistently.
 
     Examples: an empty sweep, an unknown mechanism name, or zero
     repetitions.
+    """
+
+
+class CheckpointError(ExperimentError):
+    """A sweep checkpoint could not be written, read, or trusted.
+
+    Examples: a checkpoint file with an unknown schema version, a
+    checksum mismatch (corruption), or a payload recorded for a
+    different sweep point than the one requested.
     """

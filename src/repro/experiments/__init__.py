@@ -7,6 +7,11 @@ executes them over seeded repetitions and the report module renders the
 text tables and ASCII charts that stand in for the paper's plots.
 """
 
+from repro.experiments.checkpoint import (
+    CheckpointStore,
+    point_from_dict,
+    point_to_dict,
+)
 from repro.experiments.config import ExperimentConfig, MechanismSpec
 from repro.experiments.figures import (
     FIGURES,
@@ -45,4 +50,7 @@ __all__ = [
     "run_grid",
     "GridResult",
     "render_grid_heatmap",
+    "CheckpointStore",
+    "point_to_dict",
+    "point_from_dict",
 ]

@@ -5,12 +5,33 @@ setting over seeded repetitions; :func:`run_sweep` does that for every
 value of the swept parameter.  All scenarios at a sweep point are shared
 across mechanisms (same seeds → same instances), so mechanism
 comparisons are paired, not independent.
+
+Graceful degradation
+--------------------
+A repetition that raises can be retried (``retries`` attempts with
+exponential backoff); a repetition that keeps failing is dropped from
+*every* mechanism (pairing is preserved) and the point is marked
+``"partial"`` instead of aborting the sweep.  Passing a
+:class:`~repro.experiments.checkpoint.CheckpointStore` to
+:func:`run_sweep` persists each completed point atomically and resumes
+past completed points after a kill — a resumed sweep aggregates
+byte-identically to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ExperimentError
 from repro.experiments.config import (
@@ -19,8 +40,16 @@ from repro.experiments.config import (
 )
 from repro.experiments.sweeps import SweepSpec
 from repro.metrics.summary import Summary, summarize
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.experiments.checkpoint import CheckpointStore
+
+#: ``on_failure`` policies for repetitions that exhaust their retries.
+ON_FAILURE_RAISE = "raise"      # propagate the exception (default)
+ON_FAILURE_PARTIAL = "partial"  # drop the repetition, mark the point
+_ON_FAILURE = (ON_FAILURE_RAISE, ON_FAILURE_PARTIAL)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,11 +69,21 @@ class MechanismMetrics:
 
 @dataclasses.dataclass(frozen=True)
 class SweepPoint:
-    """All mechanisms' metrics at one swept parameter value."""
+    """All mechanisms' metrics at one swept parameter value.
+
+    ``status`` is ``"complete"`` when every repetition succeeded,
+    ``"partial"`` when some repetitions were dropped after exhausting
+    their retries, and ``"failed"`` when none succeeded (``metrics`` is
+    then empty).  ``completed_repetitions`` is ``None`` for points built
+    by callers that do not track repetition accounting.
+    """
 
     param: str
     value: Any
     metrics: Tuple[MechanismMetrics, ...]
+    status: str = "complete"
+    completed_repetitions: Optional[int] = None
+    failed_repetitions: int = 0
 
     def of(self, label: str) -> MechanismMetrics:
         """Metrics of the mechanism with ``label``."""
@@ -82,6 +121,8 @@ class SweepResult:
         """
         pairs: List[Tuple[Any, float]] = []
         for point in self.points:
+            if point.status == "failed":
+                continue  # no repetition survived; nothing to plot
             summary = getattr(point.of(label), metric)
             if summary is None:
                 continue
@@ -94,52 +135,153 @@ def run_point(
     workload: Optional[WorkloadConfig] = None,
     param: str = "",
     value: Any = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    sleep: Optional[Callable[[float], None]] = None,
+    on_failure: str = ON_FAILURE_RAISE,
 ) -> SweepPoint:
-    """Measure every configured mechanism on one workload setting."""
+    """Measure every configured mechanism on one workload setting.
+
+    Parameters
+    ----------
+    config / workload / param / value:
+        As before: the mechanisms, the effective workload, and the swept
+        coordinate this point sits at.
+    retries:
+        Extra attempts for a repetition whose execution raises.
+    backoff:
+        Base delay (seconds) between attempts; attempt ``k`` waits
+        ``backoff * 2**(k-1)``.  Zero disables waiting.
+    sleep:
+        Injection point for the backoff wait (tests pass a stub;
+        default: :func:`time.sleep`).
+    on_failure:
+        ``"raise"`` propagates a repetition's final failure;
+        ``"partial"`` drops the repetition from every mechanism (the
+        comparison stays paired) and records it in
+        ``failed_repetitions``.
+    """
+    if on_failure not in _ON_FAILURE:
+        raise ExperimentError(
+            f"on_failure must be one of {_ON_FAILURE}, got {on_failure!r}"
+        )
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
     effective = workload if workload is not None else config.workload
     engine = SimulationEngine()
-    scenarios = [effective.generate(seed) for seed in config.seeds()]
+    wait = sleep if sleep is not None else time.sleep
+    built = [(spec, spec.build()) for spec in config.mechanisms]
+
+    rows: List[List[SimulationResult]] = []
+    completed = 0
+    failed = 0
+    for seed in config.seeds():
+        row: Optional[List[SimulationResult]] = None
+        for attempt in range(retries + 1):
+            try:
+                scenario = effective.generate(seed)
+                row = [
+                    engine.run(mechanism, scenario)
+                    for _, mechanism in built
+                ]
+                break
+            except Exception:
+                if attempt >= retries:
+                    if on_failure == ON_FAILURE_RAISE:
+                        raise
+                    row = None
+                elif backoff > 0:
+                    wait(backoff * (2 ** attempt))
+        if row is None:
+            failed += 1
+            continue
+        completed += 1
+        rows.append(row)
+
+    if completed == 0:
+        return SweepPoint(
+            param=param,
+            value=value,
+            metrics=(),
+            status="failed",
+            completed_repetitions=0,
+            failed_repetitions=failed,
+        )
 
     metrics: List[MechanismMetrics] = []
-    for spec in config.mechanisms:
-        mechanism = spec.build()
-        welfare: List[float] = []
-        ratios: List[Optional[float]] = []
-        payments: List[float] = []
-        served: List[float] = []
-        for scenario in scenarios:
-            result = engine.run(mechanism, scenario)
-            welfare.append(result.true_welfare)
-            ratios.append(result.overpayment_ratio)
-            payments.append(result.total_payment)
-            served.append(float(result.tasks_served))
+    for index, (spec, _) in enumerate(built):
+        results = [row[index] for row in rows]
+        ratios = [r.overpayment_ratio for r in results]
         defined_ratios = [r for r in ratios if r is not None]
         metrics.append(
             MechanismMetrics(
                 label=spec.display_label,
-                welfare=summarize(welfare),
+                welfare=summarize([r.true_welfare for r in results]),
                 overpayment_ratio=(
                     summarize(defined_ratios) if defined_ratios else None
                 ),
-                total_payment=summarize(payments),
-                tasks_served=summarize(served),
+                total_payment=summarize(
+                    [r.total_payment for r in results]
+                ),
+                tasks_served=summarize(
+                    [float(r.tasks_served) for r in results]
+                ),
             )
         )
-    return SweepPoint(param=param, value=value, metrics=tuple(metrics))
+    return SweepPoint(
+        param=param,
+        value=value,
+        metrics=tuple(metrics),
+        status="complete" if failed == 0 else "partial",
+        completed_repetitions=completed,
+        failed_repetitions=failed,
+    )
 
 
-def run_sweep(spec: SweepSpec) -> SweepResult:
-    """Execute a parameter sweep."""
+def run_sweep(
+    spec: SweepSpec,
+    checkpoint: Optional["CheckpointStore"] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    sleep: Optional[Callable[[float], None]] = None,
+    on_failure: Optional[str] = None,
+) -> SweepResult:
+    """Execute a parameter sweep, optionally checkpointed and resumable.
+
+    With a ``checkpoint`` store, every completed point is persisted
+    atomically and any point already on disk (valid schema + checksum)
+    is loaded instead of recomputed, so a killed sweep resumes where it
+    stopped and aggregates byte-identically to an uninterrupted run.
+
+    ``on_failure`` defaults to ``"partial"`` when resilience was asked
+    for (``retries > 0`` or a checkpoint store) and ``"raise"``
+    otherwise, preserving the historical fail-fast behaviour.
+    """
+    if on_failure is None:
+        resilient = retries > 0 or checkpoint is not None
+        on_failure = ON_FAILURE_PARTIAL if resilient else ON_FAILURE_RAISE
     points: List[SweepPoint] = []
     for value in spec.values:
-        workload = apply_workload_override(
-            spec.config.workload, spec.param, value
-        )
-        points.append(
-            run_point(
-                spec.config, workload=workload, param=spec.param, value=value
+        point: Optional[SweepPoint] = None
+        if checkpoint is not None:
+            point = checkpoint.load_point(spec.name, spec.param, value)
+        if point is None:
+            workload = apply_workload_override(
+                spec.config.workload, spec.param, value
             )
-        )
+            point = run_point(
+                spec.config,
+                workload=workload,
+                param=spec.param,
+                value=value,
+                retries=retries,
+                backoff=backoff,
+                sleep=sleep,
+                on_failure=on_failure,
+            )
+            if checkpoint is not None:
+                checkpoint.save_point(spec.name, point)
+        points.append(point)
     return SweepResult(
         name=spec.name,
         param=spec.param,

@@ -1,0 +1,39 @@
+"""Deterministic fault injection, platform recovery, and reliability.
+
+The paper's premise is that smartphones are *dynamic* — they arrive and
+depart unpredictably — yet a plain reproduction assumes every winner
+delivers its sensing task.  This package drops that assumption:
+
+* :mod:`repro.faults.plan` — the fault model: seeded, replayable
+  schedules of phone dropouts, task-completion failures, and
+  delayed/lost bid submissions;
+* :mod:`repro.faults.injector` — deterministic plan drawing from a
+  master seed via :class:`~repro.utils.rng.RngStreams`;
+* :mod:`repro.faults.recovery` — the fault-aware round driver: feeds a
+  scenario through :class:`~repro.auction.CrowdsourcingPlatform`, which
+  withholds payments from non-deliverers and reallocates failed tasks
+  in-slot, then sanitizes and packages the recovered outcome.
+
+Reliability metrics (completion rate, recovered fraction, welfare
+degradation) live in :mod:`repro.metrics.reliability`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultConfig, FaultPlan, PhoneFaults
+from repro.faults.recovery import (
+    FaultReport,
+    FaultyRunResult,
+    apply_bid_faults,
+    run_with_faults,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "PhoneFaults",
+    "FaultInjector",
+    "FaultReport",
+    "FaultyRunResult",
+    "apply_bid_faults",
+    "run_with_faults",
+]

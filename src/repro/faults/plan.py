@@ -1,0 +1,246 @@
+"""The deterministic fault model: what goes wrong, and when.
+
+A :class:`FaultConfig` describes *how unreliable* the smartphone
+population is (dropout / task-failure / bid-delay / bid-loss
+probabilities); a :class:`FaultPlan` is the materialised schedule of
+faults for one concrete :class:`~repro.simulation.Scenario` — which
+phone departs early in which slot, which winner fails to deliver, whose
+bid is delayed or lost.  Plans are pure data: building one from a seed
+is deterministic (see :class:`~repro.faults.injector.FaultInjector`), so
+any scenario can be replayed identically with and without faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.utils.validation import check_type
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise FaultError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    if not 0.0 <= float(value) <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Unreliability knobs for a smartphone population.
+
+    Attributes
+    ----------
+    dropout_prob:
+        Per-phone probability of departing early without notice; the
+        drop slot is uniform over the phone's real active window.
+    task_failure_prob:
+        Per-phone probability of never delivering an allocated task.
+    bid_delay_prob:
+        Per-phone probability of submitting the bid late; the delay is
+        uniform on ``[1, max_bid_delay]`` slots and shrinks the claimed
+        window (a bid delayed past the departure is lost).
+    max_bid_delay:
+        Largest possible submission delay, in slots (>= 1).
+    bid_loss_prob:
+        Per-phone probability of the bid never reaching the platform.
+    max_reassignments:
+        Bound on the platform's per-task recovery chain.
+    """
+
+    dropout_prob: float = 0.0
+    task_failure_prob: float = 0.0
+    bid_delay_prob: float = 0.0
+    max_bid_delay: int = 2
+    bid_loss_prob: float = 0.0
+    max_reassignments: int = 3
+
+    def __post_init__(self) -> None:
+        _check_probability("dropout_prob", self.dropout_prob)
+        _check_probability("task_failure_prob", self.task_failure_prob)
+        _check_probability("bid_delay_prob", self.bid_delay_prob)
+        _check_probability("bid_loss_prob", self.bid_loss_prob)
+        check_type("max_bid_delay", self.max_bid_delay, int)
+        if self.max_bid_delay < 1:
+            raise FaultError(
+                f"max_bid_delay must be >= 1, got {self.max_bid_delay}"
+            )
+        check_type("max_reassignments", self.max_reassignments, int)
+        if self.max_reassignments < 0:
+            raise FaultError(
+                f"max_reassignments must be >= 0, got "
+                f"{self.max_reassignments}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (plan metadata, reports)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultConfig":
+        """Inverse of :meth:`to_dict` (validates on reconstruction)."""
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise FaultError(f"malformed fault config: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class PhoneFaults:
+    """The faults scheduled for one smartphone.
+
+    Attributes
+    ----------
+    phone_id:
+        The afflicted phone.
+    dropout_slot:
+        Slot (1-based) during which the phone departs early, or ``None``
+        for a phone that stays its full window.
+    fails_task:
+        Whether the phone fails to deliver an allocated task.
+    bid_delay:
+        Slots the bid submission is delayed by (0 for on-time).
+    bid_lost:
+        Whether the bid is lost entirely (never submitted).
+    """
+
+    phone_id: int
+    dropout_slot: Optional[int] = None
+    fails_task: bool = False
+    bid_delay: int = 0
+    bid_lost: bool = False
+
+    def __post_init__(self) -> None:
+        check_type("phone_id", self.phone_id, int)
+        if self.dropout_slot is not None:
+            check_type("dropout_slot", self.dropout_slot, int)
+            if self.dropout_slot < 1:
+                raise FaultError(
+                    f"dropout_slot must be >= 1, got {self.dropout_slot}"
+                )
+        check_type("bid_delay", self.bid_delay, int)
+        if self.bid_delay < 0:
+            raise FaultError(
+                f"bid_delay must be >= 0, got {self.bid_delay}"
+            )
+
+    @property
+    def is_faulty(self) -> bool:
+        """Whether any fault is actually scheduled."""
+        return (
+            self.dropout_slot is not None
+            or self.fails_task
+            or self.bid_delay > 0
+            or self.bid_lost
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PhoneFaults":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise FaultError(f"malformed phone faults: {exc}") from exc
+
+
+class FaultPlan:
+    """The full fault schedule for one scenario.
+
+    Parameters
+    ----------
+    faults:
+        Per-phone fault records; phones without a record are reliable.
+        Records with no scheduled fault are dropped.
+    config:
+        The :class:`FaultConfig` the plan was drawn under (carried for
+        ``max_reassignments`` and for reporting).
+    seed:
+        The master seed the plan was drawn from, or ``None`` for a
+        hand-built plan.
+    """
+
+    def __init__(
+        self,
+        faults: Mapping[int, PhoneFaults] = (),
+        config: Optional[FaultConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        by_id: Dict[int, PhoneFaults] = {}
+        for phone_id, record in dict(faults).items():
+            if not isinstance(record, PhoneFaults):
+                raise FaultError(
+                    f"faults must map phone ids to PhoneFaults, got "
+                    f"{type(record).__name__}"
+                )
+            if record.phone_id != phone_id:
+                raise FaultError(
+                    f"fault record for phone {record.phone_id} filed "
+                    f"under key {phone_id}"
+                )
+            if record.is_faulty:
+                by_id[phone_id] = record
+        self._faults = {pid: by_id[pid] for pid in sorted(by_id)}
+        self._config = config if config is not None else FaultConfig()
+        self._seed = seed
+
+    @property
+    def config(self) -> FaultConfig:
+        """The configuration the plan was drawn under."""
+        return self._config
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The master seed, or ``None`` for a hand-built plan."""
+        return self._seed
+
+    @property
+    def affected_phones(self) -> Tuple[int, ...]:
+        """Phone ids with at least one scheduled fault, sorted."""
+        return tuple(self._faults)
+
+    def for_phone(self, phone_id: int) -> Optional[PhoneFaults]:
+        """The fault record of ``phone_id``, or ``None`` if reliable."""
+        return self._faults.get(phone_id)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[PhoneFaults]:
+        return iter(self._faults.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (trace archiving, debugging)."""
+        return {
+            "seed": self._seed,
+            "config": self._config.to_dict(),
+            "faults": [record.to_dict() for record in self],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (validates on reconstruction)."""
+        try:
+            records = [
+                PhoneFaults.from_dict(entry) for entry in payload["faults"]
+            ]
+            config = FaultConfig.from_dict(payload["config"])
+            seed = payload["seed"]
+        except (KeyError, TypeError) as exc:
+            raise FaultError(f"malformed fault plan: {exc}") from exc
+        return cls(
+            faults={record.phone_id: record for record in records},
+            config=config,
+            seed=None if seed is None else int(seed),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(affected={len(self._faults)}, seed={self._seed})"
+        )

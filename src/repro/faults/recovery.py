@@ -1,0 +1,323 @@
+"""Drive a scenario through the platform with faults injected.
+
+:func:`run_with_faults` is the fault-aware sibling of
+:func:`~repro.auction.round_driver.replay_scenario`: it applies a
+:class:`~repro.faults.plan.FaultPlan` (or draws one from a
+:class:`~repro.faults.plan.FaultConfig` and a seed) while feeding the
+scenario through :class:`~repro.auction.CrowdsourcingPlatform`, lets the
+platform's recovery machinery reallocate failed tasks, and returns the
+finalized outcome together with complete fault bookkeeping.  With
+``paired=True`` it also runs the *same* bids fault-free on a second
+platform, enabling welfare-degradation metrics.
+
+Every recovered outcome is sanitized by default: structural feasibility
+(constraints (4)-(6)), individual rationality for paying winners, and
+zero payments to non-deliverers are enforced via
+:func:`repro.analysis.sanitizer.sanitize_outcome`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.agents.base import BiddingStrategy
+from repro.analysis.sanitizer import sanitize_outcome
+from repro.auction.events import AuctionEvent, TaskFailed
+from repro.auction.platform import CrowdsourcingPlatform
+from repro.errors import FaultError, SanitizationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.metrics.reliability import ReliabilityReport, reliability_report
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.scenario import Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultReport:
+    """Complete bookkeeping of one fault-injected run.
+
+    Attributes
+    ----------
+    plan:
+        The fault schedule that was applied.
+    submitted / lost_bids / delayed_bids:
+        Phones whose bid reached the platform, never reached it, and
+        reached it late (delayed bids also appear in ``submitted``).
+    dropped:
+        Phones that departed early (the reported dropouts).
+    failed_deliverers / withheld:
+        Winners whose delivery failed, and phones whose payment was
+        withheld (identical sets by construction).
+    delivered:
+        Winners whose delivery was confirmed and paid.
+    reassignments:
+        Per-task recovery chain lengths (``task_id -> count``).
+    failure_events:
+        Every ``TaskFailed`` incident, in platform order.
+    failed_tasks / recovered_tasks / abandoned_tasks:
+        Tasks that failed at least once; the subset ultimately delivered
+        by a replacement winner; the subset that ended unserved.
+    """
+
+    plan: FaultPlan
+    submitted: Tuple[int, ...]
+    lost_bids: Tuple[int, ...]
+    delayed_bids: Tuple[int, ...]
+    dropped: Tuple[int, ...]
+    failed_deliverers: Tuple[int, ...]
+    withheld: Tuple[int, ...]
+    delivered: Tuple[int, ...]
+    reassignments: Mapping[int, int]
+    failure_events: Tuple[TaskFailed, ...]
+    failed_tasks: Tuple[int, ...]
+    recovered_tasks: Tuple[int, ...]
+    abandoned_tasks: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultyRunResult:
+    """Everything produced by one fault-injected platform run.
+
+    Attributes
+    ----------
+    outcome / events:
+        The recovered :class:`~repro.model.AuctionOutcome` and the full
+        platform event log (including the fault events).
+    report:
+        The :class:`FaultReport` bookkeeping.
+    result:
+        The metric bundle of the faulty run.
+    fault_free:
+        The paired fault-free run of the same bids (``paired=True``
+        only).
+    reliability:
+        Completion/recovery/degradation metrics (``paired=True`` only).
+    """
+
+    outcome: AuctionOutcome
+    events: Tuple[AuctionEvent, ...]
+    report: FaultReport
+    result: SimulationResult
+    fault_free: Optional[SimulationResult] = None
+    reliability: Optional[ReliabilityReport] = None
+
+
+def apply_bid_faults(
+    bids: List[Bid], plan: FaultPlan
+) -> Tuple[List[Bid], Tuple[int, ...], Tuple[int, ...]]:
+    """Apply submission faults: lost and delayed bids.
+
+    Returns the effective bid list plus the phone ids whose bids were
+    lost and delayed.  A delayed bid claims its (later) submission slot
+    as arrival; a bid delayed past its departure — or past the phone's
+    scheduled dropout — is lost.
+    """
+    effective: List[Bid] = []
+    lost: List[int] = []
+    delayed: List[int] = []
+    for bid in bids:
+        record = plan.for_phone(bid.phone_id)
+        if record is None:
+            effective.append(bid)
+            continue
+        if record.bid_lost:
+            lost.append(bid.phone_id)
+            continue
+        arrival = bid.arrival + record.bid_delay
+        if arrival > bid.departure:
+            lost.append(bid.phone_id)
+            continue
+        if record.dropout_slot is not None and arrival > record.dropout_slot:
+            lost.append(bid.phone_id)
+            continue
+        if record.bid_delay:
+            delayed.append(bid.phone_id)
+            bid = bid.with_window(arrival, bid.departure)
+        effective.append(bid)
+    return effective, tuple(lost), tuple(delayed)
+
+
+def _drive(
+    bids: List[Bid],
+    scenario: Scenario,
+    plan: Optional[FaultPlan],
+    reserve_price: bool,
+    payment_rule: str,
+    max_reassignments: int,
+) -> CrowdsourcingPlatform:
+    """Feed ``bids`` through a platform, reporting faults when given."""
+    by_arrival: Dict[int, List[Bid]] = {}
+    for bid in bids:
+        by_arrival.setdefault(bid.arrival, []).append(bid)
+    dropouts_at: Dict[int, List[int]] = {}
+    if plan is not None:
+        departures = {bid.phone_id: bid.departure for bid in bids}
+        for record in plan:
+            if record.phone_id not in departures:
+                continue  # bid lost: the phone never joined
+            if record.dropout_slot is None:
+                continue
+            if record.dropout_slot > departures[record.phone_id]:
+                continue  # "drops" after its claimed departure: a no-op
+            dropouts_at.setdefault(record.dropout_slot, []).append(
+                record.phone_id
+            )
+
+    platform = CrowdsourcingPlatform(
+        num_slots=scenario.num_slots,
+        reserve_price=reserve_price,
+        payment_rule=payment_rule,
+        max_reassignments=max_reassignments,
+    )
+    for slot in range(1, scenario.num_slots + 1):
+        for bid in by_arrival.get(slot, ()):
+            platform.submit_bid(bid)
+            if plan is not None:
+                record = plan.for_phone(bid.phone_id)
+                if record is not None and record.fails_task:
+                    platform.report_task_failure(bid.phone_id)
+        for phone_id in dropouts_at.get(slot, ()):
+            platform.report_dropout(phone_id)
+        for task in scenario.schedule.tasks_in_slot(slot):
+            platform.submit_tasks(1, value=task.value)
+        platform.close_slot()
+    return platform
+
+
+def run_with_faults(
+    scenario: Scenario,
+    faults: Union[FaultConfig, FaultPlan],
+    seed: int = 0,
+    reserve_price: bool = False,
+    payment_rule: str = "paper",
+    strategies: Optional[Mapping[int, BiddingStrategy]] = None,
+    rng: Optional[np.random.Generator] = None,
+    sanitize: bool = True,
+    paired: bool = False,
+) -> FaultyRunResult:
+    """Run ``scenario`` through the platform with faults injected.
+
+    Parameters
+    ----------
+    scenario:
+        The round to execute.
+    faults:
+        Either a materialised :class:`FaultPlan`, or a
+        :class:`FaultConfig` from which a plan is drawn using ``seed``.
+    seed:
+        Master seed of the fault draw (ignored when a plan is given).
+    reserve_price / payment_rule:
+        Forwarded to the platform.
+    strategies / rng:
+        Optional per-phone bidding strategies (default: truthful); bids
+        are generated once and shared with the paired run.
+    sanitize:
+        Check the recovered outcome (feasibility, IR for paying winners,
+        zero payments to non-deliverers) and raise
+        :class:`~repro.errors.SanitizationError` on any violation.
+    paired:
+        Also run the same bids fault-free and attach the comparison
+        (:class:`~repro.metrics.reliability.ReliabilityReport`).
+    """
+    if isinstance(faults, FaultPlan):
+        plan = faults
+    elif isinstance(faults, FaultConfig):
+        plan = FaultInjector(faults).plan(scenario, seed=seed)
+    else:
+        raise FaultError(
+            f"faults must be a FaultConfig or FaultPlan, got "
+            f"{type(faults).__name__}"
+        )
+
+    if strategies:
+        bids = scenario.bids_from_strategies(strategies, rng)
+    else:
+        bids = scenario.truthful_bids()
+
+    effective, lost, delayed = apply_bid_faults(bids, plan)
+    platform = _drive(
+        effective,
+        scenario,
+        plan,
+        reserve_price=reserve_price,
+        payment_rule=payment_rule,
+        max_reassignments=plan.config.max_reassignments,
+    )
+    outcome = platform.finalize()
+    events = platform.events
+
+    failure_events = tuple(
+        event for event in events if isinstance(event, TaskFailed)
+    )
+    failed_tasks: Set[int] = {event.task_id for event in failure_events}
+    allocated = set(outcome.allocation)
+    report = FaultReport(
+        plan=plan,
+        submitted=tuple(bid.phone_id for bid in effective),
+        lost_bids=lost,
+        delayed_bids=delayed,
+        dropped=tuple(sorted(platform.dropped_phones)),
+        failed_deliverers=tuple(sorted(platform.failed_deliverers)),
+        withheld=tuple(sorted(platform.withheld_payments)),
+        delivered=platform.delivered_phones,
+        reassignments=platform.reassignment_counts,
+        failure_events=failure_events,
+        failed_tasks=tuple(sorted(failed_tasks)),
+        recovered_tasks=tuple(sorted(failed_tasks & allocated)),
+        abandoned_tasks=tuple(sorted(failed_tasks - allocated)),
+    )
+
+    if sanitize:
+        violations = sanitize_outcome(
+            outcome,
+            non_deliverers=report.failed_deliverers,
+            require_ir=True,
+        )
+        if violations:
+            details = "; ".join(str(v) for v in violations)
+            raise SanitizationError(
+                f"fault recovery produced an outcome violating "
+                f"{len(violations)} invariant"
+                f"{'s' if len(violations) != 1 else ''}: {details}",
+                violations=violations,
+            )
+
+    result = SimulationEngine.package("online-greedy+faults", outcome, scenario)
+
+    fault_free: Optional[SimulationResult] = None
+    reliability: Optional[ReliabilityReport] = None
+    if paired:
+        clean = _drive(
+            bids,
+            scenario,
+            plan=None,
+            reserve_price=reserve_price,
+            payment_rule=payment_rule,
+            max_reassignments=plan.config.max_reassignments,
+        )
+        fault_free = SimulationEngine.package(
+            "online-greedy", clean.finalize(), scenario
+        )
+        reliability = reliability_report(result, report, fault_free)
+
+    return FaultyRunResult(
+        outcome=outcome,
+        events=events,
+        report=report,
+        result=result,
+        fault_free=fault_free,
+        reliability=reliability,
+    )

@@ -29,6 +29,7 @@ from repro.metrics.landscape import (
     arrival_landscape,
     cost_landscape,
 )
+from repro.metrics.reliability import ReliabilityReport, reliability_report
 from repro.metrics.summary import Summary, summarize
 from repro.metrics.timeseries import (
     WaitingStats,
@@ -79,4 +80,6 @@ __all__ = [
     "LandscapePoint",
     "paired_comparison",
     "PairedComparison",
+    "ReliabilityReport",
+    "reliability_report",
 ]

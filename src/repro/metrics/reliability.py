@@ -1,0 +1,111 @@
+"""Reliability metrics for fault-injected runs.
+
+The paper's metrics (welfare, overpayment) assume every winner delivers.
+Under injected faults three more questions matter: how much of the
+workload still completed, how much of the damage the recovery layer
+repaired, and what the faults cost in welfare against the fault-free
+paired run of the *same* scenario.  :func:`reliability_report` answers
+all three from a faulty run, its fault bookkeeping, and (optionally) the
+paired fault-free run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from repro.simulation.engine import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.faults.recovery import FaultReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityReport:
+    """How a faulty run degraded, and how much recovery repaired.
+
+    Attributes
+    ----------
+    tasks_total / tasks_delivered:
+        Scheduled tasks and tasks whose final winner delivered.
+    completion_rate:
+        ``tasks_delivered / tasks_total`` (1.0 for an empty schedule).
+    delivery_failures:
+        Number of task-failure incidents (one task can fail repeatedly
+        along a reassignment chain).
+    tasks_recovered / tasks_abandoned:
+        Failed tasks that were ultimately delivered by a replacement
+        winner, and failed tasks that ended unserved.
+    recovered_fraction:
+        ``tasks_recovered / (tasks_recovered + tasks_abandoned)``;
+        ``None`` when no task ever failed.
+    phones_dropped / payments_withheld:
+        Early departures, and winners whose payment was withheld.
+    welfare_faulty / welfare_fault_free:
+        True social welfare of the faulty run and of the paired
+        fault-free run (``None`` when no paired run was supplied).
+    welfare_degradation:
+        ``(fault_free − faulty) / fault_free``; ``None`` without a
+        paired run or when the fault-free welfare is not positive.
+    """
+
+    tasks_total: int
+    tasks_delivered: int
+    completion_rate: float
+    delivery_failures: int
+    tasks_recovered: int
+    tasks_abandoned: int
+    recovered_fraction: Optional[float]
+    phones_dropped: int
+    payments_withheld: int
+    welfare_faulty: float
+    welfare_fault_free: Optional[float]
+    welfare_degradation: Optional[float]
+
+
+def reliability_report(
+    faulty: SimulationResult,
+    report: "FaultReport",
+    fault_free: Optional[SimulationResult] = None,
+) -> ReliabilityReport:
+    """Compute the reliability metrics of one fault-injected run.
+
+    Parameters
+    ----------
+    faulty:
+        The packaged result of the run with faults injected.
+    report:
+        The :class:`~repro.faults.recovery.FaultReport` of that run.
+    fault_free:
+        The paired fault-free run of the same scenario (same seeds, same
+        bids); enables the welfare-degradation metric.
+    """
+    total = len(faulty.outcome.schedule)
+    delivered = len(faulty.outcome.allocation)
+    recovered = len(report.recovered_tasks)
+    abandoned = len(report.abandoned_tasks)
+    ever_failed = recovered + abandoned
+
+    welfare_ff: Optional[float] = None
+    degradation: Optional[float] = None
+    if fault_free is not None:
+        welfare_ff = fault_free.true_welfare
+        if welfare_ff > 0:
+            degradation = (welfare_ff - faulty.true_welfare) / welfare_ff
+
+    return ReliabilityReport(
+        tasks_total=total,
+        tasks_delivered=delivered,
+        completion_rate=1.0 if total == 0 else delivered / total,
+        delivery_failures=len(report.failure_events),
+        tasks_recovered=recovered,
+        tasks_abandoned=abandoned,
+        recovered_fraction=(
+            recovered / ever_failed if ever_failed else None
+        ),
+        phones_dropped=len(report.dropped),
+        payments_withheld=len(report.withheld),
+        welfare_faulty=faulty.true_welfare,
+        welfare_fault_free=welfare_ff,
+        welfare_degradation=degradation,
+    )

@@ -143,3 +143,93 @@ class TestValidation:
         )
         assert result.num_rounds == 1
         assert result.welfare_per_round.std == 0.0
+
+
+class TestFaultyCampaign:
+    def _fault_config(self, **kwargs):
+        from repro.faults import FaultConfig
+
+        return FaultConfig(**kwargs)
+
+    def test_requires_online_greedy(self, workload):
+        from repro.mechanisms import OfflineVCGMechanism
+
+        with pytest.raises(SimulationError, match="online-greedy"):
+            run_campaign(
+                OfflineVCGMechanism(),
+                workload,
+                num_rounds=2,
+                fault_config=self._fault_config(dropout_prob=0.2),
+            )
+
+    def test_deterministic_given_seeds(self, workload):
+        config = self._fault_config(dropout_prob=0.3, task_failure_prob=0.2)
+        runs = [
+            run_campaign(
+                OnlineGreedyMechanism(),
+                workload,
+                num_rounds=3,
+                seed=4,
+                retry_policy=RETRY_LOSERS,
+                fault_config=config,
+                fault_seed=9,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].total_welfare == pytest.approx(runs[1].total_welfare)
+        assert runs[0].dropped_phones == runs[1].dropped_phones
+        assert runs[0].delivery_failures == runs[1].delivery_failures
+        assert runs[0].returning_phones == runs[1].returning_phones
+
+    def test_zero_fault_config_matches_plain_campaign(self, workload):
+        plain = run_campaign(
+            OnlineGreedyMechanism(), workload, num_rounds=3, seed=2
+        )
+        faulty = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=2,
+            fault_config=self._fault_config(),
+        )
+        assert faulty.total_welfare == pytest.approx(plain.total_welfare)
+        assert faulty.total_payment == pytest.approx(plain.total_payment)
+        assert faulty.dropped_phones == 0
+        assert faulty.delivery_failures == 0
+
+    def test_fault_accounting_accumulates(self, workload):
+        result = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=4,
+            seed=1,
+            fault_config=self._fault_config(
+                dropout_prob=0.5, task_failure_prob=0.3
+            ),
+        )
+        assert result.dropped_phones > 0
+        assert result.delivery_failures > 0
+        assert result.recovered_tasks >= 0
+
+    def test_dropped_phones_reenter_as_losers(self, workload):
+        """A dropped phone did not deliver, so under the losers policy
+        it re-enters the next round with a fresh active window."""
+        config = self._fault_config(dropout_prob=0.6)
+        faulty = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=3,
+            retry_policy=RETRY_LOSERS,
+            fault_config=config,
+        )
+        plain = run_campaign(
+            OnlineGreedyMechanism(),
+            workload,
+            num_rounds=3,
+            seed=3,
+            retry_policy=RETRY_LOSERS,
+        )
+        assert faulty.dropped_phones > 0
+        # Dropped winners are not "winners", so more phones carry over.
+        assert faulty.returning_phones >= plain.returning_phones

@@ -161,3 +161,82 @@ class TestEventLog:
         for event in platform.events:
             text = event.describe()
             assert "[slot 1]" in text
+
+
+class TestApiGuards:
+    def test_double_finalize_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=1)
+        platform.close_slot()
+        platform.finalize()
+        with pytest.raises(MechanismError, match="exactly one outcome"):
+            platform.finalize()
+
+    def test_advance_to_closes_empty_slots(self):
+        platform = CrowdsourcingPlatform(num_slots=5)
+        platform.advance_to(4)
+        assert platform.current_slot == 4
+
+    def test_advance_to_backwards_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=5)
+        platform.advance_to(3)
+        with pytest.raises(MechanismError, match="monotonically"):
+            platform.advance_to(2)
+
+    def test_advance_past_horizon_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=5)
+        with pytest.raises(MechanismError, match="horizon"):
+            platform.advance_to(6)
+
+    def test_negative_max_reassignments_rejected(self):
+        with pytest.raises(MechanismError, match="max_reassignments"):
+            CrowdsourcingPlatform(num_slots=1, max_reassignments=-1)
+
+
+class TestFaultReportGuards:
+    def test_dropout_requires_a_bid(self):
+        platform = CrowdsourcingPlatform(num_slots=2)
+        with pytest.raises(MechanismError, match="never submitted"):
+            platform.report_dropout(9)
+
+    def test_double_dropout_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=3)
+        platform.submit_bid(Bid(phone_id=1, arrival=1, departure=3, cost=1.0))
+        platform.report_dropout(1)
+        with pytest.raises(MechanismError, match="already dropped"):
+            platform.report_dropout(1)
+
+    def test_dropout_after_reported_departure_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=3)
+        platform.submit_bid(Bid(phone_id=1, arrival=1, departure=1, cost=1.0))
+        platform.close_slot()
+        with pytest.raises(MechanismError, match="already left"):
+            platform.report_dropout(1)
+
+    def test_failure_requires_a_bid(self):
+        platform = CrowdsourcingPlatform(num_slots=2)
+        with pytest.raises(MechanismError, match="never"):
+            platform.report_task_failure(9)
+
+    def test_failure_after_delivery_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=2)
+        platform.submit_bid(Bid(phone_id=1, arrival=1, departure=1, cost=1.0))
+        platform.submit_tasks(1, value=10.0)
+        platform.close_slot()  # phone 1 settles at its departure (slot 1)
+        with pytest.raises(MechanismError, match="already delivered"):
+            platform.report_task_failure(1)
+
+    def test_failure_after_dropout_rejected(self):
+        platform = CrowdsourcingPlatform(num_slots=3)
+        platform.submit_bid(Bid(phone_id=1, arrival=1, departure=3, cost=1.0))
+        platform.report_dropout(1)
+        with pytest.raises(MechanismError, match="redundant"):
+            platform.report_task_failure(1)
+
+    def test_reports_rejected_after_finish(self):
+        platform = CrowdsourcingPlatform(num_slots=1)
+        platform.submit_bid(Bid(phone_id=1, arrival=1, departure=1, cost=1.0))
+        platform.close_slot()
+        with pytest.raises(MechanismError, match="finished"):
+            platform.report_dropout(1)
+        with pytest.raises(MechanismError, match="finished"):
+            platform.report_task_failure(1)

@@ -79,3 +79,26 @@ class TestReplay:
             assert bid.cost == pytest.approx(
                 scenario.profile(bid.phone_id).cost * 1.2
             )
+
+
+class TestStrategyValidation:
+    def test_unknown_strategy_keys_rejected(self, scenario):
+        from repro.errors import SimulationError
+
+        known = {p.phone_id for p in scenario.profiles}
+        bogus = max(known) + 100
+        with pytest.raises(SimulationError, match=str(bogus)):
+            replay_scenario(
+                scenario, strategies={bogus: CostScalingStrategy(1.1)}
+            )
+
+    def test_known_strategy_keys_accepted(self, scenario):
+        import numpy as np
+
+        phone = scenario.profiles[0]
+        outcome, _ = replay_scenario(
+            scenario,
+            strategies={phone.phone_id: CostScalingStrategy(1.0)},
+            rng=np.random.default_rng(0),
+        )
+        assert outcome is not None

@@ -16,6 +16,24 @@ from repro.simulation.paper_example import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help=(
+            "base seed of the fault-injection property suite "
+            "(CI rotates it with the run number)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def chaos_seed(request):
+    """Base seed for the seeded fault-scenario property tests."""
+    return request.config.getoption("--chaos-seed")
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _sanitize_all_mechanisms():
     """Run the whole suite with the outcome sanitizer switched on.

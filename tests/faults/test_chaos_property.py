@@ -1,0 +1,96 @@
+"""Property suite: invariants over many seeded fault scenarios.
+
+CI rotates the base seed with the run number (``--chaos-seed``), so
+every run explores a fresh region of fault-schedule space while any
+failure stays reproducible from the printed seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import sanitize_outcome
+from repro.faults import FaultConfig, run_with_faults
+from repro.simulation import WorkloadConfig
+
+NUM_SCENARIOS = 50
+
+WORKLOAD = WorkloadConfig(
+    num_slots=12,
+    phone_rate=4.0,
+    task_rate=2.0,
+    mean_cost=10.0,
+    mean_active_length=3,
+    task_value=20.0,
+)
+
+HEAVY_FAULTS = FaultConfig(
+    dropout_prob=0.3,
+    task_failure_prob=0.2,
+    bid_delay_prob=0.2,
+    bid_loss_prob=0.1,
+)
+
+
+@pytest.fixture(scope="module", params=range(NUM_SCENARIOS))
+def faulty_run(request, chaos_seed):
+    seed = chaos_seed + request.param
+    scenario = WORKLOAD.generate(seed=seed)
+    return seed, run_with_faults(
+        scenario, HEAVY_FAULTS, seed=seed, paired=True
+    )
+
+
+class TestRecoveredOutcomeInvariants:
+    def test_sanitizer_passes(self, faulty_run):
+        """`run_with_faults` sanitizes internally; re-check explicitly."""
+        seed, run = faulty_run
+        violations = sanitize_outcome(
+            run.outcome,
+            non_deliverers=run.report.failed_deliverers,
+            require_ir=True,
+        )
+        assert violations == [], f"seed {seed}: {violations}"
+
+    def test_non_deliverers_paid_nothing(self, faulty_run):
+        seed, run = faulty_run
+        for phone_id in run.report.failed_deliverers:
+            assert run.outcome.payment(phone_id) == pytest.approx(0.0), (
+                f"seed {seed}: non-deliverer {phone_id} was paid"
+            )
+            assert phone_id not in run.outcome.winners, (
+                f"seed {seed}: non-deliverer {phone_id} kept its task"
+            )
+
+    def test_every_paid_winner_delivered(self, faulty_run):
+        seed, run = faulty_run
+        delivered = set(run.report.delivered)
+        for phone_id, amount in run.outcome.payments.items():
+            if amount > 0:
+                assert phone_id in delivered, (
+                    f"seed {seed}: phone {phone_id} paid without delivery"
+                )
+
+    def test_ir_for_paying_winners(self, faulty_run):
+        seed, run = faulty_run
+        bids = {bid.phone_id: bid for bid in run.outcome.bids}
+        for phone_id in run.outcome.winners:
+            payment = run.outcome.payment(phone_id)
+            assert payment >= bids[phone_id].cost - 1e-9, (
+                f"seed {seed}: winner {phone_id} paid {payment} below "
+                f"claimed cost {bids[phone_id].cost}"
+            )
+
+    def test_faulty_welfare_never_exceeds_fault_free(self, faulty_run):
+        seed, run = faulty_run
+        assert (
+            run.reliability.welfare_faulty
+            <= run.reliability.welfare_fault_free + 1e-9
+        ), f"seed {seed}: faults increased welfare"
+
+    def test_dropped_phones_hold_no_allocation(self, faulty_run):
+        seed, run = faulty_run
+        winners = set(run.outcome.winners)
+        assert not winners & set(run.report.dropped), (
+            f"seed {seed}: dropped phones kept tasks"
+        )

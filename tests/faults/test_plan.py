@@ -1,0 +1,215 @@
+"""Unit tests for the fault model: configs, plans, and the injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultConfig, FaultInjector, FaultPlan, PhoneFaults
+from repro.simulation import WorkloadConfig
+from repro.utils.rng import RngStreams
+
+
+@pytest.fixture
+def scenario():
+    return WorkloadConfig(
+        num_slots=15, phone_rate=4.0, task_rate=2.0
+    ).generate(seed=3)
+
+
+class TestFaultConfig:
+    def test_defaults_are_fault_free(self):
+        config = FaultConfig()
+        assert config.dropout_prob == 0.0
+        assert config.task_failure_prob == 0.0
+        assert config.bid_delay_prob == 0.0
+        assert config.bid_loss_prob == 0.0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "dropout_prob",
+            "task_failure_prob",
+            "bid_delay_prob",
+            "bid_loss_prob",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5, "0.2"])
+    def test_probabilities_validated(self, field, value):
+        with pytest.raises(FaultError, match=field):
+            FaultConfig(**{field: value})
+
+    def test_max_bid_delay_validated(self):
+        with pytest.raises(FaultError, match="max_bid_delay"):
+            FaultConfig(max_bid_delay=0)
+
+    def test_max_reassignments_validated(self):
+        with pytest.raises(FaultError, match="max_reassignments"):
+            FaultConfig(max_reassignments=-1)
+
+    def test_round_trips_through_dict(self):
+        config = FaultConfig(dropout_prob=0.2, bid_loss_prob=0.1)
+        assert FaultConfig.from_dict(config.to_dict()) == config
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(FaultError, match="malformed"):
+            FaultConfig.from_dict({"bogus_field": 1})
+
+
+class TestPhoneFaults:
+    def test_reliable_record_is_not_faulty(self):
+        assert not PhoneFaults(phone_id=1).is_faulty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_slot": 3},
+            {"fails_task": True},
+            {"bid_delay": 1},
+            {"bid_lost": True},
+        ],
+    )
+    def test_any_fault_makes_it_faulty(self, kwargs):
+        assert PhoneFaults(phone_id=1, **kwargs).is_faulty
+
+    def test_dropout_slot_validated(self):
+        with pytest.raises(FaultError, match="dropout_slot"):
+            PhoneFaults(phone_id=1, dropout_slot=0)
+
+    def test_bid_delay_validated(self):
+        with pytest.raises(FaultError, match="bid_delay"):
+            PhoneFaults(phone_id=1, bid_delay=-1)
+
+    def test_round_trips_through_dict(self):
+        record = PhoneFaults(phone_id=4, dropout_slot=2, bid_delay=1)
+        assert PhoneFaults.from_dict(record.to_dict()) == record
+
+
+class TestFaultPlan:
+    def test_drops_reliable_records(self):
+        plan = FaultPlan(
+            faults={
+                1: PhoneFaults(phone_id=1),
+                2: PhoneFaults(phone_id=2, fails_task=True),
+            }
+        )
+        assert plan.affected_phones == (2,)
+        assert plan.for_phone(1) is None
+        assert plan.for_phone(2).fails_task
+        assert len(plan) == 1
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(FaultError, match="filed under"):
+            FaultPlan(faults={1: PhoneFaults(phone_id=2, bid_lost=True)})
+
+    def test_non_record_rejected(self):
+        with pytest.raises(FaultError, match="PhoneFaults"):
+            FaultPlan(faults={1: "dropout"})
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(
+            faults={
+                3: PhoneFaults(phone_id=3, dropout_slot=5),
+                7: PhoneFaults(phone_id=7, bid_lost=True),
+            },
+            config=FaultConfig(dropout_prob=0.5),
+            seed=11,
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert rebuilt.config == plan.config
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(FaultError, match="malformed"):
+            FaultPlan.from_dict({"faults": []})
+
+
+class TestFaultInjector:
+    def test_requires_a_config(self):
+        with pytest.raises(FaultError, match="FaultConfig"):
+            FaultInjector("high")
+
+    def test_same_seed_same_plan(self, scenario):
+        injector = FaultInjector(
+            FaultConfig(
+                dropout_prob=0.3,
+                task_failure_prob=0.2,
+                bid_delay_prob=0.2,
+                bid_loss_prob=0.1,
+            )
+        )
+        assert (
+            injector.plan(scenario, seed=9).to_dict()
+            == injector.plan(scenario, seed=9).to_dict()
+        )
+
+    def test_different_seeds_differ(self, scenario):
+        injector = FaultInjector(FaultConfig(dropout_prob=0.5))
+        plans = {
+            injector.plan(scenario, seed=s).affected_phones
+            for s in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_accepts_an_rng_streams(self, scenario):
+        injector = FaultInjector(FaultConfig(dropout_prob=0.4))
+        from_streams = injector.plan(scenario, seed=RngStreams(5))
+        from_int = injector.plan(scenario, seed=5)
+        assert from_streams.to_dict() == from_int.to_dict()
+
+    def test_dropout_slot_inside_active_window(self, scenario):
+        injector = FaultInjector(FaultConfig(dropout_prob=1.0))
+        plan = injector.plan(scenario, seed=1)
+        windows = {
+            p.phone_id: (p.arrival, p.departure)
+            for p in scenario.profiles
+        }
+        assert len(plan) == scenario.num_phones
+        for record in plan:
+            arrival, departure = windows[record.phone_id]
+            assert arrival <= record.dropout_slot <= departure
+
+    def test_delay_bounded_by_config(self, scenario):
+        injector = FaultInjector(
+            FaultConfig(bid_delay_prob=1.0, max_bid_delay=3)
+        )
+        plan = injector.plan(scenario, seed=2)
+        assert all(1 <= record.bid_delay <= 3 for record in plan)
+
+    def test_categories_are_independent_streams(self, scenario):
+        """Raising one probability must not reshuffle another category."""
+        base = FaultInjector(
+            FaultConfig(dropout_prob=0.3, task_failure_prob=0.2)
+        ).plan(scenario, seed=4)
+        more_failures = FaultInjector(
+            FaultConfig(dropout_prob=0.3, task_failure_prob=0.9)
+        ).plan(scenario, seed=4)
+        dropouts = lambda plan: {  # noqa: E731
+            r.phone_id: r.dropout_slot
+            for r in plan
+            if r.dropout_slot is not None
+        }
+        assert dropouts(base) == dropouts(more_failures)
+
+    def test_probability_changes_only_flip_phones(self, scenario):
+        """One draw per phone per category: a higher probability adds
+        dropouts without moving anyone's scheduled drop slot."""
+        low = FaultInjector(FaultConfig(dropout_prob=0.2)).plan(
+            scenario, seed=8
+        )
+        high = FaultInjector(FaultConfig(dropout_prob=0.6)).plan(
+            scenario, seed=8
+        )
+        low_drops = {
+            r.phone_id: r.dropout_slot
+            for r in low
+            if r.dropout_slot is not None
+        }
+        high_drops = {
+            r.phone_id: r.dropout_slot
+            for r in high
+            if r.dropout_slot is not None
+        }
+        assert set(low_drops) <= set(high_drops)
+        for phone_id, slot in low_drops.items():
+            assert high_drops[phone_id] == slot

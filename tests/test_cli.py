@@ -246,3 +246,52 @@ class TestReport:
         assert code == 0
         assert "written to" in out
         assert target.read_text().startswith("# Reproduction report")
+
+
+class TestChaos:
+    def test_chaos_smoke(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chaos",
+            "--slots", "10",
+            "--dropout-prob", "0.3",
+            "--failure-prob", "0.2",
+            "--seed", "5",
+        )
+        assert code == 0
+        assert "Injected faults & recovery" in out
+        assert "Reliability vs. paired fault-free run" in out
+        assert "completion rate" in out
+        assert "passed all fault-aware invariant checks" in out
+
+    def test_chaos_rejects_bad_probability(self, capsys):
+        code, _, err = run_cli(
+            capsys, "chaos", "--slots", "8", "--dropout-prob", "1.5"
+        )
+        assert code == 2
+        assert "dropout_prob" in err
+
+    def test_campaign_with_faults(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "--slots", "8",
+            "--rounds", "2",
+            "--dropout-prob", "0.3",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "phones dropped" in out
+
+    def test_figures_checkpoint_resume(self, capsys, tmp_path):
+        args = (
+            "figures", "fig6",
+            "--repetitions", "1",
+            "--checkpoint-dir", str(tmp_path),
+        )
+        code, first, _ = run_cli(capsys, *args)
+        assert code == 0
+        assert any(tmp_path.rglob("*.json"))
+        code, second, _ = run_cli(capsys, *args)  # resumes from checkpoints
+        assert code == 0
+        assert first == second

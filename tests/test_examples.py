@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "strategic_agents.py",
     "campaign_cashflow.py",
     "heterogeneous_sensors.py",
+    "unreliable_phones.py",
 ]
 
 
