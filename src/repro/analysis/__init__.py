@@ -31,6 +31,7 @@ from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
 from repro.analysis.sanitizer import (
     SanitizedMechanism,
     Violation,
+    check_trace_transparency,
     sanitize_outcome,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "SanitizedMechanism",
     "SourceFile",
     "Violation",
+    "check_trace_transparency",
     "default_rules",
     "get_rule",
     "iter_python_files",

@@ -79,7 +79,10 @@ def lint_source(
     violations: List[LintViolation] = []
     for rule in active:
         for violation in rule.check(parsed):
-            if not parsed.is_suppressed(violation.line, violation.rule):
+            suppressed = parsed.is_suppressed(
+                violation.line, violation.rule
+            ) or parsed.is_suppressed(violation.line, violation.code.lower())
+            if not suppressed:
                 violations.append(violation)
     return sorted(violations)
 

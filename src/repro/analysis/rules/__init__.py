@@ -13,6 +13,7 @@ from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
 from repro.analysis.rules.contract import MechanismContractRule
 from repro.analysis.rules.float_equality import NoFloatEqualityRule
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
+from repro.analysis.rules.output import NoPrintRule
 from repro.analysis.rules.purity import NoRunMutationRule
 from repro.analysis.rules.randomness import NoGlobalRandomRule
 
@@ -26,6 +27,7 @@ ALL_RULES: Dict[str, Type[LintRule]] = {
         MechanismContractRule,
         NoBareExceptRule,
         NoMutableDefaultRule,
+        NoPrintRule,
     )
 }
 
@@ -62,6 +64,7 @@ __all__ = [
     "NoFloatEqualityRule",
     "NoGlobalRandomRule",
     "NoMutableDefaultRule",
+    "NoPrintRule",
     "NoRunMutationRule",
     "SourceFile",
     "default_rules",

@@ -76,8 +76,11 @@ def _parse_noqa(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
             # ``-- justification`` text after the rule list is free-form;
             # splitting on "," already keeps it out because rule names
             # never contain spaces.  Strip a trailing "--" fragment.
+            # Lowercasing lets ``noqa-REP007`` match by code as well as
+            # by kebab-case name.
             suppressions[lineno] = frozenset(
-                name.split("--")[0].strip("-") or name for name in names
+                (name.split("--")[0].strip("-") or name).lower()
+                for name in names
             )
     return suppressions
 

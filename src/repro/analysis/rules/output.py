@@ -1,0 +1,49 @@
+"""REP007: library code must not print.
+
+The library's one sanctioned path to a terminal is the observability
+layer — :class:`repro.obs.Console` for CLI output and trace sinks for
+telemetry.  A stray ``print(...)`` in library code bypasses
+``--quiet``/``--json`` handling, corrupts machine-readable output, and
+is invisible to tests capturing structured events.  This rule flags
+every call to the ``print`` builtin in files under ``src/repro``.
+
+Deliberate output choke points (the :class:`~repro.obs.Console`
+implementation itself, ad-hoc ``__main__`` reporters) are exempted line
+by line with ``# repro: noqa-REP007 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
+
+
+class NoPrintRule(LintRule):
+    """Forbid ``print(...)`` in library code under ``src/repro``."""
+
+    name = "no-print"
+    code = "REP007"
+    description = (
+        "library code must route output through repro.obs (Console or a "
+        "trace sink), never print() directly"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        normalized = source.path.replace("\\", "/")
+        if "src/repro" not in normalized:
+            return
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    "print() in library code; route output through "
+                    "repro.obs.Console (or suppress this choke point "
+                    "with noqa-REP007)",
+                )

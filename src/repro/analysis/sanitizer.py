@@ -266,6 +266,39 @@ def sanitize_outcome(
     return violations
 
 
+def check_trace_transparency(
+    mechanism: Mechanism,
+    bids: Sequence[Bid],
+    schedule: TaskSchedule,
+    config: Optional[RoundConfig] = None,
+) -> AuctionOutcome:
+    """Assert that tracing never changes a mechanism's outcome.
+
+    Runs ``mechanism`` twice on the same inputs — once untraced, once
+    under a freshly activated :class:`~repro.obs.Tracer` — and raises
+    :class:`~repro.errors.SanitizationError` unless the two
+    :class:`~repro.model.AuctionOutcome`\\ s compare equal (the strict
+    field-by-field ``AuctionOutcome.__eq__``).  This is the telemetry
+    layer's core guarantee: spans, counters, and event export are pure
+    observation, so a traced run is bit-identical to an untraced one.
+
+    Returns the untraced outcome (for further checks by the caller).
+    """
+    from repro import obs
+
+    untraced = mechanism.run(bids, schedule, config)
+    with obs.activate(obs.Tracer()):
+        traced = mechanism.run(bids, schedule, config)
+    if untraced != traced:
+        raise SanitizationError(
+            f"mechanism {mechanism.name!r} is not trace-transparent: "
+            f"running under an active tracer changed the outcome "
+            f"(allocation {untraced.allocation} vs {traced.allocation}; "
+            f"payments {untraced.payments} vs {traced.payments})"
+        )
+    return untraced
+
+
 class SanitizedMechanism(Mechanism):  # repro: noqa-mechanism-contract -- transparent wrapper: identity is copied from the wrapped mechanism per instance, and wrapping happens in the registry, not by registration
     """Wrap a mechanism so every ``run`` is sanitized.
 

@@ -10,6 +10,7 @@ assert equality).
 """
 
 from repro.auction.events import (
+    EVENT_TYPES,
     AuctionEvent,
     BidSubmitted,
     PaymentSettled,
@@ -21,6 +22,7 @@ from repro.auction.events import (
     TaskReassigned,
     TasksAnnounced,
     TaskUnserved,
+    event_from_dict,
 )
 from repro.auction.multi_round import (
     RETRY_LOSERS,
@@ -39,6 +41,8 @@ __all__ = [
     "RETRY_NONE",
     "RETRY_LOSERS",
     "AuctionEvent",
+    "EVENT_TYPES",
+    "event_from_dict",
     "BidSubmitted",
     "TasksAnnounced",
     "TaskAllocated",

@@ -3,11 +3,17 @@
 Every state change the platform makes is logged as one event; examples
 print them to narrate a round, and tests assert on the sequence (e.g.
 "payment settled exactly at the reported departure slot").
+
+Events serialise losslessly: :meth:`AuctionEvent.to_dict` produces a
+JSON-friendly dict tagged with the event's class name, and
+:func:`event_from_dict` reconstructs the exact event — the round-trip
+the JSONL trace export (:class:`~repro.obs.JsonlSink`) relies on.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Any, Dict
 
 
 @dataclasses.dataclass(frozen=True)
@@ -19,6 +25,12 @@ class AuctionEvent:
     def describe(self) -> str:
         """One-line human-readable rendering."""
         return f"[slot {self.slot}] {type(self).__name__}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation, tagged with the event type."""
+        payload: Dict[str, Any] = {"event": type(self).__name__}
+        payload.update(dataclasses.asdict(self))
+        return payload
 
 
 @dataclasses.dataclass(frozen=True)
@@ -165,3 +177,38 @@ class PaymentWithheld(AuctionEvent):
             f"[slot {self.slot}] payment withheld from phone "
             f"{self.phone_id} ({self.reason})"
         )
+
+
+#: Every concrete event type, keyed by class name (the ``"event"`` tag
+#: of :meth:`AuctionEvent.to_dict`).
+EVENT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        BidSubmitted,
+        TasksAnnounced,
+        TaskAllocated,
+        TaskUnserved,
+        PaymentSettled,
+        SlotClosed,
+        PhoneDropped,
+        TaskFailed,
+        TaskReassigned,
+        PaymentWithheld,
+    )
+}
+
+
+def event_from_dict(payload: Dict[str, Any]) -> AuctionEvent:
+    """Reconstruct an event from its :meth:`~AuctionEvent.to_dict` form.
+
+    Raises :class:`ValueError` on a missing or unknown ``"event"`` tag
+    (e.g. a trace written by an incompatible version).
+    """
+    tag = payload.get("event")
+    if tag not in EVENT_TYPES:
+        raise ValueError(
+            f"unknown event type {tag!r}; expected one of "
+            f"{sorted(EVENT_TYPES)}"
+        )
+    fields = {k: v for k, v in payload.items() if k != "event"}
+    return EVENT_TYPES[tag](**fields)  # type: ignore[no-any-return]

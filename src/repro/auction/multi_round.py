@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.mechanisms.base import Mechanism
 from repro.metrics.summary import Summary, summarize
@@ -155,53 +156,64 @@ def run_campaign(
     failures = 0
     recovered = 0
 
-    for round_index in range(num_rounds):
-        base = workload.generate(seed=streams.child(round_index).seed)
-        profiles = list(base.profiles)
-        if carried:
-            reentry_rng = streams.get(f"reentry-{round_index}")
-            next_id = (
-                max((p.phone_id for p in profiles), default=-1) + 1
-            )
-            for loser in carried[:max_retries_per_round]:
-                profiles.append(
-                    _reentry_profile(
-                        loser, next_id, workload.num_slots, reentry_rng
-                    )
+    with obs.span(
+        "campaign.run", mechanism=mechanism.name, rounds=num_rounds
+    ) as tel:
+        for round_index in range(num_rounds):
+            with obs.span("campaign.round", round=round_index):
+                base = workload.generate(
+                    seed=streams.child(round_index).seed
                 )
-                next_id += 1
-            returning += min(len(carried), max_retries_per_round)
-        scenario = Scenario(
-            profiles,
-            base.schedule,
-            metadata={**base.metadata, "round": round_index},
-        )
-        if fault_config is not None:
-            from repro.faults.recovery import run_with_faults
+                profiles = list(base.profiles)
+                if carried:
+                    reentry_rng = streams.get(f"reentry-{round_index}")
+                    next_id = (
+                        max((p.phone_id for p in profiles), default=-1) + 1
+                    )
+                    for loser in carried[:max_retries_per_round]:
+                        profiles.append(
+                            _reentry_profile(
+                                loser,
+                                next_id,
+                                workload.num_slots,
+                                reentry_rng,
+                            )
+                        )
+                        next_id += 1
+                    returning += min(len(carried), max_retries_per_round)
+                scenario = Scenario(
+                    profiles,
+                    base.schedule,
+                    metadata={**base.metadata, "round": round_index},
+                )
+                if fault_config is not None:
+                    from repro.faults.recovery import run_with_faults
 
-            faulty = run_with_faults(
-                scenario,
-                fault_config,
-                seed=fault_streams.child(round_index).seed,
-            )
-            result = faulty.result
-            winner_ids = set(faulty.report.delivered)
-            dropped += len(faulty.report.dropped)
-            failures += len(faulty.report.failed_deliverers)
-            recovered += len(faulty.report.recovered_tasks)
-        else:
-            result = engine.run(mechanism, scenario)
-            winner_ids = set(result.outcome.winners)
-        results.append(result)
+                    faulty = run_with_faults(
+                        scenario,
+                        fault_config,
+                        seed=fault_streams.child(round_index).seed,
+                    )
+                    result = faulty.result
+                    winner_ids = set(faulty.report.delivered)
+                    dropped += len(faulty.report.dropped)
+                    failures += len(faulty.report.failed_deliverers)
+                    recovered += len(faulty.report.recovered_tasks)
+                else:
+                    result = engine.run(mechanism, scenario)
+                    winner_ids = set(result.outcome.winners)
+                results.append(result)
 
-        if retry_policy == RETRY_LOSERS:
-            carried = [
-                profile
-                for profile in scenario.profiles
-                if profile.phone_id not in winner_ids
-            ]
-        else:
-            carried = []
+                if retry_policy == RETRY_LOSERS:
+                    carried = [
+                        profile
+                        for profile in scenario.profiles
+                        if profile.phone_id not in winner_ids
+                    ]
+                else:
+                    carried = []
+        tel.set_attribute("returning_phones", returning)
+        tel.set_attribute("recovered_tasks", recovered)
 
     ratios = [r.overpayment_ratio for r in results]
     defined = [r for r in ratios if r is not None]

@@ -36,6 +36,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.auction.events import (
     AuctionEvent,
     BidSubmitted,
@@ -131,6 +132,11 @@ class CrowdsourcingPlatform:
         self._reassigned: Set[int] = set()      # won via reassignment
         self._reassign_counts: Dict[int, int] = {}  # task -> chain length
 
+    def _emit(self, event: AuctionEvent) -> None:
+        """Record one event: append to the log, export to telemetry."""
+        self._events.append(event)
+        obs.record_event(event)
+
     # ------------------------------------------------------------------
     # State inspection
     # ------------------------------------------------------------------
@@ -217,7 +223,7 @@ class CrowdsourcingPlatform:
             )
         self._all_bids[bid.phone_id] = bid
         heapq.heappush(self._pool, (bid_sort_key(bid), bid))
-        self._events.append(
+        self._emit(
             BidSubmitted(
                 slot=self._current_slot,
                 phone_id=bid.phone_id,
@@ -248,7 +254,7 @@ class CrowdsourcingPlatform:
             self._pending_tasks.append(task)
             created.append(task)
         if count:
-            self._events.append(
+            self._emit(
                 TasksAnnounced(slot=self._current_slot, count=count)
             )
         return created
@@ -284,7 +290,7 @@ class CrowdsourcingPlatform:
             )
         slot = self._current_slot
         self._dropped[phone_id] = slot
-        self._events.append(PhoneDropped(slot=slot, phone_id=phone_id))
+        self._emit(PhoneDropped(slot=slot, phone_id=phone_id))
         if phone_id in self._win_slots and phone_id not in self._delivered:
             self._fail_delivery(phone_id, reason="dropout")
 
@@ -324,12 +330,12 @@ class CrowdsourcingPlatform:
         del self._win_slots[phone_id]
         self._failed[phone_id] = slot
         self._withheld[phone_id] = slot
-        self._events.append(
+        self._emit(
             TaskFailed(
                 slot=slot, task_id=task_id, phone_id=phone_id, reason=reason
             )
         )
-        self._events.append(
+        self._emit(
             PaymentWithheld(slot=slot, phone_id=phone_id, reason=reason)
         )
         self._reassign(task_id, failed_phone=phone_id)
@@ -349,13 +355,14 @@ class CrowdsourcingPlatform:
         if count < self._max_reassignments:
             candidate = self._pop_cheapest_covering(task)
         if candidate is None:
-            self._events.append(TaskUnserved(slot=slot, task_id=task_id))
+            self._emit(TaskUnserved(slot=slot, task_id=task_id))
             return
         self._reassign_counts[task_id] = count + 1
         self._allocation[task_id] = candidate.phone_id
         self._win_slots[candidate.phone_id] = task.slot
         self._reassigned.add(candidate.phone_id)
-        self._events.append(
+        obs.counter("platform.reassignments")
+        self._emit(
             TaskReassigned(
                 slot=slot,
                 task_id=task_id,
@@ -403,29 +410,34 @@ class CrowdsourcingPlatform:
         self._check_open()
         slot = self._current_slot
 
-        for task in self._pending_tasks:
-            chosen = self._pop_cheapest(slot, task.value)
-            self._tasks.append(task)
-            self._tasks_by_id[task.task_id] = task
-            if chosen is None:
-                self._events.append(
-                    TaskUnserved(slot=slot, task_id=task.task_id)
+        with obs.span(
+            "platform.slot", slot=slot, tasks=len(self._pending_tasks)
+        ) as tel:
+            events_before = len(self._events)
+            for task in self._pending_tasks:
+                chosen = self._pop_cheapest(slot, task.value)
+                self._tasks.append(task)
+                self._tasks_by_id[task.task_id] = task
+                if chosen is None:
+                    self._emit(
+                        TaskUnserved(slot=slot, task_id=task.task_id)
+                    )
+                    continue
+                self._allocation[task.task_id] = chosen.phone_id
+                self._win_slots[chosen.phone_id] = slot
+                self._emit(
+                    TaskAllocated(
+                        slot=slot,
+                        task_id=task.task_id,
+                        phone_id=chosen.phone_id,
+                        claimed_cost=chosen.cost,
+                    )
                 )
-                continue
-            self._allocation[task.task_id] = chosen.phone_id
-            self._win_slots[chosen.phone_id] = slot
-            self._events.append(
-                TaskAllocated(
-                    slot=slot,
-                    task_id=task.task_id,
-                    phone_id=chosen.phone_id,
-                    claimed_cost=chosen.cost,
-                )
-            )
-        self._pending_tasks = []
+            self._pending_tasks = []
 
-        self._settle_departures(slot)
-        self._events.append(SlotClosed(slot=slot, pool_size=self.pool_size))
+            self._settle_departures(slot)
+            self._emit(SlotClosed(slot=slot, pool_size=self.pool_size))
+            tel.set_attribute("events", len(self._events) - events_before)
 
         if slot == self._num_slots:
             self._finished = True
@@ -505,7 +517,7 @@ class CrowdsourcingPlatform:
                 self._payments[phone_id] = amount
                 self._payment_slots[phone_id] = slot
                 self._delivered.add(phone_id)
-                self._events.append(
+                self._emit(
                     PaymentSettled(
                         slot=slot, phone_id=phone_id, amount=amount
                     )

@@ -21,9 +21,20 @@ Commands
     bids; print the reliability report.
 ``example``
     Walk through the paper's Fig. 4 / Fig. 5 worked example.
+``trace``
+    Run an instrumented scenario suite with telemetry enabled; export
+    the span/event stream as JSONL, print the span tree and per-phase
+    timings, and write a ``BENCH_*.json`` perf snapshot.
+``profile``
+    cProfile one mechanism run alongside the telemetry span report.
 ``lint``
     Run the repo-specific AST invariant linter
     (:mod:`repro.analysis`) over source trees.
+
+Every command accepts ``--quiet`` (suppress progress chatter) and
+``--json`` (emit one machine-readable JSON document instead of human
+rendering); output is routed through :class:`repro.obs.Console`, and
+default output is byte-identical to the historical plain prints.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.auction.multi_round import RETRY_LOSERS, RETRY_NONE, run_campaign
 from repro.errors import ReproError
 from repro.experiments import (
@@ -48,6 +60,7 @@ from repro.experiments.figures import FIGURE_METRIC
 from repro.experiments.report import render_sweep_chart
 from repro.mechanisms import available_mechanisms, create_mechanism
 from repro.metrics import audit_individual_rationality, audit_truthfulness
+from repro.obs import Console
 from repro.simulation import (
     SimulationEngine,
     WorkloadConfig,
@@ -182,24 +195,24 @@ def _mechanism_from_args(args: argparse.Namespace):
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace, console: Console) -> int:
     if args.from_trace:
         scenario = load_scenario(args.from_trace)
-        print(f"loaded scenario from {args.from_trace}")
+        console.note(f"loaded scenario from {args.from_trace}")
     else:
         scenario = _workload_from_args(args).generate(seed=args.seed)
     if args.save_trace:
         save_scenario(scenario, args.save_trace)
-        print(f"scenario saved to {args.save_trace}")
+        console.note(f"scenario saved to {args.save_trace}")
 
     mechanism = _mechanism_from_args(args)
     result = SimulationEngine().run(mechanism, scenario)
-    print(
+    console.out(
         f"\n{scenario.num_phones} phones, {scenario.num_tasks} tasks, "
         f"{scenario.num_slots} slots; mechanism: {mechanism.name}\n"
     )
     ratio = result.overpayment_ratio
-    print(
+    console.out(
         format_table(
             ["metric", "value"],
             [
@@ -216,10 +229,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title="Round metrics",
         )
     )
+    console.result(
+        {
+            "mechanism": mechanism.name,
+            "phones": scenario.num_phones,
+            "tasks": scenario.num_tasks,
+            "slots": scenario.num_slots,
+            "welfare": result.true_welfare,
+            "claimed_welfare": result.claimed_welfare,
+            "total_payment": result.total_payment,
+            "overpayment_ratio": ratio,
+            "tasks_served": result.tasks_served,
+            "service_rate": result.service_rate,
+        }
+    )
     return 0
 
 
-def _cmd_figures(args: argparse.Namespace) -> int:
+def _cmd_figures(args: argparse.Namespace, console: Console) -> int:
     names = args.names or list(list_figures())
     unknown = [n for n in names if n not in list_figures()]
     if unknown:
@@ -232,6 +259,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
         checkpoint = CheckpointStore(args.checkpoint_dir)
     cache = {}
+    rendered = []
     for name in names:
         spec = figure_spec(
             name, repetitions=args.repetitions, base_seed=args.seed
@@ -246,21 +274,23 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             )
         result = cache[key]
         metric = FIGURE_METRIC[name]
-        print()
-        print(render_sweep_table(result, metric, title=spec.title))
-        print()
-        print(render_sweep_chart(result, metric))
+        console.out()
+        console.out(render_sweep_table(result, metric, title=spec.title))
+        console.out()
+        console.out(render_sweep_chart(result, metric))
+        rendered.append(name)
         if args.csv_dir:
             out = pathlib.Path(args.csv_dir)
             out.mkdir(parents=True, exist_ok=True)
             (out / f"{name}.csv").write_text(
                 render_sweep_csv(result, metric)
             )
-            print(f"(csv written to {out / (name + '.csv')})")
+            console.note(f"(csv written to {out / (name + '.csv')})")
+    console.result({"figures": rendered})
     return 0
 
 
-def _cmd_audit(args: argparse.Namespace) -> int:
+def _cmd_audit(args: argparse.Namespace, console: Console) -> int:
     scenario = _workload_from_args(args).generate(seed=args.seed)
     mechanism = _mechanism_from_args(args)
     rng = np.random.default_rng(args.seed)
@@ -268,11 +298,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         mechanism, scenario, rng, max_phones=args.max_phones
     )
     ir = audit_individual_rationality(mechanism, scenario)
-    print(
+    console.out(
         f"\nmechanism: {mechanism.name}  "
         f"({scenario.num_phones} phones, {scenario.num_tasks} tasks)\n"
     )
-    print(
+    console.out(
         format_table(
             ["check", "result"],
             [
@@ -286,14 +316,24 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         )
     )
     for violation in report.violations[:10]:
-        print(
+        console.out(
             f"  phone {violation.phone_id} gains {violation.gain:.3f} "
             f"via {violation.strategy}: {violation.deviant_bid}"
         )
+    console.result(
+        {
+            "mechanism": mechanism.name,
+            "deviations_tested": report.deviations_tested,
+            "profitable_deviations": len(report.violations),
+            "ir_violations": len(ir),
+            "truthful": report.passed,
+            "individually_rational": not ir,
+        }
+    )
     return 0 if report.passed and not ir else 1
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
+def _cmd_chaos(args: argparse.Namespace, console: Console) -> int:
     from repro.faults import run_with_faults
 
     scenario = _workload_from_args(args).generate(seed=args.seed)
@@ -307,13 +347,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         paired=True,
     )
     report, reliability = run.report, run.reliability
-    print(
+    console.out(
         f"\n{scenario.num_phones} phones, {scenario.num_tasks} tasks, "
         f"{scenario.num_slots} slots; faults: dropout={config.dropout_prob} "
         f"failure={config.task_failure_prob} "
         f"delay={config.bid_delay_prob} loss={config.bid_loss_prob}\n"
     )
-    print(
+    console.out(
         format_table(
             ["fault", "count"],
             [
@@ -328,8 +368,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             title="Injected faults & recovery",
         )
     )
-    print()
-    print(
+    console.out()
+    console.out(
         format_table(
             ["metric", "value"],
             [
@@ -343,11 +383,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             title="Reliability vs. paired fault-free run",
         )
     )
-    print("\nrecovered outcome passed all fault-aware invariant checks")
+    console.out("\nrecovered outcome passed all fault-aware invariant checks")
+    console.result(
+        {
+            "dropped": len(report.dropped),
+            "failed_deliveries": len(report.failed_deliverers),
+            "recovered_tasks": len(report.recovered_tasks),
+            "abandoned_tasks": len(report.abandoned_tasks),
+            "completion_rate": reliability.completion_rate,
+            "welfare_faulty": reliability.welfare_faulty,
+            "welfare_fault_free": reliability.welfare_fault_free,
+        }
+    )
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
     mechanism = _mechanism_from_args(args)
     fault_config = None
     if (
@@ -364,7 +415,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fault_config=fault_config,
         fault_seed=args.fault_seed,
     )
-    print(
+    console.out(
         f"\ncampaign: {result.num_rounds} rounds, mechanism "
         f"{mechanism.name}, retry="
         f"{'losers' if args.retry_losers else 'none'}\n"
@@ -379,26 +430,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ]
         for index, r in enumerate(result.rounds)
     ]
-    print(
+    console.out(
         format_table(
             ["round", "welfare", "payment", "σ", "tasks served"],
             rows,
             title="Per-round results",
         )
     )
-    print()
-    print(f"total welfare:    {result.total_welfare:.1f}")
-    print(f"total payment:    {result.total_payment:.1f}")
-    print(f"welfare/round:    {result.welfare_per_round}")
-    print(f"returning phones: {result.returning_phones}")
+    console.out()
+    console.out(f"total welfare:    {result.total_welfare:.1f}")
+    console.out(f"total payment:    {result.total_payment:.1f}")
+    console.out(f"welfare/round:    {result.welfare_per_round}")
+    console.out(f"returning phones: {result.returning_phones}")
     if fault_config is not None:
-        print(f"phones dropped:   {result.dropped_phones}")
-        print(f"failed deliveries:{result.delivery_failures}")
-        print(f"tasks recovered:  {result.recovered_tasks}")
+        console.out(f"phones dropped:   {result.dropped_phones}")
+        console.out(f"failed deliveries:{result.delivery_failures}")
+        console.out(f"tasks recovered:  {result.recovered_tasks}")
+    console.result(
+        {
+            "mechanism": mechanism.name,
+            "rounds": result.num_rounds,
+            "total_welfare": result.total_welfare,
+            "total_payment": result.total_payment,
+            "returning_phones": result.returning_phones,
+            "dropped_phones": result.dropped_phones,
+            "delivery_failures": result.delivery_failures,
+            "recovered_tasks": result.recovered_tasks,
+        }
+    )
     return 0
 
 
-def _cmd_example(args: argparse.Namespace) -> int:
+def _cmd_example(args: argparse.Namespace, console: Console) -> int:
     from repro.mechanisms import OnlineGreedyMechanism
     from repro.mechanisms.baselines import SecondPriceSlotMechanism
     from repro.simulation.paper_example import (
@@ -410,7 +473,7 @@ def _cmd_example(args: argparse.Namespace) -> int:
     schedule = paper_example_schedule()
     bids = paper_example_bids()
     outcome = OnlineGreedyMechanism().run(bids, schedule)
-    print(
+    console.out(
         format_table(
             ["phone", "window", "cost"],
             [
@@ -420,8 +483,8 @@ def _cmd_example(args: argparse.Namespace) -> int:
             title="Fig. 4: the 7 smartphones",
         )
     )
-    print()
-    print(
+    console.out()
+    console.out(
         format_table(
             ["slot", "winner", "payment"],
             [
@@ -441,16 +504,159 @@ def _cmd_example(args: argparse.Namespace) -> int:
         [b.with_window(4, 5) if b.phone_id == 1 else b for b in bids],
         schedule,
     )
-    print(
+    console.out(
         f"\nFig. 5: under second-price, phone 1 is paid "
         f"{truthful.payment(1):g} truthfully and "
         f"{deviated.payment(1):g} after delaying its arrival — a gain "
         f"of {deviated.payment(1) - truthful.payment(1):g}."
     )
+    console.result(
+        {
+            "allocation": {
+                str(task_id): phone_id
+                for task_id, phone_id in sorted(outcome.allocation.items())
+            },
+            "payments": {
+                str(pid): outcome.payment(pid)
+                for pid in sorted(outcome.winners)
+            },
+        }
+    )
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _traced_scenario_suite(args: argparse.Namespace) -> None:
+    """The workload ``repro-crowd trace`` instruments.
+
+    Covers every span family of the taxonomy in one short run: an
+    offline VCG solve on the paper example (matching spans), a
+    platform-driven online round (platform-slot, payment, and event
+    spans), and a two-point experiment sweep (sweep spans).
+    """
+    from repro.auction.round_driver import replay_scenario
+    from repro.experiments.config import ExperimentConfig, MechanismSpec
+    from repro.experiments.sweeps import SweepSpec
+    from repro.simulation.paper_example import (
+        paper_example_bids,
+        paper_example_profiles,
+        paper_example_schedule,
+    )
+    from repro.simulation.scenario import Scenario
+
+    schedule = paper_example_schedule()
+    bids = paper_example_bids()
+    offline = create_mechanism("offline-vcg")
+    with obs.span("mechanism.run", mechanism=offline.name, bids=len(bids)):
+        offline.run(bids, schedule)
+
+    scenario = Scenario(
+        paper_example_profiles(),
+        schedule,
+        metadata={"source": "paper-example"},
+    )
+    replay_scenario(scenario)
+
+    sweep_config = ExperimentConfig(
+        workload=WorkloadConfig(
+            num_slots=6,
+            phone_rate=2.0,
+            task_rate=1.0,
+            mean_cost=5.0,
+            mean_active_length=3,
+            task_value=10.0,
+        ),
+        mechanisms=(MechanismSpec.of("online-greedy"),),
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+    )
+    run_sweep(
+        SweepSpec(
+            name="trace-demo",
+            title="trace demo sweep",
+            param="phone_rate",
+            values=(1.0, 2.0),
+            config=sweep_config,
+        )
+    )
+
+
+def _cmd_trace(args: argparse.Namespace, console: Console) -> int:
+    sink = obs.JsonlSink(args.out)
+    tracer = obs.Tracer(sink=sink)
+    with obs.activate(tracer):
+        _traced_scenario_suite(args)
+    sink.close()
+
+    console.out(obs.render_span_tree(tracer.spans, max_spans=args.max_spans))
+    console.out()
+    console.out(obs.render_phase_table(obs.aggregate_spans(tracer.spans)))
+
+    snapshot = obs.build_snapshot(
+        tracer,
+        label=args.label,
+        meta={"command": "trace", "seed": args.seed},
+    )
+    snap_file = obs.write_snapshot(
+        obs.snapshot_path(args.snapshot_dir, args.label), snapshot
+    )
+    console.note(
+        f"\ntrace written to {args.out} ({len(tracer.spans)} spans, "
+        f"{len(tracer.metrics.counters)} counters)"
+    )
+    console.note(f"perf snapshot written to {snap_file}")
+    console.result(
+        {
+            "trace_path": str(args.out),
+            "snapshot_path": str(snap_file),
+            "span_count": len(tracer.spans),
+            "phases": sorted({span.name for span in tracer.spans}),
+            "counters": tracer.metrics.counters,
+        }
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, console: Console) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    scenario = _workload_from_args(args).generate(seed=args.seed)
+    mechanism = _mechanism_from_args(args)
+    engine = SimulationEngine()
+    tracer = obs.Tracer()
+    profiler = cProfile.Profile()
+    with obs.activate(tracer):
+        profiler.enable()
+        for _ in range(args.repeat):
+            engine.run(mechanism, scenario)
+        profiler.disable()
+
+    console.out(
+        f"\nprofiled {args.repeat} run(s) of {mechanism.name} on "
+        f"{scenario.num_phones} phones / {scenario.num_tasks} tasks\n"
+    )
+    console.out(obs.render_phase_table(obs.aggregate_spans(tracer.spans)))
+    console.out()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    console.out(buffer.getvalue().rstrip())
+    console.result(
+        {
+            "mechanism": mechanism.name,
+            "repeats": args.repeat,
+            "span_count": len(tracer.spans),
+            "phases": [
+                phase.to_dict()
+                for phase in obs.aggregate_spans(tracer.spans)
+            ],
+        }
+    )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace, console: Console) -> int:
     from repro.analysis import default_rules, lint_paths, render_json, render_text
 
     try:
@@ -462,11 +668,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         raise ReproError(str(exc)) from exc
     renderer = render_json if args.format == "json" else render_text
-    print(renderer(violations))
+    console.out(renderer(violations))
+    console.result(
+        {"violations": [violation.to_dict() for violation in violations]}
+    )
     return 1 if violations else 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, console: Console) -> int:
     from repro.experiments.markdown_report import build_reproduction_report
 
     report = build_reproduction_report(
@@ -474,9 +683,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     if args.out is not None:
         args.out.write_text(report)
-        print(f"report written to {args.out}")
+        console.note(f"report written to {args.out}")
     else:
-        print(report)
+        console.out(report)
+    console.result({"out": str(args.out) if args.out is not None else None})
     return 0
 
 
@@ -491,10 +701,22 @@ def build_parser() -> argparse.ArgumentParser:
             "smartphones (ICDCS 2014 reproduction)."
         ),
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress/confirmation chatter",
+    )
+    common.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit one JSON document instead of human-readable output",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
-        "simulate", help="run one auction round"
+        "simulate", help="run one auction round", parents=[common]
     )
     _add_workload_arguments(simulate)
     _add_mechanism_argument(simulate)
@@ -509,7 +731,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=_cmd_simulate)
 
     figures = subparsers.add_parser(
-        "figures", help="regenerate the paper's evaluation figures"
+        "figures",
+        help="regenerate the paper's evaluation figures",
+        parents=[common],
     )
     figures.add_argument(
         "names", nargs="*",
@@ -537,7 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.set_defaults(func=_cmd_figures)
 
     audit = subparsers.add_parser(
-        "audit", help="truthfulness / IR audit of a mechanism"
+        "audit",
+        help="truthfulness / IR audit of a mechanism",
+        parents=[common],
     )
     _add_workload_arguments(audit)
     _add_mechanism_argument(audit)
@@ -548,7 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.set_defaults(func=_cmd_audit)
 
     campaign = subparsers.add_parser(
-        "campaign", help="run a multi-round campaign"
+        "campaign", help="run a multi-round campaign", parents=[common]
     )
     _add_workload_arguments(campaign)
     _add_mechanism_argument(campaign)
@@ -563,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = subparsers.add_parser(
         "chaos",
         help="run one round under injected faults, paired fault-free",
+        parents=[common],
     )
     _add_workload_arguments(chaos)
     _add_fault_arguments(chaos)
@@ -579,13 +806,61 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(func=_cmd_chaos)
 
     example = subparsers.add_parser(
-        "example", help="walk through the paper's worked example"
+        "example",
+        help="walk through the paper's worked example",
+        parents=[common],
     )
     example.set_defaults(func=_cmd_example)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run an instrumented scenario suite; export JSONL + snapshot",
+        parents=[common],
+    )
+    trace.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("trace.jsonl"),
+        help="JSONL trace output path (default trace.jsonl)",
+    )
+    trace.add_argument(
+        "--snapshot-dir", type=pathlib.Path, default=pathlib.Path("."),
+        help="directory for the BENCH_<label>.json perf snapshot",
+    )
+    trace.add_argument(
+        "--label", default="trace",
+        help="snapshot label (default 'trace')",
+    )
+    trace.add_argument(
+        "--max-spans", type=int, default=60,
+        help="truncate the printed span tree after this many spans",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="sweep seed")
+    trace.add_argument(
+        "--repetitions", type=int, default=2,
+        help="repetitions per sweep point in the demo sweep (default 2)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile one mechanism run with the span report",
+        parents=[common],
+    )
+    _add_workload_arguments(profile)
+    _add_mechanism_argument(profile)
+    profile.add_argument(
+        "--repeat", type=int, default=3,
+        help="number of profiled runs (default 3)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15,
+        help="profile rows to print (default 15)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     lint = subparsers.add_parser(
         "lint",
         help="run the repo-specific AST invariant linter",
+        parents=[common],
     )
     lint.add_argument(
         "paths",
@@ -610,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report",
         help="generate the full Markdown reproduction report",
+        parents=[common],
     )
     report.add_argument("--repetitions", type=int, default=5)
     report.add_argument("--seed", type=int, default=2014)
@@ -626,11 +902,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    console = Console(
+        quiet=getattr(args, "quiet", False),
+        json_mode=getattr(args, "json_output", False),
+    )
     try:
-        return args.func(args)
+        code = args.func(args, console)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.error(f"error: {exc}")
         return 2
+    console.finish()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

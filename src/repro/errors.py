@@ -67,6 +67,14 @@ class SanitizationError(MechanismError):
         self.violations = tuple(violations)
 
 
+class ObservabilityError(ReproError):
+    """The telemetry layer was misused.
+
+    Examples: a quantile outside ``[0, 1]``, a counter decremented, a
+    span finished twice, or a trace sink written to after close.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation layer hit an inconsistent state.
 

@@ -33,6 +33,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.experiments.config import (
     ExperimentConfig,
@@ -175,28 +176,36 @@ def run_point(
     rows: List[List[SimulationResult]] = []
     completed = 0
     failed = 0
-    for seed in config.seeds():
-        row: Optional[List[SimulationResult]] = None
-        for attempt in range(retries + 1):
-            try:
-                scenario = effective.generate(seed)
-                row = [
-                    engine.run(mechanism, scenario)
-                    for _, mechanism in built
-                ]
-                break
-            except Exception:
-                if attempt >= retries:
-                    if on_failure == ON_FAILURE_RAISE:
-                        raise
-                    row = None
-                elif backoff > 0:
-                    wait(backoff * (2 ** attempt))
-        if row is None:
-            failed += 1
-            continue
-        completed += 1
-        rows.append(row)
+    retried = 0
+    with obs.span("sweep.point", param=param, value=value) as tel:
+        for seed in config.seeds():
+            row: Optional[List[SimulationResult]] = None
+            for attempt in range(retries + 1):
+                try:
+                    scenario = effective.generate(seed)
+                    row = [
+                        engine.run(mechanism, scenario)
+                        for _, mechanism in built
+                    ]
+                    break
+                except Exception:
+                    if attempt >= retries:
+                        if on_failure == ON_FAILURE_RAISE:
+                            raise
+                        row = None
+                    else:
+                        retried += 1
+                        obs.counter("sweep.retries")
+                        if backoff > 0:
+                            wait(backoff * (2 ** attempt))
+            if row is None:
+                failed += 1
+                continue
+            completed += 1
+            rows.append(row)
+        tel.set_attribute("completed", completed)
+        tel.set_attribute("failed", failed)
+        tel.set_attribute("retried", retried)
 
     if completed == 0:
         return SweepPoint(
@@ -261,27 +270,42 @@ def run_sweep(
         resilient = retries > 0 or checkpoint is not None
         on_failure = ON_FAILURE_PARTIAL if resilient else ON_FAILURE_RAISE
     points: List[SweepPoint] = []
-    for value in spec.values:
-        point: Optional[SweepPoint] = None
-        if checkpoint is not None:
-            point = checkpoint.load_point(spec.name, spec.param, value)
-        if point is None:
-            workload = apply_workload_override(
-                spec.config.workload, spec.param, value
-            )
-            point = run_point(
-                spec.config,
-                workload=workload,
-                param=spec.param,
-                value=value,
-                retries=retries,
-                backoff=backoff,
-                sleep=sleep,
-                on_failure=on_failure,
-            )
+    with obs.span(
+        "sweep.run",
+        sweep=spec.name,
+        param=spec.param,
+        values=len(spec.values),
+    ) as tel:
+        checkpoint_hits = 0
+        for value in spec.values:
+            point: Optional[SweepPoint] = None
             if checkpoint is not None:
-                checkpoint.save_point(spec.name, point)
-        points.append(point)
+                with obs.span("sweep.checkpoint.load", value=value):
+                    point = checkpoint.load_point(
+                        spec.name, spec.param, value
+                    )
+                if point is not None:
+                    checkpoint_hits += 1
+                    obs.counter("sweep.checkpoint.hits")
+            if point is None:
+                workload = apply_workload_override(
+                    spec.config.workload, spec.param, value
+                )
+                point = run_point(
+                    spec.config,
+                    workload=workload,
+                    param=spec.param,
+                    value=value,
+                    retries=retries,
+                    backoff=backoff,
+                    sleep=sleep,
+                    on_failure=on_failure,
+                )
+                if checkpoint is not None:
+                    with obs.span("sweep.checkpoint.save", value=value):
+                        checkpoint.save_point(spec.name, point)
+            points.append(point)
+        tel.set_attribute("checkpoint_hits", checkpoint_hits)
     return SweepResult(
         name=spec.name,
         param=spec.param,

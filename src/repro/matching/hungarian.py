@@ -23,6 +23,7 @@ import dataclasses
 import math
 from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.errors import MatchingError
 
 _INF = float("inf")
@@ -77,42 +78,49 @@ def solve_assignment_min(
     match_of_col = [0] * (num_cols + 1)  # row currently matched to column j
     way = [0] * (num_cols + 1)  # predecessor column on the alternating path
 
-    for row in range(1, num_rows + 1):
-        match_of_col[0] = row
-        current_col = 0
-        min_slack = [_INF] * (num_cols + 1)
-        used = [False] * (num_cols + 1)
-        while True:
-            used[current_col] = True
-            current_row = match_of_col[current_col]
-            delta = _INF
-            next_col = 0
-            for col in range(1, num_cols + 1):
-                if used[col]:
-                    continue
-                reduced = (
-                    cost[current_row - 1][col - 1] - u[current_row] - v[col]
-                )
-                if reduced < min_slack[col]:
-                    min_slack[col] = reduced
-                    way[col] = current_col
-                if min_slack[col] < delta:
-                    delta = min_slack[col]
-                    next_col = col
-            for col in range(num_cols + 1):
-                if used[col]:
-                    u[match_of_col[col]] += delta
-                    v[col] -= delta
-                else:
-                    min_slack[col] -= delta
-            current_col = next_col
-            if match_of_col[current_col] == 0:
-                break
-        # Unwind the alternating path, flipping matched edges.
-        while current_col:
-            previous_col = way[current_col]
-            match_of_col[current_col] = match_of_col[previous_col]
-            current_col = previous_col
+    with obs.span(
+        "matching.hungarian.solve", rows=num_rows, cols=num_cols
+    ) as tel:
+        pivots = 0
+        for row in range(1, num_rows + 1):
+            match_of_col[0] = row
+            current_col = 0
+            min_slack = [_INF] * (num_cols + 1)
+            used = [False] * (num_cols + 1)
+            while True:
+                pivots += 1
+                used[current_col] = True
+                current_row = match_of_col[current_col]
+                delta = _INF
+                next_col = 0
+                for col in range(1, num_cols + 1):
+                    if used[col]:
+                        continue
+                    reduced = (
+                        cost[current_row - 1][col - 1] - u[current_row] - v[col]
+                    )
+                    if reduced < min_slack[col]:
+                        min_slack[col] = reduced
+                        way[col] = current_col
+                    if min_slack[col] < delta:
+                        delta = min_slack[col]
+                        next_col = col
+                for col in range(num_cols + 1):
+                    if used[col]:
+                        u[match_of_col[col]] += delta
+                        v[col] -= delta
+                    else:
+                        min_slack[col] -= delta
+                current_col = next_col
+                if match_of_col[current_col] == 0:
+                    break
+            # Unwind the alternating path, flipping matched edges.
+            while current_col:
+                previous_col = way[current_col]
+                match_of_col[current_col] = match_of_col[previous_col]
+                current_col = previous_col
+        tel.set_attribute("pivots", pivots)
+        obs.counter("matching.pivots", pivots)
 
     assignment = [-1] * num_rows
     total = 0.0

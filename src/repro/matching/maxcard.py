@@ -11,6 +11,7 @@ from __future__ import annotations
 import collections
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.errors import MatchingError
 
 _INF = float("inf")
@@ -81,11 +82,18 @@ def hopcroft_karp(
         distance[u] = _INF
         return False
 
-    size = 0
-    while bfs():
-        for u in range(num_left):
-            if match_left[u] == -1 and dfs(u):
-                size += 1
+    with obs.span(
+        "matching.hopcroft_karp", left=num_left, right=num_right
+    ) as tel:
+        size = 0
+        phases = 0
+        while bfs():
+            phases += 1
+            for u in range(num_left):
+                if match_left[u] == -1 and dfs(u):
+                    size += 1
+        tel.set_attribute("phases", phases)
+        tel.set_attribute("size", size)
 
     matching = {u: v for u, v in enumerate(match_left) if v != -1}
     return size, matching

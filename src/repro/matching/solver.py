@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import MatchingError
 
 
@@ -74,11 +75,13 @@ class AssignmentSolver:
         match_of_col: np.ndarray,
         row: int,
         forbidden: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Insert ``row`` into the matching via one Dijkstra-style search.
 
         Mutates ``u``, ``v``, ``match_of_col`` in place.  ``forbidden``
         excludes one column entirely (used by the sensitivity repair).
+        Returns the number of tree-growth iterations (pivots) the search
+        needed — the telemetry layer's unit of matching work.
         """
         num_cols = v.shape[0]
         min_slack = np.full(num_cols, np.inf)
@@ -90,9 +93,11 @@ class AssignmentSolver:
         else:
             tree_cols = []
 
+        pivots = 0
         current_row = row
         previous_col = -1
         while True:
+            pivots += 1
             reduced = cost[current_row] - u[current_row] - v
             better = (~in_tree) & (reduced < min_slack)
             min_slack[better] = reduced[better]
@@ -134,6 +139,7 @@ class AssignmentSolver:
                 break
             match_of_col[col] = match_of_col[prev]
             col = prev
+        return pivots
 
     # ------------------------------------------------------------------
     # Public API
@@ -145,11 +151,20 @@ class AssignmentSolver:
         after the first call.
         """
         if not self._solved:
-            for row in range(self._num_rows):
-                self._augment(
-                    self._cost, self._u, self._v, self._match_of_col, row
-                )
-            self._solved = True
+            with obs.span(
+                "matching.solver.solve",
+                rows=self._num_rows,
+                cols=self._num_cols,
+            ) as sp:
+                pivots = 0
+                for row in range(self._num_rows):
+                    pivots += self._augment(
+                        self._cost, self._u, self._v, self._match_of_col, row
+                    )
+                self._solved = True
+                sp.set_attribute("pivots", pivots)
+                obs.counter("matching.augmentations", self._num_rows)
+                obs.counter("matching.pivots", pivots)
         return self.row_to_col(), self.total_cost()
 
     def row_to_col(self) -> np.ndarray:
@@ -191,13 +206,16 @@ class AssignmentSolver:
         if displaced_row == -1:
             return self.total_cost()
 
-        u = self._u.copy()
-        v = self._v.copy()
-        match_of_col = self._match_of_col.copy()
-        match_of_col[column] = -1
-        self._augment(
-            self._cost, u, v, match_of_col, displaced_row, forbidden=column
-        )
-        cols = np.nonzero(match_of_col >= 0)[0]
-        rows = match_of_col[cols]
-        return float(self._cost[rows, cols].sum())
+        with obs.span("matching.solver.repair", column=column) as sp:
+            u = self._u.copy()
+            v = self._v.copy()
+            match_of_col = self._match_of_col.copy()
+            match_of_col[column] = -1
+            pivots = self._augment(
+                self._cost, u, v, match_of_col, displaced_row, forbidden=column
+            )
+            sp.set_attribute("pivots", pivots)
+            obs.counter("matching.pivots", pivots)
+            cols = np.nonzero(match_of_col >= 0)[0]
+            rows = match_of_col[cols]
+            return float(self._cost[rows, cols].sum())

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.errors import MechanismError
 from repro.mechanisms.greedy_core import run_greedy_allocation
 from repro.model.bid import Bid
@@ -50,18 +51,21 @@ def algorithm2_payment(
             f"win slot {win_slot} outside phone {winner.phone_id}'s "
             f"claimed window [{winner.arrival}, {winner.departure}]"
         )
-    rerun = run_greedy_allocation(
-        bids,
-        schedule,
-        exclude_phone=winner.phone_id,
-        reserve_price=reserve_price,
-        stop_after_slot=winner.departure,
-    )
-    payment = winner.cost
-    for other in rerun.winners_between(win_slot, winner.departure):
-        if other.cost > payment:
-            payment = other.cost
-    return payment
+    with obs.span(
+        "payment.algorithm2", winner=winner.phone_id, win_slot=win_slot
+    ):
+        rerun = run_greedy_allocation(
+            bids,
+            schedule,
+            exclude_phone=winner.phone_id,
+            reserve_price=reserve_price,
+            stop_after_slot=winner.departure,
+        )
+        payment = winner.cost
+        for other in rerun.winners_between(win_slot, winner.departure):
+            if other.cost > payment:
+                payment = other.cost
+        return payment
 
 
 def _wins_with_cost(
@@ -106,52 +110,69 @@ def exact_critical_payment(
     the winner's own claimed cost (and the caller inherits the
     truthfulness caveat documented in the module docstring).
     """
-    thresholds: List[float] = sorted(
-        {
-            bid.cost
-            for bid in bids
-            if bid.phone_id != winner.phone_id
-        }
-        | ({task.value for task in schedule} if reserve_price else set())
-    )
-    thresholds = [t for t in thresholds if t > 0.0]
+    with obs.span("payment.exact", winner=winner.phone_id) as tel:
+        probes = 0
 
-    if not thresholds:
-        return winner.cost
+        def probe(candidate_cost: float) -> bool:
+            nonlocal probes
+            probes += 1
+            return _wins_with_cost(
+                bids, schedule, winner, candidate_cost, reserve_price
+            )
 
-    # Probe strictly above the largest threshold: uncontested winner?
-    above_all = thresholds[-1] + 1.0
-    if _wins_with_cost(bids, schedule, winner, above_all, reserve_price):
-        return winner.cost if not reserve_price else max(
-            thresholds[-1], winner.cost
-        )
+        try:
+            thresholds: List[float] = sorted(
+                {
+                    bid.cost
+                    for bid in bids
+                    if bid.phone_id != winner.phone_id
+                }
+                | (
+                    {task.value for task in schedule}
+                    if reserve_price
+                    else set()
+                )
+            )
+            thresholds = [t for t in thresholds if t > 0.0]
 
-    # Probe region k is (thresholds[k-1], thresholds[k]); its
-    # representative is a midpoint.  Winning is monotone over regions, so
-    # binary-search the last winning region; the critical value is that
-    # region's right endpoint.
-    def representative(region: int) -> float:
-        upper = thresholds[region]
-        lower = 0.0 if region == 0 else thresholds[region - 1]
-        return (lower + upper) / 2.0
+            if not thresholds:
+                return winner.cost
 
-    low, high = 0, len(thresholds) - 1
-    # Invariant: the winner wins somewhere at or below region `high + 1`'s
-    # lower edge; it won with its submitted bid, so region containing its
-    # own cost wins.
-    best: Optional[int] = None
-    while low <= high:
-        mid = (low + high) // 2
-        if _wins_with_cost(
-            bids, schedule, winner, representative(mid), reserve_price
-        ):
-            best = mid
-            low = mid + 1
-        else:
-            high = mid - 1
-    if best is None:
-        # The winner won with its submitted bid yet loses in every probe
-        # region; its own cost must sit exactly on a threshold where the
-        # tie-break favours it.  The critical value is its own cost.
-        return winner.cost
-    return max(thresholds[best], winner.cost)
+            # Probe strictly above the largest threshold: uncontested?
+            above_all = thresholds[-1] + 1.0
+            if probe(above_all):
+                return winner.cost if not reserve_price else max(
+                    thresholds[-1], winner.cost
+                )
+
+            # Probe region k is (thresholds[k-1], thresholds[k]); its
+            # representative is a midpoint.  Winning is monotone over
+            # regions, so binary-search the last winning region; the
+            # critical value is that region's right endpoint.
+            def representative(region: int) -> float:
+                upper = thresholds[region]
+                lower = 0.0 if region == 0 else thresholds[region - 1]
+                return (lower + upper) / 2.0
+
+            low, high = 0, len(thresholds) - 1
+            # Invariant: the winner wins somewhere at or below region
+            # `high + 1`'s lower edge; it won with its submitted bid, so
+            # the region containing its own cost wins.
+            best: Optional[int] = None
+            while low <= high:
+                mid = (low + high) // 2
+                if probe(representative(mid)):
+                    best = mid
+                    low = mid + 1
+                else:
+                    high = mid - 1
+            if best is None:
+                # The winner won with its submitted bid yet loses in every
+                # probe region; its own cost must sit exactly on a
+                # threshold where the tie-break favours it.  The critical
+                # value is its own cost.
+                return winner.cost
+            return max(thresholds[best], winner.cost)
+        finally:
+            tel.set_attribute("probes", probes)
+            obs.counter("payment.exact.probes", probes)

@@ -23,6 +23,7 @@ import dataclasses
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.model.bid import Bid
 from repro.model.task import TaskSchedule
 
@@ -135,39 +136,58 @@ def run_greedy_allocation(
     win_slots: Dict[int, int] = {}
     slot_outcomes: List[SlotOutcome] = []
 
-    for slot in range(1, last_slot + 1):
-        for bid in arrivals_by_slot.get(slot, ()):  # newly active bids
-            heapq.heappush(pool, (bid_sort_key(bid), bid))
+    # Candidate evaluations are counted in a local int and reported once
+    # at the end: the inner loop must stay telemetry-free so a disabled
+    # tracer costs nothing on the hot path.
+    candidate_evals = 0
+    with obs.span(
+        "greedy.allocation",
+        bids=len(bids),
+        slots=last_slot,
+        excluded=exclude_phone,
+    ) as tel:
+        for slot in range(1, last_slot + 1):
+            for bid in arrivals_by_slot.get(slot, ()):  # newly active bids
+                heapq.heappush(pool, (bid_sort_key(bid), bid))
 
-        tasks = schedule.tasks_in_slot(slot)
-        if not tasks:
-            continue
-
-        winners: List[Bid] = []
-        unserved = 0
-        for task in tasks:
-            chosen: Optional[Bid] = None
-            while pool:
-                _, candidate = pool[0]
-                if candidate.departure < slot:  # departed; discard lazily
-                    heapq.heappop(pool)
-                    continue
-                if reserve_price and candidate.cost > task.value:
-                    # The cheapest pooled bid is already above the task's
-                    # value; with the pool sorted by cost, no pooled bid
-                    # can serve this task profitably.
-                    break
-                chosen = heapq.heappop(pool)[1]
-                break
-            if chosen is None:
-                unserved += 1
+            tasks = schedule.tasks_in_slot(slot)
+            if not tasks:
                 continue
-            allocation[task.task_id] = chosen.phone_id
-            win_slots[chosen.phone_id] = slot
-            winners.append(chosen)
-        slot_outcomes.append(
-            SlotOutcome(slot=slot, winners=tuple(winners), unserved=unserved)
+
+            winners: List[Bid] = []
+            unserved = 0
+            for task in tasks:
+                chosen: Optional[Bid] = None
+                while pool:
+                    candidate_evals += 1
+                    _, candidate = pool[0]
+                    if candidate.departure < slot:  # departed; discard lazily
+                        heapq.heappop(pool)
+                        continue
+                    if reserve_price and candidate.cost > task.value:
+                        # The cheapest pooled bid is already above the
+                        # task's value; with the pool sorted by cost, no
+                        # pooled bid can serve this task profitably.
+                        break
+                    chosen = heapq.heappop(pool)[1]
+                    break
+                if chosen is None:
+                    unserved += 1
+                    continue
+                allocation[task.task_id] = chosen.phone_id
+                win_slots[chosen.phone_id] = slot
+                winners.append(chosen)
+            slot_outcomes.append(
+                SlotOutcome(
+                    slot=slot, winners=tuple(winners), unserved=unserved
+                )
+            )
+        tel.set_attribute("candidate_evals", candidate_evals)
+        tel.set_attribute("winners", len(win_slots))
+        tel.set_attribute(
+            "unserved", sum(outcome.unserved for outcome in slot_outcomes)
         )
+        obs.counter("greedy.candidate_evals", candidate_evals)
 
     return GreedyRun(
         allocation=allocation,

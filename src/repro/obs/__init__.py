@@ -1,0 +1,103 @@
+"""Telemetry for the auction stack: spans, metrics, export, snapshots.
+
+The package has two faces:
+
+* **Instrumentation API** (what library code imports)::
+
+      from repro import obs
+
+      def hot_path(...):
+          with obs.span("matching.solve", rows=n) as sp:
+              ...
+              sp.set_attribute("augmentations", count)
+          obs.counter("greedy.candidate_evals", evaluated)
+
+  With no tracer installed every helper is a near-zero-cost no-op, so
+  instrumentation is always-on in the source without a perf budget
+  conversation per call site.
+
+* **Collection API** (what drivers, tests, and the CLI use)::
+
+      tracer = Tracer(clock=ManualClock(tick=1.0), sink=JsonlSink(path))
+      with obs.activate(tracer):
+          run_whatever()
+      print(render_phase_table(aggregate_spans(tracer.spans)))
+
+See ``docs/ARCHITECTURE.md`` ("Observability") for the span taxonomy
+and metric names.
+"""
+
+from repro.obs.clock import Clock, ManualClock, MonotonicClock
+from repro.obs.console import Console
+from repro.obs.context import (
+    activate,
+    counter,
+    current_tracer,
+    gauge,
+    observe,
+    record_event,
+    span,
+    tracing_enabled,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TeeSink,
+    TraceSink,
+    read_jsonl,
+)
+from repro.obs.snapshot import (
+    SNAPSHOT_SCHEMA,
+    PhaseStats,
+    aggregate_spans,
+    build_snapshot,
+    load_snapshot,
+    render_phase_table,
+    render_span_tree,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Clock",
+    "Console",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "ManualClock",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NullSink",
+    "PhaseStats",
+    "Span",
+    "TeeSink",
+    "TraceSink",
+    "Tracer",
+    "activate",
+    "aggregate_spans",
+    "build_snapshot",
+    "counter",
+    "current_tracer",
+    "gauge",
+    "load_snapshot",
+    "observe",
+    "read_jsonl",
+    "record_event",
+    "render_phase_table",
+    "render_span_tree",
+    "snapshot_path",
+    "span",
+    "tracing_enabled",
+    "write_snapshot",
+]

@@ -1,0 +1,59 @@
+"""Injectable time sources for the telemetry layer.
+
+Spans measure wall time through a :class:`Clock` rather than calling
+:func:`time.perf_counter` directly, so that tests can drive a
+:class:`ManualClock` and assert on *exact* span durations — traces in
+the test suite are fully deterministic, the same way the simulation
+layer injects seeded RNG streams instead of global randomness.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+
+class Clock(abc.ABC):
+    """A monotonic time source, in seconds."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """The current monotonic time."""
+
+
+class MonotonicClock(Clock):
+    """The production clock: :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A deterministic clock advanced explicitly (or per ``now()`` call).
+
+    Parameters
+    ----------
+    start:
+        Initial reading.
+    tick:
+        Amount the clock auto-advances *after* every ``now()`` call.
+        With ``tick=1.0`` the n-th reading is ``start + (n-1)``, giving
+        every span a predictable, distinct duration without the test
+        having to interleave :meth:`advance` calls with the code under
+        trace.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._time = float(start)
+        self._tick = float(tick)
+
+    def now(self) -> float:
+        reading = self._time
+        self._time += self._tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move a monotonic clock back ({seconds})")
+        self._time += float(seconds)

@@ -1,0 +1,78 @@
+"""The CLI output layer: one choke point instead of scattered prints.
+
+Every ``repro-crowd`` command writes through a :class:`Console`, which
+gives all commands three behaviours for free:
+
+* **default** — byte-identical to the historical ``print`` output,
+* ``--quiet`` — progress/confirmation chatter (:meth:`Console.note`)
+  is suppressed; primary results (:meth:`Console.out`) still print,
+* ``--json`` — human rendering is suppressed entirely and the
+  command's structured payload (:meth:`Console.result`) is printed as
+  one JSON document at exit.
+
+Library code (mechanisms, matching, experiments) must not print at all
+— lint rule ``REP007`` (``no-print``) enforces that; this module and
+the CLI entry points carry the only suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, Mapping, Optional
+
+
+class Console:
+    """Routes command output according to ``--quiet`` / ``--json``."""
+
+    def __init__(
+        self,
+        quiet: bool = False,
+        json_mode: bool = False,
+        stream: Optional[IO[str]] = None,
+        error_stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.quiet = bool(quiet)
+        self.json_mode = bool(json_mode)
+        self._stream = stream if stream is not None else sys.stdout
+        self._error_stream = (
+            error_stream if error_stream is not None else sys.stderr
+        )
+        self._payload: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Human-readable channels
+    # ------------------------------------------------------------------
+    def out(self, text: str = "") -> None:
+        """Primary output (tables, results); hidden only in JSON mode."""
+        if not self.json_mode:
+            print(text, file=self._stream)  # repro: noqa-REP007 -- the CLI output choke point
+
+    def note(self, text: str = "") -> None:
+        """Progress/confirmation chatter; hidden by --quiet and --json."""
+        if not self.quiet and not self.json_mode:
+            print(text, file=self._stream)  # repro: noqa-REP007 -- the CLI output choke point
+
+    def error(self, text: str) -> None:
+        """Error reporting; always printed, to stderr."""
+        print(text, file=self._error_stream)  # repro: noqa-REP007 -- the CLI output choke point
+
+    # ------------------------------------------------------------------
+    # Structured channel
+    # ------------------------------------------------------------------
+    def result(self, payload: Mapping[str, Any]) -> None:
+        """Merge structured results into the command's JSON payload."""
+        self._payload.update(payload)
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        """The structured payload accumulated so far."""
+        return dict(self._payload)
+
+    def finish(self) -> None:
+        """Emit the JSON document (JSON mode only); call once per command."""
+        if self.json_mode:
+            print(  # repro: noqa-REP007 -- the CLI output choke point
+                json.dumps(self._payload, indent=2, sort_keys=True),
+                file=self._stream,
+            )

@@ -1,0 +1,209 @@
+"""Counters, gauges, and histograms for the telemetry layer.
+
+A :class:`MetricsRegistry` is a plain in-process bag of named
+instruments.  Instruments are created lazily on first use, so
+instrumented code never has to pre-declare anything; names follow a
+dotted taxonomy documented in ``docs/ARCHITECTURE.md`` (e.g.
+``greedy.candidate_evals``, ``platform.events.TaskReassigned``).
+
+The registry is deliberately simple — synchronous, unbounded, no label
+sets — because its job is to account for *one* traced run (a round, a
+sweep, a bench session), after which a perf snapshot serialises it and
+the registry is thrown away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ObservabilityError
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observed values with exact quantiles.
+
+    Observations are retained verbatim (runs are bounded, so memory is
+    not a concern) and quantiles are computed by linear interpolation
+    over the sorted sample — the same convention as
+    ``numpy.quantile(..., method="linear")``, implemented here without
+    the numpy dependency so the telemetry layer stays import-light.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted: bool = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def values(self) -> Tuple[float, ...]:
+        """The raw observations, in recording order."""
+        return tuple(self._values)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) by linear interpolation.
+
+        With ``n`` sorted observations the rank is ``q * (n - 1)``; a
+        fractional rank interpolates linearly between its neighbours.
+        Raises :class:`ObservabilityError` on an empty histogram or a
+        ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        if not self._values:
+            raise ObservabilityError(
+                f"histogram {self.name!r} is empty; no quantiles exist"
+            )
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = q * (len(self._values) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(self._values) - 1)
+        fraction = rank - lower
+        return (
+            self._values[lower] * (1.0 - fraction)
+            + self._values[upper] * fraction
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Count, total, mean, min/max and the standard quantiles."""
+        if not self._values:
+            return {"count": 0, "total": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily created named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) -----------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- one-shot recording shortcuts ----------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).increment(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        """``name -> value`` of every counter, sorted by name."""
+        return {
+            name: self._counters[name].value
+            for name in sorted(self._counters)
+        }
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """``name -> value`` of every gauge, sorted by name."""
+        return {
+            name: self._gauges[name].value for name in sorted(self._gauges)
+        }
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """``name -> histogram``, sorted by name."""
+        return {
+            name: self._histograms[name]
+            for name in sorted(self._histograms)
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump (used by the perf snapshot)."""
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in self.histograms.items()
+            },
+        }

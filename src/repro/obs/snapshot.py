@@ -1,0 +1,182 @@
+"""Perf snapshots: aggregate a trace into a machine-readable report.
+
+A *snapshot* condenses one traced run (or bench session) into per-phase
+timing statistics — one row per span name — plus the final counter and
+histogram state.  Snapshots serialise to the repo's ``BENCH_*.json``
+convention (:func:`write_snapshot` / :func:`snapshot_path`), which the
+CI perf-smoke job uploads as an artifact, and render to the per-phase
+table and span tree ``repro-crowd trace`` prints.
+
+Snapshots deliberately contain no wall-clock timestamps or host
+metadata beyond what the caller passes in ``meta`` — two runs of the
+same workload on the same machine produce structurally identical
+documents, which keeps them diffable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.spans import Span, Tracer
+from repro.utils.tables import format_table
+
+#: Schema tag embedded in every snapshot document.
+SNAPSHOT_SCHEMA = "repro-perf-snapshot/v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated timings of every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def aggregate_spans(spans: Iterable[Span]) -> List[PhaseStats]:
+    """Per-phase stats over finished spans, sorted by total time desc."""
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.finished:
+            durations.setdefault(span.name, []).append(span.duration)
+    stats = [
+        PhaseStats(
+            name=name,
+            count=len(values),
+            total_seconds=sum(values),
+            mean_seconds=sum(values) / len(values),
+            min_seconds=min(values),
+            max_seconds=max(values),
+        )
+        for name, values in durations.items()
+    ]
+    stats.sort(key=lambda phase: (-phase.total_seconds, phase.name))
+    return stats
+
+
+def build_snapshot(
+    tracer: Tracer,
+    label: str,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The snapshot document for one traced run.
+
+    ``label`` names the workload measured (it also names the
+    ``BENCH_<label>.json`` file); ``meta`` is caller-provided context
+    (scenario sizes, mechanism names, ...).
+    """
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "label": label,
+        "meta": dict(meta or {}),
+        "phases": [phase.to_dict() for phase in aggregate_spans(tracer.spans)],
+        "metrics": tracer.metrics.to_dict(),
+        "span_count": len(tracer.spans),
+    }
+
+
+def snapshot_path(directory: "os.PathLike[str]", label: str) -> pathlib.Path:
+    """The conventional ``BENCH_<label>.json`` location under ``directory``."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in label
+    )
+    return pathlib.Path(directory) / f"BENCH_{safe}.json"
+
+
+def write_snapshot(
+    path: "os.PathLike[str]", snapshot: Mapping[str, Any]
+) -> pathlib.Path:
+    """Write a snapshot document as stable, indented JSON."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_snapshot(path: "os.PathLike[str]") -> Dict[str, Any]:
+    """Read a snapshot document back (no validation beyond JSON)."""
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_phase_table(
+    phases: Sequence[PhaseStats], title: str = "Per-phase timings"
+) -> str:
+    """The per-phase timing table (milliseconds, human-readable)."""
+    rows = [
+        [
+            phase.name,
+            phase.count,
+            f"{phase.total_seconds * 1e3:.3f}",
+            f"{phase.mean_seconds * 1e3:.3f}",
+            f"{phase.max_seconds * 1e3:.3f}",
+        ]
+        for phase in phases
+    ]
+    return format_table(
+        ["phase", "spans", "total ms", "mean ms", "max ms"],
+        rows,
+        title=title,
+    )
+
+
+def render_span_tree(
+    spans: Sequence[Span], max_spans: Optional[int] = None
+) -> str:
+    """An indented tree of a trace's spans with durations and attributes.
+
+    Children print under their parent in start order.  ``max_spans``
+    truncates large traces (a trailing line reports how many were
+    elided).
+    """
+    finished = [span for span in spans if span.finished]
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for span in finished:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda span: (span.start, span.span_id))
+
+    lines: List[str] = []
+    elided = 0
+
+    def walk(parent_id: Optional[int], depth: int) -> None:
+        nonlocal elided
+        for span in by_parent.get(parent_id, []):
+            if max_spans is not None and len(lines) >= max_spans:
+                elided += 1 + _count_descendants(span)
+                continue
+            attrs = ", ".join(
+                f"{key}={value}" for key, value in span.attributes.items()
+            )
+            suffix = f"  [{attrs}]" if attrs else ""
+            lines.append(
+                f"{'  ' * depth}{span.name}  "
+                f"{span.duration * 1e3:.3f} ms{suffix}"
+            )
+            walk(span.span_id, depth + 1)
+
+    def _count_descendants(span: Span) -> int:
+        total = 0
+        for child in by_parent.get(span.span_id, []):
+            total += 1 + _count_descendants(child)
+        return total
+
+    walk(None, 0)
+    if elided:
+        lines.append(f"... ({elided} more span(s) elided)")
+    return "\n".join(lines) if lines else "(no spans recorded)"

@@ -13,6 +13,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.agents.base import BiddingStrategy
 from repro.mechanisms.base import Mechanism
 from repro.metrics.overpayment import overpayment_ratio, total_overpayment
@@ -95,7 +96,10 @@ class SimulationEngine:
             bids = scenario.bids_from_strategies(strategies, rng)
         else:
             bids = scenario.truthful_bids()
-        outcome = mechanism.run(bids, scenario.schedule)
+        with obs.span(
+            "mechanism.run", mechanism=mechanism.name, bids=len(bids)
+        ):
+            outcome = mechanism.run(bids, scenario.schedule)
         return self.package(mechanism.name, outcome, scenario)
 
     @staticmethod

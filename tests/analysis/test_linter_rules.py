@@ -25,6 +25,7 @@ from repro.analysis.rules.hygiene import (
     NoBareExceptRule,
     NoMutableDefaultRule,
 )
+from repro.analysis.rules.output import NoPrintRule
 from repro.analysis.rules.purity import NoRunMutationRule
 from repro.analysis.rules.randomness import NoGlobalRandomRule
 
@@ -390,6 +391,59 @@ class TestHygieneRules:
             NoMutableDefaultRule(),
         )
         assert found == []
+
+
+# ----------------------------------------------------------------------
+# no-print (REP007)
+# ----------------------------------------------------------------------
+class TestNoPrint:
+    def test_print_call_in_library_code_flagged(self):
+        found = lint(
+            "def report(x):\n    print(x)\n",
+            NoPrintRule(),
+        )
+        assert [v.rule for v in found] == ["no-print"]
+        assert found[0].code == "REP007"
+
+    def test_multiple_prints_each_flagged(self):
+        found = lint(
+            "print(1)\nprint(2)\n",
+            NoPrintRule(),
+        )
+        assert len(found) == 2
+
+    def test_paths_outside_src_repro_exempt(self):
+        for path in ("tests/test_x.py", "examples/demo.py", "setup.py"):
+            found = lint("print('ok')\n", NoPrintRule(), path=path)
+            assert found == [], path
+
+    def test_shadowed_print_method_not_flagged(self):
+        found = lint(
+            "def f(doc):\n    doc.print()\n    return doc\n",
+            NoPrintRule(),
+        )
+        assert found == []
+
+    def test_noqa_by_code_suppresses(self):
+        source = "print('cli')  # repro: noqa-REP007 -- output choke point\n"
+        assert lint_source(
+            source, path="src/repro/obs/console.py", rules=[NoPrintRule()]
+        ) == []
+
+    def test_noqa_by_name_suppresses(self):
+        source = "print('cli')  # repro: noqa-no-print -- choke point\n"
+        assert lint_source(
+            source, path="src/repro/obs/console.py", rules=[NoPrintRule()]
+        ) == []
+
+    def test_library_tree_is_self_clean(self):
+        # The rule must hold over the shipped sources: every print
+        # under src/repro either went through the Console or carries an
+        # explicit exemption.
+        from repro.analysis.linter import lint_paths
+
+        violations = lint_paths(["src/repro"], rules=[NoPrintRule()])
+        assert violations == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,93 @@
+"""Telemetry of platform fault recovery: counters must match events.
+
+The platform routes every event through one emission choke point, so a
+traced run's ``platform.reassignments`` counter and its
+``platform.events.TaskReassigned`` counter must both equal the number of
+:class:`~repro.auction.events.TaskReassigned` records in the event log —
+and the sink must have received exactly the logged events.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.auction import CrowdsourcingPlatform
+from repro.auction.events import TaskReassigned
+from repro.model import Bid, SensingTask, SmartphoneProfile, TaskSchedule
+from repro.obs import InMemorySink, ManualClock, Tracer
+from repro.simulation.scenario import Scenario
+
+
+def _dropout_round(platform):
+    """Two phones, one task; the cheap winner drops after slot 1."""
+    profiles = [
+        SmartphoneProfile(phone_id=1, arrival=1, departure=3, cost=1.0),
+        SmartphoneProfile(phone_id=2, arrival=1, departure=4, cost=5.0),
+    ]
+    schedule = TaskSchedule(
+        num_slots=4,
+        tasks=[SensingTask(task_id=0, slot=1, index=1, value=20.0)],
+    )
+    for bid in Scenario(profiles, schedule).truthful_bids():
+        platform.submit_bid(bid)
+    platform.submit_tasks(1, value=20.0)
+    platform.close_slot()  # phone 1 (cheaper) wins task 0
+    platform.report_dropout(1)  # recovery reassigns to phone 2
+    for _ in range(3):
+        platform.close_slot()
+    return platform.finalize()
+
+
+class TestFaultRecoveryTelemetry:
+    def test_reassignment_counters_match_emitted_events(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0), sink=InMemorySink())
+        platform = CrowdsourcingPlatform(num_slots=4)
+        with obs.activate(tracer):
+            outcome = _dropout_round(platform)
+
+        reassigned = [
+            e for e in platform.events if isinstance(e, TaskReassigned)
+        ]
+        assert len(reassigned) == 1  # the scenario forces exactly one
+        counters = tracer.metrics.counters
+        assert counters["platform.reassignments"] == len(reassigned)
+        assert counters["platform.events.TaskReassigned"] == len(reassigned)
+        assert outcome.allocation == {0: 2}
+
+    def test_sink_received_exactly_the_logged_events(self):
+        sink = InMemorySink()
+        tracer = Tracer(clock=ManualClock(tick=1.0), sink=sink)
+        platform = CrowdsourcingPlatform(num_slots=4)
+        with obs.activate(tracer):
+            _dropout_round(platform)
+
+        assert list(sink.events) == list(platform.events)
+        # Per-class counters sum to the event-log length.
+        event_counters = {
+            name: value
+            for name, value in tracer.metrics.counters.items()
+            if name.startswith("platform.events.")
+        }
+        assert sum(event_counters.values()) == len(platform.events)
+        for name, value in event_counters.items():
+            kind = name.rsplit(".", 1)[1]
+            logged = [
+                e for e in platform.events if type(e).__name__ == kind
+            ]
+            assert value == len(logged)
+
+    def test_slot_spans_cover_every_slot(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        platform = CrowdsourcingPlatform(num_slots=4)
+        with obs.activate(tracer):
+            _dropout_round(platform)
+        slots = [s for s in tracer.spans if s.name == "platform.slot"]
+        assert [s.attributes["slot"] for s in slots] == [1, 2, 3, 4]
+
+    def test_untraced_run_is_identical_and_emits_nothing(self):
+        traced_platform = CrowdsourcingPlatform(num_slots=4)
+        with obs.activate(Tracer(clock=ManualClock(tick=1.0))):
+            traced = _dropout_round(traced_platform)
+        untraced_platform = CrowdsourcingPlatform(num_slots=4)
+        untraced = _dropout_round(untraced_platform)
+        assert traced == untraced
+        assert untraced_platform.events == traced_platform.events

@@ -1,0 +1,119 @@
+"""Counters, gauges, and histogram quantile math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        registry = MetricsRegistry()
+        registry.increment("hits")
+        registry.increment("hits", 4)
+        assert registry.counters == {"hits": 5.0}
+
+    def test_counter_rejects_negative_amounts(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            registry.increment("hits", -1)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 3)
+        registry.set_gauge("depth", 1)
+        assert registry.gauges == {"depth": 1.0}
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_match_numpy_linear_interpolation(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0]
+        histogram = Histogram("latency")
+        for value in values:
+            histogram.observe(value)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            expected = float(np.quantile(values, q, method="linear"))
+            assert histogram.quantile(q) == pytest.approx(expected)
+
+    def test_median_of_even_sample_interpolates(self):
+        histogram = Histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == pytest.approx(2.5)
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = Histogram("latency")
+        histogram.observe(42.0)
+        assert histogram.quantile(0.0) == 42.0
+        assert histogram.quantile(0.5) == 42.0
+        assert histogram.quantile(1.0) == 42.0
+
+    def test_observing_after_a_quantile_resorts(self):
+        histogram = Histogram("latency")
+        histogram.observe(10.0)
+        assert histogram.quantile(0.5) == 10.0
+        histogram.observe(0.0)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_values_keep_recording_order(self):
+        histogram = Histogram("latency")
+        histogram.observe(3.0)
+        histogram.observe(1.0)
+        assert histogram.values() == (3.0, 1.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        with pytest.raises(ObservabilityError, match="empty"):
+            Histogram("latency").quantile(0.5)
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        histogram = Histogram("latency")
+        histogram.observe(1.0)
+        with pytest.raises(ObservabilityError, match=r"\[0, 1\]"):
+            histogram.quantile(1.5)
+
+    def test_summary_of_empty_histogram(self):
+        assert Histogram("latency").summary() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+        }
+
+    def test_summary_statistics(self):
+        histogram = Histogram("latency")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(6.0)
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == pytest.approx(2.0)
+
+
+class TestRegistryDump:
+    def test_to_dict_nests_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.increment("hits", 2)
+        registry.set_gauge("depth", 4)
+        registry.observe("latency", 0.5)
+        payload = registry.to_dict()
+        assert payload["counters"] == {"hits": 2.0}
+        assert payload["gauges"] == {"depth": 4.0}
+        assert payload["histograms"]["latency"]["count"] == 1
+
+    def test_dumps_are_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.increment("zeta")
+        registry.increment("alpha")
+        assert list(registry.counters) == ["alpha", "zeta"]

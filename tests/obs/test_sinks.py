@@ -1,0 +1,104 @@
+"""Sink behaviour: JSONL round-trips, tees, and closed-sink errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.auction.events import TaskAllocated, event_from_dict
+from repro.errors import ObservabilityError
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    ManualClock,
+    NullSink,
+    TeeSink,
+    Tracer,
+    read_jsonl,
+)
+
+
+def _run_traced(sink):
+    """One deterministic traced run: two nested spans and one event."""
+    tracer = Tracer(clock=ManualClock(tick=1.0), sink=sink)
+    with obs.activate(tracer):
+        with obs.span("outer", rows=2):
+            with obs.span("inner"):
+                pass
+        obs.record_event(
+            TaskAllocated(slot=1, task_id=0, phone_id=7, claimed_cost=3.5)
+        )
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_spans_and_events_reload_losslessly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = _run_traced(sink)
+
+        records = read_jsonl(path)
+        spans = [r for r in records if r["record"] == "span"]
+        events = [r for r in records if r["record"] == "event"]
+        assert len(records) == len(spans) + len(events)
+
+        # Span lines carry exactly Span.to_dict(); completion order.
+        assert [r["name"] for r in spans] == ["inner", "outer"]
+        by_name = {r["name"]: r for r in spans}
+        for name, original in (("inner", tracer.spans[0]),
+                               ("outer", tracer.spans[1])):
+            reloaded = dict(by_name[name])
+            reloaded.pop("record")
+            assert reloaded == original.to_dict()
+
+        # Event lines rebuild the original dataclass via the registry.
+        rebuilt = event_from_dict(events[0]["event"])
+        assert rebuilt == TaskAllocated(
+            slot=1, task_id=0, phone_id=7, claimed_cost=3.5
+        )
+
+    def test_closed_sink_refuses_records(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        tracer = Tracer(clock=ManualClock(), sink=sink)
+        with pytest.raises(ObservabilityError, match="closed"):
+            with tracer.span("phase.a"):
+                pass
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with JsonlSink(path):
+            pass
+        assert path.exists()
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"record": "span"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match=":2:"):
+            read_jsonl(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n{"record": "span"}\n\n', encoding="utf-8")
+        assert read_jsonl(path) == [{"record": "span"}]
+
+
+class TestTeeSink:
+    def test_fans_out_to_every_child(self, tmp_path):
+        memory = InMemorySink()
+        path = tmp_path / "trace.jsonl"
+        jsonl = JsonlSink(path)
+        tracer = _run_traced(TeeSink(memory, jsonl))
+        tracer.sink.close()
+
+        assert [s.name for s in memory.spans] == ["inner", "outer"]
+        assert len(memory.events) == 1
+        assert len(read_jsonl(path)) == 3
+
+
+class TestNullSink:
+    def test_drops_everything_silently(self):
+        tracer = _run_traced(NullSink())
+        # Spans are still retained on the tracer itself, sink-independent.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]

@@ -1,0 +1,97 @@
+"""Perf snapshots: aggregation, serialisation, and rendering."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    SNAPSHOT_SCHEMA,
+    ManualClock,
+    Tracer,
+    aggregate_spans,
+    build_snapshot,
+    load_snapshot,
+    render_phase_table,
+    render_span_tree,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+def _traced_tracer():
+    """Deterministic trace: two 'solve' spans (1s, 3s) under one root."""
+    tracer = Tracer(clock=ManualClock(tick=1.0))
+    # Readings: root.start=0, s1.start=1, s1.end=2, s2.start=3,
+    # (advance 2) s2.end=6, root.end=7.
+    with tracer.span("round"):
+        with tracer.span("solve", rows=2):
+            pass
+        with tracer.span("solve", rows=5) as span:
+            tracer.clock.advance(2.0)
+            span.set_attribute("pivots", 4)
+    return tracer
+
+
+class TestAggregation:
+    def test_phases_group_by_name_with_exact_stats(self):
+        phases = {p.name: p for p in aggregate_spans(_traced_tracer().spans)}
+        solve = phases["solve"]
+        assert solve.count == 2
+        assert solve.total_seconds == 4.0
+        assert solve.mean_seconds == 2.0
+        assert (solve.min_seconds, solve.max_seconds) == (1.0, 3.0)
+        assert phases["round"].count == 1
+
+    def test_sorted_by_total_time_descending(self):
+        names = [p.name for p in aggregate_spans(_traced_tracer().spans)]
+        assert names == ["round", "solve"]
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        handle = tracer.span("open.phase")
+        handle.__enter__()
+        assert aggregate_spans(tracer._stack) == []
+
+
+class TestSnapshotDocuments:
+    def test_build_write_load_round_trip(self, tmp_path):
+        tracer = _traced_tracer()
+        snapshot = build_snapshot(
+            tracer, label="unit", meta={"workload": "tiny"}
+        )
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["label"] == "unit"
+        assert snapshot["meta"] == {"workload": "tiny"}
+        assert snapshot["span_count"] == 3
+        assert {p["name"] for p in snapshot["phases"]} == {"round", "solve"}
+        # The auto latency histograms appear in the metrics dump.
+        assert snapshot["metrics"]["histograms"]["solve.seconds"]["count"] == 2
+
+        path = snapshot_path(tmp_path, "unit")
+        assert path.name == "BENCH_unit.json"
+        written = write_snapshot(path, snapshot)
+        assert load_snapshot(written) == snapshot
+
+    def test_snapshot_path_sanitises_the_label(self, tmp_path):
+        path = snapshot_path(tmp_path, "perf smoke/v1")
+        assert path.name == "BENCH_perf_smoke_v1.json"
+
+
+class TestRendering:
+    def test_phase_table_lists_every_phase(self):
+        table = render_phase_table(aggregate_spans(_traced_tracer().spans))
+        assert "phase" in table and "total ms" in table
+        assert "round" in table and "solve" in table
+
+    def test_span_tree_indents_children_and_shows_attributes(self):
+        tree = render_span_tree(_traced_tracer().spans)
+        lines = tree.splitlines()
+        assert lines[0].startswith("round")
+        assert lines[1].startswith("  solve")
+        assert "rows=5" in tree and "pivots=4" in tree
+
+    def test_span_tree_truncates_and_reports_elisions(self):
+        tree = render_span_tree(_traced_tracer().spans, max_spans=1)
+        assert tree.splitlines()[0].startswith("round")
+        assert "2 more span(s) elided" in tree
+
+    def test_empty_trace_renders_placeholder(self):
+        assert render_span_tree([]) == "(no spans recorded)"

@@ -1,0 +1,157 @@
+"""Span trees under a deterministic clock, and the no-op fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import InMemorySink, ManualClock, Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A tracer whose n-th clock reading is exactly ``n - 1`` seconds."""
+    return Tracer(clock=ManualClock(tick=1.0), sink=InMemorySink())
+
+
+class TestSpanLifecycle:
+    def test_single_span_duration_is_exact(self, tracer):
+        with tracer.span("phase.a") as span:
+            pass
+        assert span.finished
+        assert span.start == 0.0
+        assert span.end == 1.0
+        assert span.duration == 1.0
+
+    def test_open_span_has_no_duration(self, tracer):
+        with tracer.span("phase.a") as span:
+            assert not span.finished
+            with pytest.raises(ObservabilityError, match="still open"):
+                _ = span.duration
+
+    def test_nested_spans_record_parent_and_depth(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        # Children close first, so completion order is innermost-first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert tracer.roots() == (outer,)
+        assert tracer.children_of(outer) == (inner,)
+
+    def test_sibling_spans_share_a_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        children = tracer.children_of(outer)
+        assert [s.name for s in children] == ["first", "second"]
+        assert all(s.parent_id == outer.span_id for s in children)
+
+    def test_manual_clock_gives_deterministic_tree_timings(self, tracer):
+        # Readings: outer.start=0, inner.start=1, inner.end=2, outer.end=3.
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.start, inner.end) == (1.0, 2.0)
+        assert (outer.start, outer.end) == (0.0, 3.0)
+        assert outer.duration == 3.0
+
+    def test_out_of_order_close_raises(self, tracer):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="innermost-first"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_annotates_and_closes_the_span(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("phase.a") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert span.attributes["error"] == "ValueError"
+        assert tracer.open_depth == 0
+
+    def test_attributes_flow_from_kwargs_and_set_attribute(self, tracer):
+        with tracer.span("phase.a", rows=3) as span:
+            span.set_attribute("pivots", 7)
+        assert span.attributes == {"rows": 3, "pivots": 7}
+
+    def test_every_span_feeds_a_latency_histogram(self, tracer):
+        with tracer.span("phase.a"):
+            pass
+        with tracer.span("phase.a"):
+            pass
+        histogram = tracer.metrics.histogram("phase.a.seconds")
+        assert histogram.count == 2
+        assert histogram.values() == (1.0, 1.0)
+
+    def test_finished_spans_reach_the_sink(self, tracer):
+        with tracer.span("phase.a"):
+            pass
+        assert [s.name for s in tracer.sink.spans] == ["phase.a"]
+
+    def test_to_dict_is_json_friendly(self, tracer):
+        with tracer.span("phase.a", rows=3) as span:
+            pass
+        payload = span.to_dict()
+        assert payload["name"] == "phase.a"
+        assert payload["duration"] == 1.0
+        assert payload["attributes"] == {"rows": 3}
+
+
+class TestAmbientHelpers:
+    def test_disabled_helpers_share_one_null_span(self):
+        assert obs.current_tracer() is None
+        assert not obs.tracing_enabled()
+        first = obs.span("anything", rows=1)
+        second = obs.span("else")
+        # One shared no-op object: the disabled path allocates nothing.
+        assert first is second
+        with first as span:
+            span.set_attribute("ignored", 1)  # must not raise
+
+    def test_disabled_metric_helpers_are_no_ops(self):
+        obs.counter("some.counter", 5)
+        obs.gauge("some.gauge", 1.0)
+        obs.observe("some.histogram", 0.5)
+        obs.record_event(object())  # dropped, not recorded anywhere
+
+    def test_activate_routes_helpers_to_the_tracer(self, tracer):
+        with obs.activate(tracer) as active:
+            assert active is tracer
+            assert obs.current_tracer() is tracer
+            assert obs.tracing_enabled()
+            with obs.span("phase.a"):
+                obs.counter("hits", 2)
+        assert obs.current_tracer() is None
+        assert [s.name for s in tracer.spans] == ["phase.a"]
+        assert tracer.metrics.counters["hits"] == 2
+
+    def test_activations_nest_and_restore(self, tracer):
+        other = Tracer(clock=ManualClock(tick=1.0))
+        with obs.activate(tracer):
+            with obs.activate(other):
+                with obs.span("inner.only"):
+                    pass
+            assert obs.current_tracer() is tracer
+        assert [s.name for s in other.spans] == ["inner.only"]
+        assert tracer.spans == ()
+
+    def test_record_event_counts_by_event_class(self, tracer):
+        class FakeEvent:
+            def to_dict(self):
+                return {"event": "FakeEvent"}
+
+        with obs.activate(tracer):
+            obs.record_event(FakeEvent())
+            obs.record_event(FakeEvent())
+        assert tracer.metrics.counters["platform.events.FakeEvent"] == 2
+        assert len(tracer.sink.events) == 2

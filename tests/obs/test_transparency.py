@@ -1,0 +1,149 @@
+"""Tracing must not change outcomes: traced == untraced, everywhere.
+
+``check_trace_transparency`` runs a mechanism twice — once with no
+tracer installed, once under a fresh one — and demands bit-identical
+:class:`~repro.model.AuctionOutcome` objects.  Here it is applied to
+every mechanism the registry serves, plus instrumentation-coverage
+checks that the expected spans and counters actually appear when the
+hot paths run traced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.analysis import check_trace_transparency
+from repro.errors import SanitizationError
+from repro.extensions.capabilities import CapabilityModel
+from repro.mechanisms import registry
+from repro.mechanisms.base import Mechanism
+from repro.obs import ManualClock, Tracer
+from repro.simulation import SimulationEngine, WorkloadConfig
+from repro.simulation.paper_example import (
+    EXAMPLE_TASK_VALUE,
+    paper_example_bids,
+    paper_example_schedule,
+)
+
+#: Factory kwargs for mechanisms whose constructors take required
+#: arguments (same convention as the sanitizer registry tests).
+_FACTORY_KWARGS = {
+    "fixed-price": {"price": EXAMPLE_TASK_VALUE},
+    "typed-offline-vcg": {"model": CapabilityModel()},
+    "typed-online-greedy": {"model": CapabilityModel()},
+}
+
+
+class TestAllMechanismsAreTraceTransparent:
+    @pytest.mark.parametrize("name", registry.available_mechanisms())
+    def test_traced_outcome_identical_on_paper_example(self, name):
+        mechanism = registry.create_mechanism(
+            name, sanitize=False, **_FACTORY_KWARGS.get(name, {})
+        )
+        outcome = check_trace_transparency(
+            mechanism, paper_example_bids(), paper_example_schedule()
+        )
+        assert outcome == mechanism.run(
+            paper_example_bids(), paper_example_schedule()
+        )
+
+    @pytest.mark.parametrize("name", registry.available_mechanisms())
+    def test_traced_outcome_identical_on_generated_workload(self, name):
+        scenario = WorkloadConfig(
+            num_slots=10, phone_rate=3.0, task_rate=2.0
+        ).generate(seed=11)
+        mechanism = registry.create_mechanism(
+            name, sanitize=False, **_FACTORY_KWARGS.get(name, {})
+        )
+        check_trace_transparency(
+            mechanism, scenario.truthful_bids(), scenario.schedule
+        )
+
+    def test_non_transparent_mechanism_is_rejected(self):
+        class LeakyMechanism(Mechanism):
+            """Pays a tracing surcharge — exactly the bug to catch."""
+
+            name = "leaky"
+            is_truthful = False
+            is_online = False
+
+            def run(self, bids, schedule, config=None):
+                inner = registry.create_mechanism(
+                    "online-greedy", sanitize=False
+                )
+                outcome = inner.run(bids, schedule, config)
+                if not obs.tracing_enabled():
+                    return outcome
+                from repro.model import AuctionOutcome
+
+                return AuctionOutcome(
+                    bids=bids,
+                    schedule=schedule,
+                    allocation=dict(outcome.allocation),
+                    payments={
+                        phone: payment + 1.0
+                        for phone, payment in outcome.payments.items()
+                    },
+                )
+
+        with pytest.raises(SanitizationError, match="trace-transparent"):
+            check_trace_transparency(
+                LeakyMechanism(),
+                paper_example_bids(),
+                paper_example_schedule(),
+            )
+
+
+class TestInstrumentationCoverage:
+    """The documented spans/counters appear when hot paths run traced."""
+
+    def test_online_greedy_emits_allocation_and_payment_spans(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        mechanism = registry.create_mechanism("online-greedy", sanitize=False)
+        with obs.activate(tracer):
+            mechanism.run(paper_example_bids(), paper_example_schedule())
+        names = {span.name for span in tracer.spans}
+        assert "greedy.allocation" in names
+        assert "payment.algorithm2" in names
+        counters = tracer.metrics.counters
+        assert counters["greedy.candidate_evals"] > 0
+
+    def test_offline_vcg_emits_matching_solver_spans(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        mechanism = registry.create_mechanism("offline-vcg", sanitize=False)
+        with obs.activate(tracer):
+            mechanism.run(paper_example_bids(), paper_example_schedule())
+        names = {span.name for span in tracer.spans}
+        assert "matching.solver.solve" in names
+        counters = tracer.metrics.counters
+        assert counters["matching.augmentations"] > 0
+        assert counters["matching.pivots"] > 0
+
+    def test_engine_run_wraps_each_mechanism_in_a_run_span(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        engine = SimulationEngine()
+        mechanism = registry.create_mechanism("online-greedy", sanitize=False)
+        scenario = WorkloadConfig(
+            num_slots=6, phone_rate=2.0, task_rate=1.0
+        ).generate(seed=3)
+        with obs.activate(tracer):
+            engine.run(mechanism, scenario)
+        runs = [s for s in tracer.spans if s.name == "mechanism.run"]
+        assert len(runs) == 1
+        assert runs[0].attributes["mechanism"] == "online-greedy"
+        # Inner solver/payment spans nest under the run span.
+        assert any(s.parent_id is not None for s in tracer.spans)
+
+    def test_span_durations_deterministic_under_manual_clock(self):
+        first = Tracer(clock=ManualClock(tick=1.0))
+        second = Tracer(clock=ManualClock(tick=1.0))
+        mechanism = registry.create_mechanism("online-greedy", sanitize=False)
+        for tracer in (first, second):
+            with obs.activate(tracer):
+                mechanism.run(
+                    paper_example_bids(), paper_example_schedule()
+                )
+        assert [s.to_dict() for s in first.spans] == [
+            s.to_dict() for s in second.spans
+        ]

@@ -295,3 +295,117 @@ class TestChaos:
         code, second, _ = run_cli(capsys, *args)  # resumes from checkpoints
         assert code == 0
         assert first == second
+
+
+class TestTrace:
+    def test_trace_covers_every_span_family(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+        )
+        assert code == 0
+        for phase in (
+            "matching.solver.solve",
+            "payment.algorithm2",
+            "platform.slot",
+            "mechanism.run",
+            "sweep.run",
+            "sweep.point",
+        ):
+            assert phase in out, phase
+
+    def test_trace_writes_jsonl_and_snapshot(self, capsys, tmp_path):
+        from repro.auction.events import event_from_dict
+        from repro.obs import load_snapshot, read_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "trace",
+            "--out", str(trace_path),
+            "--snapshot-dir", str(tmp_path),
+            "--label", "cli-test",
+            "--repetitions", "1",
+        )
+        assert code == 0
+
+        records = read_jsonl(trace_path)
+        spans = [r for r in records if r["record"] == "span"]
+        events = [r for r in records if r["record"] == "event"]
+        assert spans and events
+        # Every exported event reconstructs through the registry.
+        for record in events:
+            event_from_dict(record["event"])
+
+        snapshot = load_snapshot(tmp_path / "BENCH_cli-test.json")
+        assert snapshot["schema"] == "repro-perf-snapshot/v1"
+        assert snapshot["span_count"] == len(spans)
+        assert "greedy.candidate_evals" in snapshot["metrics"]["counters"]
+
+    def test_trace_json_mode_emits_machine_payload(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            "--json",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["span_count"] > 0
+        assert "platform.slot" in payload["phases"]
+
+
+class TestProfile:
+    def test_profile_prints_phase_table_and_hotspots(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "profile",
+            "--slots", "6",
+            "--seed", "2",
+            "--repeat", "1",
+        )
+        assert code == 0
+        assert "Per-phase timings" in out
+        assert "mechanism.run" in out
+        assert "cumulative" in out  # the cProfile hotspot listing
+
+
+class TestOutputModes:
+    def test_default_output_unchanged_by_common_flags(self, capsys):
+        _, plain, _ = run_cli(capsys, "example")
+        _, again, _ = run_cli(capsys, "example")
+        assert plain == again
+
+    def test_quiet_hides_progress_notes_only(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code, out, _ = run_cli(
+            capsys,
+            "report", "--repetitions", "1", "--out", str(target), "--quiet",
+        )
+        assert code == 0
+        assert "written to" not in out
+        assert target.exists()
+
+    def test_json_mode_replaces_stdout_with_payload(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--slots", "6", "--seed", "1", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["mechanism"] == "online-greedy"
+        assert "welfare" in payload
+
+    def test_json_mode_keeps_errors_on_stderr(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "simulate", "--slots", "6", "--mechanism", "fixed-price",
+            "--json",
+        )
+        assert code == 2
+        assert "--price is required" in err
+        assert out.strip() in ("", "{}")
