@@ -386,5 +386,12 @@ class SanitizedMechanism(Mechanism):  # repro: noqa-mechanism-contract -- transp
             raise AttributeError(item)
         return getattr(self._inner, item)
 
+    def __reduce__(self):
+        # Default pickling trips over the forwarded ``__class__`` (the
+        # protocol would rebuild the wrapper as the *inner* type), so
+        # reconstruct explicitly; collected violations stay local to
+        # the originating process.
+        return (SanitizedMechanism, (self._inner, self._on_violation))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SanitizedMechanism({self._inner!r})"

@@ -12,6 +12,9 @@ per-round plus cumulative accounting.
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro import obs
@@ -91,6 +94,99 @@ def _reentry_profile(
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class _RoundResult:
+    """One independent round's outcome, as returned by a round worker."""
+
+    result: SimulationResult
+    dropped: int
+    failures: int
+    recovered: int
+    elapsed_seconds: float
+    worker_pid: int
+
+
+def _run_round(
+    mechanism: Mechanism,
+    workload: WorkloadConfig,
+    round_seed: int,
+    fault_config: Optional["FaultConfig"],
+    fault_round_seed: int,
+    round_index: int,
+) -> _RoundResult:
+    """Execute one carried-over-free round (the process-pool entry point).
+
+    Mirrors the serial loop's body for ``retry_policy="none"``, where no
+    phones are carried between rounds; the per-round seeds are computed
+    by the parent, so results do not depend on which worker runs what.
+    """
+    start = time.perf_counter()
+    base = workload.generate(seed=round_seed)
+    scenario = Scenario(
+        list(base.profiles),
+        base.schedule,
+        metadata={**base.metadata, "round": round_index},
+    )
+    dropped = failures = recovered = 0
+    if fault_config is not None:
+        from repro.faults.recovery import run_with_faults
+
+        faulty = run_with_faults(
+            scenario, fault_config, seed=fault_round_seed
+        )
+        result = faulty.result
+        dropped = len(faulty.report.dropped)
+        failures = len(faulty.report.failed_deliverers)
+        recovered = len(faulty.report.recovered_tasks)
+    else:
+        result = SimulationEngine().run(mechanism, scenario)
+    return _RoundResult(
+        result=result,
+        dropped=dropped,
+        failures=failures,
+        recovered=recovered,
+        elapsed_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def _run_rounds_parallel(
+    mechanism: Mechanism,
+    workload: WorkloadConfig,
+    num_rounds: int,
+    streams: RngStreams,
+    fault_streams: RngStreams,
+    fault_config: Optional["FaultConfig"],
+    workers: int,
+) -> List[_RoundResult]:
+    """Fan independent rounds out over a process pool, round order kept.
+
+    Per-round seeds are derived in the parent from the same stream
+    hierarchy the serial loop uses, so round ``k`` sees the same draw
+    regardless of worker count; per-worker wall time is recorded on the
+    ``campaign.worker.seconds`` histogram.
+    """
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_round,
+                mechanism,
+                workload,
+                streams.child(round_index).seed,
+                fault_config,
+                fault_streams.child(round_index).seed,
+                round_index,
+            )
+            for round_index in range(num_rounds)
+        ]
+        round_results = [future.result() for future in futures]
+    for round_result in round_results:
+        obs.observe(
+            "campaign.worker.seconds", round_result.elapsed_seconds
+        )
+    return round_results
+
+
 def run_campaign(
     mechanism: Mechanism,
     workload: WorkloadConfig,
@@ -100,6 +196,7 @@ def run_campaign(
     max_retries_per_round: int = 1000,
     fault_config: Optional["FaultConfig"] = None,
     fault_seed: Optional[int] = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run ``num_rounds`` consecutive rounds of ``workload``.
 
@@ -130,6 +227,13 @@ def run_campaign(
         phenomenon; batch mechanisms have no slot to drop out of).
     fault_seed:
         Master seed of the per-round fault draws (default: ``seed``).
+    workers:
+        Number of worker processes for the rounds.  Only valid with
+        ``retry_policy="none"``, where rounds are mutually independent
+        (each draws its own seeded population and fault plan); results
+        are collected in round order and identical to a serial run.
+        Under ``"losers"``, round ``k+1``'s population depends on round
+        ``k``'s outcome, so the campaign is inherently sequential.
     """
     check_type("num_rounds", num_rounds, int)
     check_positive("num_rounds", num_rounds)
@@ -138,6 +242,13 @@ def run_campaign(
         raise SimulationError(
             f"unknown retry_policy {retry_policy!r}; expected one of "
             f"{_POLICIES}"
+        )
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and retry_policy != RETRY_NONE:
+        raise SimulationError(
+            "workers > 1 requires retry_policy='none': under 'losers' "
+            "each round's population depends on the previous round"
         )
     if fault_config is not None and mechanism.name != "online-greedy":
         raise SimulationError(
@@ -157,61 +268,80 @@ def run_campaign(
     recovered = 0
 
     with obs.span(
-        "campaign.run", mechanism=mechanism.name, rounds=num_rounds
+        "campaign.run",
+        mechanism=mechanism.name,
+        rounds=num_rounds,
+        workers=workers,
     ) as tel:
-        for round_index in range(num_rounds):
-            with obs.span("campaign.round", round=round_index):
-                base = workload.generate(
-                    seed=streams.child(round_index).seed
-                )
-                profiles = list(base.profiles)
-                if carried:
-                    reentry_rng = streams.get(f"reentry-{round_index}")
-                    next_id = (
-                        max((p.phone_id for p in profiles), default=-1) + 1
+        if workers > 1:
+            round_results = _run_rounds_parallel(
+                mechanism,
+                workload,
+                num_rounds,
+                streams,
+                fault_streams,
+                fault_config,
+                workers,
+            )
+            for round_result in round_results:
+                results.append(round_result.result)
+                dropped += round_result.dropped
+                failures += round_result.failures
+                recovered += round_result.recovered
+        else:
+            for round_index in range(num_rounds):
+                with obs.span("campaign.round", round=round_index):
+                    base = workload.generate(
+                        seed=streams.child(round_index).seed
                     )
-                    for loser in carried[:max_retries_per_round]:
-                        profiles.append(
-                            _reentry_profile(
-                                loser,
-                                next_id,
-                                workload.num_slots,
-                                reentry_rng,
-                            )
+                    profiles = list(base.profiles)
+                    if carried:
+                        reentry_rng = streams.get(f"reentry-{round_index}")
+                        next_id = (
+                            max((p.phone_id for p in profiles), default=-1) + 1
                         )
-                        next_id += 1
-                    returning += min(len(carried), max_retries_per_round)
-                scenario = Scenario(
-                    profiles,
-                    base.schedule,
-                    metadata={**base.metadata, "round": round_index},
-                )
-                if fault_config is not None:
-                    from repro.faults.recovery import run_with_faults
-
-                    faulty = run_with_faults(
-                        scenario,
-                        fault_config,
-                        seed=fault_streams.child(round_index).seed,
+                        for loser in carried[:max_retries_per_round]:
+                            profiles.append(
+                                _reentry_profile(
+                                    loser,
+                                    next_id,
+                                    workload.num_slots,
+                                    reentry_rng,
+                                )
+                            )
+                            next_id += 1
+                        returning += min(len(carried), max_retries_per_round)
+                    scenario = Scenario(
+                        profiles,
+                        base.schedule,
+                        metadata={**base.metadata, "round": round_index},
                     )
-                    result = faulty.result
-                    winner_ids = set(faulty.report.delivered)
-                    dropped += len(faulty.report.dropped)
-                    failures += len(faulty.report.failed_deliverers)
-                    recovered += len(faulty.report.recovered_tasks)
-                else:
-                    result = engine.run(mechanism, scenario)
-                    winner_ids = set(result.outcome.winners)
-                results.append(result)
+                    if fault_config is not None:
+                        from repro.faults.recovery import run_with_faults
 
-                if retry_policy == RETRY_LOSERS:
-                    carried = [
-                        profile
-                        for profile in scenario.profiles
-                        if profile.phone_id not in winner_ids
-                    ]
-                else:
-                    carried = []
+                        faulty = run_with_faults(
+                            scenario,
+                            fault_config,
+                            seed=fault_streams.child(round_index).seed,
+                        )
+                        result = faulty.result
+                        winner_ids = set(faulty.report.delivered)
+                        dropped += len(faulty.report.dropped)
+                        failures += len(faulty.report.failed_deliverers)
+                        recovered += len(faulty.report.recovered_tasks)
+                    else:
+                        result = engine.run(mechanism, scenario)
+                        winner_ids = set(result.outcome.winners)
+                    results.append(result)
+
+                    if retry_policy == RETRY_LOSERS:
+                        carried = [
+                            profile
+                            for profile in scenario.profiles
+                            if profile.phone_id not in winner_ids
+                        ]
+                    else:
+                        carried = []
         tel.set_attribute("returning_phones", returning)
         tel.set_attribute("recovered_tasks", recovered)
 

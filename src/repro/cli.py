@@ -271,6 +271,7 @@ def _cmd_figures(args: argparse.Namespace, console: Console) -> int:
                 checkpoint=checkpoint,
                 retries=args.retries,
                 backoff=args.backoff,
+                workers=args.workers,
             )
         result = cache[key]
         metric = FIGURE_METRIC[name]
@@ -414,6 +415,7 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
         retry_policy=RETRY_LOSERS if args.retry_losers else RETRY_NONE,
         fault_config=fault_config,
         fault_seed=args.fault_seed,
+        workers=args.workers,
     )
     console.out(
         f"\ncampaign: {result.num_rounds} rounds, mechanism "
@@ -758,6 +760,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff", type=float, default=0.0,
         help="base seconds between retry attempts (default 0)",
     )
+    figures.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per sweep point (default 1: serial); "
+        "results are identical for any worker count",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     audit = subparsers.add_parser(
@@ -784,6 +791,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="losers of one round re-enter the next",
     )
     _add_fault_arguments(campaign)
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the rounds (default 1: serial); "
+        "requires the default no-retry policy",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     chaos = subparsers.add_parser(

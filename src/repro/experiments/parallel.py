@@ -1,0 +1,150 @@
+"""Process-pool fan-out for sweep repetitions.
+
+The sweep runner's unit of parallelism is the *repetition*: one seeded
+scenario, run through every mechanism under comparison.  That keeps the
+paired-seed design intact (each worker runs all mechanisms on the same
+scenario, exactly like the serial loop) and makes determinism trivial —
+the parent submits repetitions in seed order, collects results in seed
+order, and aggregates them with the same code path the serial runner
+uses, so a parallel sweep is byte-identical to a serial one by
+construction (property-tested in ``tests/experiments``).
+
+Retries happen *inside* the worker: a repetition that raises is retried
+there (with real ``time.sleep`` backoff — the injectable sleep stub
+cannot cross a process boundary), and a repetition that exhausts its
+retries either propagates the exception to the parent through the
+future (``on_failure="raise"``) or comes back as a failed
+:class:`RepetitionResult` (``"partial"``), matching the serial
+semantics.
+
+Each result carries the worker's pid and wall time, which the runner
+surfaces as the ``sweep.worker.seconds`` histogram and a per-pid
+attribute on the ``sweep.point`` span.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import MechanismSpec
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.workload import WorkloadConfig
+
+#: Mirrors :data:`repro.experiments.runner.ON_FAILURE_RAISE` (duplicated
+#: here to keep the worker module import-light for process spawning).
+_ON_FAILURE_RAISE = "raise"
+
+
+@dataclasses.dataclass(frozen=True)
+class RepetitionResult:
+    """One seeded repetition's outcome, as returned by a worker.
+
+    ``row`` holds one :class:`~repro.simulation.engine.SimulationResult`
+    per mechanism (in the configured mechanism order), or ``None`` when
+    the repetition exhausted its retries under ``on_failure="partial"``.
+    """
+
+    seed: int
+    row: Optional[Tuple[SimulationResult, ...]]
+    retried: int
+    elapsed_seconds: float
+    worker_pid: int
+
+    @property
+    def failed(self) -> bool:
+        """Whether the repetition was dropped."""
+        return self.row is None
+
+
+def run_repetition(
+    workload: WorkloadConfig,
+    mechanisms: Tuple[MechanismSpec, ...],
+    seed: int,
+    retries: int,
+    backoff: float,
+    on_failure: str,
+) -> RepetitionResult:
+    """Execute one seeded repetition across every mechanism.
+
+    This is the process-pool entry point, so it is a top-level function
+    of picklable arguments (frozen dataclasses all the way down).  The
+    attempt/retry/backoff loop matches the serial runner's exactly.
+    """
+    start = time.perf_counter()
+    engine = SimulationEngine()
+    built = [spec.build() for spec in mechanisms]
+    retried = 0
+    row: Optional[Tuple[SimulationResult, ...]] = None
+    for attempt in range(retries + 1):
+        try:
+            scenario = workload.generate(seed)
+            row = tuple(
+                engine.run(mechanism, scenario) for mechanism in built
+            )
+            break
+        except Exception:
+            if attempt >= retries:
+                if on_failure == _ON_FAILURE_RAISE:
+                    raise
+                row = None
+            else:
+                retried += 1
+                if backoff > 0:
+                    time.sleep(backoff * (2 ** attempt))
+    return RepetitionResult(
+        seed=seed,
+        row=row,
+        retried=retried,
+        elapsed_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_repetitions_parallel(
+    workload: WorkloadConfig,
+    mechanisms: Tuple[MechanismSpec, ...],
+    seeds: Sequence[int],
+    retries: int,
+    backoff: float,
+    on_failure: str,
+    workers: int,
+    executor: Optional[Executor] = None,
+) -> List[RepetitionResult]:
+    """Fan the repetitions out over a process pool, seed order preserved.
+
+    Results are collected in submission (= seed) order regardless of
+    which worker finishes first, so downstream aggregation sees exactly
+    the sequence the serial loop would produce.  ``executor`` lets a
+    sweep share one pool across all its points; otherwise a pool of
+    ``workers`` processes is created for this call alone.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    owns_executor = executor is None
+    pool: Executor = (
+        ProcessPoolExecutor(max_workers=workers)
+        if executor is None
+        else executor
+    )
+    try:
+        futures = [
+            pool.submit(
+                run_repetition,
+                workload,
+                mechanisms,
+                seed,
+                retries,
+                backoff,
+                on_failure,
+            )
+            for seed in seeds
+        ]
+        return [future.result() for future in futures]
+    finally:
+        if owns_executor:
+            pool.shutdown(wait=True)

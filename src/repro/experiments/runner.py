@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -39,6 +40,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     apply_workload_override,
 )
+from repro.experiments.parallel import run_repetitions_parallel
 from repro.experiments.sweeps import SweepSpec
 from repro.metrics.summary import Summary, summarize
 from repro.simulation.engine import SimulationEngine, SimulationResult
@@ -140,6 +142,8 @@ def run_point(
     backoff: float = 0.0,
     sleep: Optional[Callable[[float], None]] = None,
     on_failure: str = ON_FAILURE_RAISE,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
 ) -> SweepPoint:
     """Measure every configured mechanism on one workload setting.
 
@@ -155,12 +159,22 @@ def run_point(
         ``backoff * 2**(k-1)``.  Zero disables waiting.
     sleep:
         Injection point for the backoff wait (tests pass a stub;
-        default: :func:`time.sleep`).
+        default: :func:`time.sleep`).  Serial mode only — a stub cannot
+        cross a process boundary.
     on_failure:
         ``"raise"`` propagates a repetition's final failure;
         ``"partial"`` drops the repetition from every mechanism (the
         comparison stays paired) and records it in
         ``failed_repetitions``.
+    workers:
+        Number of worker processes for the repetitions.  ``1`` (the
+        default) runs the historical in-process loop; ``> 1`` fans the
+        repetitions out over a process pool while preserving seed order,
+        paired comparisons, and byte-identical aggregation (see
+        :mod:`repro.experiments.parallel`).
+    executor:
+        An existing pool to submit to (``run_sweep`` shares one across
+        its points).  Implies parallel mode regardless of ``workers``.
     """
     if on_failure not in _ON_FAILURE:
         raise ExperimentError(
@@ -168,41 +182,87 @@ def run_point(
         )
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    parallel = workers > 1 or executor is not None
+    if parallel and sleep is not None:
+        raise ExperimentError(
+            "a sleep stub cannot cross process boundaries; "
+            "use workers=1 with injected sleep"
+        )
     effective = workload if workload is not None else config.workload
-    engine = SimulationEngine()
-    wait = sleep if sleep is not None else time.sleep
     built = [(spec, spec.build()) for spec in config.mechanisms]
 
-    rows: List[List[SimulationResult]] = []
+    rows: List[Sequence[SimulationResult]] = []
     completed = 0
     failed = 0
     retried = 0
-    with obs.span("sweep.point", param=param, value=value) as tel:
-        for seed in config.seeds():
-            row: Optional[List[SimulationResult]] = None
-            for attempt in range(retries + 1):
-                try:
-                    scenario = effective.generate(seed)
-                    row = [
-                        engine.run(mechanism, scenario)
-                        for _, mechanism in built
-                    ]
-                    break
-                except Exception:
-                    if attempt >= retries:
-                        if on_failure == ON_FAILURE_RAISE:
-                            raise
-                        row = None
-                    else:
-                        retried += 1
-                        obs.counter("sweep.retries")
-                        if backoff > 0:
-                            wait(backoff * (2 ** attempt))
-            if row is None:
-                failed += 1
-                continue
-            completed += 1
-            rows.append(row)
+    with obs.span(
+        "sweep.point", param=param, value=value, workers=workers
+    ) as tel:
+        if parallel:
+            repetitions = run_repetitions_parallel(
+                effective,
+                config.mechanisms,
+                config.seeds(),
+                retries,
+                backoff,
+                on_failure,
+                workers,
+                executor=executor,
+            )
+            worker_seconds: Dict[int, float] = {}
+            for repetition in repetitions:
+                retried += repetition.retried
+                if repetition.retried:
+                    obs.counter("sweep.retries", repetition.retried)
+                obs.observe(
+                    "sweep.worker.seconds", repetition.elapsed_seconds
+                )
+                worker_seconds[repetition.worker_pid] = (
+                    worker_seconds.get(repetition.worker_pid, 0.0)
+                    + repetition.elapsed_seconds
+                )
+                if repetition.row is None:
+                    failed += 1
+                    continue
+                completed += 1
+                rows.append(repetition.row)
+            tel.set_attribute(
+                "worker_seconds",
+                {
+                    pid: round(seconds, 6)
+                    for pid, seconds in sorted(worker_seconds.items())
+                },
+            )
+        else:
+            engine = SimulationEngine()
+            wait = sleep if sleep is not None else time.sleep
+            for seed in config.seeds():
+                row: Optional[List[SimulationResult]] = None
+                for attempt in range(retries + 1):
+                    try:
+                        scenario = effective.generate(seed)
+                        row = [
+                            engine.run(mechanism, scenario)
+                            for _, mechanism in built
+                        ]
+                        break
+                    except Exception:
+                        if attempt >= retries:
+                            if on_failure == ON_FAILURE_RAISE:
+                                raise
+                            row = None
+                        else:
+                            retried += 1
+                            obs.counter("sweep.retries")
+                            if backoff > 0:
+                                wait(backoff * (2 ** attempt))
+                if row is None:
+                    failed += 1
+                    continue
+                completed += 1
+                rows.append(row)
         tel.set_attribute("completed", completed)
         tel.set_attribute("failed", failed)
         tel.set_attribute("retried", retried)
@@ -254,6 +314,7 @@ def run_sweep(
     backoff: float = 0.0,
     sleep: Optional[Callable[[float], None]] = None,
     on_failure: Optional[str] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Execute a parameter sweep, optionally checkpointed and resumable.
 
@@ -265,47 +326,66 @@ def run_sweep(
     ``on_failure`` defaults to ``"partial"`` when resilience was asked
     for (``retries > 0`` or a checkpoint store) and ``"raise"``
     otherwise, preserving the historical fail-fast behaviour.
+
+    ``workers > 1`` fans each point's repetitions out over one process
+    pool shared across the whole sweep.  Seed pairing, aggregation
+    order, point statuses, and checkpoint bytes are identical to a
+    serial run (see :mod:`repro.experiments.parallel`); checkpointing
+    composes with parallelism unchanged, because points are still
+    completed and persisted one at a time.
     """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
     if on_failure is None:
         resilient = retries > 0 or checkpoint is not None
         on_failure = ON_FAILURE_PARTIAL if resilient else ON_FAILURE_RAISE
+    executor: Optional[Executor] = None
     points: List[SweepPoint] = []
-    with obs.span(
-        "sweep.run",
-        sweep=spec.name,
-        param=spec.param,
-        values=len(spec.values),
-    ) as tel:
-        checkpoint_hits = 0
-        for value in spec.values:
-            point: Optional[SweepPoint] = None
-            if checkpoint is not None:
-                with obs.span("sweep.checkpoint.load", value=value):
-                    point = checkpoint.load_point(
-                        spec.name, spec.param, value
-                    )
-                if point is not None:
-                    checkpoint_hits += 1
-                    obs.counter("sweep.checkpoint.hits")
-            if point is None:
-                workload = apply_workload_override(
-                    spec.config.workload, spec.param, value
-                )
-                point = run_point(
-                    spec.config,
-                    workload=workload,
-                    param=spec.param,
-                    value=value,
-                    retries=retries,
-                    backoff=backoff,
-                    sleep=sleep,
-                    on_failure=on_failure,
-                )
+    try:
+        if workers > 1:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        with obs.span(
+            "sweep.run",
+            sweep=spec.name,
+            param=spec.param,
+            values=len(spec.values),
+            workers=workers,
+        ) as tel:
+            checkpoint_hits = 0
+            for value in spec.values:
+                point: Optional[SweepPoint] = None
                 if checkpoint is not None:
-                    with obs.span("sweep.checkpoint.save", value=value):
-                        checkpoint.save_point(spec.name, point)
-            points.append(point)
-        tel.set_attribute("checkpoint_hits", checkpoint_hits)
+                    with obs.span("sweep.checkpoint.load", value=value):
+                        point = checkpoint.load_point(
+                            spec.name, spec.param, value
+                        )
+                    if point is not None:
+                        checkpoint_hits += 1
+                        obs.counter("sweep.checkpoint.hits")
+                if point is None:
+                    workload = apply_workload_override(
+                        spec.config.workload, spec.param, value
+                    )
+                    point = run_point(
+                        spec.config,
+                        workload=workload,
+                        param=spec.param,
+                        value=value,
+                        retries=retries,
+                        backoff=backoff,
+                        sleep=sleep,
+                        on_failure=on_failure,
+                        workers=workers,
+                        executor=executor,
+                    )
+                    if checkpoint is not None:
+                        with obs.span("sweep.checkpoint.save", value=value):
+                            checkpoint.save_point(spec.name, point)
+                points.append(point)
+            tel.set_attribute("checkpoint_hits", checkpoint_hits)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
     return SweepResult(
         name=spec.name,
         param=spec.param,

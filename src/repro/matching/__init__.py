@@ -7,6 +7,10 @@ bipartite matching (Section IV-B of the paper).  This package provides:
   bipartite graph from bids and a task schedule,
 * :mod:`repro.matching.hungarian` — a from-scratch ``O(n^3)`` Hungarian
   algorithm (potentials + slack arrays) for maximum-weight matching,
+* :mod:`repro.matching.solver` — the vectorised assignment solver with
+  warm-started sensitivity queries (the default production backend),
+* :mod:`repro.matching.backend` — selects between the ``"numpy"``
+  production solver and the ``"python"`` reference implementation,
 * :mod:`repro.matching.maxcard` — Hopcroft-Karp maximum-cardinality
   matching (feasibility analysis: how many tasks are serviceable at all),
 * :mod:`repro.matching.bruteforce` — exponential exact matcher used to
@@ -14,6 +18,13 @@ bipartite matching (Section IV-B of the paper).  This package provides:
 * :mod:`repro.matching.validate` — structural validity checks.
 """
 
+from repro.matching.backend import (
+    AVAILABLE_BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.matching.bruteforce import brute_force_max_weight_matching
 from repro.matching.graph import TaskAssignmentGraph
 from repro.matching.hungarian import (
@@ -22,9 +33,12 @@ from repro.matching.hungarian import (
     solve_assignment_min,
 )
 from repro.matching.maxcard import hopcroft_karp
+from repro.matching.solver import AssignmentSolver
 from repro.matching.validate import check_matching
 
 __all__ = [
+    "AVAILABLE_BACKENDS",
+    "AssignmentSolver",
     "TaskAssignmentGraph",
     "MatchingResult",
     "max_weight_matching",
@@ -32,4 +46,8 @@ __all__ = [
     "hopcroft_karp",
     "brute_force_max_weight_matching",
     "check_matching",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
 ]

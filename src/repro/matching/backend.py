@@ -1,0 +1,68 @@
+"""Matching solver backend selection.
+
+Two interchangeable assignment solvers exist:
+
+* ``"numpy"`` — :class:`repro.matching.solver.AssignmentSolver`, the
+  vectorised shortest-augmenting-path solver with warm-started repair
+  queries.  This is the production default.
+* ``"python"`` — :func:`repro.matching.hungarian.solve_assignment_min`,
+  the from-scratch pure-Python reference implementation.  It is kept
+  deliberately simple (no vectorisation, no warm starts) so its code can
+  be audited against the textbook algorithm, and the property suites
+  cross-check the numpy backend against it — ties included, since both
+  insert rows in index order with a lowest-index-first pivot tie-break.
+
+The module-level default applies wherever a ``backend=None`` argument is
+left unset; :func:`use_backend` scopes an override to a ``with`` block
+(useful in tests and cross-check harnesses).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.errors import MatchingError
+
+#: Recognised backend names, in preference order.
+AVAILABLE_BACKENDS = ("numpy", "python")
+
+_default_backend = "numpy"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Validate ``backend``, falling back to the session default."""
+    name = _default_backend if backend is None else backend
+    if name not in AVAILABLE_BACKENDS:
+        raise MatchingError(
+            f"unknown matching backend {name!r}; available: "
+            f"{', '.join(AVAILABLE_BACKENDS)}"
+        )
+    return name
+
+
+def get_default_backend() -> str:
+    """The backend used when callers pass ``backend=None``."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the session-wide default backend."""
+    global _default_backend
+    if backend not in AVAILABLE_BACKENDS:
+        raise MatchingError(
+            f"unknown matching backend {backend!r}; available: "
+            f"{', '.join(AVAILABLE_BACKENDS)}"
+        )
+    _default_backend = backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: str) -> Iterator[str]:
+    """Scope a default-backend override to a ``with`` block."""
+    previous = get_default_backend()
+    set_default_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)

@@ -20,17 +20,25 @@ Two layers are exposed:
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.errors import MatchingError
+from repro.matching.backend import resolve_backend
+from repro.matching.solver import AssignmentSolver
 
 _INF = float("inf")
 
 
 def _validate_matrix(matrix: Sequence[Sequence[float]]) -> Tuple[int, int]:
-    """Check rectangularity and finiteness; return ``(rows, cols)``."""
+    """Check rectangularity and finiteness; return ``(rows, cols)``.
+
+    The length scan is a cheap ``O(rows)`` Python loop; the finiteness
+    check — the part that used to visit every entry in Python and runs
+    on every solve, payment re-solves included — is vectorised.
+    """
     num_rows = len(matrix)
     if num_rows == 0:
         return 0, 0
@@ -41,12 +49,14 @@ def _validate_matrix(matrix: Sequence[Sequence[float]]) -> Tuple[int, int]:
                 f"matrix is ragged: row 0 has {num_cols} entries, row "
                 f"{row_index} has {len(row)}"
             )
-        for value in row:
-            if not math.isfinite(value):
-                raise MatchingError(
-                    f"matrix entries must be finite, found {value!r} in "
-                    f"row {row_index}"
-                )
+    finite = np.isfinite(np.asarray(matrix, dtype=float))
+    if not finite.all():
+        row_index, col_index = (int(k) for k in np.argwhere(~finite)[0])
+        value = matrix[row_index][col_index]
+        raise MatchingError(
+            f"matrix entries must be finite, found {value!r} in "
+            f"row {row_index}"
+        )
     return num_rows, num_cols
 
 
@@ -159,6 +169,7 @@ class MatchingResult:
 
 def max_weight_matching(
     weights: Sequence[Sequence[float]],
+    backend: Optional[str] = None,
 ) -> MatchingResult:
     """Maximum-weight bipartite matching with optional participation.
 
@@ -172,16 +183,17 @@ def max_weight_matching(
     The implementation clamps negative entries to zero, pads the matrix
     with one zero-weight dummy column per row (so a perfect row assignment
     always exists), converts to a minimisation problem against the maximum
-    entry, runs :func:`solve_assignment_min`, and finally discards matches
-    whose original weight is not strictly positive.
+    entry, solves it, and finally discards matches whose original weight
+    is not strictly positive.  ``backend`` picks the solver: ``"numpy"``
+    (default) runs the vectorised :class:`~repro.matching.solver
+    .AssignmentSolver`; ``"python"`` runs the pure-Python reference
+    :func:`solve_assignment_min`.  Both produce the same matching, ties
+    included (cross-checked by the matching property suites).
     """
+    chosen = resolve_backend(backend)
     num_rows, num_cols = _validate_matrix(weights)
     if num_rows == 0 or num_cols == 0:
         return MatchingResult(pairs=(), total_weight=0.0)
-
-    import numpy as np
-
-    from repro.matching.solver import AssignmentSolver
 
     clamped = np.maximum(np.asarray(weights, dtype=float), 0.0)
     max_entry = float(clamped.max())
@@ -189,7 +201,11 @@ def max_weight_matching(
     # row assignment even when every real edge is useless.
     cost = np.full((num_rows, num_cols + num_rows), max_entry)
     cost[:, :num_cols] = max_entry - clamped
-    assignment, _ = AssignmentSolver(cost).solve()
+    if chosen == "python":
+        assignment_list, _ = solve_assignment_min(cost.tolist())
+        assignment: Sequence[int] = assignment_list
+    else:
+        assignment, _ = AssignmentSolver(cost).solve()
 
     pairs = []
     total = 0.0

@@ -1,39 +1,66 @@
-"""Vectorised assignment solver with one-column-removal sensitivity.
+"""Vectorised assignment solver with warm-started sensitivity queries.
 
 The offline VCG mechanism needs one full optimum ``ω*(B)`` plus one
 reduced optimum ``ω*(B₋ᵢ)`` *per winner*.  Re-solving from scratch per
 winner costs ``O(n^4)`` overall; this solver instead:
 
 * solves the full min-cost assignment once with a numpy-vectorised
-  shortest-augmenting-path Hungarian (Jonker-Volgenant style potentials),
+  shortest-augmenting-path Hungarian (Jonker-Volgenant style
+  potentials).  Dual updates are deferred: each augmentation runs one
+  Dijkstra search over reduced costs and applies a *single* vectorised
+  potential update at the end, instead of re-pricing the whole tree on
+  every pivot.  Rows are inserted in index order with a
+  lowest-index-first tie-break so the matching — ties included — is the
+  same deterministic function of the matrix as the pure-Python
+  reference solver.
 * answers "total cost without column ``j``" by *repairing* the cached
-  optimum: un-match the row paired with ``j`` and run a single
-  augmenting-path search with ``j`` forbidden.  The cached dual
-  potentials remain feasible on the reduced column set, and one
-  augmentation restores optimality for all rows — the standard
-  sensitivity-analysis result for the assignment problem.  Each repair is
-  ``O(cols^2)`` instead of a full solve.
+  optimum: the cached dual potentials remain feasible on the reduced
+  column set, so one Dijkstra pass from the displaced row — with ``j``
+  forbidden — prices the repair exactly.  The query is distance-only:
+  no potentials are copied or updated and no matching is flipped,
+  because the reduced optimum's *cost* is ``total - cost[r][j] + dist +
+  u[r] + v[f]`` where ``dist`` is the shortest reduced distance from the
+  displaced row ``r`` to the free column ``f`` that ends the path (the
+  ``u``/``v`` terms restore the true-cost scale of the alternating
+  path).  Each repair is ``O(cols^2)`` instead of a full solve.
+* answers row-removal queries with a single shortest-path pass:
+  deleting a row frees its column, and the optimum of the reduced
+  problem is the remaining matching plus the cheapest *reassignment
+  chain* into that freed column (a row moves onto it, freeing its own
+  column for the next row, and so on; the symmetric-difference argument
+  shows one chain suffices because any cycle or chain avoiding the
+  freed column was already available — and therefore non-improving —
+  in the full problem).  The chain search is one Dijkstra over reduced
+  costs with the freed column as source, pricing a move of row ``r``
+  into hole ``h`` at ``cost[r][h] - u[r] - v[h]`` and crediting a chain
+  that ends by freeing column ``c`` with ``-v[c]``.
+  :meth:`total_cost_without_row`, :meth:`resolve_without_row` and the
+  mutating :meth:`delete_row` all use it.
 
-Correctness of the repair is cross-checked against full re-solves by the
-property tests in ``tests/matching/``.
+Correctness of the repairs is cross-checked against full re-solves by
+the property tests in ``tests/matching/`` and
+``tests/properties/test_warm_start_properties.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.errors import MatchingError
 
+_INF = float("inf")
+
 
 class AssignmentSolver:
     """Minimum-cost assignment of ``n`` rows to ``m >= n`` columns.
 
     Every row is matched to a distinct column (callers model optional
-    rows by adding dummy columns).  The matrix is copied; the solver is
-    immutable after construction apart from lazy solving.
+    rows by adding dummy columns).  The matrix is copied; apart from
+    lazy solving and explicit :meth:`delete_row` calls the solver is
+    immutable after construction.
     """
 
     def __init__(self, cost: np.ndarray) -> None:
@@ -56,88 +83,136 @@ class AssignmentSolver:
         self._solved = False
         self._u = np.zeros(num_rows)
         self._v = np.zeros(num_cols)
+        # ``cost - v`` maintained incrementally: the Dijkstra hot loop
+        # reads one row of it per pivot instead of recombining
+        # ``cost``/``v`` arrays every time.
+        self._cost_minus_v = self._cost.copy()
         # match_of_col[j] = row matched to column j, -1 when free.
         self._match_of_col = np.full(num_cols, -1, dtype=np.int64)
+        self._row_deleted = np.zeros(num_rows, dtype=bool)
+        self._num_active_rows = num_rows
+        # Set by delete_row when a reassignment chain left matched
+        # edges non-tight; dual-based repairs re-solve lazily first.
+        self._duals_stale = False
+        self._total: Optional[float] = None
+        # Scratch buffers reused by every Dijkstra pass.
+        self._shortest = np.empty(num_cols)
+        self._unvisited = np.empty(num_cols, dtype=bool)
+        self._improve = np.empty(num_cols, dtype=bool)
+        self._parent = np.empty(num_cols, dtype=np.int64)
 
     @property
     def shape(self) -> Tuple[int, int]:
         """``(rows, cols)`` of the cost matrix."""
         return self._num_rows, self._num_cols
 
+    @property
+    def num_active_rows(self) -> int:
+        """Rows still present (total rows minus :meth:`delete_row` calls)."""
+        return self._num_active_rows
+
     # ------------------------------------------------------------------
-    # Core augmenting-path step
+    # Core shortest-augmenting-path search
     # ------------------------------------------------------------------
-    @staticmethod
-    def _augment(
-        cost: np.ndarray,
-        u: np.ndarray,
-        v: np.ndarray,
-        match_of_col: np.ndarray,
+    def _dijkstra(
+        self,
         row: int,
-        forbidden: Optional[int] = None,
-    ) -> int:
-        """Insert ``row`` into the matching via one Dijkstra-style search.
+        forbidden: Optional[int],
+        parent: Optional[np.ndarray],
+    ) -> Tuple[float, int, int, List[int], List[float]]:
+        """Shortest alternating path from ``row`` to any free column.
 
-        Mutates ``u``, ``v``, ``match_of_col`` in place.  ``forbidden``
-        excludes one column entirely (used by the sensitivity repair).
-        Returns the number of tree-growth iterations (pivots) the search
-        needed — the telemetry layer's unit of matching work.
+        Runs over reduced costs ``cost[i][j] - u[i] - v[j]`` without
+        touching any solver state.  ``forbidden`` excludes one column
+        entirely (treated as already retired).  When ``parent`` is
+        given, ``parent[j]`` records the predecessor column on the best
+        known path to ``j`` (needed only when the caller will flip the
+        matching afterwards).
+
+        Returns ``(distance, free_col, pivots, retired_cols,
+        retired_dist)`` where ``distance`` is the shortest reduced-cost
+        distance to ``free_col`` and the retired lists hold the columns
+        scanned into the Dijkstra tree with their final distances (the
+        inputs of the deferred dual update).
         """
-        num_cols = v.shape[0]
-        min_slack = np.full(num_cols, np.inf)
-        parent = np.full(num_cols, -2, dtype=np.int64)  # -1 = tree root
-        in_tree = np.zeros(num_cols, dtype=bool)
-        if forbidden is not None:
-            in_tree[forbidden] = True  # never enter; never dual-updated
-            tree_cols = []
-        else:
-            tree_cols = []
+        cost_minus_v = self._cost_minus_v
+        u = self._u
+        match_of_col = self._match_of_col
 
+        # ``shortest`` doubles as the frontier: retired columns are set
+        # to +inf so a plain argmin always yields the nearest open one.
+        shortest = self._shortest
+        unvisited = self._unvisited
+        improve = self._improve
+        shortest.fill(_INF)
+        unvisited.fill(True)
+        if forbidden is not None:
+            unvisited[forbidden] = False
+
+        retired_cols: List[int] = []
+        retired_dist: List[float] = []
         pivots = 0
+        min_val = 0.0
         current_row = row
         previous_col = -1
         while True:
             pivots += 1
-            reduced = cost[current_row] - u[current_row] - v
-            better = (~in_tree) & (reduced < min_slack)
-            min_slack[better] = reduced[better]
-            parent[better] = previous_col
+            # Absolute reduced distance through ``current_row``; the
+            # potentials of tree rows are untouched during the search,
+            # so one row-vector expression per pivot suffices.
+            slack = cost_minus_v[current_row] - (u[current_row] - min_val)
+            np.less(slack, shortest, out=improve)
+            improve &= unvisited
+            np.copyto(shortest, slack, where=improve)
+            if parent is not None:
+                np.copyto(parent, previous_col, where=improve)
 
-            masked = np.where(in_tree, np.inf, min_slack)
-            next_col = int(np.argmin(masked))
-            delta = masked[next_col]
-            if not np.isfinite(delta):
+            next_col = int(shortest.argmin())
+            min_val = float(shortest[next_col])
+            if not np.isfinite(min_val):
                 raise MatchingError(
                     "no augmenting path: the reduced problem has no "
                     "perfect row assignment"
                 )
-
-            # Dual update: rows/cols on the alternating tree shift by
-            # delta, slacks of outside columns shrink by delta.
-            u[row] += delta
-            if tree_cols:
-                tree_idx = np.asarray(tree_cols, dtype=np.int64)
-                u[match_of_col[tree_idx]] += delta
-                v[tree_idx] -= delta
-            outside = ~in_tree
-            min_slack[outside] -= delta
-
-            in_tree[next_col] = True
-            tree_cols.append(next_col)
             if match_of_col[next_col] == -1:
-                final_col = next_col
-                break
+                return min_val, next_col, pivots, retired_cols, retired_dist
+            unvisited[next_col] = False
+            shortest[next_col] = _INF
+            retired_cols.append(next_col)
+            retired_dist.append(min_val)
             current_row = int(match_of_col[next_col])
             previous_col = next_col
 
+    def _augment(self, row: int) -> int:
+        """Insert ``row`` into the matching; one Dijkstra + one dual pass.
+
+        Returns the number of tree-growth iterations (pivots) the search
+        needed — the telemetry layer's unit of matching work.
+        """
+        parent = self._parent
+        parent.fill(-2)
+        min_val, free_col, pivots, retired_cols, retired_dist = (
+            self._dijkstra(row, None, parent)
+        )
+
+        # Deferred dual update: one vectorised pass over the tree.  Must
+        # run before the flip (it reads the pre-augmentation matching).
+        self._u[row] += min_val
+        if retired_cols:
+            cols = np.asarray(retired_cols, dtype=np.int64)
+            delta = np.asarray(retired_dist) - min_val
+            self._u[self._match_of_col[cols]] -= delta
+            self._v[cols] += delta
+            self._cost_minus_v[:, cols] -= delta
+
         # Flip matched edges along the path back to the root.
-        col = final_col
+        col = free_col
         while True:
             prev = int(parent[col])
             if prev == -1:
-                match_of_col[col] = row
+                self._match_of_col[col] = row
                 break
-            match_of_col[col] = match_of_col[prev]
+            self._match_of_col[col] = self._match_of_col[prev]
             col = prev
         return pivots
 
@@ -156,19 +231,30 @@ class AssignmentSolver:
                 rows=self._num_rows,
                 cols=self._num_cols,
             ) as sp:
+                # Rows are inserted in index order with the same
+                # nearest-column-first tie-break at every pivot, so the
+                # matching (ties included) is a deterministic function
+                # of the matrix alone — mechanisms rely on that.
                 pivots = 0
                 for row in range(self._num_rows):
-                    pivots += self._augment(
-                        self._cost, self._u, self._v, self._match_of_col, row
-                    )
+                    if not self._row_deleted[row]:
+                        pivots += self._augment(row)
                 self._solved = True
+                cols = np.nonzero(self._match_of_col >= 0)[0]
+                rows = self._match_of_col[cols]
+                self._total = float(self._cost[rows, cols].sum())
                 sp.set_attribute("pivots", pivots)
-                obs.counter("matching.augmentations", self._num_rows)
+                obs.counter(
+                    "matching.augmentations", self._num_active_rows
+                )
                 obs.counter("matching.pivots", pivots)
         return self.row_to_col(), self.total_cost()
 
     def row_to_col(self) -> np.ndarray:
-        """The cached assignment as ``row -> col`` (solves if needed)."""
+        """The cached assignment as ``row -> col`` (solves if needed).
+
+        Deleted rows map to ``-1``.
+        """
         if not self._solved:
             self.solve()
         row_to_col = np.full(self._num_rows, -1, dtype=np.int64)
@@ -180,42 +266,233 @@ class AssignmentSolver:
         """Total cost of the cached optimum (solves if needed)."""
         if not self._solved:
             self.solve()
-        cols = np.nonzero(self._match_of_col >= 0)[0]
-        rows = self._match_of_col[cols]
-        return float(self._cost[rows, cols].sum())
+        assert self._total is not None
+        return self._total
 
     def total_cost_without_column(self, column: int) -> float:
         """Optimal total cost when ``column`` is removed.
 
-        Uses the single-augmentation repair described in the module
-        docstring; the solver's own state is untouched.
+        Uses the distance-only warm-started repair described in the
+        module docstring; the solver's own state is untouched.
         """
         if not (0 <= column < self._num_cols):
             raise MatchingError(
                 f"column {column} outside [0, {self._num_cols})"
             )
-        if self._num_rows >= self._num_cols:
+        if self._num_active_rows >= self._num_cols:
             raise MatchingError(
                 "cannot remove a column: every column is needed to match "
                 "all rows (add dummy columns)"
             )
         if not self._solved:
             self.solve()
+        self._refresh_duals()
 
         displaced_row = int(self._match_of_col[column])
         if displaced_row == -1:
             return self.total_cost()
 
         with obs.span("matching.solver.repair", column=column) as sp:
-            u = self._u.copy()
-            v = self._v.copy()
-            match_of_col = self._match_of_col.copy()
-            match_of_col[column] = -1
-            pivots = self._augment(
-                self._cost, u, v, match_of_col, displaced_row, forbidden=column
+            distance, free_col, pivots, _, _ = self._dijkstra(
+                displaced_row, column, None
             )
             sp.set_attribute("pivots", pivots)
             obs.counter("matching.pivots", pivots)
-            cols = np.nonzero(match_of_col >= 0)[0]
-            rows = match_of_col[cols]
-            return float(self._cost[rows, cols].sum())
+            obs.counter("matching.warm_resolves")
+            return float(
+                self.total_cost()
+                - self._cost[displaced_row, column]
+                + distance
+                + self._u[displaced_row]
+                + self._v[free_col]
+            )
+
+    # ------------------------------------------------------------------
+    # Row-removal sensitivity
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not (0 <= row < self._num_rows):
+            raise MatchingError(f"row {row} outside [0, {self._num_rows})")
+        if self._row_deleted[row]:
+            raise MatchingError(f"row {row} was already deleted")
+
+    def _refresh_duals(self) -> None:
+        """Re-solve from scratch when :meth:`delete_row` left duals stale.
+
+        A reassignment chain keeps the matching and total exact but its
+        new matched edges are generally not tight under the old
+        potentials, so the *next* dual-based repair must start from
+        fresh ones.  The re-solve covers active rows only.
+        """
+        if not self._duals_stale:
+            return
+        self._u.fill(0.0)
+        self._v.fill(0.0)
+        np.copyto(self._cost_minus_v, self._cost)
+        self._match_of_col.fill(-1)
+        self._total = None
+        self._solved = False
+        self._duals_stale = False
+        self.solve()
+
+    def _row_removal_search(
+        self, row: int, column: int
+    ) -> Tuple[float, int, np.ndarray, np.ndarray, int]:
+        """Cheapest reassignment chain into the column freed by ``row``.
+
+        Dijkstra over *hole* positions: dropping ``row`` leaves a hole
+        at ``column``; moving a matched row ``r`` into a hole ``h``
+        costs the reduced amount ``cost[r][h] - u[r] - v[h] >= 0`` and
+        shifts the hole to ``r``'s old column.  A chain may stop at any
+        hole ``h``, leaving it unmatched; since an unmatched column's
+        potential must be zero at an optimum, stopping at ``h`` carries
+        a terminal credit of ``-v[h] >= 0``.  The true welfare change of
+        the best chain telescopes to ``v[column] + min_h (dist[h] -
+        v[h]) <= 0`` (the empty chain gives exactly zero).
+
+        Returns ``(improvement, end_col, parent_row, parent_hole,
+        pivots)``; the chain is recovered by walking ``parent_*`` from
+        ``end_col`` back to ``column``.
+        """
+        cost_minus_v = self._cost_minus_v
+        u = self._u
+        v = self._v
+        match_of_col = self._match_of_col
+
+        matched_cols = np.nonzero(match_of_col >= 0)[0]
+        move_rows = match_of_col[matched_cols]
+        movable = move_rows != row
+        move_rows = move_rows[movable]
+        move_cols = matched_cols[movable]
+
+        dist = np.full(self._num_cols, _INF)
+        dist[column] = 0.0
+        visited = np.zeros(self._num_cols, dtype=bool)
+        parent_row = np.full(self._num_cols, -1, dtype=np.int64)
+        parent_hole = np.full(self._num_cols, -1, dtype=np.int64)
+
+        best = _INF
+        best_col = column
+        pivots = 0
+        while True:
+            frontier = np.where(visited, _INF, dist)
+            hole = int(frontier.argmin())
+            hole_dist = float(frontier[hole])
+            # Unexplored chains cost at least ``hole_dist`` and end with
+            # a credit ``-v >= 0``, so none can beat ``best`` any more.
+            if not np.isfinite(hole_dist) or hole_dist >= best:
+                break
+            pivots += 1
+            visited[hole] = True
+            ending_here = hole_dist - float(v[hole])
+            if ending_here < best:
+                best = ending_here
+                best_col = hole
+            if move_rows.size:
+                candidate = (
+                    hole_dist
+                    + cost_minus_v[move_rows, hole]
+                    - u[move_rows]
+                )
+                better = (candidate < dist[move_cols]) & ~visited[move_cols]
+                targets = move_cols[better]
+                dist[targets] = candidate[better]
+                parent_row[targets] = move_rows[better]
+                parent_hole[targets] = hole
+        improvement = min(float(v[column]) + best, 0.0)
+        return improvement, best_col, parent_row, parent_hole, pivots
+
+    def _removal_plan(
+        self, row: int
+    ) -> Tuple[int, float, int, np.ndarray, np.ndarray]:
+        """Shared front half of the row-removal queries.
+
+        Solves (and refreshes stale duals) first, then returns
+        ``(column, improvement, end_col, parent_row, parent_hole)`` for
+        ``row``'s matched column; ``column`` is ``-1`` for an unmatched
+        row, in which case removal changes nothing.
+        """
+        self._check_row(row)
+        if not self._solved:
+            self.solve()
+        self._refresh_duals()
+        column = int(self.row_to_col()[row])
+        if column < 0:
+            empty = np.empty(0, dtype=np.int64)
+            return column, 0.0, column, empty, empty
+        with obs.span("matching.solver.row_removal", row=row) as sp:
+            improvement, end_col, parent_row, parent_hole, pivots = (
+                self._row_removal_search(row, column)
+            )
+            sp.set_attribute("pivots", pivots)
+            obs.counter("matching.pivots", pivots)
+            obs.counter("matching.warm_resolves")
+        return column, improvement, end_col, parent_row, parent_hole
+
+    def total_cost_without_row(self, row: int) -> float:
+        """Optimal total cost when ``row`` is removed.
+
+        One chain search (see :meth:`_row_removal_search`); the solver's
+        own state is untouched.
+        """
+        column, improvement, _, _, _ = self._removal_plan(row)
+        if column < 0:
+            return self.total_cost()
+        return float(
+            self.total_cost() - self._cost[row, column] + improvement
+        )
+
+    def resolve_without_row(self, row: int) -> Tuple[np.ndarray, float]:
+        """``(row_to_col, total)`` of the optimum without ``row``.
+
+        Non-mutating companion of :meth:`delete_row`; the removed row
+        maps to ``-1`` in the returned assignment, and rows on the
+        repair chain appear at their reassigned columns.
+        """
+        column, improvement, end_col, parent_row, parent_hole = (
+            self._removal_plan(row)
+        )
+        assignment = self.row_to_col().copy()
+        total = self.total_cost()
+        assignment[row] = -1
+        if column >= 0:
+            total = total - float(self._cost[row, column]) + improvement
+            current = end_col
+            while current != column:
+                mover = int(parent_row[current])
+                assignment[mover] = int(parent_hole[current])
+                current = int(parent_hole[current])
+        return assignment, total
+
+    def delete_row(self, row: int) -> float:
+        """Remove ``row`` permanently; returns the new optimal total.
+
+        Applies the repair chain to the stored matching, so the cached
+        assignment and total stay exact.  The chain's new edges are not
+        tight under the old potentials, so the next dual-based repair
+        (:meth:`total_cost_without_column` or another removal) triggers
+        one fresh solve over the remaining rows first.
+        """
+        column, improvement, end_col, parent_row, parent_hole = (
+            self._removal_plan(row)
+        )
+        if column >= 0:
+            assert self._total is not None
+            self._total = float(
+                self._total - self._cost[row, column] + improvement
+            )
+            # The chain's last column ends up free; every earlier hole
+            # (including ``column`` itself) receives the row that moved
+            # into it.  Write the free slot first — the walk then fills
+            # holes strictly behind itself.
+            self._match_of_col[end_col] = -1
+            current = end_col
+            while current != column:
+                mover = int(parent_row[current])
+                self._match_of_col[int(parent_hole[current])] = mover
+                current = int(parent_hole[current])
+            if end_col != column or self._v[column] != 0.0:
+                self._duals_stale = True
+        self._row_deleted[row] = True
+        self._num_active_rows -= 1
+        return self.total_cost()

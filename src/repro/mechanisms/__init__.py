@@ -11,7 +11,12 @@
 """
 
 from repro.mechanisms.base import Mechanism
-from repro.mechanisms.greedy_core import GreedyRun, run_greedy_allocation
+from repro.mechanisms.greedy_core import (
+    GreedyProber,
+    GreedyRun,
+    bid_index,
+    run_greedy_allocation,
+)
 from repro.mechanisms.offline_vcg import OfflineVCGMechanism
 from repro.mechanisms.online_greedy import OnlineGreedyMechanism
 from repro.mechanisms.registry import (
@@ -24,7 +29,9 @@ __all__ = [
     "Mechanism",
     "OfflineVCGMechanism",
     "OnlineGreedyMechanism",
+    "GreedyProber",
     "GreedyRun",
+    "bid_index",
     "run_greedy_allocation",
     "available_mechanisms",
     "create_mechanism",

@@ -27,9 +27,29 @@ from typing import List, Optional, Sequence
 
 from repro import obs
 from repro.errors import MechanismError
-from repro.mechanisms.greedy_core import run_greedy_allocation
+from repro.mechanisms.greedy_core import GreedyProber, run_greedy_allocation
 from repro.model.bid import Bid
 from repro.model.task import TaskSchedule
+
+
+def _check_prober(
+    prober: GreedyProber,
+    bids: Sequence[Bid],
+    reserve_price: bool,
+) -> None:
+    """Reject a prober built for different bids or a different reserve.
+
+    A mismatched prober would silently compute payments for the wrong
+    auction, so the guard is strict equality on the full bid tuple.
+    """
+    if prober.reserve_price != reserve_price:  # repro: noqa-REP002 -- boolean flag, not a money value
+        raise MechanismError(
+            "prober reserve_price does not match the payment call"
+        )
+    if prober.bids != tuple(bids):
+        raise MechanismError(
+            "prober was built for a different bid vector"
+        )
 
 
 def algorithm2_payment(
@@ -38,13 +58,16 @@ def algorithm2_payment(
     winner: Bid,
     win_slot: int,
     reserve_price: bool = False,
+    prober: Optional[GreedyProber] = None,
 ) -> float:
     """Algorithm 2 of the paper: pay the critical player's claimed cost.
 
     Re-runs the greedy allocation without ``winner`` up to the winner's
     reported departure and returns the maximum claimed cost among bids
     that win in slots ``[win_slot, winner.departure]``, floored at the
-    winner's own claimed cost.
+    winner's own claimed cost.  A :class:`~repro.mechanisms.greedy_core
+    .GreedyProber` built for the same bids makes the re-run incremental
+    (resumed from the winner's arrival slot) without changing the result.
     """
     if not (winner.arrival <= win_slot <= winner.departure):
         raise MechanismError(
@@ -54,13 +77,19 @@ def algorithm2_payment(
     with obs.span(
         "payment.algorithm2", winner=winner.phone_id, win_slot=win_slot
     ):
-        rerun = run_greedy_allocation(
-            bids,
-            schedule,
-            exclude_phone=winner.phone_id,
-            reserve_price=reserve_price,
-            stop_after_slot=winner.departure,
-        )
+        if prober is not None:
+            _check_prober(prober, bids, reserve_price)
+            rerun = prober.run_excluding(
+                winner.phone_id, stop_after_slot=winner.departure
+            )
+        else:
+            rerun = run_greedy_allocation(
+                bids,
+                schedule,
+                exclude_phone=winner.phone_id,
+                reserve_price=reserve_price,
+                stop_after_slot=winner.departure,
+            )
         payment = winner.cost
         for other in rerun.winners_between(win_slot, winner.departure):
             if other.cost > payment:
@@ -94,6 +123,7 @@ def exact_critical_payment(
     schedule: TaskSchedule,
     winner: Bid,
     reserve_price: bool = False,
+    prober: Optional[GreedyProber] = None,
 ) -> float:
     """The exact critical value of Definition 9, by binary search.
 
@@ -110,30 +140,42 @@ def exact_critical_payment(
     the winner's own claimed cost (and the caller inherits the
     truthfulness caveat documented in the module docstring).
     """
+    if prober is not None:
+        _check_prober(prober, bids, reserve_price)
     with obs.span("payment.exact", winner=winner.phone_id) as tel:
         probes = 0
 
         def probe(candidate_cost: float) -> bool:
             nonlocal probes
             probes += 1
+            if prober is not None:
+                rerun = prober.run_with_cost(
+                    winner,
+                    candidate_cost,
+                    stop_after_slot=winner.departure,
+                )
+                return winner.phone_id in rerun.win_slots
             return _wins_with_cost(
                 bids, schedule, winner, candidate_cost, reserve_price
             )
 
         try:
-            thresholds: List[float] = sorted(
-                {
-                    bid.cost
-                    for bid in bids
-                    if bid.phone_id != winner.phone_id
-                }
-                | (
-                    {task.value for task in schedule}
-                    if reserve_price
-                    else set()
+            if prober is not None:
+                thresholds: List[float] = prober.exact_thresholds(winner)
+            else:
+                thresholds = sorted(
+                    {
+                        bid.cost
+                        for bid in bids
+                        if bid.phone_id != winner.phone_id
+                    }
+                    | (
+                        {task.value for task in schedule}
+                        if reserve_price
+                        else set()
+                    )
                 )
-            )
-            thresholds = [t for t in thresholds if t > 0.0]
+                thresholds = [t for t in thresholds if t > 0.0]
 
             if not thresholds:
                 return winner.cost

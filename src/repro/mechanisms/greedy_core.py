@@ -19,9 +19,20 @@ for the critical-value payment analysis to be meaningful.
 
 from __future__ import annotations
 
+import bisect
+import collections
 import dataclasses
+import functools
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.model.bid import Bid
@@ -31,6 +42,17 @@ from repro.model.task import TaskSchedule
 def bid_sort_key(bid: Bid) -> Tuple[float, int, int]:
     """Greedy selection order: cheapest first, ties by arrival then id."""
     return (bid.cost, bid.arrival, bid.phone_id)
+
+
+@functools.lru_cache(maxsize=64)
+def bid_index(bids: Tuple[Bid, ...]) -> Dict[int, Bid]:
+    """``phone_id -> bid`` for a bid tuple, memoised across payment passes.
+
+    Every winner's payment pass used to rebuild this identical dict;
+    bids are frozen (hashable), so the tuple itself is the cache key.
+    Callers must treat the returned dict as read-only.
+    """
+    return {bid.phone_id: bid for bid in bids}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +108,69 @@ class GreedyRun:
         return collected
 
 
+def _walk_slots(
+    schedule: TaskSchedule,
+    arrivals_by_slot: Mapping[int, Sequence[Bid]],
+    pool: List[Tuple[Tuple[float, int, int], Bid]],
+    allocation: Dict[int, int],
+    win_slots: Dict[int, int],
+    slot_outcomes: List[SlotOutcome],
+    first_slot: int,
+    last_slot: int,
+    reserve_price: bool,
+    on_slot_start: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Advance Algorithm 1 over slots ``[first_slot, last_slot]`` in place.
+
+    The single authoritative implementation of the slot walk: both a cold
+    :func:`run_greedy_allocation` and a :class:`GreedyProber` resume drive
+    this loop, so their behaviour — tie-breaks, lazy departure pops,
+    reserve-price skips — is identical by construction.  ``pool`` /
+    ``allocation`` / ``win_slots`` / ``slot_outcomes`` are mutated;
+    ``on_slot_start`` (if given) fires before each slot's arrivals are
+    pushed, which is where the prober snapshots resumable state.  Returns
+    the number of candidate evaluations performed.
+    """
+    candidate_evals = 0
+    for slot in range(first_slot, last_slot + 1):
+        if on_slot_start is not None:
+            on_slot_start(slot)
+        for bid in arrivals_by_slot.get(slot, ()):  # newly active bids
+            heapq.heappush(pool, (bid_sort_key(bid), bid))
+
+        tasks = schedule.tasks_in_slot(slot)
+        if not tasks:
+            continue
+
+        winners: List[Bid] = []
+        unserved = 0
+        for task in tasks:
+            chosen: Optional[Bid] = None
+            while pool:
+                candidate_evals += 1
+                _, candidate = pool[0]
+                if candidate.departure < slot:  # departed; discard lazily
+                    heapq.heappop(pool)
+                    continue
+                if reserve_price and candidate.cost > task.value:
+                    # The cheapest pooled bid is already above the
+                    # task's value; with the pool sorted by cost, no
+                    # pooled bid can serve this task profitably.
+                    break
+                chosen = heapq.heappop(pool)[1]
+                break
+            if chosen is None:
+                unserved += 1
+                continue
+            allocation[task.task_id] = chosen.phone_id
+            win_slots[chosen.phone_id] = slot
+            winners.append(chosen)
+        slot_outcomes.append(
+            SlotOutcome(slot=slot, winners=tuple(winners), unserved=unserved)
+        )
+    return candidate_evals
+
+
 def run_greedy_allocation(
     bids: Sequence[Bid],
     schedule: TaskSchedule,
@@ -139,49 +224,23 @@ def run_greedy_allocation(
     # Candidate evaluations are counted in a local int and reported once
     # at the end: the inner loop must stay telemetry-free so a disabled
     # tracer costs nothing on the hot path.
-    candidate_evals = 0
     with obs.span(
         "greedy.allocation",
         bids=len(bids),
         slots=last_slot,
         excluded=exclude_phone,
     ) as tel:
-        for slot in range(1, last_slot + 1):
-            for bid in arrivals_by_slot.get(slot, ()):  # newly active bids
-                heapq.heappush(pool, (bid_sort_key(bid), bid))
-
-            tasks = schedule.tasks_in_slot(slot)
-            if not tasks:
-                continue
-
-            winners: List[Bid] = []
-            unserved = 0
-            for task in tasks:
-                chosen: Optional[Bid] = None
-                while pool:
-                    candidate_evals += 1
-                    _, candidate = pool[0]
-                    if candidate.departure < slot:  # departed; discard lazily
-                        heapq.heappop(pool)
-                        continue
-                    if reserve_price and candidate.cost > task.value:
-                        # The cheapest pooled bid is already above the
-                        # task's value; with the pool sorted by cost, no
-                        # pooled bid can serve this task profitably.
-                        break
-                    chosen = heapq.heappop(pool)[1]
-                    break
-                if chosen is None:
-                    unserved += 1
-                    continue
-                allocation[task.task_id] = chosen.phone_id
-                win_slots[chosen.phone_id] = slot
-                winners.append(chosen)
-            slot_outcomes.append(
-                SlotOutcome(
-                    slot=slot, winners=tuple(winners), unserved=unserved
-                )
-            )
+        candidate_evals = _walk_slots(
+            schedule,
+            arrivals_by_slot,
+            pool,
+            allocation,
+            win_slots,
+            slot_outcomes,
+            1,
+            last_slot,
+            reserve_price,
+        )
         tel.set_attribute("candidate_evals", candidate_evals)
         tel.set_attribute("winners", len(win_slots))
         tel.set_attribute(
@@ -194,3 +253,284 @@ def run_greedy_allocation(
         win_slots=win_slots,
         slots=tuple(slot_outcomes),
     )
+
+
+#: Resumable walk state captured at the start of a slot: the heap (as a
+#: plain list), the allocation and win-slot dicts, and how many slot
+#: outcomes precede the slot.
+_Snapshot = Tuple[
+    List[Tuple[Tuple[float, int, int], Bid]],
+    Dict[int, int],
+    Dict[int, int],
+    int,
+]
+
+
+class GreedyProber:
+    """Incremental Algorithm-1 re-run engine shared by payment probes.
+
+    Payments re-run the greedy allocation hundreds of times per round:
+    Algorithm 2 once per winner with that winner excluded, and the exact
+    critical-value rule ``O(log n)`` more times per winner with the
+    winner's cost replaced.  Every one of those perturbations first takes
+    effect in the perturbed bid's *arrival* slot — before it, the walk
+    state (heap contents, allocation, win slots, tie-breaks) is exactly
+    the base run's, because the perturbed bid has not entered the pool.
+
+    The prober therefore runs the base allocation once, snapshotting the
+    walk state at the start of every slot, and answers probes by copying
+    the arrival slot's snapshot and walking only the remaining slots.
+    Results are bit-identical to cold re-runs (both drive
+    :func:`_walk_slots`; verified by the property suites); slots skipped
+    this way are recorded on the ``payment.probe.slots_skipped`` counter.
+
+    The prober never mutates bids or schedule; it holds its own private
+    copies of the walk state, so a single instance can serve every
+    payment pass of a mechanism run.
+    """
+
+    def __init__(
+        self,
+        bids: Sequence[Bid],
+        schedule: TaskSchedule,
+        reserve_price: bool = False,
+    ) -> None:
+        self._bids: Tuple[Bid, ...] = tuple(bids)
+        self._schedule = schedule
+        self._reserve_price = bool(reserve_price)
+        self._num_slots = schedule.num_slots
+        arrivals: Dict[int, List[Bid]] = {}
+        for bid in self._bids:
+            arrivals.setdefault(bid.arrival, []).append(bid)
+        self._arrivals_by_slot = arrivals
+        # Built directly (not via the memoised ``bid_index``): probes
+        # call this per winner, and re-hashing a long bid tuple on every
+        # cache lookup would cost more than the dict it saves.
+        self._bid_by_phone = {bid.phone_id: bid for bid in self._bids}
+        self._snapshots: Dict[int, _Snapshot] = {}
+        self._thresholds: Optional[List[float]] = None
+        self._cost_counts: Optional[Dict[float, int]] = None
+        self._task_values: Optional[frozenset] = None
+        self._base_run = self._run_base()
+
+    @property
+    def bids(self) -> Tuple[Bid, ...]:
+        """The bid tuple the prober was built for."""
+        return self._bids
+
+    @property
+    def reserve_price(self) -> bool:
+        """Whether the walks refuse negative-welfare assignments."""
+        return self._reserve_price
+
+    @property
+    def bid_by_phone(self) -> Dict[int, Bid]:
+        """``phone_id -> bid`` index over the prober's bids (read-only)."""
+        return self._bid_by_phone
+
+    @property
+    def base_run(self) -> GreedyRun:
+        """The unperturbed allocation (identical to a cold full run)."""
+        return self._base_run
+
+    def _run_base(self) -> GreedyRun:
+        pool: List[Tuple[Tuple[float, int, int], Bid]] = []
+        allocation: Dict[int, int] = {}
+        win_slots: Dict[int, int] = {}
+        slot_outcomes: List[SlotOutcome] = []
+
+        def snapshot(slot: int) -> None:
+            self._snapshots[slot] = (
+                list(pool),
+                dict(allocation),
+                dict(win_slots),
+                len(slot_outcomes),
+            )
+
+        with obs.span(
+            "greedy.allocation",
+            bids=len(self._bids),
+            slots=self._num_slots,
+            excluded=None,
+        ) as tel:
+            candidate_evals = _walk_slots(
+                self._schedule,
+                self._arrivals_by_slot,
+                pool,
+                allocation,
+                win_slots,
+                slot_outcomes,
+                1,
+                self._num_slots,
+                self._reserve_price,
+                on_slot_start=snapshot,
+            )
+            # Final state, keyed one past the horizon: probes whose
+            # perturbed bid arrives after their stop slot resolve to a
+            # truncated base run without walking anything.
+            self._snapshots[self._num_slots + 1] = (
+                pool,
+                dict(allocation),
+                dict(win_slots),
+                len(slot_outcomes),
+            )
+            tel.set_attribute("candidate_evals", candidate_evals)
+            tel.set_attribute("winners", len(win_slots))
+            tel.set_attribute(
+                "unserved",
+                sum(outcome.unserved for outcome in slot_outcomes),
+            )
+            obs.counter("greedy.candidate_evals", candidate_evals)
+
+        return GreedyRun(
+            allocation=allocation,
+            win_slots=win_slots,
+            slots=tuple(slot_outcomes),
+        )
+
+    def _resume(
+        self,
+        start_slot: int,
+        arrivals_at_start: Sequence[Bid],
+        last_slot: int,
+        excluded: Optional[int],
+    ) -> GreedyRun:
+        start = max(1, start_slot)
+        if start > last_slot:
+            # The perturbation never takes effect inside the probed
+            # window; the answer is the base run truncated to it.
+            _, allocation, win_slots, prefix = self._snapshots[
+                min(last_slot, self._num_slots) + 1
+            ]
+            obs.counter(
+                "payment.probe.slots_skipped", max(last_slot, 0)
+            )
+            return GreedyRun(
+                allocation=dict(allocation),
+                win_slots=dict(win_slots),
+                slots=self._base_run.slots[:prefix],
+            )
+
+        snap_pool, snap_alloc, snap_wins, prefix = self._snapshots[start]
+        pool = list(snap_pool)
+        allocation = dict(snap_alloc)
+        win_slots = dict(snap_wins)
+        slot_outcomes = list(self._base_run.slots[:prefix])
+        arrivals: Dict[int, Sequence[Bid]] = dict(self._arrivals_by_slot)
+        arrivals[start] = list(arrivals_at_start)
+
+        with obs.span(
+            "greedy.allocation.resume",
+            bids=len(self._bids),
+            start_slot=start,
+            slots=last_slot,
+            excluded=excluded,
+        ) as tel:
+            candidate_evals = _walk_slots(
+                self._schedule,
+                arrivals,
+                pool,
+                allocation,
+                win_slots,
+                slot_outcomes,
+                start,
+                last_slot,
+                self._reserve_price,
+            )
+            tel.set_attribute("candidate_evals", candidate_evals)
+            obs.counter("greedy.candidate_evals", candidate_evals)
+        obs.counter("payment.probe.slots_skipped", start - 1)
+
+        return GreedyRun(
+            allocation=allocation,
+            win_slots=win_slots,
+            slots=tuple(slot_outcomes),
+        )
+
+    def run_excluding(
+        self, phone_id: int, stop_after_slot: Optional[int] = None
+    ) -> GreedyRun:
+        """The allocation without ``phone_id`` — Algorithm 2's re-run.
+
+        Equivalent to ``run_greedy_allocation(bids, schedule,
+        exclude_phone=phone_id, stop_after_slot=...)`` on the prober's
+        bids, but resumed from the excluded bid's arrival slot.
+        """
+        last = (
+            self._num_slots
+            if stop_after_slot is None
+            else min(stop_after_slot, self._num_slots)
+        )
+        excluded_bid = self._bid_by_phone.get(phone_id)
+        if excluded_bid is None:
+            # Nothing to exclude: identical to the (truncated) base run.
+            return self._resume(
+                1, self._arrivals_by_slot.get(1, ()), last, phone_id
+            )
+        start = excluded_bid.arrival
+        arrivals_at_start = [
+            bid
+            for bid in self._arrivals_by_slot.get(start, ())
+            if bid.phone_id != phone_id
+        ]
+        return self._resume(start, arrivals_at_start, last, phone_id)
+
+    def run_with_cost(
+        self,
+        winner: Bid,
+        candidate_cost: float,
+        stop_after_slot: Optional[int] = None,
+    ) -> GreedyRun:
+        """The allocation with ``winner``'s cost replaced — a value probe.
+
+        Equivalent to a cold run on the bid list with ``winner``'s bid
+        swapped for ``winner.with_cost(candidate_cost)``, resumed from
+        the winner's arrival slot.
+        """
+        last = (
+            self._num_slots
+            if stop_after_slot is None
+            else min(stop_after_slot, self._num_slots)
+        )
+        start = winner.arrival
+        arrivals_at_start = [
+            bid.with_cost(candidate_cost)
+            if bid.phone_id == winner.phone_id
+            else bid
+            for bid in self._arrivals_by_slot.get(start, ())
+        ]
+        return self._resume(start, arrivals_at_start, last, None)
+
+    def exact_thresholds(self, winner: Bid) -> List[float]:
+        """Sorted candidate critical values for ``winner``'s binary search.
+
+        The union of the *other* bids' claimed costs (plus the task
+        values, when the reserve price is active), positive entries only
+        — exactly what :func:`repro.mechanisms.critical_payment
+        .exact_critical_payment` builds cold, but the shared sorted index
+        is constructed once per prober and reused by every winner.
+        """
+        if self._thresholds is None:
+            self._cost_counts = dict(
+                collections.Counter(bid.cost for bid in self._bids)
+            )
+            self._task_values = frozenset(
+                task.value for task in self._schedule
+            ) if self._reserve_price else frozenset()
+            union = set(self._cost_counts) | set(self._task_values)
+            self._thresholds = [t for t in sorted(union) if t > 0.0]
+        assert self._cost_counts is not None
+        assert self._task_values is not None
+        thresholds = self._thresholds
+        # Drop the winner's own cost unless another bid (or a task
+        # value) also sits on it — mirroring the cold set difference.
+        if (
+            winner.cost > 0.0
+            and self._cost_counts.get(winner.cost, 0) == 1
+            and winner.cost not in self._task_values
+        ):
+            # A unique positive bid cost is guaranteed present in the
+            # sorted union, so the bisect lands exactly on it.
+            index = bisect.bisect_left(thresholds, winner.cost)
+            thresholds = thresholds[:index] + thresholds[index + 1:]
+        return thresholds

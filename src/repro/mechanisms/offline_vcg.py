@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.matching.graph import TaskAssignmentGraph
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.greedy_core import bid_index
 from repro.model.bid import Bid
 from repro.model.outcome import AuctionOutcome
 from repro.model.round_config import RoundConfig
@@ -57,7 +58,9 @@ class OfflineVCGMechanism(Mechanism):
         graph = TaskAssignmentGraph(schedule, bids)
         allocation, optimal_welfare = graph.solve()
 
-        bid_by_phone = {bid.phone_id: bid for bid in bids}
+        # Memoised across runs on the same bid tuple (repeated payment
+        # passes and counterfactual audits re-run identical bid vectors).
+        bid_by_phone = bid_index(tuple(bids))
         payments: Dict[int, float] = {}
         payment_slots: Dict[int, int] = {}
         for phone_id in set(allocation.values()):

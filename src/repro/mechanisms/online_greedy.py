@@ -18,7 +18,7 @@ from repro.mechanisms.critical_payment import (
     algorithm2_payment,
     exact_critical_payment,
 )
-from repro.mechanisms.greedy_core import run_greedy_allocation
+from repro.mechanisms.greedy_core import GreedyProber
 from repro.model.bid import Bid
 from repro.model.outcome import AuctionOutcome
 from repro.model.round_config import RoundConfig
@@ -86,11 +86,15 @@ class OnlineGreedyMechanism(Mechanism):
     ) -> AuctionOutcome:
         self._resolve_config(bids, schedule, config)
 
-        greedy = run_greedy_allocation(
+        # One prober serves the allocation *and* every payment pass: its
+        # base run is the Algorithm-1 allocation, and payment re-runs
+        # resume from each winner's arrival slot instead of slot 1.
+        prober = GreedyProber(
             bids, schedule, reserve_price=self._reserve_price
         )
+        greedy = prober.base_run
 
-        bid_by_phone = {bid.phone_id: bid for bid in bids}
+        bid_by_phone = prober.bid_by_phone
         payments: Dict[int, float] = {}
         payment_slots: Dict[int, int] = {}
         for phone_id, win_slot in greedy.win_slots.items():
@@ -102,6 +106,7 @@ class OnlineGreedyMechanism(Mechanism):
                     winner,
                     win_slot,
                     reserve_price=self._reserve_price,
+                    prober=prober,
                 )
             else:
                 payments[phone_id] = exact_critical_payment(
@@ -109,6 +114,7 @@ class OnlineGreedyMechanism(Mechanism):
                     schedule,
                     winner,
                     reserve_price=self._reserve_price,
+                    prober=prober,
                 )
             # The paper: "each smartphone receives its payment in its
             # reported departure slot."

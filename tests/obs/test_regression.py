@@ -1,0 +1,126 @@
+"""The benchmark regression gate: parsing, round-trip, verdicts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.regression import (
+    BenchStats,
+    RegressionError,
+    compare,
+    load_baseline,
+    load_pytest_benchmark,
+    main,
+    write_baseline,
+)
+
+
+def _pytest_benchmark_file(tmp_path, mean=0.05, name="test_bench[80]"):
+    path = tmp_path / "bench.json"
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "name": name,
+                        "stats": {
+                            "mean": mean,
+                            "min": mean * 0.9,
+                            "rounds": 11,
+                        },
+                    }
+                ]
+            }
+        )
+    )
+    return path
+
+
+class TestParsing:
+    def test_load_pytest_benchmark(self, tmp_path):
+        stats = load_pytest_benchmark(_pytest_benchmark_file(tmp_path))
+        assert stats["test_bench[80]"].mean_seconds == pytest.approx(0.05)
+        assert stats["test_bench[80]"].rounds == 11
+
+    def test_missing_benchmarks_key_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        with pytest.raises(RegressionError, match="benchmark-json"):
+            load_pytest_benchmark(path)
+
+    def test_baseline_round_trip(self, tmp_path):
+        stats = {
+            "a": BenchStats(
+                mean_seconds=0.1, min_seconds=0.09, rounds=5
+            )
+        }
+        out = tmp_path / "BASE.json"
+        write_baseline(out, stats, note="n", before={"a": 0.3})
+        assert load_baseline(out) == stats
+        assert json.loads(out.read_text())["before_mean_seconds"] == {
+            "a": 0.3
+        }
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "BASE.json"
+        path.write_text(json.dumps({"schema": "other", "benchmarks": {}}))
+        with pytest.raises(RegressionError, match="schema"):
+            load_baseline(path)
+
+
+class TestCompare:
+    def _stats(self, mean):
+        return BenchStats(mean_seconds=mean, min_seconds=mean, rounds=3)
+
+    def test_within_tolerance_passes(self):
+        [comparison] = compare(
+            {"b": self._stats(0.10)}, {"b": self._stats(0.11)}, 0.20
+        )
+        assert not comparison.regressed
+        assert comparison.ratio == pytest.approx(1.1)
+
+    def test_beyond_tolerance_regresses(self):
+        [comparison] = compare(
+            {"b": self._stats(0.10)}, {"b": self._stats(0.13)}, 0.20
+        )
+        assert comparison.regressed
+        assert "REGRESSED" in comparison.describe()
+
+    def test_missing_fresh_benchmark_is_an_error(self):
+        with pytest.raises(RegressionError, match="missing"):
+            compare({"b": self._stats(0.1)}, {}, 0.2)
+
+    def test_unknown_gated_name_is_an_error(self):
+        with pytest.raises(RegressionError, match="not in the baseline"):
+            compare({}, {}, 0.2, only=["nope"])
+
+
+class TestMain:
+    def test_record_then_check(self, tmp_path, capsys):
+        results = _pytest_benchmark_file(tmp_path)
+        baseline = tmp_path / "BASE.json"
+        assert main(
+            ["record", str(results), "--out", str(baseline)]
+        ) == 0
+        assert main(
+            ["check", str(results), "--baseline", str(baseline)]
+        ) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "BASE.json"
+        write_baseline(
+            baseline,
+            {
+                "test_bench[80]": BenchStats(
+                    mean_seconds=0.01, min_seconds=0.01, rounds=3
+                )
+            },
+        )
+        results = _pytest_benchmark_file(tmp_path, mean=0.05)
+        assert main(
+            ["check", str(results), "--baseline", str(baseline)]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().err
