@@ -1,10 +1,14 @@
 """Theorems 3/7 — polynomial-time computation, measured.
 
-Times the three computational kernels against instance size:
+Times the computational kernels against instance size:
 
 * the Hungarian solve (offline winning-bid determination, O((n+γ)^3)),
 * the full offline VCG run (solve + one repair per winner),
-* the full online run (greedy + Algorithm-2 payments).
+* the full online run (greedy + Algorithm-2 payments),
+* the city-scale tier: CSR graph construction and the sparse backend's
+  solve + VCG at ``num_slots`` in {200, 500, 1000}, far beyond what the
+  dense matrix path is benchmarked at (the 1000-slot cases are marked
+  ``slow`` and deselected in CI's perf smoke).
 
 These use pytest-benchmark's statistical timing (several rounds), since
 here the time itself — not a reproduction table — is the product.
@@ -17,6 +21,14 @@ import pytest
 from repro.matching.graph import TaskAssignmentGraph
 from repro.mechanisms import OfflineVCGMechanism, OnlineGreedyMechanism
 from repro.simulation import WorkloadConfig
+
+#: The sparse-tier sizes.  1000 slots ≈ 6000 bids x 3000 tasks — minutes
+#: of dense solving, a few seconds sparse — so it only runs on demand.
+SPARSE_TIER = [
+    200,
+    500,
+    pytest.param(1000, marks=pytest.mark.slow),
+]
 
 
 def _scenario(num_slots: int):
@@ -53,6 +65,53 @@ def test_online_greedy_scaling(benchmark, num_slots):
     scenario = _scenario(num_slots)
     bids = scenario.truthful_bids()
     mechanism = OnlineGreedyMechanism()
+
+    outcome = benchmark(mechanism.run, bids, scenario.schedule)
+    assert outcome.total_payment > 0.0
+
+
+@pytest.mark.parametrize("num_slots", SPARSE_TIER)
+def test_graph_build_scaling(benchmark, num_slots):
+    """CSR graph construction without the dense matrix."""
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+
+    def build():
+        return TaskAssignmentGraph(
+            scenario.schedule, bids, backend="sparse"
+        )
+
+    graph = benchmark(build)
+    assert graph.num_edges > 0
+    assert graph.edge_density < 0.25
+
+
+@pytest.mark.parametrize("num_slots", SPARSE_TIER)
+def test_sparse_solve_scaling(benchmark, num_slots):
+    """Winning-bid determination alone on the CSR backend."""
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+
+    def solve():
+        return TaskAssignmentGraph(
+            scenario.schedule, bids, backend="sparse"
+        ).solve()
+
+    allocation, welfare = benchmark(solve)
+    assert welfare > 0.0
+    assert allocation
+
+
+@pytest.mark.parametrize("num_slots", SPARSE_TIER)
+def test_offline_vcg_scaling_sparse(benchmark, num_slots):
+    """Full offline VCG (solve + per-winner repairs), sparse backend.
+
+    The committed baseline records the dense backend's time on the same
+    instances under ``before_mean_seconds`` — the tentpole speedup.
+    """
+    scenario = _scenario(num_slots)
+    bids = scenario.truthful_bids()
+    mechanism = OfflineVCGMechanism(backend="sparse")
 
     outcome = benchmark(mechanism.run, bids, scenario.schedule)
     assert outcome.total_payment > 0.0

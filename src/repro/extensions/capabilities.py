@@ -133,13 +133,23 @@ class TypedOfflineVCGMechanism(Mechanism):
     is_truthful = True
     is_online = False
 
-    def __init__(self, model: CapabilityModel) -> None:
+    def __init__(
+        self,
+        model: CapabilityModel,
+        backend: Optional[str] = None,
+    ) -> None:
         self._model = model
+        self._backend = backend
 
     @property
     def model(self) -> CapabilityModel:
         """The (public) capability model in force."""
         return self._model
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The matching-backend override in force (``None`` = default)."""
+        return self._backend
 
     def run(
         self,
@@ -149,7 +159,10 @@ class TypedOfflineVCGMechanism(Mechanism):
     ) -> AuctionOutcome:
         self._resolve_config(bids, schedule, config)
         graph = TaskAssignmentGraph(
-            schedule, bids, compatible=self._model.compatible
+            schedule,
+            bids,
+            compatible=self._model.compatible,
+            backend=self._backend,
         )
         allocation, optimal_welfare = graph.solve()
 

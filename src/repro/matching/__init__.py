@@ -7,10 +7,14 @@ bipartite matching (Section IV-B of the paper).  This package provides:
   bipartite graph from bids and a task schedule,
 * :mod:`repro.matching.hungarian` — a from-scratch ``O(n^3)`` Hungarian
   algorithm (potentials + slack arrays) for maximum-weight matching,
-* :mod:`repro.matching.solver` — the vectorised assignment solver with
-  warm-started sensitivity queries (the default production backend),
-* :mod:`repro.matching.backend` — selects between the ``"numpy"``
-  production solver and the ``"python"`` reference implementation,
+* :mod:`repro.matching.solver` — the vectorised dense assignment solver
+  with warm-started sensitivity queries,
+* :mod:`repro.matching.sparse` — the CSR heap-Dijkstra assignment solver
+  for large sparse (interval-structured) instances, same warm-start API,
+* :mod:`repro.matching.scipy_backend` — optional
+  ``scipy.sparse.csgraph`` cross-check backend (the ``[perf]`` extra),
+* :mod:`repro.matching.backend` — backend registry and dispatch
+  (``"auto"``/``"numpy"``/``"sparse"``/``"scipy"``/``"python"``),
 * :mod:`repro.matching.maxcard` — Hopcroft-Karp maximum-cardinality
   matching (feasibility analysis: how many tasks are serviceable at all),
 * :mod:`repro.matching.bruteforce` — exponential exact matcher used to
@@ -21,6 +25,7 @@ bipartite matching (Section IV-B of the paper).  This package provides:
 from repro.matching.backend import (
     AVAILABLE_BACKENDS,
     get_default_backend,
+    require_backend_available,
     resolve_backend,
     set_default_backend,
     use_backend,
@@ -33,21 +38,27 @@ from repro.matching.hungarian import (
     solve_assignment_min,
 )
 from repro.matching.maxcard import hopcroft_karp
+from repro.matching.scipy_backend import scipy_available
 from repro.matching.solver import AssignmentSolver
+from repro.matching.sparse import SparseAssignmentSolver, csr_from_dense
 from repro.matching.validate import check_matching
 
 __all__ = [
     "AVAILABLE_BACKENDS",
     "AssignmentSolver",
+    "SparseAssignmentSolver",
     "TaskAssignmentGraph",
     "MatchingResult",
+    "csr_from_dense",
     "max_weight_matching",
     "solve_assignment_min",
     "hopcroft_karp",
     "brute_force_max_weight_matching",
     "check_matching",
     "get_default_backend",
+    "require_backend_available",
     "resolve_backend",
+    "scipy_available",
     "set_default_backend",
     "use_backend",
 ]

@@ -1,16 +1,32 @@
 """Matching solver backend selection.
 
-Two interchangeable assignment solvers exist:
+Five interchangeable backend names cover the assignment solvers:
 
+* ``"auto"`` — the production default: the graph layer measures the
+  instance (cells = tasks x bids, edge density) and dispatches to the
+  dense ``"numpy"`` solver for small or dense instances and to the CSR
+  ``"sparse"`` solver for large sparse ones (the interval-structured
+  graphs of city-scale rounds).  Dense-input entry points such as
+  :func:`~repro.matching.hungarian.max_weight_matching` resolve
+  ``"auto"`` to ``"numpy"`` — their matrix is already materialised.
 * ``"numpy"`` — :class:`repro.matching.solver.AssignmentSolver`, the
-  vectorised shortest-augmenting-path solver with warm-started repair
-  queries.  This is the production default.
+  vectorised dense shortest-augmenting-path solver with warm-started
+  repair queries.
+* ``"sparse"`` — :class:`repro.matching.sparse.SparseAssignmentSolver`,
+  the CSR heap-Dijkstra solver with the same warm-start repair API;
+  never materialises a dense matrix.
+* ``"scipy"`` — wraps ``scipy.sparse.csgraph
+  .min_weight_full_bipartite_matching`` as an independent cross-check.
+  scipy is optional (the ``[perf]`` extra); selecting this backend
+  without scipy installed raises a :class:`MatchingError` naming the
+  extra.
 * ``"python"`` — :func:`repro.matching.hungarian.solve_assignment_min`,
   the from-scratch pure-Python reference implementation.  It is kept
   deliberately simple (no vectorisation, no warm starts) so its code can
   be audited against the textbook algorithm, and the property suites
-  cross-check the numpy backend against it — ties included, since both
-  insert rows in index order with a lowest-index-first pivot tie-break.
+  cross-check the other backends against it — ties included, since the
+  in-house solvers insert rows in index order with a lowest-index-first
+  pivot tie-break.
 
 The module-level default applies wherever a ``backend=None`` argument is
 left unset; :func:`use_backend` scopes an override to a ``with`` block
@@ -25,9 +41,9 @@ from typing import Iterator, Optional
 from repro.errors import MatchingError
 
 #: Recognised backend names, in preference order.
-AVAILABLE_BACKENDS = ("numpy", "python")
+AVAILABLE_BACKENDS = ("auto", "numpy", "sparse", "scipy", "python")
 
-_default_backend = "numpy"
+_default_backend = "auto"
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -39,6 +55,25 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"{', '.join(AVAILABLE_BACKENDS)}"
         )
     return name
+
+
+def require_backend_available(backend: str) -> str:
+    """Validate ``backend`` *and* check its dependencies are importable.
+
+    Today only ``"scipy"`` has an external dependency; the check raises
+    a :class:`MatchingError` pointing at the ``[perf]`` extra instead of
+    letting an ImportError escape from inside a solve.
+    """
+    if backend not in AVAILABLE_BACKENDS:
+        raise MatchingError(
+            f"unknown matching backend {backend!r}; available: "
+            f"{', '.join(AVAILABLE_BACKENDS)}"
+        )
+    if backend == "scipy":
+        from repro.matching.scipy_backend import _load_scipy
+
+        _load_scipy()
+    return backend
 
 
 def get_default_backend() -> str:

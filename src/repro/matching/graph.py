@@ -5,14 +5,36 @@ a vertex on one side, each smartphone ``i`` a vertex on the other; the edge
 weight is ``ν − b_i`` when the smartphone's claimed window covers slot
 ``j`` and zero otherwise (Fig. 3 of the paper).
 
+The graph is interval-structured — an edge (task, phone) exists only when
+``ã_i ≤ slot ≤ d̃_i`` — so with short active windows it is overwhelmingly
+sparse.  Construction therefore never materialises the dense
+``tasks x bids`` matrix: the active pairs are collected directly from the
+``(arrival, departure, slot)`` arrays into CSR form, one vectorised
+active-bids scan per distinct slot, and any ``compatible`` callback is
+evaluated on interval-active pairs only.  A dense matrix is materialised
+lazily, and only for the backends (``"numpy"``, ``"python"``) and
+accessors (:attr:`weights`) that genuinely need one.
+
 The graph owns the weight-to-cost transformation shared by all solves:
 negative weights are clamped to zero (equivalent to leaving the pair
-unmatched), one zero-weight dummy column per task guarantees a feasible
+unmatched), a zero-weight dummy column per task guarantees a feasible
 perfect row assignment, and maximisation becomes minimisation against the
 maximum entry.  On top of the cached full optimum, ``ω*(B₋ᵢ)`` queries
 are answered by the solver's one-augmentation repair instead of full
 re-solves — the difference between ``O(n^4)`` and ``O(n^3)`` for the VCG
-payment pass.
+payment pass.  Both warm backends return the *repaired matching* and the
+graph re-prices it from raw edge weights, so the dense and sparse engines
+produce bit-identical reduced welfare (and hence VCG payments) whenever
+they agree on the matching.
+
+Backend dispatch: ``backend=None`` defers to the session default of
+:mod:`repro.matching.backend` (``"auto"`` out of the box).  ``"auto"``
+measures the instance and picks the CSR ``"sparse"`` engine when the
+graph is both large (``tasks x bids >= AUTO_SPARSE_MIN_CELLS``) and
+sparse (edge density ``<= AUTO_SPARSE_MAX_DENSITY``), falling back to the
+vectorised dense ``"numpy"`` engine otherwise — small instances solve in
+milliseconds dense, and the constants keep every paper-scale workload
+(``num_slots <= ~100``) on the historically-benchmarked dense path.
 """
 
 from __future__ import annotations
@@ -22,20 +44,54 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import MatchingError
+from repro.matching.backend import (
+    require_backend_available,
+    resolve_backend,
+)
 from repro.matching.solver import AssignmentSolver
+from repro.matching.sparse import SparseAssignmentSolver
 from repro.model.bid import Bid
 from repro.model.task import SensingTask, TaskSchedule
+
+#: ``auto`` picks the sparse engine only above this many dense cells
+#: (tasks x bids); below it the vectorised dense solver is already fast
+#: and keeps the long-benchmarked paper-scale path byte-stable.
+AUTO_SPARSE_MIN_CELLS = 200_000
+
+#: ... and only when the fraction of interval-active pairs is at most
+#: this dense.  Above it the CSR adjacency stops paying for itself.
+AUTO_SPARSE_MAX_DENSITY = 0.25
+
+#: Backends whose solver supports warm-started repair queries.
+_WARM_BACKENDS = ("numpy", "sparse")
+
+
+def _sum_gains(gains: np.ndarray) -> float:
+    """Canonical welfare total: the positive gains summed in sorted order.
+
+    The optimum of a round is often degenerate (equal task values make
+    task-permutation ties), so different backends may legitimately
+    return different optimal matchings whose gain *multisets* coincide.
+    Summing the gains in sorted order makes the reported welfare — and
+    therefore every VCG payment — a bit-identical function of that
+    multiset, independent of which tied optimum a backend happened to
+    find.
+    """
+    if not gains.size:
+        return 0.0
+    return float(np.sort(gains).sum())
 
 
 class TaskAssignmentGraph:
     """The weighted bipartite graph of one offline allocation instance.
 
     Rows are tasks (in schedule order), columns are bids (in phone-id
-    order).  The weight matrix follows the paper exactly:
+    order).  The weight follows the paper exactly:
     ``w[task][phone] = ν − b_i`` if the phone's claimed window contains the
-    task's slot, else ``0``.  Negative entries (claimed cost above the task
-    value) are kept as-is in :attr:`weights`; matching treats non-positive
-    weights as "never match".
+    task's slot, else ``0``.  Active pairs with negative weight (claimed
+    cost above the task value) are kept as stored edges so
+    :meth:`weight` reports them; matching treats non-positive weights as
+    "never match".
     """
 
     def __init__(
@@ -43,14 +99,17 @@ class TaskAssignmentGraph:
         schedule: TaskSchedule,
         bids: Sequence[Bid],
         compatible: Optional[Callable[[SensingTask, Bid], bool]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Build the graph.
 
         ``compatible`` optionally restricts edges beyond the time
         windows — e.g. sensing-capability constraints (the typed-task
-        extension in :mod:`repro.extensions.capabilities`).  The paper's
-        base model has every phone able to serve every task, which is
-        the default (``None``).
+        extension in :mod:`repro.extensions.capabilities`); it is
+        evaluated only on interval-active pairs.  ``backend`` picks the
+        matching engine (see :mod:`repro.matching.backend`); ``None``
+        defers to the session default, and ``"auto"`` dispatches on
+        instance size and edge density.
         """
         self._schedule = schedule
         ordered_bids = sorted(bids, key=lambda bid: bid.phone_id)
@@ -62,6 +121,7 @@ class TaskAssignmentGraph:
         self._bids: Tuple[Bid, ...] = tuple(ordered_bids)
         self._tasks: Tuple[SensingTask, ...] = schedule.tasks
         self._compatible = compatible
+        self._backend_request = backend
         self._col_by_phone: Dict[int, int] = {
             bid.phone_id: col for col, bid in enumerate(self._bids)
         }
@@ -69,31 +129,78 @@ class TaskAssignmentGraph:
             task.task_id: row for row, task in enumerate(self._tasks)
         }
 
+        self._build_edges()
+        self._resolved_backend: Optional[str] = None
+        self._solver: Optional[object] = None
+        self._dense_raw_cache: Optional[np.ndarray] = None
+        self._cold_assignment_cache: Optional[np.ndarray] = None
+        self._gain_vector: Optional[np.ndarray] = None
+        self._base_assignment: Optional[np.ndarray] = None
+
+    def _build_edges(self) -> None:
+        """Collect the interval-active pairs into CSR form.
+
+        One vectorised arrival/departure scan per *distinct slot* — never
+        a ``tasks x bids`` allocation — so a 1000-slot instance with tens
+        of thousands of bids builds in ``O(slots * bids + E)`` time and
+        ``O(E)`` memory.  The ``compatible`` callback, when present, is
+        evaluated on the interval-active pairs only.
+        """
         num_rows = len(self._tasks)
         num_cols = len(self._bids)
-        raw = np.zeros((num_rows, num_cols), dtype=float)
+        counts = np.zeros(num_rows, dtype=np.int64)
+        col_chunks: List[np.ndarray] = []
+        weight_chunks: List[np.ndarray] = []
         if num_rows and num_cols:
-            values = np.array([task.value for task in self._tasks])
-            costs = np.array([bid.cost for bid in self._bids])
-            slots = np.array([task.slot for task in self._tasks])
             arrivals = np.array([bid.arrival for bid in self._bids])
             departures = np.array([bid.departure for bid in self._bids])
-            active = (slots[:, None] >= arrivals[None, :]) & (
-                slots[:, None] <= departures[None, :]
-            )
-            if compatible is not None:
-                mask = np.array(
-                    [
-                        [compatible(task, bid) for bid in self._bids]
-                        for task in self._tasks
-                    ],
-                    dtype=bool,
-                )
-                active &= mask
-            raw = np.where(active, values[:, None] - costs[None, :], 0.0)
-        self._raw_weights = raw
-        self._solver: Optional[AssignmentSolver] = None
-        self._max_entry = 0.0
+            costs = np.array([bid.cost for bid in self._bids])
+            slots = np.array([task.slot for task in self._tasks])
+            values = np.array([task.value for task in self._tasks])
+            # Tasks are schedule-ordered by (slot, index): rows sharing a
+            # slot are contiguous and share one active-bid scan.
+            unique_slots, starts = np.unique(slots, return_index=True)
+            boundaries = np.append(starts, num_rows)
+            for slot, row_start, row_end in zip(
+                unique_slots.tolist(), boundaries[:-1], boundaries[1:]
+            ):
+                active_cols = np.nonzero(
+                    (arrivals <= slot) & (departures >= slot)
+                )[0]
+                for row in range(int(row_start), int(row_end)):
+                    cols = active_cols
+                    if self._compatible is not None and cols.size:
+                        keep = np.fromiter(
+                            (
+                                self._compatible(
+                                    self._tasks[row], self._bids[int(col)]
+                                )
+                                for col in cols
+                            ),
+                            dtype=bool,
+                            count=cols.size,
+                        )
+                        cols = cols[keep]
+                    counts[row] = cols.size
+                    if cols.size:
+                        col_chunks.append(cols.astype(np.int64))
+                        weight_chunks.append(values[row] - costs[cols])
+        self._indptr = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+        if col_chunks:
+            self._edge_cols = np.concatenate(col_chunks)
+            self._edge_weights = np.concatenate(weight_chunks)
+        else:
+            self._edge_cols = np.empty(0, dtype=np.int64)
+            self._edge_weights = np.empty(0)
+        positive = self._edge_weights > 0.0
+        self._num_positive_edges = int(positive.sum())
+        self._max_entry = (
+            float(self._edge_weights[positive].max())
+            if self._num_positive_edges
+            else 0.0
+        )
 
     # ------------------------------------------------------------------
     # Structure accessors
@@ -110,13 +217,30 @@ class TaskAssignmentGraph:
 
     @property
     def weights(self) -> List[List[float]]:
-        """A copy of the raw weight matrix (rows = tasks, cols = bids)."""
-        return [list(row) for row in self._raw_weights]
+        """A copy of the raw weight matrix (rows = tasks, cols = bids).
+
+        Materialises the dense matrix — diagnostics and small-instance
+        accessor only; the sparse solve path never calls it.
+        """
+        return [list(row) for row in self._dense_raw()]
 
     @property
     def num_edges(self) -> int:
         """Number of strictly useful edges (positive weight)."""
-        return int((self._raw_weights > 0.0).sum())
+        return self._num_positive_edges
+
+    @property
+    def num_active_pairs(self) -> int:
+        """Interval-active (task, bid) pairs, profitable or not."""
+        return int(self._edge_cols.shape[0])
+
+    @property
+    def edge_density(self) -> float:
+        """Active pairs as a fraction of the dense ``tasks x bids`` grid."""
+        cells = len(self._tasks) * len(self._bids)
+        if not cells:
+            return 0.0
+        return self.num_active_pairs / cells
 
     def weight(self, task_id: int, phone_id: int) -> float:
         """Edge weight between a task and a phone, by their ids."""
@@ -128,25 +252,120 @@ class TaskAssignmentGraph:
             col = self._col_by_phone[phone_id]
         except KeyError:
             raise MatchingError(f"unknown phone_id {phone_id}") from None
-        return float(self._raw_weights[row, col])
+        return self._pair_weight(row, col)
+
+    def _pair_weight(self, row: int, col: int) -> float:
+        """Stored weight of ``(row, col)``; ``0.0`` for inactive pairs."""
+        start = int(self._indptr[row])
+        end = int(self._indptr[row + 1])
+        position = start + int(
+            np.searchsorted(self._edge_cols[start:end], col)
+        )
+        if position < end and int(self._edge_cols[position]) == col:
+            return float(self._edge_weights[position])
+        return 0.0
+
+    def _dense_raw(self) -> np.ndarray:
+        """The dense raw weight matrix, materialised lazily and cached."""
+        if self._dense_raw_cache is None:
+            raw = np.zeros((len(self._tasks), len(self._bids)))
+            if self._edge_cols.size:
+                rows = np.repeat(
+                    np.arange(len(self._tasks), dtype=np.int64),
+                    np.diff(self._indptr),
+                )
+                raw[rows, self._edge_cols] = self._edge_weights
+            self._dense_raw_cache = raw
+        return self._dense_raw_cache
+
+    def _positive_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR arrays of the strictly profitable edges."""
+        positive = self._edge_weights > 0.0
+        rows = np.repeat(
+            np.arange(len(self._tasks), dtype=np.int64),
+            np.diff(self._indptr),
+        )[positive]
+        counts = np.bincount(rows, minlength=len(self._tasks))
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return indptr, self._edge_cols[positive], self._edge_weights[positive]
+
+    # ------------------------------------------------------------------
+    # Backend dispatch
+    # ------------------------------------------------------------------
+    @property
+    def solver_backend(self) -> str:
+        """The concrete engine this graph solves with (resolves ``auto``)."""
+        if self._resolved_backend is None:
+            chosen = resolve_backend(self._backend_request)
+            if chosen == "auto":
+                cells = len(self._tasks) * len(self._bids)
+                is_sparse = (
+                    cells >= AUTO_SPARSE_MIN_CELLS
+                    and self.edge_density <= AUTO_SPARSE_MAX_DENSITY
+                )
+                chosen = "sparse" if is_sparse else "numpy"
+            self._resolved_backend = require_backend_available(chosen)
+        return self._resolved_backend
+
+    def _ensure_solver(self):
+        """The warm solver (dense or CSR) for this graph, built lazily."""
+        if self._solver is None:
+            num_rows, num_cols = len(self._tasks), len(self._bids)
+            if self.solver_backend == "sparse":
+                indptr, cols, weights = self._positive_csr()
+                self._solver = SparseAssignmentSolver(
+                    num_rows,
+                    num_cols,
+                    indptr,
+                    cols,
+                    self._max_entry - weights,
+                    dummy_cost=self._max_entry,
+                )
+            else:
+                clamped = np.maximum(self._dense_raw(), 0.0)
+                # One dummy column per row: rows may stay effectively
+                # unmatched at weight zero.
+                cost = np.full(
+                    (num_rows, num_cols + num_rows), self._max_entry
+                )
+                cost[:, :num_cols] = self._max_entry - clamped
+                self._solver = AssignmentSolver(cost)
+        return self._solver
+
+    def _cold_assignment(self) -> np.ndarray:
+        """``row -> col`` from the repair-less backends, cached."""
+        if self._cold_assignment_cache is None:
+            num_rows, num_cols = len(self._tasks), len(self._bids)
+            if self.solver_backend == "scipy":
+                from repro.matching.scipy_backend import (
+                    solve_csr_min_weight,
+                )
+
+                indptr, cols, weights = self._positive_csr()
+                assignment = solve_csr_min_weight(
+                    num_rows,
+                    num_cols,
+                    indptr,
+                    cols,
+                    self._max_entry - weights,
+                    dummy_cost=self._max_entry,
+                )
+            else:
+                from repro.matching.hungarian import solve_assignment_min
+
+                clamped = np.maximum(self._dense_raw(), 0.0)
+                cost = np.full(
+                    (num_rows, num_cols + num_rows), self._max_entry
+                )
+                cost[:, :num_cols] = self._max_entry - clamped
+                assignment_list, _ = solve_assignment_min(cost.tolist())
+                assignment = np.asarray(assignment_list, dtype=np.int64)
+            self._cold_assignment_cache = assignment
+        return self._cold_assignment_cache
 
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def _ensure_solver(self) -> AssignmentSolver:
-        if self._solver is None:
-            num_rows, num_cols = self._raw_weights.shape
-            clamped = np.maximum(self._raw_weights, 0.0)
-            self._max_entry = float(clamped.max()) if clamped.size else 0.0
-            # One dummy column per row: rows may stay effectively
-            # unmatched at weight zero.
-            cost = np.full(
-                (num_rows, num_cols + num_rows), self._max_entry
-            )
-            cost[:, :num_cols] = self._max_entry - clamped
-            self._solver = AssignmentSolver(cost)
-        return self._solver
-
     def solve(
         self, exclude_phone: Optional[int] = None
     ) -> Tuple[Dict[int, int], float]:
@@ -161,8 +380,10 @@ class TaskAssignmentGraph:
         if not self._tasks.__len__() or not self._bids:
             return {}, 0.0
         if exclude_phone is None:
-            solver = self._ensure_solver()
-            row_to_col, _ = solver.solve()
+            if self.solver_backend in _WARM_BACKENDS:
+                row_to_col, _ = self._ensure_solver().solve()
+            else:
+                row_to_col = self._cold_assignment()
             return self._extract_allocation(row_to_col, list(self._bids))
 
         if exclude_phone not in self._col_by_phone:
@@ -174,7 +395,10 @@ class TaskAssignmentGraph:
             bid for bid in self._bids if bid.phone_id != exclude_phone
         ]
         reduced = TaskAssignmentGraph(
-            self._schedule, kept_bids, compatible=self._compatible
+            self._schedule,
+            kept_bids,
+            compatible=self._compatible,
+            backend=self._backend_request,
         )
         return reduced.solve()
 
@@ -183,7 +407,11 @@ class TaskAssignmentGraph:
 
         Returns only the welfare (the VCG payment needs nothing more);
         equal to ``self.solve(exclude_phone=phone_id)[1]`` but roughly a
-        factor ``n`` faster.  Tests cross-check the two paths.
+        factor ``n`` faster on the warm backends.  The repaired matching
+        is re-priced from raw edge weights (not from dual arithmetic),
+        so dense and sparse engines agree bit-for-bit whenever they
+        agree on the matching.  Tests cross-check against the cold
+        exclusion solve.
         """
         try:
             column = self._col_by_phone[phone_id]
@@ -193,24 +421,64 @@ class TaskAssignmentGraph:
             ) from None
         if not self._tasks:
             return 0.0
+        if self.solver_backend not in _WARM_BACKENDS:
+            return self.solve(exclude_phone=phone_id)[1]
         solver = self._ensure_solver()
         solver.solve()
-        reduced_cost = solver.total_cost_without_column(column)
-        return len(self._tasks) * self._max_entry - reduced_cost
+        repaired = solver.matching_without_column(column)
+        return self._assignment_welfare(repaired)
+
+    def _ensure_gains(self) -> np.ndarray:
+        """Per-row profitable gain of the cached full optimum."""
+        if self._gain_vector is None:
+            assignment = self._ensure_solver().row_to_col()
+            num_cols = len(self._bids)
+            gains = np.zeros(len(self._tasks))
+            for row, col in enumerate(assignment):
+                col = int(col)
+                if 0 <= col < num_cols:
+                    gain = self._pair_weight(row, col)
+                    if gain > 0.0:
+                        gains[row] = gain
+            self._base_assignment = assignment
+            self._gain_vector = gains
+        return self._gain_vector
+
+    def _assignment_welfare(self, assignment: np.ndarray) -> float:
+        """Welfare of a repaired matching, re-priced from raw weights.
+
+        Only rows that moved relative to the cached optimum are looked
+        up; the total is then canonicalised by :func:`_sum_gains`.
+        """
+        gains = self._ensure_gains()
+        assert self._base_assignment is not None
+        num_cols = len(self._bids)
+        changed = np.nonzero(assignment != self._base_assignment)[0]
+        if changed.size:
+            gains = gains.copy()
+            for row in changed.tolist():
+                col = int(assignment[row])
+                gain = (
+                    self._pair_weight(row, col)
+                    if 0 <= col < num_cols
+                    else 0.0
+                )
+                gains[row] = gain if gain > 0.0 else 0.0
+        return _sum_gains(gains[gains > 0.0])
 
     def _extract_allocation(
         self, row_to_col: np.ndarray, bids: List[Bid]
     ) -> Tuple[Dict[int, int], float]:
         allocation: Dict[int, int] = {}
-        welfare = 0.0
+        gains: List[float] = []
         num_real_cols = len(bids)
         for row, col in enumerate(row_to_col):
             col = int(col)
             if col < 0 or col >= num_real_cols:
                 continue  # dummy column: task left unserved
-            gain = float(self._raw_weights[row, col])
+            gain = self._pair_weight(row, col)
             if gain <= 0.0:
                 continue  # zero-weight edge: equivalent to unmatched
             allocation[self._tasks[row].task_id] = bids[col].phone_id
-            welfare += gain
-        return allocation, welfare
+            gains.append(gain)
+        return allocation, _sum_gains(np.asarray(gains))

@@ -26,7 +26,10 @@ import numpy as np
 
 from repro import obs
 from repro.errors import MatchingError
-from repro.matching.backend import resolve_backend
+from repro.matching.backend import (
+    require_backend_available,
+    resolve_backend,
+)
 from repro.matching.solver import AssignmentSolver
 
 _INF = float("inf")
@@ -184,28 +187,66 @@ def max_weight_matching(
     with one zero-weight dummy column per row (so a perfect row assignment
     always exists), converts to a minimisation problem against the maximum
     entry, solves it, and finally discards matches whose original weight
-    is not strictly positive.  ``backend`` picks the solver: ``"numpy"``
-    (default) runs the vectorised :class:`~repro.matching.solver
-    .AssignmentSolver`; ``"python"`` runs the pure-Python reference
-    :func:`solve_assignment_min`.  Both produce the same matching, ties
-    included (cross-checked by the matching property suites).
+    is not strictly positive.  ``backend`` picks the solver (see
+    :mod:`repro.matching.backend`): ``"numpy"`` runs the vectorised
+    :class:`~repro.matching.solver.AssignmentSolver`; ``"sparse"`` routes
+    the profitable entries through the CSR
+    :class:`~repro.matching.sparse.SparseAssignmentSolver`; ``"scipy"``
+    cross-checks via ``scipy.sparse.csgraph``; ``"python"`` runs the
+    pure-Python reference :func:`solve_assignment_min`.  ``"auto"``
+    resolves to ``"numpy"`` here — the input matrix is already dense.
+    The in-house backends produce the same matching, ties included
+    (cross-checked by the matching property suites).
     """
-    chosen = resolve_backend(backend)
+    chosen = require_backend_available(resolve_backend(backend))
+    if chosen == "auto":
+        chosen = "numpy"
     num_rows, num_cols = _validate_matrix(weights)
     if num_rows == 0 or num_cols == 0:
         return MatchingResult(pairs=(), total_weight=0.0)
 
     clamped = np.maximum(np.asarray(weights, dtype=float), 0.0)
     max_entry = float(clamped.max())
-    # One zero-weight dummy column per row guarantees a feasible perfect
-    # row assignment even when every real edge is useless.
-    cost = np.full((num_rows, num_cols + num_rows), max_entry)
-    cost[:, :num_cols] = max_entry - clamped
-    if chosen == "python":
-        assignment_list, _ = solve_assignment_min(cost.tolist())
-        assignment: Sequence[int] = assignment_list
+    if chosen in ("sparse", "scipy"):
+        from repro.matching.sparse import (
+            SparseAssignmentSolver,
+            csr_from_dense,
+        )
+
+        indptr, indices, data = csr_from_dense(
+            max_entry - clamped, keep=clamped > 0.0
+        )
+        if chosen == "sparse":
+            solver = SparseAssignmentSolver(
+                num_rows,
+                num_cols,
+                indptr,
+                indices,
+                data,
+                dummy_cost=max_entry,
+            )
+            assignment, _ = solver.solve()
+        else:
+            from repro.matching.scipy_backend import solve_csr_min_weight
+
+            assignment = solve_csr_min_weight(
+                num_rows,
+                num_cols,
+                indptr,
+                indices,
+                data,
+                dummy_cost=max_entry,
+            )
     else:
-        assignment, _ = AssignmentSolver(cost).solve()
+        # One zero-weight dummy column per row guarantees a feasible
+        # perfect row assignment even when every real edge is useless.
+        cost = np.full((num_rows, num_cols + num_rows), max_entry)
+        cost[:, :num_cols] = max_entry - clamped
+        if chosen == "python":
+            assignment_list, _ = solve_assignment_min(cost.tolist())
+            assignment = np.asarray(assignment_list, dtype=np.int64)
+        else:
+            assignment, _ = AssignmentSolver(cost).solve()
 
     pairs = []
     total = 0.0

@@ -1,0 +1,134 @@
+"""Optional scipy cross-check backend for sparse matching.
+
+Wraps :func:`scipy.sparse.csgraph.min_weight_full_bipartite_matching`
+behind the same CSR-with-implicit-dummies contract the in-house
+:class:`~repro.matching.sparse.SparseAssignmentSolver` uses, so the
+graph layer can swap it in via ``backend="scipy"`` and the property
+suites can cross-check welfare against an independent implementation.
+
+scipy is an *optional* dependency (the ``[perf]`` extra); importing
+this module never imports scipy.  When scipy is missing, requesting the
+backend raises a :class:`MatchingError` that names the extra instead of
+an ImportError deep inside a solve.
+
+Two caveats of the scipy routine are handled here:
+
+* it cannot distinguish an explicit zero-cost edge from a missing one,
+  so every stored cost is shifted by ``+1.0`` — a constant per matched
+  row that changes every perfect assignment's total by exactly
+  ``num_rows`` and therefore neither the argmin nor its tie structure;
+* it requires a perfect matching on the row side, which the appended
+  per-row dummy columns guarantee.
+
+scipy breaks ties differently from the in-house solvers, so it is a
+*welfare* cross-check: equal optimal value, possibly a different
+optimal matching when the optimum is not unique.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import MatchingError
+
+#: Constant added to every stored cost so scipy never sees an explicit
+#: zero entry (see the module docstring).
+_ZERO_SHIFT = 1.0
+
+
+def _load_scipy() -> Tuple[Any, Any]:
+    """Import the scipy pieces, or fail with install guidance."""
+    try:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import (
+            min_weight_full_bipartite_matching,
+        )
+    except ImportError as exc:  # pragma: no cover - depends on env
+        raise MatchingError(
+            "matching backend 'scipy' requires scipy, which is not "
+            "installed; install the perf extra (pip install "
+            "'repro[perf]') or pick another backend"
+        ) from exc
+    return csr_matrix, min_weight_full_bipartite_matching
+
+
+def scipy_available() -> bool:
+    """Whether the scipy backend can actually run in this environment."""
+    try:
+        _load_scipy()
+    except MatchingError:
+        return False
+    return True
+
+
+def solve_csr_min_weight(
+    num_rows: int,
+    num_cols: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dummy_cost: Optional[float] = None,
+) -> np.ndarray:
+    """Min-cost assignment of the CSR instance via scipy.
+
+    Same edge contract as :class:`SparseAssignmentSolver`: row ``r``
+    optionally owns the implicit dummy column ``num_cols + r`` at
+    ``dummy_cost``.  Returns ``row -> col`` (dummy columns included in
+    the image).  Raises :class:`MatchingError` when scipy is missing or
+    the instance is infeasible.
+    """
+    csr_matrix, min_weight_matching = _load_scipy()
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    data = np.asarray(data, dtype=float)
+    if num_rows == 0:
+        return np.empty(0, dtype=np.int64)
+
+    if dummy_cost is None:
+        total_cols = num_cols
+        full_indptr = indptr
+        full_indices = indices
+        full_data = data + _ZERO_SHIFT
+    else:
+        # Append each row's dummy edge at the end of its CSR slice (the
+        # dummy has the largest column index of the row, so sortedness
+        # is preserved).
+        total_cols = num_cols + num_rows
+        counts = np.diff(indptr)
+        full_indptr = np.concatenate(
+            [[0], np.cumsum(counts + 1)]
+        ).astype(np.int64)
+        nnz = int(indices.shape[0]) + num_rows
+        full_indices = np.empty(nnz, dtype=np.int64)
+        full_data = np.empty(nnz)
+        for row in range(num_rows):
+            start, end = int(indptr[row]), int(indptr[row + 1])
+            out = int(full_indptr[row])
+            width = end - start
+            full_indices[out : out + width] = indices[start:end]
+            full_data[out : out + width] = data[start:end] + _ZERO_SHIFT
+            full_indices[out + width] = num_cols + row
+            full_data[out + width] = dummy_cost + _ZERO_SHIFT
+
+    biadjacency = csr_matrix(
+        (full_data, full_indices, full_indptr),
+        shape=(num_rows, total_cols),
+    )
+    with obs.span(
+        "matching.scipy.solve",
+        rows=num_rows,
+        cols=total_cols,
+        edges=int(full_indices.shape[0]),
+    ):
+        try:
+            row_ind, col_ind = min_weight_matching(biadjacency)
+        except ValueError as exc:
+            raise MatchingError(
+                f"scipy found no perfect row assignment: {exc}"
+            ) from exc
+    row_to_col = np.full(num_rows, -1, dtype=np.int64)
+    row_to_col[row_ind] = col_ind
+    return row_to_col

@@ -307,6 +307,52 @@ class AssignmentSolver:
                 + self._v[free_col]
             )
 
+    def matching_without_column(self, column: int) -> np.ndarray:
+        """``row_to_col`` of the optimum with ``column`` removed.
+
+        Same one-Dijkstra repair as :meth:`total_cost_without_column`
+        but parent-tracked, so the repaired matching itself is returned
+        (non-mutating; the removed column appears in no row's image).
+        The payment path uses this to recompute reduced welfare from
+        raw edge weights instead of from dual arithmetic.
+        """
+        if not (0 <= column < self._num_cols):
+            raise MatchingError(
+                f"column {column} outside [0, {self._num_cols})"
+            )
+        if self._num_active_rows >= self._num_cols:
+            raise MatchingError(
+                "cannot remove a column: every column is needed to match "
+                "all rows (add dummy columns)"
+            )
+        if not self._solved:
+            self.solve()
+        self._refresh_duals()
+        assignment = self.row_to_col().copy()
+        displaced_row = int(self._match_of_col[column])
+        if displaced_row == -1:
+            return assignment
+        with obs.span(
+            "matching.solver.repair", column=column, matching=True
+        ) as sp:
+            parent = self._parent
+            parent.fill(-2)
+            _, free_col, pivots, _, _ = self._dijkstra(
+                displaced_row, column, parent
+            )
+            sp.set_attribute("pivots", pivots)
+            obs.counter("matching.pivots", pivots)
+            obs.counter("matching.warm_resolves")
+        col = free_col
+        while True:
+            prev = int(parent[col])
+            if prev == -1:
+                assignment[displaced_row] = col
+                break
+            assignment[int(self._match_of_col[prev])] = col
+            col = prev
+        return assignment
+
     # ------------------------------------------------------------------
     # Row-removal sensitivity
     # ------------------------------------------------------------------

@@ -41,11 +41,24 @@ class OfflineVCGMechanism(Mechanism):
     Payments are delivered at each winner's reported departure slot, the
     same settlement convention the online mechanism uses, so overpayment
     and cash-flow metrics are comparable across the two.
+
+    ``backend`` selects the matching engine (see
+    :mod:`repro.matching.backend`); the default ``None`` defers to the
+    session default, whose ``"auto"`` mode picks the dense solver for
+    paper-scale rounds and the CSR sparse solver for city-scale ones.
     """
 
     name = "offline-vcg"
     is_truthful = True
     is_online = False
+
+    def __init__(self, backend: Optional[str] = None) -> None:
+        self._backend = backend
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The matching-backend override in force (``None`` = default)."""
+        return self._backend
 
     def run(
         self,
@@ -55,7 +68,7 @@ class OfflineVCGMechanism(Mechanism):
     ) -> AuctionOutcome:
         self._resolve_config(bids, schedule, config)
 
-        graph = TaskAssignmentGraph(schedule, bids)
+        graph = TaskAssignmentGraph(schedule, bids, backend=self._backend)
         allocation, optimal_welfare = graph.solve()
 
         # Memoised across runs on the same bid tuple (repeated payment
@@ -93,5 +106,7 @@ class OfflineVCGMechanism(Mechanism):
         :meth:`run`.
         """
         self._resolve_config(bids, schedule, config)
-        _, welfare = TaskAssignmentGraph(schedule, bids).solve()
+        _, welfare = TaskAssignmentGraph(
+            schedule, bids, backend=self._backend
+        ).solve()
         return welfare
