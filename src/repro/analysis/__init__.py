@@ -9,16 +9,27 @@ unenforced.  This package enforces them mechanically, in two layers:
   money, mechanism ``run()`` purity, the mechanism registration contract,
   no bare ``except``, no mutable default arguments).  Run it via
   ``repro-crowd lint`` or ``python -m repro.analysis``.
+* :mod:`repro.analysis.flow` — the interprocedural layer: a module-graph
+  + def-use dataflow engine whose rules (REP010–REP015) prove
+  concurrency and determinism properties across function boundaries —
+  pickle-safety at the worker boundary, no worker-reachable mutable
+  globals, RNG-stream discipline, order-independent reductions, no
+  telemetry in hot inner loops, and clock-guarded time reads.  Run it
+  via ``repro-crowd lint --flow``.
 * :mod:`repro.analysis.sanitizer` — a runtime wrapper that validates every
   :class:`~repro.model.AuctionOutcome` a mechanism produces against the
   paper's structural feasibility, individual-rationality, and
-  welfare-accounting invariants (Theorems 1-5).
+  welfare-accounting invariants (Theorems 1-5), plus the schedule-fuzzing
+  :func:`check_parallel_determinism` that executes a sweep point under
+  permuted worker counts / chunk orders / matching backends and asserts
+  byte-identical outcomes.
 
 Both layers report structured records (:class:`LintViolation`,
 :class:`Violation`) rather than strings, so tooling and tests can assert
 on them precisely.
 """
 
+from repro.analysis.flow import FlowReport, run_flow
 from repro.analysis.linter import (
     DEFAULT_LINT_PATHS,
     iter_python_files,
@@ -31,6 +42,7 @@ from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
 from repro.analysis.sanitizer import (
     SanitizedMechanism,
     Violation,
+    check_parallel_determinism,
     check_trace_transparency,
     sanitize_outcome,
 )
@@ -38,11 +50,13 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "ALL_RULES",
     "DEFAULT_LINT_PATHS",
+    "FlowReport",
     "LintRule",
     "LintViolation",
     "SanitizedMechanism",
     "SourceFile",
     "Violation",
+    "check_parallel_determinism",
     "check_trace_transparency",
     "default_rules",
     "get_rule",
@@ -51,5 +65,6 @@ __all__ = [
     "lint_source",
     "render_json",
     "render_text",
+    "run_flow",
     "sanitize_outcome",
 ]

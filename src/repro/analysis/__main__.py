@@ -7,11 +7,16 @@ analyzer without installing the console script.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
 from repro.analysis.linter import DEFAULT_LINT_PATHS, lint_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_flow_text,
+    render_json,
+    render_text,
+)
 from repro.analysis.rules import ALL_RULES, default_rules
 
 
@@ -45,7 +50,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the available rules and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "run the interprocedural flow analysis (REP010-REP015) "
+            "over src instead of the single-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="lint-flow-baseline.json",
+        help=(
+            "baseline suppression file for --flow "
+            "(default lint-flow-baseline.json; missing file = empty)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current --flow findings to the baseline file and exit",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-hash cache for --flow module summaries (CI reuse)",
+    )
     return parser
+
+
+def run_flow_command(args: argparse.Namespace) -> int:
+    """The ``--flow`` path, shared with ``repro-crowd lint --flow``."""
+    from repro.analysis.flow import BaselineError, run_flow, write_baseline
+
+    cache_dir = (
+        pathlib.Path(args.cache_dir) if args.cache_dir is not None else None
+    )
+    baseline = pathlib.Path(args.baseline)
+    try:
+        if args.write_baseline:
+            report = run_flow(cache_dir=cache_dir)
+            found = sorted(report.violations + report.suppressed)
+            write_baseline(baseline, found)
+            print(  # repro: noqa-REP007 -- standalone reporter
+                f"wrote {len(found)} entr"
+                f"{'y' if len(found) == 1 else 'ies'} to {baseline}"
+            )
+            return 0
+        report = run_flow(baseline_path=baseline, cache_dir=cache_dir)
+    except (BaselineError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)  # repro: noqa-REP007 -- standalone reporter
+        return 2
+    if args.format == "json":
+        rendered = render_json(
+            list(report.violations), suppressed=list(report.suppressed)
+        )
+    else:
+        rendered = render_flow_text(report)
+    print(rendered)  # repro: noqa-REP007 -- standalone reporter
+    return 0 if report.clean else 1
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -54,10 +119,19 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         list(argv) if argv is not None else None
     )
     if args.list_rules:
+        from repro.analysis.flow import ALL_FLOW_RULES
+
         for name in sorted(ALL_RULES):
             rule = ALL_RULES[name]
             print(f"{rule.code}  {name:22s} {rule.description}")  # repro: noqa-REP007 -- standalone reporter
+        for flow_rule in ALL_FLOW_RULES:
+            print(  # repro: noqa-REP007 -- standalone reporter
+                f"{flow_rule.code}  {flow_rule.name:22s} "
+                f"{flow_rule.description} (--flow)"
+            )
         return 0
+    if args.flow or args.write_baseline:
+        return run_flow_command(args)
     rules = default_rules(args.rules)
     try:
         violations = lint_paths(args.paths, rules=rules)

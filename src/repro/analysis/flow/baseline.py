@@ -1,0 +1,132 @@
+"""Baseline suppression file for grandfathered flow findings.
+
+CI runs ``repro-crowd lint --flow`` against a committed baseline: a
+finding listed there (matched on ``(code, path, symbol)`` — symbol
+names survive the line-number drift that makes line-matched baselines
+rot) is reported as *suppressed*, anything else fails the build.  Every
+entry must carry a human justification; an unjustified entry fails to
+load, so the file cannot silently accumulate excuses.
+
+The intended steady state is an **empty** baseline — entries exist only
+to land the analyzer ahead of a fix that needs its own PR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.rules.base import LintViolation
+from repro.errors import ReproError
+
+#: Format marker, bumped on incompatible changes.
+BASELINE_SCHEMA = "repro-flow-baseline/1"
+
+#: Justification stamped on entries created by ``--write-baseline``;
+#: intentionally ugly so review catches entries nobody rewrote.
+_GRANDFATHER_NOTE = "grandfathered by --write-baseline; fix or justify"
+
+
+class BaselineError(ReproError):
+    """A baseline file that cannot be trusted (bad schema, no why)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding: what, where, and — mandatorily — why."""
+
+    code: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.symbol)
+
+
+def _entry_key(violation: LintViolation) -> Tuple[str, str, str]:
+    return (violation.code, violation.path, violation.symbol)
+
+
+def load_baseline(path: pathlib.Path) -> List[BaselineEntry]:
+    """Read and validate a baseline file; raises :class:`BaselineError`."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(payload.get("entries", [])):
+        entry = BaselineEntry(
+            code=str(raw.get("code", "")),
+            path=str(raw.get("path", "")),
+            symbol=str(raw.get("symbol", "")),
+            justification=str(raw.get("justification", "")).strip(),
+        )
+        if not entry.code or not entry.path:
+            raise BaselineError(
+                f"baseline {path} entry {index} lacks code/path"
+            )
+        if not entry.justification:
+            raise BaselineError(
+                f"baseline {path} entry {index} ({entry.code} at "
+                f"{entry.path}) has no justification; every suppressed "
+                "finding must say why"
+            )
+        entries.append(entry)
+    return entries
+
+
+def write_baseline(
+    path: pathlib.Path, violations: Sequence[LintViolation]
+) -> None:
+    """Write the current findings as a fresh baseline file."""
+    entries = [
+        {
+            "code": violation.code,
+            "path": violation.path,
+            "symbol": violation.symbol,
+            "justification": _GRANDFATHER_NOTE,
+        }
+        for violation in sorted(violations)
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    violations: Sequence[LintViolation],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[LintViolation], List[LintViolation], List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(fresh, suppressed, unused)``: findings not covered by any
+    entry, findings absorbed, and entries that matched nothing — stale
+    entries that should be deleted (the finding they excused is gone).
+    """
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        entry.key: entry for entry in entries
+    }
+    used: set = set()
+    fresh: List[LintViolation] = []
+    suppressed: List[LintViolation] = []
+    for violation in violations:
+        key = _entry_key(violation)
+        if key in by_key:
+            used.add(key)
+            suppressed.append(violation)
+        else:
+            fresh.append(violation)
+    unused = [entry for entry in entries if entry.key not in used]
+    return fresh, suppressed, unused

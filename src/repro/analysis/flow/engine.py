@@ -1,0 +1,314 @@
+"""The interprocedural engine: call resolution and worker reachability.
+
+Built once per run from a :class:`~repro.analysis.flow.modules
+.ModuleGraph`, the engine answers the two questions every flow rule
+reduces to:
+
+* *what does this call site call?* — resolved through module import
+  maps, local constructor types (``x = ClassName(...)``), parameter
+  annotations (including ``Sequence[X]``/``Tuple[X, ...]`` element
+  types for loop variables), and class-hierarchy dispatch: a call
+  through a base-class-typed value targets the base method *and* every
+  subclass override, so reachability is sound under polymorphism;
+* *which functions can execute inside a worker process?* — breadth-
+  first closure of the call graph from every worker entrypoint, where
+  an entrypoint is the callable handed to ``executor.submit(...)``.
+
+Resolution is deliberately conservative-but-bounded: calls into the
+standard library or third-party code resolve to nothing (their effects
+are captured by the per-function flag sites instead), and unresolvable
+dynamic calls are dropped rather than widened to "everything".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.flow.modules import ModuleGraph
+from repro.analysis.flow.summaries import (
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+    element_type,
+)
+
+#: Strips ``Optional[...]`` / quoted forward references from annotations.
+_OPTIONAL_RE = re.compile(r"^(?:typing\.)?Optional\[(.+)\]$")
+
+
+def clean_type(annotation: str) -> str:
+    """Normalise an annotation string to a bare dotted type name."""
+    text = annotation.strip().strip("'\"")
+    match = _OPTIONAL_RE.match(text)
+    if match:
+        text = match.group(1).strip().strip("'\"")
+    return text
+
+
+class FlowEngine:
+    """Resolved call graph plus worker-reachability over one module graph."""
+
+    def __init__(self, graph: ModuleGraph) -> None:
+        self.graph = graph
+        #: ``module:qualname`` -> (module summary, function summary)
+        self.functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = {}
+        #: ``module:Class`` -> class summary
+        self.class_keys: Dict[str, object] = {}
+        for summary in graph.modules.values():
+            for fn in summary.functions:
+                self.functions[f"{summary.module}:{fn.qualname}"] = (
+                    summary,
+                    fn,
+                )
+            for cls in summary.classes:
+                self.class_keys[f"{summary.module}:{cls.name}"] = cls
+        self._subclasses = self._build_subclasses()
+        self._edges: Optional[Dict[str, FrozenSet[str]]] = None
+
+    # -- symbol resolution ---------------------------------------------
+
+    def _resolve_alias(self, summary: ModuleSummary, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        target = summary.import_map().get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_class(
+        self, summary: ModuleSummary, name: str
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted/aliased) class name to its key."""
+        name = clean_type(name)
+        if not name:
+            return None
+        if name in summary.class_map():
+            return f"{summary.module}:{name}"
+        resolved = self._resolve_alias(summary, name)
+        split = self.graph.split_symbol(resolved)
+        if split is None:
+            return None
+        module, symbol = split
+        target = self.graph.get(module)
+        if target is None or not symbol:
+            return None
+        head = symbol.split(".")[0]
+        if head in target.class_map():
+            return f"{module}:{head}"
+        # Package re-export (``from repro.obs import Tracer`` style):
+        # follow one level of from-import indirection.
+        forwarded = target.import_map().get(head)
+        if forwarded is not None and forwarded != resolved:
+            return self.resolve_class(target, forwarded)
+        return None
+
+    def _build_subclasses(self) -> Dict[str, Set[str]]:
+        direct: Dict[str, Set[str]] = {}
+        for summary in self.graph.modules.values():
+            for cls in summary.classes:
+                child = f"{summary.module}:{cls.name}"
+                for base in cls.bases:
+                    base_key = self.resolve_class(summary, base)
+                    if base_key is not None:
+                        direct.setdefault(base_key, set()).add(child)
+        closure: Dict[str, Set[str]] = {}
+        for key in self.class_keys:
+            seen: Set[str] = set()
+            frontier = list(direct.get(key, ()))
+            while frontier:
+                child = frontier.pop()
+                if child in seen:
+                    continue
+                seen.add(child)
+                frontier.extend(direct.get(child, ()))
+            closure[key] = seen
+        return closure
+
+    def method_targets(self, class_key: str, method: str) -> Set[str]:
+        """Function keys a ``value.method()`` call may dispatch to.
+
+        The defining class (walking up the base chain) plus every
+        subclass override — dynamic dispatch widened to all overrides.
+        """
+        targets: Set[str] = set()
+        seen: Set[str] = set()
+        frontier = [class_key]
+        while frontier:  # the static type and its ancestors
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = self.class_keys.get(key)
+            if cls is None:
+                continue
+            module = key.split(":", 1)[0]
+            if method in cls.methods:  # type: ignore[attr-defined]
+                targets.add(f"{module}:{cls.name}.{method}")  # type: ignore[attr-defined]
+            summary = self.graph.get(module)
+            if summary is not None:
+                for base in cls.bases:  # type: ignore[attr-defined]
+                    base_key = self.resolve_class(summary, base)
+                    if base_key is not None:
+                        frontier.append(base_key)
+        for sub_key in self._subclasses.get(class_key, ()):
+            cls = self.class_keys.get(sub_key)
+            if cls is not None and method in cls.methods:  # type: ignore[attr-defined]
+                module = sub_key.split(":", 1)[0]
+                targets.add(f"{module}:{cls.name}.{method}")  # type: ignore[attr-defined]
+        return targets
+
+    def _value_type(
+        self,
+        summary: ModuleSummary,
+        fn: FunctionSummary,
+        var: str,
+        depth: int = 0,
+    ) -> str:
+        """Best-effort static type of local/param ``var`` (a raw name)."""
+        if depth > 3:
+            return ""
+        local = fn.local_type(var)
+        if local.startswith("@elem:"):
+            container = self._value_type(
+                summary, fn, local[len("@elem:"):], depth + 1
+            )
+            return element_type(container) or ""
+        if local:
+            return local
+        annotation = fn.param_annotation(var)
+        return clean_type(annotation) if annotation else ""
+
+    def resolve_call(
+        self,
+        summary: ModuleSummary,
+        fn: FunctionSummary,
+        call: CallSite,
+    ) -> Set[str]:
+        """Function keys ``call`` (inside ``fn``) may invoke."""
+        if call.kind == "name":
+            return self._resolve_callable_name(summary, call.name)
+        if call.kind == "dotted":
+            resolved = self._resolve_alias(summary, call.name)
+            split = self.graph.split_symbol(resolved)
+            if split is None:
+                return set()
+            module, symbol = split
+            target = self.graph.get(module)
+            if target is None or not symbol:
+                return set()
+            if symbol in target.function_map():
+                return {f"{module}:{symbol}"}
+            head = symbol.split(".")[0]
+            if head in target.class_map() and "." not in symbol:
+                return self._constructor_targets(f"{module}:{head}")
+            forwarded = target.import_map().get(head)
+            if forwarded is not None and forwarded != resolved:
+                rest = symbol.partition(".")[2]
+                chained = f"{forwarded}.{rest}" if rest else forwarded
+                return self.resolve_call(
+                    target,
+                    fn,
+                    CallSite(call.line, call.col, "dotted", chained),
+                )
+            return set()
+        if call.kind == "method":
+            if call.name == "self" and "." in fn.qualname:
+                class_name = fn.qualname.split(".")[0]
+                class_key = f"{summary.module}:{class_name}"
+                return self.method_targets(class_key, call.attr)
+            type_name = self._value_type(summary, fn, call.name)
+            if not type_name:
+                return set()
+            class_key = self.resolve_class(summary, type_name)
+            if class_key is None:
+                return set()
+            return self.method_targets(class_key, call.attr)
+        if call.kind == "ctor_method":
+            class_key = self.resolve_class(summary, call.name)
+            if class_key is None:
+                return set()
+            return self._constructor_targets(class_key) | self.method_targets(
+                class_key, call.attr
+            )
+        return set()
+
+    def _constructor_targets(self, class_key: str) -> Set[str]:
+        return self.method_targets(class_key, "__init__") | self.method_targets(
+            class_key, "__post_init__"
+        )
+
+    def _resolve_callable_name(
+        self, summary: ModuleSummary, name: str
+    ) -> Set[str]:
+        if name in summary.function_map():
+            return {f"{summary.module}:{name}"}
+        if name in summary.class_map():
+            return self._constructor_targets(f"{summary.module}:{name}")
+        target = summary.import_map().get(name)
+        if target is None:
+            return set()
+        split = self.graph.split_symbol(target)
+        if split is None:
+            return set()
+        module, symbol = split
+        imported = self.graph.get(module)
+        if imported is None:
+            return set()
+        if not symbol:
+            return set()
+        if symbol in imported.function_map():
+            return {f"{module}:{symbol}"}
+        if symbol in imported.class_map():
+            return self._constructor_targets(f"{module}:{symbol}")
+        forwarded = imported.import_map().get(symbol)
+        if forwarded is not None and forwarded != target:
+            return self._resolve_callable_name(imported, symbol)
+        return set()
+
+    # -- call graph and reachability -----------------------------------
+
+    def call_edges(self) -> Dict[str, FrozenSet[str]]:
+        """``caller key -> callee keys``, resolved once and memoised."""
+        if self._edges is None:
+            edges: Dict[str, FrozenSet[str]] = {}
+            for key, (summary, fn) in self.functions.items():
+                targets: Set[str] = set()
+                for call in fn.calls:
+                    targets |= self.resolve_call(summary, fn, call)
+                edges[key] = frozenset(targets)
+            self._edges = edges
+        return self._edges
+
+    def worker_entrypoints(self) -> Dict[str, str]:
+        """``entrypoint function key -> submitting function key``."""
+        entrypoints: Dict[str, str] = {}
+        for key, (summary, fn) in self.functions.items():
+            for submit in fn.submits:
+                if submit.callable_kind != "name":
+                    continue
+                for target in self._resolve_callable_name(
+                    summary, submit.callable_name
+                ):
+                    entrypoints.setdefault(target, key)
+        return entrypoints
+
+    def worker_reachable(self) -> Dict[str, str]:
+        """Functions executable inside a worker: ``key -> entrypoint key``.
+
+        Includes the entrypoints themselves; the value records which
+        entrypoint first reaches the function (for diagnostics).
+        """
+        edges = self.call_edges()
+        reachable: Dict[str, str] = {}
+        frontier: List[Tuple[str, str]] = [
+            (entry, entry) for entry in sorted(self.worker_entrypoints())
+        ]
+        while frontier:
+            key, entry = frontier.pop()
+            if key in reachable:
+                continue
+            reachable[key] = entry
+            for callee in edges.get(key, ()):
+                if callee not in reachable:
+                    frontier.append((callee, entry))
+        return reachable

@@ -11,6 +11,7 @@ the tree.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Iterable, List, Optional, Sequence
 
@@ -54,6 +55,26 @@ def iter_python_files(
     return found
 
 
+def display_path(path: object) -> str:
+    """Normalise ``path`` for reporting: repo-relative, forward slashes.
+
+    Baselines and CI logs must be machine-portable, so every reported
+    path — including the ``REP000`` syntax-error path, which historically
+    leaked the caller's absolute spelling — is rewritten relative to the
+    current working directory whenever it sits inside it.  Paths outside
+    the working tree stay absolute (relative would mean ``..`` spaghetti).
+    """
+    resolved = pathlib.Path(path).resolve()
+    cwd = pathlib.Path.cwd().resolve()
+    try:
+        return resolved.relative_to(cwd).as_posix()
+    except ValueError:
+        candidate = os.path.relpath(resolved, cwd)
+        if candidate.startswith(".."):
+            return resolved.as_posix()
+        return pathlib.PurePath(candidate).as_posix()  # pragma: no cover
+
+
 def _syntax_violation(path: str, error: SyntaxError) -> LintViolation:
     return LintViolation(
         path=path,
@@ -79,9 +100,21 @@ def lint_source(
     violations: List[LintViolation] = []
     for rule in active:
         for violation in rule.check(parsed):
-            suppressed = parsed.is_suppressed(
-                violation.line, violation.rule
-            ) or parsed.is_suppressed(violation.line, violation.code.lower())
+            if violation.code == "REP008":
+                # The suppression auditor cannot be silenced by the very
+                # blanket noqa it flags; only an explicit, named
+                # suppression counts.
+                suppressed = parsed.is_explicitly_suppressed(
+                    violation.line, violation.rule
+                ) or parsed.is_explicitly_suppressed(
+                    violation.line, violation.code.lower()
+                )
+            else:
+                suppressed = parsed.is_suppressed(
+                    violation.line, violation.rule
+                ) or parsed.is_suppressed(
+                    violation.line, violation.code.lower()
+                )
             if not suppressed:
                 violations.append(violation)
     return sorted(violations)
@@ -91,9 +124,9 @@ def lint_file(
     path: pathlib.Path,
     rules: Optional[Sequence[LintRule]] = None,
 ) -> List[LintViolation]:
-    """Lint one file from disk."""
+    """Lint one file from disk; findings carry the normalised path."""
     text = pathlib.Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path=str(path), rules=rules)
+    return lint_source(text, path=display_path(path), rules=rules)
 
 
 def lint_paths(

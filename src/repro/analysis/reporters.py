@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.rules.base import LintViolation
 
@@ -26,11 +26,34 @@ def render_text(violations: Sequence[LintViolation]) -> str:
     return "\n".join(lines)
 
 
-def render_json(violations: Sequence[LintViolation]) -> str:
-    """Stable JSON: ``{"count": N, "violations": [...]}``."""
+def render_json(
+    violations: Sequence[LintViolation],
+    suppressed: Optional[Sequence[LintViolation]] = None,
+) -> str:
+    """Stable JSON for downstream tooling.
+
+    ``{"count": N, "violations": [...], "by_code": {...},
+    "suppressed": {"count": M, "by_code": {...}}}``.  ``suppressed``
+    carries findings absorbed by a baseline file (``lint --flow``); the
+    reporter records only counts per code, not full entries — the
+    baseline file itself is the source of truth for what was excused.
+    """
+    by_code: Dict[str, int] = {}
+    for violation in violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    suppressed_by_code: Dict[str, int] = {}
+    for violation in suppressed or ():
+        suppressed_by_code[violation.code] = (
+            suppressed_by_code.get(violation.code, 0) + 1
+        )
     payload = {
         "count": len(violations),
+        "by_code": by_code,
         "violations": [violation.to_dict() for violation in violations],
+        "suppressed": {
+            "count": len(suppressed or ()),
+            "by_code": suppressed_by_code,
+        },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -40,4 +63,26 @@ def summarize(violations: Sequence[LintViolation]) -> List[str]:
     return sorted({violation.rule for violation in violations})
 
 
-__all__ = ["render_json", "render_text", "summarize"]
+def render_flow_text(report: object) -> str:
+    """Text report for a :class:`~repro.analysis.flow.FlowReport`."""
+    violations = list(getattr(report, "violations"))
+    suppressed = list(getattr(report, "suppressed"))
+    unused = list(getattr(report, "unused_baseline"))
+    lines = [violation.format() for violation in violations]
+    for entry in unused:
+        lines.append(
+            f"warning: stale baseline entry {entry.code} at "
+            f"{entry.path} ({entry.symbol or 'no symbol'}) matched "
+            "nothing; delete it"
+        )
+    status = "clean" if not violations else f"{len(violations)} new"
+    lines.append(
+        f"lint --flow: {status} "
+        f"({getattr(report, 'modules')} modules, "
+        f"{getattr(report, 'functions')} functions, "
+        f"{len(suppressed)} baselined)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["render_flow_text", "render_json", "render_text", "summarize"]

@@ -13,6 +13,7 @@ from repro.analysis.rules.base import LintRule, LintViolation, SourceFile
 from repro.analysis.rules.contract import MechanismContractRule
 from repro.analysis.rules.float_equality import NoFloatEqualityRule
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
+from repro.analysis.rules.noqa import NoqaJustificationRule
 from repro.analysis.rules.output import NoPrintRule
 from repro.analysis.rules.purity import NoRunMutationRule
 from repro.analysis.rules.randomness import NoGlobalRandomRule
@@ -28,6 +29,7 @@ ALL_RULES: Dict[str, Type[LintRule]] = {
         NoBareExceptRule,
         NoMutableDefaultRule,
         NoPrintRule,
+        NoqaJustificationRule,
     )
 }
 
@@ -66,6 +68,7 @@ __all__ = [
     "NoMutableDefaultRule",
     "NoPrintRule",
     "NoRunMutationRule",
+    "NoqaJustificationRule",
     "SourceFile",
     "default_rules",
     "get_rule",

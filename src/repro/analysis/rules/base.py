@@ -24,10 +24,13 @@ from __future__ import annotations
 import abc
 import ast
 import dataclasses
+import io
 import re
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+import tokenize
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
-#: Matches ``# repro: noqa`` and ``# repro: noqa-<rule>[,<rule>...]``.
+#: Matches the suppression marker, bare (``repro: noqa``) or with a
+#: ``-<rule>[,<rule>...]`` list appended.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:-(?P<rules>[a-z0-9][a-z0-9,-]*))?", re.IGNORECASE
 )
@@ -38,7 +41,13 @@ _SUPPRESS_ALL: FrozenSet[str] = frozenset({"*"})
 
 @dataclasses.dataclass(frozen=True, order=True)
 class LintViolation:
-    """One finding of one rule at one source location."""
+    """One finding of one rule at one source location.
+
+    ``symbol`` names the enclosing definition (``module:Class.func``)
+    when the rule knows it — the interprocedural flow rules always set
+    it, and the baseline-suppression file matches on it because symbol
+    names survive line-number drift where ``line`` does not.
+    """
 
     path: str
     line: int
@@ -46,6 +55,7 @@ class LintViolation:
     code: str
     rule: str
     message: str
+    symbol: str = ""
 
     def format(self) -> str:
         """The conventional one-line ``path:line:col: CODE message`` form."""
@@ -57,6 +67,19 @@ class LintViolation:
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly representation (used by the JSON reporter)."""
         return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LintViolation":
+        """Rebuild a violation from :meth:`to_dict` output (JSON round-trip)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            code=str(payload["code"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            symbol=str(payload.get("symbol", "")),
+        )
 
 
 def _parse_noqa(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
@@ -120,6 +143,40 @@ class SourceFile:
             return False
         return listed is _SUPPRESS_ALL or rule_name in listed
 
+    def is_explicitly_suppressed(self, line: int, rule_name: str) -> bool:
+        """Like :meth:`is_suppressed`, but a blanket noqa does not count.
+
+        Used for the noqa-justification rule itself: a blanket
+        ``# repro: noqa`` must not silence the very finding that flags
+        it, or the rule could never fire.
+        """
+        listed = self._suppressions.get(line)
+        if listed is None or listed is _SUPPRESS_ALL:
+            return False
+        return rule_name in listed
+
+    def comment_tokens(self) -> List[Tuple[int, int, str]]:
+        """All ``#`` comments as ``(line, col, text)``, via :mod:`tokenize`.
+
+        Unlike a per-line regex, tokenizing distinguishes real comments
+        from ``#`` characters inside string literals, so rules that
+        inspect comment *content* (e.g. the noqa-justification rule) do
+        not fire on lint-rule documentation or test fixture strings.
+        Tokenize errors (possible on files that parse but confuse the
+        tokenizer's tail) simply end the scan early.
+        """
+        comments: List[Tuple[int, int, str]] = []
+        reader = io.StringIO(self.source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    comments.append(
+                        (token.start[0], token.start[1], token.string)
+                    )
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass
+        return comments
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SourceFile(path={self.path!r}, lines={len(self.lines)})"
 
@@ -132,7 +189,7 @@ class LintRule(abc.ABC):
     violations, so rules simply report everything they see.
     """
 
-    #: Stable kebab-case identifier, used in ``# repro: noqa-<name>``.
+    #: Stable kebab-case identifier, used in ``repro: noqa-<name>`` comments.
     name: str = "abstract"
     #: Short ``REPnnn`` code for compact reporting.
     code: str = "REP000"
@@ -149,6 +206,7 @@ class LintRule(abc.ABC):
         node: ast.AST,
         message: str,
         line: Optional[int] = None,
+        symbol: str = "",
     ) -> LintViolation:
         """Build a :class:`LintViolation` anchored at ``node``."""
         return LintViolation(
@@ -158,6 +216,7 @@ class LintRule(abc.ABC):
             code=self.code,
             rule=self.name,
             message=message,
+            symbol=symbol,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,82 @@
+"""Rule ``noqa-justification``: every suppression must say why.
+
+A ``# repro: noqa-<rule>`` comment silences a real invariant check, so
+it carries the same review burden as the code it excuses.  The
+convention (rules/base.py module docstring) is a free-form justification
+after ``--``::
+
+    if a == b:  # repro: noqa-no-float-equality -- exact sentinel compare
+
+This rule makes the convention mandatory: a noqa comment with no
+``-- <why>`` suffix — or a blanket ``# repro: noqa`` with no rule list at
+all — is itself a violation.  Blanket suppressions are flagged even when
+justified, because they silence rules that do not exist yet; a
+suppression should always name the rule it excuses.
+
+Comments are found with :mod:`tokenize`, not a per-line regex, so noqa
+text inside string literals (lint-rule documentation, test fixtures)
+does not fire.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.analysis.rules.base import (
+    _NOQA_RE,
+    LintRule,
+    LintViolation,
+    SourceFile,
+)
+
+#: A justification is anything non-empty after ``--``.
+_JUSTIFIED_RE = re.compile(r"--\s*\S")
+
+
+class NoqaJustificationRule(LintRule):
+    """Require ``-- <why>`` on every ``# repro: noqa`` suppression."""
+
+    name = "noqa-justification"
+    code = "REP008"
+    description = (
+        "every '# repro: noqa-<rule>' suppression must name the rule it "
+        "excuses and carry a '-- <why>' justification"
+    )
+
+    def _violation_at(
+        self, source: SourceFile, line: int, col: int, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            path=source.path,
+            line=line,
+            col=col,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+    def check(self, source: SourceFile) -> Iterator[LintViolation]:
+        for line, col, text in source.comment_tokens():
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            at = col + match.start()
+            if match.group("rules") is None:
+                yield self._violation_at(
+                    source,
+                    line,
+                    at,
+                    "blanket '# repro: noqa' suppresses every rule on "
+                    "this line; name the rule ('noqa-<rule>') and "
+                    "justify it with '-- <why>'",
+                )
+                continue
+            if not _JUSTIFIED_RE.search(text[match.end():]):
+                yield self._violation_at(
+                    source,
+                    line,
+                    at,
+                    f"suppression of '{match.group('rules')}' has no "
+                    f"justification; append '-- <why>'",
+                )

@@ -44,7 +44,7 @@ which the test suite switches on globally in ``tests/conftest.py``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SanitizationError
 from repro.mechanisms.base import Mechanism
@@ -395,3 +395,111 @@ class SanitizedMechanism(Mechanism):  # repro: noqa-mechanism-contract -- transp
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SanitizedMechanism({self._inner!r})"
+
+
+def check_parallel_determinism(
+    workload: Optional[object] = None,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    worker_counts: Sequence[int] = (1, 2, 3),
+    backends: Sequence[str] = ("numpy", "sparse", "python"),
+) -> int:
+    """Schedule-fuzz one sweep point; assert byte-identical outcomes.
+
+    The runtime counterpart of the static REP010–REP015 flow rules: it
+    *executes* the process-pool fan-out under every combination of
+
+    * worker count (including the serial reference),
+    * chunk order — repetitions submitted in permuted order and
+      reassembled by seed, so completion/submission order is exercised,
+    * matching backend — the mechanism is rebuilt per backend inside
+      each worker via its spec kwargs, the way a sweep config would,
+
+    and raises :class:`~repro.errors.SanitizationError` unless every
+    run's result rows ``pickle`` to the *same bytes* as the serial
+    single-backend reference.  Byte equality is deliberately stricter
+    than ``==``: it also pins dict insertion order (payments!) and
+    float bit patterns, the two things hash-order bugs corrupt first.
+
+    Returns the number of (schedule, backend) combinations checked.
+    """
+    import pickle
+
+    from repro.experiments.config import MechanismSpec
+    from repro.experiments.parallel import (
+        run_repetition,
+        run_repetitions_parallel,
+    )
+    from repro.simulation.workload import WorkloadConfig
+
+    if workload is None:
+        workload = WorkloadConfig(
+            num_slots=5,
+            phone_rate=3.0,
+            task_rate=1.5,
+            mean_cost=10.0,
+            mean_active_length=3,
+            task_value=18.0,
+        )
+    seeds = tuple(seeds)
+
+    def rows_bytes(results: Sequence[object]) -> Tuple[bytes, ...]:
+        # One pickle per repetition, not one for the whole batch: a
+        # batch pickle also encodes which strings happen to be shared
+        # *across* results (identity, not value), and that differs
+        # between in-process rows and rows that crossed a pipe.  The
+        # per-row bytes still pin dict insertion order and float bit
+        # patterns — the payload we are asserting on.
+        ordered = sorted(results, key=lambda result: result.seed)
+        if [result.seed for result in ordered] != list(seeds):
+            raise SanitizationError(
+                f"parallel run lost repetitions: expected seeds "
+                f"{list(seeds)}, got {[r.seed for r in ordered]}"
+            )
+        return tuple(
+            pickle.dumps(result.row, protocol=4) for result in ordered
+        )
+
+    def permutations(items: Sequence[int]) -> List[Tuple[int, ...]]:
+        forward = tuple(items)
+        rotated = forward[1:] + forward[:1]
+        return [forward, tuple(reversed(forward)), rotated]
+
+    reference: Optional[Tuple[bytes, ...]] = None
+    checked = 0
+    for backend in backends:
+        # The label stays backend-independent on purpose: the reference
+        # bytes must match across backends, and the label is payload.
+        specs = (MechanismSpec.of("offline-vcg", backend=backend),)
+        serial = [
+            run_repetition(workload, specs, seed, 0, 0.0, "raise")
+            for seed in seeds
+        ]
+        serial_bytes = rows_bytes(serial)
+        if reference is None:
+            reference = serial_bytes
+        elif serial_bytes != reference:
+            raise SanitizationError(
+                f"backend {backend!r} serial outcome bytes differ from "
+                f"the reference backend {backends[0]!r}; cross-backend "
+                "bit-identity is broken"
+            )
+        for workers in worker_counts:
+            for order in permutations(seeds):
+                results = run_repetitions_parallel(
+                    workload,
+                    specs,
+                    order,
+                    retries=0,
+                    backoff=0.0,
+                    on_failure="raise",
+                    workers=workers,
+                )
+                if rows_bytes(results) != reference:
+                    raise SanitizationError(
+                        f"nondeterministic sweep point: backend="
+                        f"{backend!r} workers={workers} submission "
+                        f"order={list(order)} produced different "
+                        "outcome bytes than the serial reference"
+                    )
+                checked += 1
+    return checked

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -22,6 +21,7 @@ from repro.errors import SimulationError
 from repro.mechanisms.base import Mechanism
 from repro.metrics.summary import Summary, summarize
 from repro.model.smartphone import SmartphoneProfile
+from repro.obs.clock import perf_seconds
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.scenario import Scenario
 from repro.simulation.workload import WorkloadConfig
@@ -120,7 +120,7 @@ def _run_round(
     phones are carried between rounds; the per-round seeds are computed
     by the parent, so results do not depend on which worker runs what.
     """
-    start = time.perf_counter()
+    start = perf_seconds()
     base = workload.generate(seed=round_seed)
     scenario = Scenario(
         list(base.profiles),
@@ -145,7 +145,7 @@ def _run_round(
         dropped=dropped,
         failures=failures,
         recovered=recovered,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=perf_seconds() - start,
         worker_pid=os.getpid(),
     )
 

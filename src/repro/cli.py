@@ -661,6 +661,8 @@ def _cmd_profile(args: argparse.Namespace, console: Console) -> int:
 def _cmd_lint(args: argparse.Namespace, console: Console) -> int:
     from repro.analysis import default_rules, lint_paths, render_json, render_text
 
+    if args.flow or args.write_baseline:
+        return _cmd_lint_flow(args, console)
     try:
         rules = default_rules(args.rules)
     except KeyError as exc:
@@ -675,6 +677,46 @@ def _cmd_lint(args: argparse.Namespace, console: Console) -> int:
         {"violations": [violation.to_dict() for violation in violations]}
     )
     return 1 if violations else 0
+
+
+def _cmd_lint_flow(args: argparse.Namespace, console: Console) -> int:
+    """``repro-crowd lint --flow``: the interprocedural analyzer."""
+    from repro.analysis import render_json
+    from repro.analysis.flow import BaselineError, run_flow, write_baseline
+    from repro.analysis.reporters import render_flow_text
+
+    baseline = pathlib.Path(args.baseline)
+    cache_dir = (
+        pathlib.Path(args.cache_dir) if args.cache_dir is not None else None
+    )
+    try:
+        if args.write_baseline:
+            report = run_flow(cache_dir=cache_dir)
+            found = sorted(report.violations + report.suppressed)
+            write_baseline(baseline, found)
+            console.note(f"wrote {len(found)} entries to {baseline}")
+            console.result({"baseline": str(baseline), "entries": len(found)})
+            return 0
+        report = run_flow(baseline_path=baseline, cache_dir=cache_dir)
+    except (BaselineError, FileNotFoundError) as exc:
+        raise ReproError(str(exc)) from exc
+    if args.format == "json":
+        console.out(
+            render_json(
+                list(report.violations), suppressed=list(report.suppressed)
+            )
+        )
+    else:
+        console.out(render_flow_text(report))
+    console.result(
+        {
+            "violations": [v.to_dict() for v in report.violations],
+            "suppressed": len(report.suppressed),
+            "modules": report.modules,
+            "functions": report.functions,
+        }
+    )
+    return 0 if report.clean else 1
 
 
 def _cmd_report(args: argparse.Namespace, console: Console) -> int:
@@ -891,6 +933,34 @@ def build_parser() -> argparse.ArgumentParser:
         dest="rules",
         metavar="NAME",
         help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "run the interprocedural concurrency/determinism analysis "
+            "(REP010-REP015) over src instead of the single-file rules"
+        ),
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="lint-flow-baseline.json",
+        help=(
+            "baseline suppression file for --flow "
+            "(default lint-flow-baseline.json; a missing file is empty)"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current --flow findings to the baseline file and exit",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-hash cache for --flow module summaries",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.experiments.config import MechanismSpec
+from repro.obs.clock import perf_seconds
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
 
@@ -75,7 +76,7 @@ def run_repetition(
     of picklable arguments (frozen dataclasses all the way down).  The
     attempt/retry/backoff loop matches the serial runner's exactly.
     """
-    start = time.perf_counter()
+    start = perf_seconds()
     engine = SimulationEngine()
     built = [spec.build() for spec in mechanisms]
     retried = 0
@@ -100,7 +101,7 @@ def run_repetition(
         seed=seed,
         row=row,
         retried=retried,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=perf_seconds() - start,
         worker_pid=os.getpid(),
     )
 

@@ -169,7 +169,9 @@ class TypedOfflineVCGMechanism(Mechanism):
         bid_by_phone = {bid.phone_id: bid for bid in bids}
         payments: Dict[int, float] = {}
         payment_slots: Dict[int, int] = {}
-        for phone_id in set(allocation.values()):
+        # Sorted so payment-dict insertion order (and therefore the
+        # outcome's serialised bytes) never depends on set hash order.
+        for phone_id in sorted(set(allocation.values())):
             welfare_without = graph.welfare_without_phone(phone_id)
             bid = bid_by_phone[phone_id]
             payments[phone_id] = optimal_welfare + bid.cost - welfare_without

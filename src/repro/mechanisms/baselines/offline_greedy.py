@@ -76,7 +76,9 @@ class OfflineGreedyMechanism(Mechanism):
 
         payments: Dict[int, float] = {}
         payment_slots: Dict[int, int] = {}
-        for phone_id in set(allocation.values()):
+        # Sorted so payment-dict insertion order (and therefore the
+        # outcome's serialised bytes) never depends on set hash order.
+        for phone_id in sorted(set(allocation.values())):
             _, welfare_without = _greedy_offline_allocation(
                 bids, schedule, exclude_phone=phone_id
             )

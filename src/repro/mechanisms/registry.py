@@ -113,7 +113,7 @@ def create_mechanism(
                 f"must match (mis-keyed registrations corrupt sweep "
                 f"configs and audit reports)"
             )
-        _NAME_CHECKED.add(name)
+        _NAME_CHECKED.add(name)  # repro: noqa-REP011 -- idempotent memo of a pure check; a per-process copy only re-runs the validation, it cannot diverge results
     wrap = _SANITIZE_OUTCOMES if sanitize is None else bool(sanitize)
     if wrap:
         # Imported here: analysis depends on mechanisms.base, so a

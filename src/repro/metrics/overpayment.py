@@ -47,7 +47,9 @@ def total_overpayment(
         )
         overpayment += payment - real_cost
     # Winners that somehow received no payment entry still incur cost.
-    for phone_id in winner_ids:
+    # Sorted: float addition is order-sensitive, and set hash order
+    # would make the total differ in the last bit across processes.
+    for phone_id in sorted(winner_ids):
         if phone_id not in outcome.payments:
             overpayment -= scenario.profile(phone_id).cost
     return overpayment

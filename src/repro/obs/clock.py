@@ -57,3 +57,24 @@ class ManualClock(Clock):
         if seconds < 0:
             raise ValueError(f"cannot move a monotonic clock back ({seconds})")
         self._time += float(seconds)
+
+
+# The process-wide perf clock behind :func:`perf_seconds`.  Worker and
+# replay-critical code reads elapsed time through this accessor instead
+# of calling ``time.perf_counter`` directly (enforced statically by
+# REP015), so a replay harness can freeze the whole process onto a
+# ManualClock with one call.
+_PERF_CLOCK: Clock = MonotonicClock()
+
+
+def perf_seconds() -> float:
+    """Read the process-wide perf clock (monotonic seconds)."""
+    return _PERF_CLOCK.now()
+
+
+def set_perf_clock(clock: Clock) -> Clock:
+    """Replace the process-wide perf clock; returns the previous one."""
+    global _PERF_CLOCK
+    previous = _PERF_CLOCK
+    _PERF_CLOCK = clock
+    return previous

@@ -1,0 +1,95 @@
+"""The baseline-suppression file: load/validate/apply/write."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.flow.baseline import (
+    BASELINE_SCHEMA,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules.base import LintViolation
+
+
+def violation(code="REP013", path="src/a.py", symbol="a:f", line=3):
+    return LintViolation(
+        path=path,
+        line=line,
+        col=0,
+        code=code,
+        rule="unordered-reduction",
+        message="msg",
+        symbol=symbol,
+    )
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [violation()])
+        entries = load_baseline(target)
+        assert len(entries) == 1
+        assert entries[0].key == ("REP013", "src/a.py", "a:f")
+        assert entries[0].justification  # --write-baseline stamps one
+
+    def test_missing_justification_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "entries": [
+                        {
+                            "code": "REP013",
+                            "path": "src/a.py",
+                            "symbol": "a:f",
+                            "justification": "   ",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(target)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": "nope/9", "entries": []}))
+        with pytest.raises(BaselineError, match="schema"):
+            load_baseline(target)
+
+    def test_unreadable_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json")
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(target)
+
+
+class TestApply:
+    def test_split_fresh_suppressed_unused(self):
+        known = violation()
+        fresh = violation(code="REP011", symbol="a:g")
+        entries = [
+            BaselineEntry("REP013", "src/a.py", "a:f", "known quirk"),
+            BaselineEntry("REP015", "src/b.py", "b:h", "stale entry"),
+        ]
+        new, suppressed, unused = apply_baseline([known, fresh], entries)
+        assert new == [fresh]
+        assert suppressed == [known]
+        assert [entry.code for entry in unused] == ["REP015"]
+
+    def test_symbol_match_survives_line_drift(self):
+        entries = [BaselineEntry("REP013", "src/a.py", "a:f", "why")]
+        moved = violation(line=999)
+        new, suppressed, _ = apply_baseline([moved], entries)
+        assert new == [] and suppressed == [moved]
+
+    def test_empty_baseline_passes_everything_through(self):
+        new, suppressed, unused = apply_baseline([violation()], [])
+        assert len(new) == 1 and not suppressed and not unused

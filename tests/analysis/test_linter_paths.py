@@ -1,0 +1,99 @@
+"""Display-path normalization and the noqa-justification rule (REP008)."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis.linter import display_path, lint_file, lint_paths, lint_source
+
+
+class TestDisplayPath:
+    def test_absolute_inside_cwd_becomes_relative(self):
+        absolute = pathlib.Path.cwd() / "src" / "repro" / "cli.py"
+        assert display_path(absolute) == "src/repro/cli.py"
+
+    def test_relative_stays_relative(self):
+        assert display_path("src/repro/cli.py") == "src/repro/cli.py"
+
+    def test_outside_cwd_stays_absolute(self, tmp_path):
+        target = tmp_path / "x.py"
+        target.write_text("X = 1\n")
+        assert display_path(target) == target.resolve().as_posix()
+
+    def test_syntax_error_path_is_normalized(self, tmp_path, monkeypatch):
+        """REP000 must report the same path shape as every other rule."""
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "pkg" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def broken(:\n")
+        violations = lint_file(bad.resolve())
+        assert [v.code for v in violations] == ["REP000"]
+        assert violations[0].path == "pkg/broken.py"
+
+    def test_lint_paths_reports_relative(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "pkg" / "ok.py"
+        good.parent.mkdir()
+        good.write_text("import numpy as np\n\n\ndef f():\n    np.random.seed(1)\n")
+        violations = lint_paths([tmp_path.resolve()])
+        assert violations
+        assert all(v.path == "pkg/ok.py" for v in violations)
+
+
+class TestNoqaJustification:
+    def test_bare_named_noqa_flagged(self):
+        violations = lint_source(
+            "x = 1  # repro: noqa-no-print\n", path="t.py"
+        )
+        assert [v.code for v in violations] == ["REP008"]
+        assert "no justification" in violations[0].message
+
+    def test_justified_named_noqa_clean(self):
+        violations = lint_source(
+            "x = 1  # repro: noqa-no-print -- tooling output\n", path="t.py"
+        )
+        assert violations == []
+
+    def test_blanket_noqa_flagged_even_with_justification(self):
+        violations = lint_source(
+            "x = 1  # repro: noqa -- because\n", path="t.py"
+        )
+        assert [v.code for v in violations] == ["REP008"]
+        assert "blanket" in violations[0].message
+
+    def test_blanket_noqa_cannot_suppress_itself(self):
+        """The engine refuses blanket suppression for REP008 findings."""
+        violations = lint_source("x = 1  # repro: noqa\n", path="t.py")
+        assert [v.code for v in violations] == ["REP008"]
+
+    def test_named_self_suppression_works(self):
+        source = "x = 1  # repro: noqa, noqa-REP008 -- fixture exercising the blanket form\n"
+        # A blanket noqa on a *different* line than a justified REP008
+        # suppression: only the explicit named form silences the rule.
+        violations = lint_source(
+            "x = 1  # repro: noqa-REP008 -- demonstrating suppression syntax\n",
+            path="t.py",
+        )
+        assert violations == []
+        del source
+
+    def test_noqa_inside_string_literal_not_flagged(self):
+        source = textwrap.dedent(
+            '''
+            FIXTURE = """
+            value = 1  # repro: noqa
+            """
+            '''
+        )
+        assert lint_source(source, path="t.py") == []
+
+    def test_justified_suppression_still_suppresses_target_rule(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    np.random.seed(1)  # repro: noqa-no-global-random -- fixture\n"
+        )
+        assert lint_source(source, path="t.py") == []

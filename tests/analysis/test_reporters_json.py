@@ -1,0 +1,77 @@
+"""JSON reporter schema: the contract downstream tooling relies on."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules.base import LintViolation
+
+
+def violation(code="REP013", line=7, path="src/repro/metrics/o.py"):
+    return LintViolation(
+        path=path,
+        line=line,
+        col=4,
+        code=code,
+        rule="unordered-reduction",
+        message="set iteration accumulates",
+        symbol="repro.metrics.o:total",
+    )
+
+
+class TestRenderJson:
+    def test_schema_keys(self):
+        payload = json.loads(render_json([violation()]))
+        assert set(payload) == {"count", "by_code", "violations", "suppressed"}
+        assert payload["count"] == 1
+        assert payload["by_code"] == {"REP013": 1}
+        assert payload["suppressed"] == {"count": 0, "by_code": {}}
+
+    def test_violation_fields_round_trip(self):
+        original = violation()
+        payload = json.loads(render_json([original]))
+        rebuilt = LintViolation.from_dict(payload["violations"][0])
+        assert rebuilt == original
+        assert rebuilt.symbol == original.symbol
+        assert rebuilt.line == original.line
+        assert rebuilt.path == original.path
+
+    def test_symbol_defaults_empty_on_legacy_payload(self):
+        payload = violation().to_dict()
+        del payload["symbol"]
+        rebuilt = LintViolation.from_dict(payload)
+        assert rebuilt.symbol == ""
+
+    def test_suppressed_counts(self):
+        rendered = render_json(
+            [violation()],
+            suppressed=[
+                violation(code="REP011", line=1),
+                violation(code="REP011", line=2),
+                violation(code="REP015", line=3),
+            ],
+        )
+        payload = json.loads(rendered)
+        assert payload["suppressed"] == {
+            "count": 3,
+            "by_code": {"REP011": 2, "REP015": 1},
+        }
+
+    def test_output_is_stable(self):
+        violations = [violation(), violation(code="REP011", line=1)]
+        assert render_json(violations) == render_json(violations)
+
+    def test_empty_report(self):
+        payload = json.loads(render_json([]))
+        assert payload["count"] == 0
+        assert payload["violations"] == []
+
+
+class TestRenderText:
+    def test_clean_summary(self):
+        assert render_text([]) == "lint: clean (0 violations)"
+
+    def test_tally_by_rule(self):
+        text = render_text([violation(), violation(line=9)])
+        assert "unordered-reduction=2" in text

@@ -26,6 +26,17 @@ def pytest_addoption(parser):
             "(CI rotates it with the run number)"
         ),
     )
+    parser.addoption(
+        "--schedule-fuzz",
+        action="store_true",
+        default=False,
+        help=(
+            "run the full schedule-fuzzing determinism matrix "
+            "(worker counts x chunk orders x matching backends) "
+            "before the suite; a nondeterministic sweep point fails "
+            "the session at collection"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -48,6 +59,30 @@ def _sanitize_all_mechanisms():
     mechanism_registry.set_sanitize_outcomes(True)
     yield
     mechanism_registry.set_sanitize_outcomes(False)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _schedule_fuzz_determinism(request):
+    """Optionally gate the whole suite on schedule-fuzzed determinism.
+
+    With ``--schedule-fuzz``, the session first re-runs one sweep point
+    under permuted worker counts, submission orders, and matching
+    backends (see
+    :func:`repro.analysis.sanitizer.check_parallel_determinism`) and
+    fails immediately if any combination's outcome bytes differ from
+    the serial reference — the runtime twin of the static REP010–REP015
+    flow rules.  Off by default: the matrix spawns dozens of process
+    pools, and ``tests/analysis/test_parallel_determinism.py`` keeps a
+    reduced version always-on.
+    """
+    if request.config.getoption("--schedule-fuzz"):
+        from repro.analysis.sanitizer import check_parallel_determinism
+
+        check_parallel_determinism(
+            worker_counts=(1, 2, 3, 4),
+            backends=("numpy", "sparse", "python"),
+        )
+    yield
 
 
 @pytest.fixture
