@@ -43,6 +43,7 @@ from repro.analysis.sanitizer import (
     SanitizedMechanism,
     Violation,
     check_parallel_determinism,
+    check_replay_fidelity,
     check_trace_transparency,
     sanitize_outcome,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "SourceFile",
     "Violation",
     "check_parallel_determinism",
+    "check_replay_fidelity",
     "check_trace_transparency",
     "default_rules",
     "get_rule",

@@ -37,6 +37,13 @@ SEEDED_PACKAGES = ("repro.mechanisms", "repro.matching", "repro.faults")
 #: The sanctioned wall-clock choke point: the injectable Clock layer.
 CLOCK_MODULE = "repro.obs.clock"
 
+#: Modules sanctioned to touch the clock: the Clock layer itself, and
+#: the deterministic retry policy (``repro.utils.retry``), whose only
+#: time read — the :attr:`RetryPolicy.timeout` deadline — is routed
+#: through :func:`repro.obs.clock.perf_seconds` so a replay harness can
+#: freeze it; its backoff arithmetic is pure.
+CLOCK_EXEMPT_MODULES = (CLOCK_MODULE, "repro.utils.retry")
+
 
 def _in_packages(module: str, packages: Sequence[str]) -> bool:
     return any(
@@ -283,7 +290,7 @@ class UnguardedTimeReadRule(FlowRule):
     def check(self, engine: FlowEngine) -> Iterator[LintViolation]:
         reachable = engine.worker_reachable()
         for key, summary, fn in _each_function(engine):
-            if summary.module == CLOCK_MODULE:
+            if summary.module in CLOCK_EXEMPT_MODULES:
                 continue
             entry = reachable.get(key)
             if entry is None:

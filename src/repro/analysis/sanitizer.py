@@ -44,7 +44,13 @@ which the test suite switches on globally in ``tests/conftest.py``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    import os
+
+    from repro.faults.plan import FaultPlan
+    from repro.simulation.scenario import Scenario
 
 from repro.errors import SanitizationError
 from repro.mechanisms.base import Mechanism
@@ -297,6 +303,76 @@ def check_trace_transparency(
             f"payments {untraced.payments} vs {traced.payments})"
         )
     return untraced
+
+
+def check_replay_fidelity(
+    scenario: "Scenario",
+    journal_dir: "os.PathLike",
+    reserve_price: bool = False,
+    payment_rule: str = "paper",
+    fault_plan: Optional["FaultPlan"] = None,
+) -> AuctionOutcome:
+    """Assert that replaying a journaled round reproduces it exactly.
+
+    The durability sibling of :func:`check_trace_transparency`: drives
+    ``scenario`` through a :class:`~repro.durability.JournaledPlatform`
+    writing into ``journal_dir``, then replays the journal from disk
+    with :func:`~repro.durability.replay_journal`, and raises
+    :class:`~repro.errors.SanitizationError` unless the replayed
+    :class:`~repro.model.AuctionOutcome` is byte-identical (pickled
+    bytes, not just ``__eq__``) to the live one.  This is the
+    durability layer's core guarantee: the journal alone determines the
+    outcome, so a crashed-and-recovered round cannot silently diverge
+    from an uninterrupted one.
+
+    ``fault_plan`` optionally injects a
+    :class:`~repro.faults.plan.FaultPlan` so the fidelity check covers
+    dropout/failure recovery paths too.  Returns the live outcome.
+    """
+    import pickle
+
+    from repro.durability import (
+        Journal,
+        execute_commands,
+        replay_journal,
+    )
+    from repro.durability.journaled import JournaledPlatform
+    from repro.durability.replay import round_commands
+    from repro.faults.recovery import apply_bid_faults
+
+    bids = scenario.truthful_bids()
+    if fault_plan is not None:
+        bids, _, _ = apply_bid_faults(list(bids), fault_plan)
+    commands = round_commands(bids, scenario, fault_plan)
+    journal = Journal(journal_dir)
+    try:
+        platform = JournaledPlatform(
+            journal,
+            num_slots=scenario.num_slots,
+            reserve_price=reserve_price,
+            payment_rule=payment_rule,
+            max_reassignments=(
+                3
+                if fault_plan is None
+                else fault_plan.config.max_reassignments
+            ),
+        )
+        live = execute_commands(platform, commands)
+    finally:
+        journal.close()
+    replayed = replay_journal(journal.directory).outcome
+    if live is None or replayed is None:  # pragma: no cover - defensive
+        raise SanitizationError(
+            "replay-fidelity check did not reach a finalized outcome"
+        )
+    if pickle.dumps(replayed) != pickle.dumps(live):
+        raise SanitizationError(
+            f"journal replay is not faithful: replaying "
+            f"{str(journal.directory)!r} produced a different outcome "
+            f"(allocation {live.allocation} vs {replayed.allocation}; "
+            f"payments {live.payments} vs {replayed.payments})"
+        )
+    return live
 
 
 class SanitizedMechanism(Mechanism):  # repro: noqa-mechanism-contract -- transparent wrapper: identity is copied from the wrapped mechanism per instance, and wrapping happens in the registry, not by registration

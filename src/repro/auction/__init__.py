@@ -13,9 +13,13 @@ from repro.auction.events import (
     EVENT_TYPES,
     AuctionEvent,
     BidSubmitted,
+    FailureReported,
     PaymentSettled,
     PaymentWithheld,
     PhoneDropped,
+    RoundFinalized,
+    RoundStarted,
+    SlotAdvanced,
     SlotClosed,
     TaskAllocated,
     TaskFailed,
@@ -53,4 +57,8 @@ __all__ = [
     "TaskFailed",
     "TaskReassigned",
     "PaymentWithheld",
+    "RoundStarted",
+    "FailureReported",
+    "SlotAdvanced",
+    "RoundFinalized",
 ]

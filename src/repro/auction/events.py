@@ -15,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict
 
+from repro.errors import EventDecodeError
+
 
 @dataclasses.dataclass(frozen=True)
 class AuctionEvent:
@@ -52,9 +54,16 @@ class BidSubmitted(AuctionEvent):
 
 @dataclasses.dataclass(frozen=True)
 class TasksAnnounced(AuctionEvent):
-    """The platform announced the tasks arriving this slot."""
+    """The platform announced the tasks arriving this slot.
+
+    ``value`` is the per-task value ``ν`` of the announcement; the
+    platform's own observational emission predates the field and leaves
+    it at ``0.0``, while journal *command* records carry the real value
+    so a replay can re-announce the tasks exactly.
+    """
 
     count: int
+    value: float = 0.0
 
     def describe(self) -> str:
         return f"[slot {self.slot}] {self.count} task(s) announced"
@@ -179,6 +188,62 @@ class PaymentWithheld(AuctionEvent):
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class RoundStarted(AuctionEvent):
+    """A round opened: the platform's configuration, for the journal.
+
+    The first record of every write-ahead journal, carrying everything
+    needed to reconstruct the platform during replay.  ``slot`` is ``0``
+    by convention (the round has not reached slot 1 yet).
+    """
+
+    num_slots: int
+    reserve_price: bool
+    payment_rule: str
+    max_reassignments: int
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] round started: {self.num_slots} slot(s), "
+            f"payment rule {self.payment_rule!r}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureReported(AuctionEvent):
+    """A phone was reported as a non-deliverer (command record).
+
+    ``CrowdsourcingPlatform.report_task_failure`` mutates state without
+    emitting an observational event (the failure only *manifests* at
+    settlement); the journal still needs a record of the command, which
+    is this event.
+    """
+
+    phone_id: int
+
+    def describe(self) -> str:
+        return (
+            f"[slot {self.slot}] phone {self.phone_id} reported as a "
+            f"non-deliverer"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotAdvanced(AuctionEvent):
+    """The platform was told to close the current slot (command record)."""
+
+    def describe(self) -> str:
+        return f"[slot {self.slot}] slot close requested"
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundFinalized(AuctionEvent):
+    """The round's outcome was sealed (command record)."""
+
+    def describe(self) -> str:
+        return f"[slot {self.slot}] round finalized"
+
+
 #: Every concrete event type, keyed by class name (the ``"event"`` tag
 #: of :meth:`AuctionEvent.to_dict`).
 EVENT_TYPES: Dict[str, type] = {
@@ -194,6 +259,10 @@ EVENT_TYPES: Dict[str, type] = {
         TaskFailed,
         TaskReassigned,
         PaymentWithheld,
+        RoundStarted,
+        FailureReported,
+        SlotAdvanced,
+        RoundFinalized,
     )
 }
 
@@ -201,14 +270,29 @@ EVENT_TYPES: Dict[str, type] = {
 def event_from_dict(payload: Dict[str, Any]) -> AuctionEvent:
     """Reconstruct an event from its :meth:`~AuctionEvent.to_dict` form.
 
-    Raises :class:`ValueError` on a missing or unknown ``"event"`` tag
-    (e.g. a trace written by an incompatible version).
+    Raises :class:`~repro.errors.EventDecodeError` — a ``ValueError``
+    subclass carrying the offending payload — when the payload is not a
+    mapping, the ``"event"`` tag is missing or unknown (e.g. a trace
+    written by an incompatible version), or the fields do not match the
+    event class (missing, extra, or keyword-invalid).
     """
+    if not isinstance(payload, dict):
+        raise EventDecodeError(
+            f"event payload must be a mapping, got "
+            f"{type(payload).__name__}",
+            payload=payload,
+        )
     tag = payload.get("event")
     if tag not in EVENT_TYPES:
-        raise ValueError(
+        raise EventDecodeError(
             f"unknown event type {tag!r}; expected one of "
-            f"{sorted(EVENT_TYPES)}"
+            f"{sorted(EVENT_TYPES)}",
+            payload=payload,
         )
     fields = {k: v for k, v in payload.items() if k != "event"}
-    return EVENT_TYPES[tag](**fields)  # type: ignore[no-any-return]
+    try:
+        return EVENT_TYPES[tag](**fields)  # type: ignore[no-any-return]
+    except TypeError as exc:
+        raise EventDecodeError(
+            f"malformed {tag} payload: {exc}", payload=payload
+        ) from exc

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pathlib
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -187,6 +188,35 @@ def _run_rounds_parallel(
     return round_results
 
 
+def _run_journaled_round(
+    scenario: Scenario, round_dir: pathlib.Path
+) -> SimulationResult:
+    """Run one fault-free round through a journaling platform.
+
+    Drives the scenario's truthful bids slot by slot through a
+    :class:`~repro.durability.JournaledPlatform` (write-ahead journal in
+    ``round_dir``).  The outcome equals the plain online-greedy engine
+    run's value-for-value; payments are settled at departure slots, so
+    their dict insertion order follows settlement, not allocation.
+    """
+    # Lazy import: durability wraps the platform, which lives next door.
+    from repro.durability import Journal
+    from repro.durability.journaled import JournaledPlatform
+    from repro.durability.replay import execute_commands, round_commands
+
+    commands = round_commands(scenario.truthful_bids(), scenario, plan=None)
+    journal = Journal(round_dir)
+    try:
+        journaled = JournaledPlatform(
+            journal, num_slots=scenario.num_slots
+        )
+        outcome = execute_commands(journaled, commands)
+    finally:
+        journal.close()
+    assert outcome is not None
+    return SimulationEngine.package("online-greedy", outcome, scenario)
+
+
 def run_campaign(
     mechanism: Mechanism,
     workload: WorkloadConfig,
@@ -197,6 +227,7 @@ def run_campaign(
     fault_config: Optional["FaultConfig"] = None,
     fault_seed: Optional[int] = None,
     workers: int = 1,
+    journal_dir: Optional[os.PathLike] = None,
 ) -> CampaignResult:
     """Run ``num_rounds`` consecutive rounds of ``workload``.
 
@@ -234,6 +265,18 @@ def run_campaign(
         are collected in round order and identical to a serial run.
         Under ``"losers"``, round ``k+1``'s population depends on round
         ``k``'s outcome, so the campaign is inherently sequential.
+    journal_dir:
+        When given, every round is driven slot by slot through a
+        :class:`~repro.durability.JournaledPlatform` writing a
+        write-ahead journal into ``journal_dir/round-NNNN`` — outcomes
+        equal the unjournaled campaign's (winners, allocation, and
+        payments value-for-value; payment *insertion order* follows the
+        platform's slot-by-slot settlement rather than the batch
+        mechanism's allocation order), and a killed campaign's rounds
+        can be inspected or replayed with ``repro-crowd replay``.
+        Requires the ``online-greedy`` mechanism (journaling is a
+        platform-level concern) and ``workers=1`` (one journal writer
+        per directory).
     """
     check_type("num_rounds", num_rounds, int)
     check_positive("num_rounds", num_rounds)
@@ -256,6 +299,18 @@ def run_campaign(
             f"(faults unfold slot by slot on the platform), got "
             f"{mechanism.name!r}"
         )
+    if journal_dir is not None:
+        if mechanism.name != "online-greedy":
+            raise SimulationError(
+                f"journaling requires the 'online-greedy' mechanism "
+                f"(the journal records slot-by-slot platform commands), "
+                f"got {mechanism.name!r}"
+            )
+        if workers > 1:
+            raise SimulationError(
+                "journaling requires workers=1: each round journal has "
+                "exactly one writer"
+            )
 
     streams = RngStreams(seed)
     fault_streams = RngStreams(fault_seed if fault_seed is not None else seed)
@@ -290,6 +345,12 @@ def run_campaign(
                 recovered += round_result.recovered
         else:
             for round_index in range(num_rounds):
+                round_dir: Optional[pathlib.Path] = None
+                if journal_dir is not None:
+                    round_dir = (
+                        pathlib.Path(os.fspath(journal_dir))
+                        / f"round-{round_index:04d}"
+                    )
                 with obs.span("campaign.round", round=round_index):
                     base = workload.generate(
                         seed=streams.child(round_index).seed
@@ -323,12 +384,16 @@ def run_campaign(
                             scenario,
                             fault_config,
                             seed=fault_streams.child(round_index).seed,
+                            journal_dir=round_dir,
                         )
                         result = faulty.result
                         winner_ids = set(faulty.report.delivered)
                         dropped += len(faulty.report.dropped)
                         failures += len(faulty.report.failed_deliverers)
                         recovered += len(faulty.report.recovered_tasks)
+                    elif round_dir is not None:
+                        result = _run_journaled_round(scenario, round_dir)
+                        winner_ids = set(result.outcome.winners)
                     else:
                         result = engine.run(mechanism, scenario)
                         winner_ids = set(result.outcome.winners)

@@ -197,14 +197,18 @@ class CrowdsourcingPlatform:
         return dict(self._reassign_counts)
 
     # ------------------------------------------------------------------
-    # Submissions
+    # Validation
     # ------------------------------------------------------------------
-    def submit_bid(self, bid: Bid) -> None:
-        """A phone joins in the current slot and submits its bid.
+    # Every mutating entry point validates through one of these public
+    # ``validate_*`` methods *before* touching state.  They are public so
+    # a write-ahead wrapper (``repro.durability.JournaledPlatform``) can
+    # run the same checks before appending the command to its journal —
+    # a rejected command must leave the journal unchanged.
 
-        The online model requires a phone to bid when it becomes active:
-        ``bid.arrival`` must equal the current slot.
-        """
+    def validate_bid(self, bid: Bid) -> None:
+        """Raise :class:`~repro.errors.MechanismError` unless ``bid``
+        may be submitted right now (round open, arrival == current slot,
+        departure within the horizon, phone not seen before)."""
         self._check_open()
         if bid.arrival != self._current_slot:
             raise MechanismError(
@@ -221,6 +225,102 @@ class CrowdsourcingPlatform:
             raise MechanismError(
                 f"phone {bid.phone_id} already submitted a bid this round"
             )
+
+    def validate_task_submission(self, count: int, value: float) -> None:
+        """Raise unless ``count`` tasks of ``value`` may be announced."""
+        self._check_open()
+        check_type("count", count, int)
+        if count < 0:
+            raise MechanismError(f"count must be >= 0, got {count}")
+        if count:
+            # Run the task constructor's own field validation before any
+            # task is appended, so a bad value never half-announces.
+            SensingTask(
+                task_id=0, slot=self._current_slot, index=1, value=value
+            )
+
+    def validate_dropout(self, phone_id: int) -> None:
+        """Raise unless ``phone_id`` may drop out in the current slot."""
+        self._check_open()
+        bid = self._all_bids.get(phone_id)
+        if bid is None:
+            raise MechanismError(
+                f"cannot drop phone {phone_id}: it never submitted a bid"
+            )
+        if phone_id in self._dropped:
+            raise MechanismError(
+                f"phone {phone_id} already dropped out in slot "
+                f"{self._dropped[phone_id]}"
+            )
+        if bid.departure < self._current_slot:
+            raise MechanismError(
+                f"phone {phone_id} reported departure {bid.departure} and "
+                f"has already left; it cannot drop out in slot "
+                f"{self._current_slot}"
+            )
+
+    def validate_task_failure(self, phone_id: int) -> None:
+        """Raise unless ``phone_id`` may be marked a non-deliverer."""
+        self._check_open()
+        if phone_id not in self._all_bids:
+            raise MechanismError(
+                f"cannot mark phone {phone_id} as failing: it never "
+                f"submitted a bid"
+            )
+        if phone_id in self._delivered:
+            raise MechanismError(
+                f"phone {phone_id} already delivered its task; it cannot "
+                f"fail retroactively"
+            )
+        if phone_id in self._dropped:
+            raise MechanismError(
+                f"phone {phone_id} already dropped out; reporting a task "
+                f"failure as well is redundant"
+            )
+
+    def validate_close(self) -> None:
+        """Raise unless the current slot may be closed."""
+        self._check_open()
+
+    def validate_advance(self, slot: int) -> None:
+        """Raise unless the round may advance to ``slot``."""
+        self._check_open()
+        check_type("slot", slot, int)
+        if slot < self._current_slot:
+            raise MechanismError(
+                f"cannot advance to slot {slot}: slot "
+                f"{self._current_slot} is already open (slots advance "
+                f"monotonically)"
+            )
+        if slot > self._num_slots:
+            raise MechanismError(
+                f"cannot advance to slot {slot}: the round horizon is "
+                f"{self._num_slots}"
+            )
+
+    def validate_finalize(self) -> None:
+        """Raise unless the round may be finalized."""
+        if self._finalized:
+            raise MechanismError(
+                "finalize() already called: a round produces exactly one "
+                "outcome"
+            )
+        if not self._finished:
+            raise MechanismError(
+                f"round not finished: slot {self._current_slot} of "
+                f"{self._num_slots} still open"
+            )
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+    def submit_bid(self, bid: Bid) -> None:
+        """A phone joins in the current slot and submits its bid.
+
+        The online model requires a phone to bid when it becomes active:
+        ``bid.arrival`` must equal the current slot.
+        """
+        self.validate_bid(bid)
         self._all_bids[bid.phone_id] = bid
         heapq.heappush(self._pool, (bid_sort_key(bid), bid))
         self._emit(
@@ -235,10 +335,7 @@ class CrowdsourcingPlatform:
 
     def submit_tasks(self, count: int, value: float) -> List[SensingTask]:
         """Announce ``count`` tasks of ``value`` arriving this slot."""
-        self._check_open()
-        check_type("count", count, int)
-        if count < 0:
-            raise MechanismError(f"count must be >= 0, got {count}")
+        self.validate_task_submission(count, value)
         created: List[SensingTask] = []
         existing = sum(
             1 for t in self._pending_tasks if t.slot == self._current_slot
@@ -271,23 +368,7 @@ class CrowdsourcingPlatform:
         reported departure slot), the task fails, the payment is
         withheld, and the platform attempts an in-slot reallocation.
         """
-        self._check_open()
-        bid = self._all_bids.get(phone_id)
-        if bid is None:
-            raise MechanismError(
-                f"cannot drop phone {phone_id}: it never submitted a bid"
-            )
-        if phone_id in self._dropped:
-            raise MechanismError(
-                f"phone {phone_id} already dropped out in slot "
-                f"{self._dropped[phone_id]}"
-            )
-        if bid.departure < self._current_slot:
-            raise MechanismError(
-                f"phone {phone_id} reported departure {bid.departure} and "
-                f"has already left; it cannot drop out in slot "
-                f"{self._current_slot}"
-            )
+        self.validate_dropout(phone_id)
         slot = self._current_slot
         self._dropped[phone_id] = slot
         self._emit(PhoneDropped(slot=slot, phone_id=phone_id))
@@ -302,22 +383,7 @@ class CrowdsourcingPlatform:
         slot) it hands in nothing — the task fails, the payment is
         withheld, and the platform attempts an in-slot reallocation.
         """
-        self._check_open()
-        if phone_id not in self._all_bids:
-            raise MechanismError(
-                f"cannot mark phone {phone_id} as failing: it never "
-                f"submitted a bid"
-            )
-        if phone_id in self._delivered:
-            raise MechanismError(
-                f"phone {phone_id} already delivered its task; it cannot "
-                f"fail retroactively"
-            )
-        if phone_id in self._dropped:
-            raise MechanismError(
-                f"phone {phone_id} already dropped out; reporting a task "
-                f"failure as well is redundant"
-            )
+        self.validate_task_failure(phone_id)
         self._unreliable.add(phone_id)
 
     def _fail_delivery(self, phone_id: int, reason: str) -> None:
@@ -407,7 +473,7 @@ class CrowdsourcingPlatform:
     # ------------------------------------------------------------------
     def close_slot(self) -> None:
         """Allocate this slot's tasks, settle due payments, advance."""
-        self._check_open()
+        self.validate_close()
         slot = self._current_slot
 
         with obs.span(
@@ -530,19 +596,7 @@ class CrowdsourcingPlatform:
         :class:`~repro.errors.MechanismError` on out-of-order advancement
         (a slot already closed) or a slot beyond the round horizon.
         """
-        self._check_open()
-        check_type("slot", slot, int)
-        if slot < self._current_slot:
-            raise MechanismError(
-                f"cannot advance to slot {slot}: slot "
-                f"{self._current_slot} is already open (slots advance "
-                f"monotonically)"
-            )
-        if slot > self._num_slots:
-            raise MechanismError(
-                f"cannot advance to slot {slot}: the round horizon is "
-                f"{self._num_slots}"
-            )
+        self.validate_advance(slot)
         while self._current_slot < slot:
             self.close_slot()
 
@@ -551,16 +605,7 @@ class CrowdsourcingPlatform:
     # ------------------------------------------------------------------
     def finalize(self) -> AuctionOutcome:
         """The round's outcome; requires every slot to be closed."""
-        if self._finalized:
-            raise MechanismError(
-                "finalize() already called: a round produces exactly one "
-                "outcome"
-            )
-        if not self._finished:
-            raise MechanismError(
-                f"round not finished: slot {self._current_slot} of "
-                f"{self._num_slots} still open"
-            )
+        self.validate_finalize()
         self._finalized = True
         schedule = TaskSchedule(num_slots=self._num_slots, tasks=self._tasks)
         return AuctionOutcome(

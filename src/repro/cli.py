@@ -19,6 +19,13 @@ Commands
     Run one round under injected faults (dropouts, delivery failures,
     bid delays/losses) paired against the fault-free run of the same
     bids; print the reliability report.
+``replay``
+    Deterministically re-execute a write-ahead journal written by a
+    journaled round (``campaign --journal-dir`` / the durability API)
+    and print the reconstructed outcome.
+``verify-log``
+    Integrity-check a journal without executing it: hash chain,
+    sequence numbers, and torn-tail status.
 ``example``
     Walk through the paper's Fig. 4 / Fig. 5 worked example.
 ``trace``
@@ -416,7 +423,10 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
         fault_config=fault_config,
         fault_seed=args.fault_seed,
         workers=args.workers,
+        journal_dir=args.journal_dir,
     )
+    if args.journal_dir is not None:
+        console.note(f"per-round journals written under {args.journal_dir}")
     console.out(
         f"\ncampaign: {result.num_rounds} rounds, mechanism "
         f"{mechanism.name}, retry="
@@ -461,6 +471,95 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
         }
     )
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace, console: Console) -> int:
+    from repro.durability import replay_journal
+
+    result = replay_journal(args.journal)
+    outcome = result.outcome
+    console.out(
+        f"\nreplayed {len(result.records)} records from {args.journal}: "
+        f"{result.commands_applied} commands applied, "
+        f"{result.events_verified} derived events verified\n"
+    )
+    if outcome is None:
+        console.out(
+            "journal ends before finalize (crashed round); partial state "
+            f"reconstructed through slot {result.platform.current_slot}"
+        )
+        console.result(
+            {
+                "journal": str(args.journal),
+                "records": len(result.records),
+                "commands_applied": result.commands_applied,
+                "events_verified": result.events_verified,
+                "finalized": False,
+            }
+        )
+        return 0
+    console.out(
+        format_table(
+            ["metric", "value"],
+            [
+                ["winners", len(outcome.winners)],
+                ["tasks served", len(outcome.allocation)],
+                ["total payment", outcome.total_payment],
+            ],
+            title="Replayed outcome",
+        )
+    )
+    console.result(
+        {
+            "journal": str(args.journal),
+            "records": len(result.records),
+            "commands_applied": result.commands_applied,
+            "events_verified": result.events_verified,
+            "finalized": True,
+            "winners": sorted(outcome.winners),
+            "total_payment": outcome.total_payment,
+            "tasks_served": len(outcome.allocation),
+        }
+    )
+    return 0
+
+
+def _cmd_verify_log(args: argparse.Namespace, console: Console) -> int:
+    from repro.durability import scan_journal
+
+    scan = scan_journal(args.journal)
+    if scan.torn and args.strict:
+        raise ReproError(
+            f"journal has a torn tail: {scan.torn_reason} "
+            f"(segment {scan.torn_segment}, offset {scan.torn_offset})"
+        )
+    status = "TORN TAIL" if scan.torn else "OK"
+    console.out(
+        f"\n{args.journal}: {len(scan.records)} valid records across "
+        f"{len(scan.segments)} segment(s) — {status}"
+    )
+    if scan.torn:
+        console.out(
+            f"  torn tail in {scan.torn_segment} at offset "
+            f"{scan.torn_offset} ({scan.truncated_bytes} bytes): "
+            f"{scan.torn_reason}"
+        )
+        console.out(
+            "  (recoverable: opening the journal for append truncates "
+            "the tail)"
+        )
+    console.result(
+        {
+            "journal": str(args.journal),
+            "records": len(scan.records),
+            "segments": [p.name for p in scan.segments],
+            "last_seq": scan.last_seq,
+            "torn": scan.torn,
+            "torn_reason": scan.torn_reason,
+            "truncated_bytes": scan.truncated_bytes,
+        }
+    )
+    return 0 if not scan.torn else 1
 
 
 def _cmd_example(args: argparse.Namespace, console: Console) -> int:
@@ -838,7 +937,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the rounds (default 1: serial); "
         "requires the default no-retry policy",
     )
+    campaign.add_argument(
+        "--journal-dir", type=pathlib.Path, default=None,
+        help="write a crash-consistent per-round write-ahead journal "
+        "under this directory (online-greedy, workers=1 only); inspect "
+        "with 'replay' / 'verify-log'",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="re-execute a write-ahead journal and print the outcome",
+        parents=[common],
+    )
+    replay.add_argument(
+        "journal", type=pathlib.Path,
+        help="journal directory written by a journaled round",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    verify_log = subparsers.add_parser(
+        "verify-log",
+        help="integrity-check a journal (hash chain, torn tail) without "
+        "executing it",
+        parents=[common],
+    )
+    verify_log.add_argument(
+        "journal", type=pathlib.Path,
+        help="journal directory to verify",
+    )
+    verify_log.add_argument(
+        "--strict", action="store_true",
+        help="treat a (recoverable) torn tail as an error (exit 2)",
+    )
+    verify_log.set_defaults(func=_cmd_verify_log)
 
     chaos = subparsers.add_parser(
         "chaos",

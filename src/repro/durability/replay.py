@@ -1,0 +1,391 @@
+"""Deterministic replay and resume of journaled rounds.
+
+The journal is a *redo log of commands*: replaying the command records
+through a fresh :class:`~repro.auction.CrowdsourcingPlatform` — in
+order, nothing else — reconstructs the exact platform state, because
+the platform is deterministic in its inputs.  The derived event records
+interleaved with the commands are not replayed; they are **verified**:
+while re-executing a command, the events the platform emits must match
+the journaled derived records one for one.  Any disagreement raises
+:class:`~repro.errors.ReplayDivergenceError` — the journal and the code
+that wrote it are out of sync, and replay refuses to silently diverge.
+A *missing* suffix of derived records after the journal's last command
+is tolerated: that is exactly what a crash between steps 3 and 4 of the
+write-ahead discipline leaves behind.
+
+:func:`resume_round` closes the loop for the deterministic round
+drivers (campaigns, fault runs): given the journal and the regenerated
+command stream of the round, it replays what the journal holds,
+verifies the journaled prefix matches the regenerated commands, and
+re-executes the remainder through a fresh
+:class:`~repro.durability.JournaledPlatform` — so a crashed round,
+resumed, produces an :class:`~repro.model.AuctionOutcome` whose pickled
+bytes equal the uncrashed run's (property-tested in
+``tests/durability``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.auction.events import (
+    AuctionEvent,
+    BidSubmitted,
+    FailureReported,
+    PhoneDropped,
+    RoundFinalized,
+    RoundStarted,
+    SlotAdvanced,
+    TasksAnnounced,
+)
+from repro.auction.platform import CrowdsourcingPlatform
+from repro.durability.journal import (
+    KIND_COMMAND,
+    Journal,
+    JournalRecord,
+    scan_journal,
+)
+from repro.durability.journaled import JournaledPlatform
+from repro.errors import JournalError, ReplayDivergenceError
+from repro.model.bid import Bid
+from repro.model.outcome import AuctionOutcome
+
+if False:  # pragma: no cover - import cycle guard (types only)
+    from repro.faults.plan import FaultPlan
+    from repro.simulation.scenario import Scenario
+
+
+def apply_command(platform: object, command: AuctionEvent) -> object:
+    """Dispatch one journaled command to a platform(-like) object.
+
+    ``platform`` is either a bare :class:`CrowdsourcingPlatform`
+    (replay) or a :class:`~repro.durability.JournaledPlatform`
+    (resume) — both expose the same mutating surface.  Returns whatever
+    the platform method returns (the outcome, for ``RoundFinalized``).
+    """
+    if isinstance(command, BidSubmitted):
+        return platform.submit_bid(  # type: ignore[attr-defined]
+            Bid(
+                phone_id=command.phone_id,
+                arrival=command.arrival,
+                departure=command.departure,
+                cost=command.cost,
+            )
+        )
+    if isinstance(command, TasksAnnounced):
+        return platform.submit_tasks(  # type: ignore[attr-defined]
+            command.count, value=command.value
+        )
+    if isinstance(command, PhoneDropped):
+        return platform.report_dropout(  # type: ignore[attr-defined]
+            command.phone_id
+        )
+    if isinstance(command, FailureReported):
+        return platform.report_task_failure(  # type: ignore[attr-defined]
+            command.phone_id
+        )
+    if isinstance(command, SlotAdvanced):
+        return platform.close_slot()  # type: ignore[attr-defined]
+    if isinstance(command, RoundFinalized):
+        return platform.finalize()  # type: ignore[attr-defined]
+    raise JournalError(
+        f"{type(command).__name__} is not a journal command"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayResult:
+    """Everything a journal replay reconstructs.
+
+    Attributes
+    ----------
+    outcome:
+        The finalized :class:`~repro.model.AuctionOutcome`, or ``None``
+        when the journal ends before ``RoundFinalized`` (a mid-round
+        crash).
+    platform:
+        The reconstructed platform (open when ``outcome is None``).
+    commands_applied / events_verified:
+        How many command records were re-executed and how many derived
+        event records were checked against re-emitted events.
+    records:
+        The verified journal records the replay consumed.
+    """
+
+    outcome: Optional[AuctionOutcome]
+    platform: CrowdsourcingPlatform
+    commands_applied: int
+    events_verified: int
+    records: Tuple[JournalRecord, ...]
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the journal reached ``RoundFinalized``."""
+        return self.outcome is not None
+
+
+def replay_records(
+    records: Sequence[JournalRecord],
+) -> ReplayResult:
+    """Re-execute a verified record sequence on a fresh platform."""
+    if not records:
+        raise JournalError("cannot replay an empty journal")
+    header = records[0]
+    if header.kind != KIND_COMMAND or not isinstance(
+        header.event, RoundStarted
+    ):
+        raise JournalError(
+            f"journal must start with a RoundStarted command, found "
+            f"{type(header.event).__name__} ({header.kind})",
+            sequence=header.seq,
+        )
+    started = header.event
+    platform = CrowdsourcingPlatform(
+        num_slots=started.num_slots,
+        reserve_price=started.reserve_price,
+        payment_rule=started.payment_rule,
+        max_reassignments=started.max_reassignments,
+    )
+    outcome: Optional[AuctionOutcome] = None
+    expected: List[AuctionEvent] = []
+    commands_applied = 0
+    events_verified = 0
+    for record in records[1:]:
+        if record.kind == KIND_COMMAND:
+            # Derived records of the previous command may be cut short
+            # by a crash; a *following* command proves the mutation
+            # completed, so the remaining expectations are dropped.
+            expected.clear()
+            before = len(platform.events)
+            result = apply_command(platform, record.event)
+            if isinstance(record.event, RoundFinalized):
+                outcome = result  # type: ignore[assignment]
+            expected.extend(platform.events[before:])
+            commands_applied += 1
+        else:
+            if not expected:
+                raise ReplayDivergenceError(
+                    f"record {record.seq} journals derived event "
+                    f"{type(record.event).__name__} but replaying the "
+                    f"commands emitted no further event there",
+                    sequence=record.seq,
+                )
+            emitted = expected.pop(0)
+            if emitted != record.event:
+                raise ReplayDivergenceError(
+                    f"record {record.seq} diverges from replay: journal "
+                    f"holds {record.event!r}, re-execution emitted "
+                    f"{emitted!r}",
+                    sequence=record.seq,
+                )
+            events_verified += 1
+    return ReplayResult(
+        outcome=outcome,
+        platform=platform,
+        commands_applied=commands_applied,
+        events_verified=events_verified,
+        records=tuple(records),
+    )
+
+
+def replay_journal(directory: os.PathLike) -> ReplayResult:
+    """Scan a journal directory (read-only) and replay it.
+
+    A torn tail is skipped exactly as recovery would truncate it;
+    mid-log corruption raises :class:`~repro.errors.JournalError`.
+    """
+    with obs.span("journal.replay", directory=str(directory)):
+        scan = scan_journal(directory)
+        return replay_records(scan.records)
+
+
+# ----------------------------------------------------------------------
+# Deterministic round driving (command streams)
+# ----------------------------------------------------------------------
+def round_commands(
+    bids: Sequence[Bid],
+    scenario: "Scenario",
+    plan: Optional["FaultPlan"] = None,
+    include_finalize: bool = True,
+) -> List[AuctionEvent]:
+    """The deterministic command stream of one round.
+
+    Mirrors the feeding order of the fault-aware driver
+    (:func:`repro.faults.recovery.run_with_faults`): per slot — bids in
+    arrival order, each immediately followed by a failure report when
+    the plan marks the phone as a non-deliverer; then the slot's
+    dropouts; then the slot's tasks, announced one by one; then the
+    slot close.  ``bids`` must already have submission faults applied
+    (:func:`repro.faults.recovery.apply_bid_faults`).
+
+    Because the stream is a pure function of ``(bids, scenario,
+    plan)``, a crashed round can be resumed by regenerating it and
+    continuing from the journal's high-water mark
+    (:func:`resume_round`).
+    """
+    by_arrival: Dict[int, List[Bid]] = {}
+    for bid in bids:
+        by_arrival.setdefault(bid.arrival, []).append(bid)
+    dropouts_at: Dict[int, List[int]] = {}
+    if plan is not None:
+        departures = {bid.phone_id: bid.departure for bid in bids}
+        for record in plan:
+            if record.phone_id not in departures:
+                continue  # bid lost: the phone never joined
+            if record.dropout_slot is None:
+                continue
+            if record.dropout_slot > departures[record.phone_id]:
+                continue  # "drops" after its claimed departure: a no-op
+            dropouts_at.setdefault(record.dropout_slot, []).append(
+                record.phone_id
+            )
+
+    commands: List[AuctionEvent] = []
+    for slot in range(1, scenario.num_slots + 1):
+        for bid in by_arrival.get(slot, ()):
+            commands.append(
+                BidSubmitted(
+                    slot=slot,
+                    phone_id=bid.phone_id,
+                    arrival=bid.arrival,
+                    departure=bid.departure,
+                    cost=bid.cost,
+                )
+            )
+            if plan is not None:
+                record = plan.for_phone(bid.phone_id)
+                if record is not None and record.fails_task:
+                    commands.append(
+                        FailureReported(slot=slot, phone_id=bid.phone_id)
+                    )
+        for phone_id in dropouts_at.get(slot, ()):
+            commands.append(PhoneDropped(slot=slot, phone_id=phone_id))
+        for task in scenario.schedule.tasks_in_slot(slot):
+            commands.append(
+                TasksAnnounced(slot=slot, count=1, value=task.value)
+            )
+        commands.append(SlotAdvanced(slot=slot))
+    if include_finalize:
+        commands.append(RoundFinalized(slot=scenario.num_slots))
+    return commands
+
+
+def execute_commands(
+    platform: JournaledPlatform,
+    commands: Sequence[AuctionEvent],
+) -> Optional[AuctionOutcome]:
+    """Apply a command stream through a journaled platform, in order."""
+    outcome: Optional[AuctionOutcome] = None
+    for command in commands:
+        result = apply_command(platform, command)
+        if isinstance(command, RoundFinalized):
+            outcome = result  # type: ignore[assignment]
+    return outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class ResumeResult:
+    """Outcome of :func:`resume_round`.
+
+    Attributes
+    ----------
+    outcome:
+        The finalized outcome (always set: the command stream ends in
+        ``RoundFinalized``).
+    platform:
+        The journaled platform that finished the round.
+    replayed_commands:
+        Commands recovered from the journal (``0`` for a fresh round).
+    executed_commands:
+        Commands executed live to finish the round.
+    """
+
+    outcome: AuctionOutcome
+    platform: JournaledPlatform
+    replayed_commands: int
+    executed_commands: int
+
+
+def resume_round(
+    journal: Journal,
+    commands: Sequence[AuctionEvent],
+    num_slots: int,
+    reserve_price: bool = False,
+    payment_rule: str = "paper",
+    max_reassignments: int = 3,
+) -> ResumeResult:
+    """Finish a (possibly crashed, possibly empty) journaled round.
+
+    ``commands`` is the round's full deterministic command stream
+    (:func:`round_commands`, ending in ``RoundFinalized``).  The
+    journal's recovered records are replayed and prefix-checked against
+    it — a mismatch raises
+    :class:`~repro.errors.ReplayDivergenceError`, a differing platform
+    configuration raises :class:`~repro.errors.JournalError` — then the
+    remaining commands run through the write-ahead wrapper.
+    """
+    records = journal.records
+    if not records:
+        platform = JournaledPlatform(
+            journal,
+            num_slots=num_slots,
+            reserve_price=reserve_price,
+            payment_rule=payment_rule,
+            max_reassignments=max_reassignments,
+        )
+        outcome = execute_commands(platform, commands)
+        assert outcome is not None
+        return ResumeResult(
+            outcome=outcome,
+            platform=platform,
+            replayed_commands=0,
+            executed_commands=len(commands),
+        )
+
+    replay = replay_records(records)
+    started = records[0].event
+    assert isinstance(started, RoundStarted)
+    requested = RoundStarted(
+        slot=0,
+        num_slots=num_slots,
+        reserve_price=bool(reserve_price),
+        payment_rule=payment_rule,
+        max_reassignments=max_reassignments,
+    )
+    if started != requested:
+        raise JournalError(
+            f"journal {str(journal.directory)!r} records configuration "
+            f"{started!r} but the resume requested {requested!r}"
+        )
+    journaled = [
+        record.event
+        for record in records[1:]
+        if record.kind == KIND_COMMAND
+    ]
+    if list(commands[: len(journaled)]) != journaled:
+        raise ReplayDivergenceError(
+            f"journal {str(journal.directory)!r} holds a command "
+            f"history that is not a prefix of the regenerated round; "
+            f"refusing to resume (seed or scenario mismatch?)"
+        )
+    if len(journaled) > len(commands):
+        raise ReplayDivergenceError(
+            f"journal holds {len(journaled)} commands but the "
+            f"regenerated round has only {len(commands)}"
+        )
+    platform = JournaledPlatform.from_recovery(journal, replay.platform)
+    remaining = list(commands[len(journaled):])
+    outcome = replay.outcome
+    if remaining:
+        outcome = execute_commands(platform, remaining)
+    assert outcome is not None
+    obs.counter("journal.resumed_rounds")
+    return ResumeResult(
+        outcome=outcome,
+        platform=platform,
+        replayed_commands=len(journaled),
+        executed_commands=len(remaining),
+    )

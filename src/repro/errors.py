@@ -8,6 +8,8 @@ execution, simulation, and the experiment harness.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -21,6 +23,24 @@ class ValidationError(ReproError, ValueError):
     doing any work.  Inherits :class:`ValueError` so existing callers that
     catch ``ValueError`` keep working.
     """
+
+
+class EventDecodeError(ValidationError):
+    """A serialised event payload could not be decoded.
+
+    Raised by :func:`repro.auction.events.event_from_dict` on a payload
+    that is not a mapping, carries a missing or unknown ``"event"`` tag,
+    or has missing/extra/mistyped fields.  The offending payload is
+    attached on :attr:`payload` so journal recovery and trace tooling
+    can report exactly what was read.  Inherits :class:`ValueError`
+    (via :class:`ValidationError`) so existing callers that catch
+    ``ValueError`` keep working.
+    """
+
+    def __init__(self, message: str, payload: object = None) -> None:
+        super().__init__(message)
+        #: The payload that failed to decode, verbatim.
+        self.payload = payload
 
 
 class BidConstraintError(ValidationError):
@@ -89,6 +109,35 @@ class FaultError(SimulationError):
     Examples: a fault probability outside ``[0, 1]``, a dropout slot
     outside the phone's active window, or a fault plan applied to a
     scenario it was not built for.
+    """
+
+
+class JournalError(ReproError):
+    """A write-ahead journal is corrupt, inconsistent, or misused.
+
+    Examples: a mid-log record whose checksum or hash chain does not
+    verify (:attr:`sequence` names the offending record), an append to
+    a journal that already observed a simulated crash, or a journal
+    whose header records a different round configuration than the one
+    being resumed.  A *torn tail* — an invalid final record, the
+    signature of a crash mid-write — is not an error: recovery
+    truncates it silently.
+    """
+
+    def __init__(self, message: str, sequence: "Optional[int]" = None) -> None:
+        super().__init__(message)
+        #: Sequence number of the offending record, when known.
+        self.sequence = sequence
+
+
+class ReplayDivergenceError(JournalError):
+    """Replaying a journal did not reproduce the journaled history.
+
+    Raised when a journaled derived event disagrees with the event the
+    platform emits while re-executing the journaled commands, or when a
+    resumed round's regenerated command stream does not prefix-match
+    the journaled one.  Either means the journal and the code that
+    wrote it disagree — replay refuses to silently diverge.
     """
 
 

@@ -11,8 +11,13 @@ aggregates byte-identically to an uninterrupted one (asserted by the
 tests).
 
 A corrupt or alien checkpoint is treated as *missing* by default (the
-point is recomputed); ``strict=True`` raises
-:class:`~repro.errors.CheckpointError` instead.
+point is recomputed) and **quarantined**: the offending file is renamed
+to ``*.corrupt`` (and counted on the ``checkpoint.quarantined``
+counter) so the sweep never wedges behind the same unreadable point
+twice and the evidence survives for inspection.  ``strict=True`` raises
+:class:`~repro.errors.CheckpointError` instead, leaving the file in
+place.  Transient I/O failures on save/load retry under an optional
+:class:`~repro.utils.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
@@ -26,9 +31,11 @@ import re
 import tempfile
 from typing import Any, Dict, Mapping, Optional
 
+from repro import obs
 from repro.errors import CheckpointError
 from repro.experiments.runner import MechanismMetrics, SweepPoint
 from repro.metrics.summary import Summary
+from repro.utils.retry import RetryPolicy, call_with_retry
 
 #: Bump when the checkpoint payload layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -126,10 +133,19 @@ class CheckpointStore:
     directory:
         Root directory; one subdirectory per sweep name is created on
         first save.
+    io_retry:
+        Optional :class:`~repro.utils.retry.RetryPolicy` applied to
+        file reads/writes against transient ``OSError`` (default: no
+        retries, the historical behaviour).
     """
 
-    def __init__(self, directory: os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: os.PathLike,
+        io_retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self._root = pathlib.Path(directory)
+        self._io_retry = io_retry or RetryPolicy()
 
     @property
     def root(self) -> pathlib.Path:
@@ -164,19 +180,23 @@ class CheckpointStore:
         )
         path = self.path_for(sweep_name, point.param, point.value)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                stream.write(document)
-                stream.flush()
-                os.fsync(stream.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+
+        def _attempt() -> None:
+            handle, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(document)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
+
+        call_with_retry(_attempt, self._io_retry, retry_on=(OSError,))
         return path
 
     def load_point(
@@ -191,19 +211,35 @@ class CheckpointStore:
         A missing file returns ``None``.  A file that is unreadable,
         carries an unknown schema version, fails its checksum, or
         records a different ``(param, value)`` than requested also
-        returns ``None`` (the caller recomputes the point) unless
-        ``strict=True``, in which case it raises
-        :class:`~repro.errors.CheckpointError`.
+        returns ``None`` (the caller recomputes the point) — after
+        being **quarantined**: renamed to ``*.corrupt`` and counted on
+        ``checkpoint.quarantined``, so the recomputed point can be
+        saved cleanly and the corrupt evidence survives.  With
+        ``strict=True`` the error raises instead and the file stays
+        put.
         """
         path = self.path_for(sweep_name, param, value)
         if not path.exists():
             return None
+        text = call_with_retry(
+            path.read_text, self._io_retry, retry_on=(OSError,)
+        )
         try:
-            return self._decode(path.read_text(), param, value)
+            return self._decode(text, param, value)
         except CheckpointError:
             if strict:
                 raise
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt checkpoint aside so it never wedges a resume."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - rename raced or read-only
+            return
+        obs.counter("checkpoint.quarantined")
 
     def _decode(self, text: str, param: str, value: Any) -> SweepPoint:
         try:

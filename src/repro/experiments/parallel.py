@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import ExperimentError
 from repro.experiments.config import MechanismSpec
 from repro.obs.clock import perf_seconds
+from repro.utils.retry import RetryPolicy
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
 
@@ -79,6 +80,7 @@ def run_repetition(
     start = perf_seconds()
     engine = SimulationEngine()
     built = [spec.build() for spec in mechanisms]
+    policy = RetryPolicy(retries=retries, backoff=backoff)
     retried = 0
     row: Optional[Tuple[SimulationResult, ...]] = None
     for attempt in range(retries + 1):
@@ -95,8 +97,9 @@ def run_repetition(
                 row = None
             else:
                 retried += 1
-                if backoff > 0:
-                    time.sleep(backoff * (2 ** attempt))
+                delay = policy.delay_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
     return RepetitionResult(
         seed=seed,
         row=row,

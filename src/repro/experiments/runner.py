@@ -45,6 +45,7 @@ from repro.experiments.sweeps import SweepSpec
 from repro.metrics.summary import Summary, summarize
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
+from repro.utils.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from repro.experiments.checkpoint import CheckpointStore
@@ -238,6 +239,7 @@ def run_point(
         else:
             engine = SimulationEngine()
             wait = sleep if sleep is not None else time.sleep
+            policy = RetryPolicy(retries=retries, backoff=backoff)
             for seed in config.seeds():
                 row: Optional[List[SimulationResult]] = None
                 for attempt in range(retries + 1):
@@ -256,8 +258,9 @@ def run_point(
                         else:
                             retried += 1
                             obs.counter("sweep.retries")
-                            if backoff > 0:
-                                wait(backoff * (2 ** attempt))
+                            delay = policy.delay_for(attempt)
+                            if delay > 0:
+                                wait(delay)
                 if row is None:
                     failed += 1
                     continue

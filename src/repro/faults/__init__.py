@@ -18,6 +18,13 @@ Reliability metrics (completion rate, recovered fraction, welfare
 degradation) live in :mod:`repro.metrics.reliability`.
 """
 
+from repro.faults.crash import (
+    CRASH_MODES,
+    CrashController,
+    CrashPlan,
+    SimulatedCrash,
+    draw_crash_plan,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultConfig, FaultPlan, PhoneFaults
 from repro.faults.recovery import (
@@ -36,4 +43,9 @@ __all__ = [
     "FaultyRunResult",
     "apply_bid_faults",
     "run_with_faults",
+    "CRASH_MODES",
+    "CrashPlan",
+    "CrashController",
+    "SimulatedCrash",
+    "draw_crash_plan",
 ]

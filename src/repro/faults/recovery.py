@@ -19,6 +19,7 @@ zero payments to non-deliverers are enforced via
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import (
     Dict,
     List,
@@ -207,6 +208,7 @@ def run_with_faults(
     rng: Optional[np.random.Generator] = None,
     sanitize: bool = True,
     paired: bool = False,
+    journal_dir: Optional[os.PathLike] = None,
 ) -> FaultyRunResult:
     """Run ``scenario`` through the platform with faults injected.
 
@@ -231,6 +233,13 @@ def run_with_faults(
     paired:
         Also run the same bids fault-free and attach the comparison
         (:class:`~repro.metrics.reliability.ReliabilityReport`).
+    journal_dir:
+        When given, the faulty run is driven through a
+        :class:`~repro.durability.JournaledPlatform` writing a
+        write-ahead journal into this directory — the outcome is
+        identical to the unjournaled drive (same feeding order), and a
+        crashed round can be resumed from the journal via
+        :func:`repro.durability.resume_round`.
     """
     if isinstance(faults, FaultPlan):
         plan = faults
@@ -248,15 +257,42 @@ def run_with_faults(
         bids = scenario.truthful_bids()
 
     effective, lost, delayed = apply_bid_faults(bids, plan)
-    platform = _drive(
-        effective,
-        scenario,
-        plan,
-        reserve_price=reserve_price,
-        payment_rule=payment_rule,
-        max_reassignments=plan.config.max_reassignments,
-    )
-    outcome = platform.finalize()
+    if journal_dir is None:
+        platform = _drive(
+            effective,
+            scenario,
+            plan,
+            reserve_price=reserve_price,
+            payment_rule=payment_rule,
+            max_reassignments=plan.config.max_reassignments,
+        )
+        outcome = platform.finalize()
+    else:
+        # Lazy import: durability depends on the fault plan types, so
+        # importing it at module scope would be circular.
+        from repro.durability import Journal
+        from repro.durability.journaled import JournaledPlatform
+        from repro.durability.replay import (
+            execute_commands,
+            round_commands,
+        )
+
+        commands = round_commands(effective, scenario, plan)
+        journal = Journal(journal_dir)
+        try:
+            journaled = JournaledPlatform(
+                journal,
+                num_slots=scenario.num_slots,
+                reserve_price=reserve_price,
+                payment_rule=payment_rule,
+                max_reassignments=plan.config.max_reassignments,
+            )
+            outcome_or_none = execute_commands(journaled, commands)
+        finally:
+            journal.close()
+        assert outcome_or_none is not None
+        outcome = outcome_or_none
+        platform = journaled
     events = platform.events
 
     failure_events = tuple(

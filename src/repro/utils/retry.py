@@ -1,0 +1,142 @@
+"""Deterministic retry policies for transient failures.
+
+The experiment harness has grown several hand-rolled
+``backoff * 2 ** attempt`` loops (the serial sweep runner, the
+process-pool repetition worker); the durability layer adds more
+consumers (journal appends, checkpoint I/O).  This module centralises
+the arithmetic in one frozen, picklable :class:`RetryPolicy` and one
+driver, :func:`call_with_retry`, so every layer retries with the same
+deterministic schedule.
+
+Determinism matters here the same way it does for RNG: the delay for
+attempt ``k`` is a pure function of the policy, never of jitter or the
+wall clock, so a replayed run waits the same simulated time.  The one
+clock read — the deadline check for :attr:`RetryPolicy.timeout` — goes
+through :func:`repro.obs.clock.perf_seconds`, the process-wide
+injectable clock, which keeps this module inside the flow analyzer's
+REP015 sanction (see ``CLOCK_EXEMPT_MODULES`` in
+:mod:`repro.analysis.flow.rules`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ValidationError
+from repro.obs.clock import perf_seconds
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """A deterministic exponential-backoff schedule.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts after the first (``0`` means try exactly once).
+    backoff:
+        Base delay in seconds; attempt ``k`` (0-based) waits
+        ``backoff * multiplier ** k`` before the *next* attempt.  Zero
+        disables waiting, matching the sweep runner's historical
+        ``backoff=0.0`` default.
+    multiplier:
+        Exponential growth factor (``2.0`` reproduces the harness's
+        ``backoff * 2 ** attempt`` loops exactly).
+    max_delay:
+        Optional cap on any single delay.
+    timeout:
+        Optional overall deadline in seconds, measured on
+        :func:`~repro.obs.clock.perf_seconds` from the first attempt;
+        once exceeded, no further attempts are made and the last
+        exception propagates.
+    """
+
+    retries: int = 0
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    max_delay: Optional[float] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValidationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff < 0:
+            raise ValidationError(
+                f"backoff must be >= 0, got {self.backoff}"
+            )
+        if self.multiplier <= 0:
+            raise ValidationError(
+                f"multiplier must be > 0, got {self.multiplier}"
+            )
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ValidationError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValidationError(
+                f"timeout must be > 0, got {self.timeout}"
+            )
+
+    def delay_for(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValidationError(f"attempt must be >= 0, got {attempt}")
+        delay = self.backoff * (self.multiplier ** attempt)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def delays(self) -> Tuple[float, ...]:
+        """Every scheduled delay, in order (one per retry)."""
+        return tuple(self.delay_for(k) for k in range(self.retries))
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Optional[Callable[[float], None]] = None,
+) -> T:
+    """Run ``fn`` under ``policy``, retrying the listed exceptions.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is passed through.
+    policy:
+        The schedule.  ``policy.retries == 0`` degenerates to a single
+        plain call.
+    retry_on:
+        Exception classes that trigger a retry; anything else
+        propagates immediately.
+    sleep:
+        Injection point for the waits (tests pass a recording stub;
+        default :func:`time.sleep`).
+
+    The final failure always propagates as the original exception — the
+    policy never swallows or rewraps errors.
+    """
+    wait = time.sleep if sleep is None else sleep
+    deadline: Optional[float] = None
+    if policy.timeout is not None:
+        deadline = perf_seconds() + policy.timeout
+    for attempt in range(policy.retries + 1):
+        try:
+            return fn()
+        except retry_on:
+            out_of_attempts = attempt >= policy.retries
+            out_of_time = (
+                deadline is not None and perf_seconds() >= deadline
+            )
+            if out_of_attempts or out_of_time:
+                raise
+            delay = policy.delay_for(attempt)
+            if delay > 0:
+                wait(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

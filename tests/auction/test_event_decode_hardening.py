@@ -1,0 +1,81 @@
+"""Adversarial round-trip property tests for event (de)serialisation.
+
+The journal trusts :func:`event_from_dict` to either reconstruct an
+event exactly or fail with a typed, payload-carrying error — never to
+half-decode.  These tests round-trip every registered event class and
+then mutate the payloads adversarially (dropped fields, injected
+fields, retagged, non-mapping) asserting the typed failure mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.auction.events import EVENT_TYPES, event_from_dict
+from repro.errors import EventDecodeError, ValidationError
+
+#: One deterministic sample value per annotated field type.
+_SAMPLES = {"int": 3, "float": 2.5, "str": "reason-text", "bool": True}
+
+
+def _sample_event(cls):
+    kwargs = {
+        field.name: _SAMPLES[field.type]
+        for field in dataclasses.fields(cls)
+    }
+    return cls(**kwargs)
+
+
+@pytest.fixture(params=sorted(EVENT_TYPES))
+def event(request):
+    return _sample_event(EVENT_TYPES[request.param])
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_round_trip_survives_json(self, event):
+        import json
+
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert event_from_dict(payload) == event
+
+
+class TestAdversarialPayloads:
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(EventDecodeError, match="mapping"):
+            event_from_dict(["BidSubmitted", 1])  # type: ignore[arg-type]
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(EventDecodeError, match="unknown event type"):
+            event_from_dict({"slot": 1})
+
+    def test_unknown_tag_rejected_and_payload_attached(self):
+        payload = {"event": "TimeTravelled", "slot": 1}
+        with pytest.raises(EventDecodeError) as excinfo:
+            event_from_dict(payload)
+        assert excinfo.value.payload == payload
+
+    def test_dropped_field_rejected(self, event):
+        payload = event.to_dict()
+        victim = sorted(k for k in payload if k != "event")[0]
+        del payload[victim]
+        with pytest.raises(EventDecodeError, match="malformed"):
+            event_from_dict(payload)
+
+    def test_injected_field_rejected(self, event):
+        payload = event.to_dict()
+        payload["smuggled"] = 99
+        with pytest.raises(EventDecodeError) as excinfo:
+            event_from_dict(payload)
+        assert excinfo.value.payload == payload
+
+    def test_decode_error_is_a_value_error(self):
+        """Callers catching ValueError (or ValidationError) keep working."""
+        assert issubclass(EventDecodeError, ValidationError)
+        assert issubclass(EventDecodeError, ValueError)
+        with pytest.raises(ValueError):
+            event_from_dict({"event": "nope"})

@@ -44,7 +44,7 @@ def _sample_events():
 
 class TestEventRegistry:
     def test_every_concrete_event_class_is_registered(self):
-        assert len(EVENT_TYPES) == 10
+        assert len(EVENT_TYPES) == 14
         for name, cls in EVENT_TYPES.items():
             assert cls.__name__ == name
             assert issubclass(cls, AuctionEvent)

@@ -27,6 +27,15 @@ def pytest_addoption(parser):
         ),
     )
     parser.addoption(
+        "--crash-seed",
+        type=int,
+        default=0,
+        help=(
+            "base seed of the crash-fault durability property suite "
+            "(CI rotates it with the run number)"
+        ),
+    )
+    parser.addoption(
         "--schedule-fuzz",
         action="store_true",
         default=False,
@@ -43,6 +52,12 @@ def pytest_addoption(parser):
 def chaos_seed(request):
     """Base seed for the seeded fault-scenario property tests."""
     return request.config.getoption("--chaos-seed")
+
+
+@pytest.fixture(scope="session")
+def crash_seed(request):
+    """Base seed for the crash-fault durability property tests."""
+    return request.config.getoption("--crash-seed")
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,7 @@
+"""Crash-consistency suite: journal, replay, and crash-fault injection.
+
+CI rotates the crash-property base seed with the run number
+(``--crash-seed``), so every run explores a fresh region of
+crash-schedule space while any failure stays reproducible from the
+printed seed.
+"""

@@ -105,6 +105,30 @@ class TestCorruptionHandling:
         store, path = self._saved(tmp_path, fast_config)
         path.write_text(path.read_text()[: len(path.read_text()) // 2])
         assert store.load_point("sweep", "num_slots", 8) is None
+        # The corrupt file was quarantined, not deleted: the evidence
+        # survives under *.corrupt and a clean re-save is possible.
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_quarantined_point_can_be_resaved(self, tmp_path, fast_config):
+        point = run_point(fast_config, param="num_slots", value=8)
+        store = CheckpointStore(tmp_path)
+        path = store.save_point("sweep", point)
+        path.write_text("{corrupt")
+        assert store.load_point("sweep", "num_slots", 8) is None
+        store.save_point("sweep", point)
+        assert store.load_point("sweep", "num_slots", 8) == point
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_strict_load_leaves_corrupt_file_in_place(
+        self, tmp_path, fast_config
+    ):
+        store, path = self._saved(tmp_path, fast_config)
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            store.load_point("sweep", "num_slots", 8, strict=True)
+        assert path.exists()
+        assert not path.with_name(path.name + ".corrupt").exists()
 
     def test_truncated_file_strict_raises(self, tmp_path, fast_config):
         store, path = self._saved(tmp_path, fast_config)
@@ -117,9 +141,11 @@ class TestCorruptionHandling:
         document = json.loads(path.read_text())
         document["payload"]["failed_repetitions"] = 99
         path.write_text(json.dumps(document))
-        assert store.load_point("sweep", "num_slots", 8) is None
+        # Strict first: the non-strict load below quarantines the file.
         with pytest.raises(CheckpointError, match="checksum"):
             store.load_point("sweep", "num_slots", 8, strict=True)
+        assert store.load_point("sweep", "num_slots", 8) is None
+        assert path.with_name(path.name + ".corrupt").exists()
 
     def test_unknown_schema_rejected(self, tmp_path, fast_config):
         store, path = self._saved(tmp_path, fast_config)
@@ -136,9 +162,11 @@ class TestCorruptionHandling:
         # File moved under the wrong value's name.
         alien = store.path_for("sweep", "num_slots", 10)
         alien.write_text(path.read_text())
-        assert store.load_point("sweep", "num_slots", 10) is None
+        # Strict first: the non-strict load below quarantines the file.
         with pytest.raises(CheckpointError, match="requested"):
             store.load_point("sweep", "num_slots", 10, strict=True)
+        assert store.load_point("sweep", "num_slots", 10) is None
+        assert alien.with_name(alien.name + ".corrupt").exists()
 
 
 class TestResume:

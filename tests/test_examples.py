@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "campaign_cashflow.py",
     "heterogeneous_sensors.py",
     "unreliable_phones.py",
+    "crash_recovery.py",
 ]
 
 

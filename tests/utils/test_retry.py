@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.clock import ManualClock, set_perf_clock
+from repro.utils import RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_defaults_single_attempt_no_wait(self):
+        policy = RetryPolicy()
+        assert policy.retries == 0
+        assert policy.delays() == ()
+
+    def test_delays_match_exponential_backoff(self):
+        policy = RetryPolicy(retries=4, backoff=0.5)
+        assert policy.delays() == tuple(
+            0.5 * 2.0**attempt for attempt in range(4)
+        )
+
+    def test_custom_multiplier(self):
+        policy = RetryPolicy(retries=3, backoff=1.0, multiplier=3.0)
+        assert policy.delays() == (1.0, 3.0, 9.0)
+
+    def test_max_delay_caps_every_wait(self):
+        policy = RetryPolicy(retries=5, backoff=1.0, max_delay=3.0)
+        assert policy.delays() == (1.0, 2.0, 3.0, 3.0, 3.0)
+
+    def test_delay_for_negative_attempt_rejected(self):
+        with pytest.raises(ValidationError, match="attempt"):
+            RetryPolicy(retries=1, backoff=1.0).delay_for(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff": -0.1},
+            {"multiplier": 0.0},
+            {"max_delay": -1.0},
+            {"timeout": 0.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = RetryPolicy(retries=2, backoff=0.25)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestCallWithRetry:
+    def test_success_returns_value(self):
+        assert call_with_retry(lambda: 7, RetryPolicy()) == 7
+
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        waits = []
+        result = call_with_retry(
+            flaky,
+            RetryPolicy(retries=3, backoff=0.5),
+            retry_on=(OSError,),
+            sleep=waits.append,
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert waits == [0.5, 1.0]
+
+    def test_final_failure_propagates_original_exception(self):
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            call_with_retry(
+                always_fails,
+                RetryPolicy(retries=2),
+                retry_on=(OSError,),
+            )
+
+    def test_unlisted_exception_propagates_immediately(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                fails, RetryPolicy(retries=5), retry_on=(OSError,)
+            )
+        assert len(calls) == 1
+
+    def test_zero_backoff_never_sleeps(self):
+        calls = []
+        waits = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("once")
+            return None
+
+        call_with_retry(
+            flaky,
+            RetryPolicy(retries=1),
+            retry_on=(ValueError,),
+            sleep=waits.append,
+        )
+        assert waits == []
+
+    def test_timeout_stops_retrying(self):
+        """The deadline is read off the injectable perf clock."""
+        clock = ManualClock(start=0.0)
+        previous = set_perf_clock(clock)
+        try:
+            calls = []
+
+            def flaky_forever():
+                calls.append(1)
+                clock.advance(10.0)  # each attempt "takes" 10 seconds
+                raise OSError("slow transient")
+
+            with pytest.raises(OSError):
+                call_with_retry(
+                    flaky_forever,
+                    RetryPolicy(retries=100, timeout=25.0),
+                    retry_on=(OSError,),
+                    sleep=lambda _: None,
+                )
+            # Attempts at t=0, 10, 20; the check after the third sees
+            # t=30 >= deadline 25 and gives up despite retries left.
+            assert len(calls) == 3
+        finally:
+            set_perf_clock(previous)
