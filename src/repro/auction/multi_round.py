@@ -23,6 +23,12 @@ from repro.mechanisms.base import Mechanism
 from repro.metrics.summary import Summary, summarize
 from repro.model.smartphone import SmartphoneProfile
 from repro.obs.clock import perf_seconds
+from repro.obs.live import (
+    Heartbeat,
+    HeartbeatConfig,
+    append_worker_beat,
+    merge_heartbeats,
+)
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.scenario import Scenario
 from repro.simulation.workload import WorkloadConfig
@@ -114,6 +120,7 @@ def _run_round(
     fault_config: Optional["FaultConfig"],
     fault_round_seed: int,
     round_index: int,
+    heartbeat_path: Optional[pathlib.Path] = None,
 ) -> _RoundResult:
     """Execute one carried-over-free round (the process-pool entry point).
 
@@ -141,12 +148,17 @@ def _run_round(
         recovered = len(faulty.report.recovered_tasks)
     else:
         result = SimulationEngine().run(mechanism, scenario)
+    elapsed = perf_seconds() - start
+    if heartbeat_path is not None:
+        append_worker_beat(
+            heartbeat_path, "round", round_index, elapsed
+        )
     return _RoundResult(
         result=result,
         dropped=dropped,
         failures=failures,
         recovered=recovered,
-        elapsed_seconds=perf_seconds() - start,
+        elapsed_seconds=elapsed,
         worker_pid=os.getpid(),
     )
 
@@ -159,14 +171,24 @@ def _run_rounds_parallel(
     fault_streams: RngStreams,
     fault_config: Optional["FaultConfig"],
     workers: int,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> List[_RoundResult]:
     """Fan independent rounds out over a process pool, round order kept.
 
     Per-round seeds are derived in the parent from the same stream
     hierarchy the serial loop uses, so round ``k`` sees the same draw
     regardless of worker count; per-worker wall time is recorded on the
-    ``campaign.worker.seconds`` histogram.
+    ``campaign.worker.seconds`` histogram.  With a ``heartbeat``,
+    workers pulse per-round sidecar files (merged deterministically
+    after collection) and the parent pulses progress as rounds are
+    collected in round order.
     """
+    heartbeat_path = heartbeat.path if heartbeat is not None else None
+    pulse = (
+        Heartbeat(heartbeat, total=num_rounds)
+        if heartbeat is not None
+        else None
+    )
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(
@@ -177,14 +199,19 @@ def _run_rounds_parallel(
                 fault_config,
                 fault_streams.child(round_index).seed,
                 round_index,
+                heartbeat_path,
             )
             for round_index in range(num_rounds)
         ]
         round_results = [future.result() for future in futures]
-    for round_result in round_results:
+    for round_index, round_result in enumerate(round_results):
         obs.observe(
             "campaign.worker.seconds", round_result.elapsed_seconds
         )
+        if pulse is not None:
+            pulse.beat(round_index)
+    if heartbeat_path is not None:
+        merge_heartbeats(heartbeat_path)
     return round_results
 
 
@@ -228,6 +255,7 @@ def run_campaign(
     fault_seed: Optional[int] = None,
     workers: int = 1,
     journal_dir: Optional[os.PathLike] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> CampaignResult:
     """Run ``num_rounds`` consecutive rounds of ``workload``.
 
@@ -277,6 +305,13 @@ def run_campaign(
         Requires the ``online-greedy`` mechanism (journaling is a
         platform-level concern) and ``workers=1`` (one journal writer
         per directory).
+    heartbeat:
+        Optional :class:`~repro.obs.live.HeartbeatConfig`; when given,
+        the campaign emits periodic progress pulses (rounds/second,
+        ETA, journal fsync latency, reassignment counts) to the
+        configured JSONL file and/or console.  Heartbeats observe the
+        run without participating in it — outcomes are bit-identical
+        to an unmonitored campaign.
     """
     check_type("num_rounds", num_rounds, int)
     check_positive("num_rounds", num_rounds)
@@ -337,6 +372,7 @@ def run_campaign(
                 fault_streams,
                 fault_config,
                 workers,
+                heartbeat=heartbeat,
             )
             for round_result in round_results:
                 results.append(round_result.result)
@@ -344,6 +380,11 @@ def run_campaign(
                 failures += round_result.failures
                 recovered += round_result.recovered
         else:
+            pulse = (
+                Heartbeat(heartbeat, total=num_rounds)
+                if heartbeat is not None
+                else None
+            )
             for round_index in range(num_rounds):
                 round_dir: Optional[pathlib.Path] = None
                 if journal_dir is not None:
@@ -407,6 +448,8 @@ def run_campaign(
                         ]
                     else:
                         carried = []
+                if pulse is not None:
+                    pulse.beat(round_index, welfare=result.true_welfare)
         tel.set_attribute("returning_phones", returning)
         tel.set_attribute("recovered_tasks", recovered)
 

@@ -505,6 +505,10 @@ class CrowdsourcingPlatform:
             self._emit(SlotClosed(slot=slot, pool_size=self.pool_size))
             tel.set_attribute("events", len(self._events) - events_before)
 
+        # Live-telemetry breadcrumb: a heartbeat reader polling the
+        # metrics registry sees how far the platform has advanced.
+        obs.gauge("platform.progress.slot", slot)
+
         if slot == self._num_slots:
             self._finished = True
         else:

@@ -31,12 +31,21 @@ Commands
 ``trace``
     Run an instrumented scenario suite with telemetry enabled; export
     the span/event stream as JSONL, print the span tree and per-phase
-    timings, and write a ``BENCH_*.json`` perf snapshot.
+    timings (plus ``--top`` self-time hotspots), and write a
+    ``BENCH_*.json`` perf snapshot.
+``trends``
+    Render the bench-trend dashboard over every committed
+    ``BENCH_*.json`` (and, optionally, the local run ledger): per-
+    benchmark sparkline series with slope-based drift detection.
 ``profile``
     cProfile one mechanism run alongside the telemetry span report.
 ``lint``
     Run the repo-specific AST invariant linter
     (:mod:`repro.analysis`) over source trees.
+
+Long-running commands additionally accept ``--ledger PATH`` (append a
+structured run record to a durable ``RUNS.jsonl``) and, for
+``campaign``, ``--heartbeat PATH`` (periodic live progress pulses).
 
 Every command accepts ``--quiet`` (suppress progress chatter) and
 ``--json`` (emit one machine-readable JSON document instead of human
@@ -47,15 +56,18 @@ default output is byte-identical to the historical plain prints.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.auction.multi_round import RETRY_LOSERS, RETRY_NONE, run_campaign
 from repro.errors import ReproError
+from repro.obs.ledger import LedgerSession, RunLedger
+from repro.obs.live import HeartbeatConfig
 from repro.experiments import (
     figure_spec,
     list_figures,
@@ -199,6 +211,36 @@ def _mechanism_from_args(args: argparse.Namespace):
     return create_mechanism(args.mechanism, **kwargs)
 
 
+def _ledger_session(
+    args: argparse.Namespace,
+    command: str,
+    label: str,
+    config: Dict[str, Any],
+) -> Optional[LedgerSession]:
+    """Open a run-ledger session when ``--ledger`` was given."""
+    ledger_path = getattr(args, "ledger", None)
+    if ledger_path is None:
+        return None
+    return LedgerSession.start(
+        command, label=label, config=config, ledger=RunLedger(ledger_path)
+    )
+
+
+def _finish_ledger(
+    session: Optional[LedgerSession], console: Console
+) -> None:
+    """Append the pending run record (no-op without ``--ledger``)."""
+    if session is None:
+        return
+    record = session.finish()
+    assert record is not None
+    console.note(
+        f"ledger: run {record.run_id} "
+        f"({record.wall_seconds:.2f}s) appended"
+    )
+    console.result({"run_id": record.run_id})
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -260,6 +302,18 @@ def _cmd_figures(args: argparse.Namespace, console: Console) -> int:
         raise ReproError(
             f"unknown figure(s) {unknown}; available: {list(list_figures())}"
         )
+    session = _ledger_session(
+        args,
+        "figures",
+        label=",".join(names),
+        config={
+            "figures": names,
+            "repetitions": args.repetitions,
+            "seed": args.seed,
+            "workers": args.workers,
+            "retries": args.retries,
+        },
+    )
     checkpoint = None
     if args.checkpoint_dir is not None:
         from repro.experiments import CheckpointStore
@@ -295,6 +349,13 @@ def _cmd_figures(args: argparse.Namespace, console: Console) -> int:
             )
             console.note(f"(csv written to {out / (name + '.csv')})")
     console.result({"figures": rendered})
+    if session is not None:
+        session.add_counters(
+            figures=len(rendered), sweeps=len(cache)
+        )
+        if args.csv_dir is not None:
+            session.add_artifact("csv_dir", str(args.csv_dir))
+        _finish_ledger(session, console)
     return 0
 
 
@@ -414,19 +475,54 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
         or args.bid_delay_prob or args.bid_loss_prob
     ):
         fault_config = _fault_config_from_args(args)
-    result = run_campaign(
-        mechanism,
-        _workload_from_args(args),
-        num_rounds=args.rounds,
-        seed=args.seed,
-        retry_policy=RETRY_LOSERS if args.retry_losers else RETRY_NONE,
-        fault_config=fault_config,
-        fault_seed=args.fault_seed,
-        workers=args.workers,
-        journal_dir=args.journal_dir,
+    session = _ledger_session(
+        args,
+        "campaign",
+        label=mechanism.name,
+        config={
+            "rounds": args.rounds,
+            "seed": args.seed,
+            "retry_losers": args.retry_losers,
+            "workers": args.workers,
+            "mechanism": mechanism.name,
+            "slots": args.slots,
+            "phone_rate": args.phone_rate,
+            "task_rate": args.task_rate,
+        },
     )
+    heartbeat = None
+    if args.heartbeat is not None:
+        heartbeat = HeartbeatConfig(
+            path=args.heartbeat,
+            every=args.heartbeat_every,
+            label="round",
+            console=console,
+        )
+    # Heartbeats snapshot the ambient metrics registry; give them one
+    # to read when the command isn't already traced.  Activation is
+    # outcome-transparent (the trace-transparency invariant).
+    vitals = (
+        obs.activate(obs.Tracer())
+        if heartbeat is not None and obs.current_tracer() is None
+        else contextlib.nullcontext()
+    )
+    with vitals:
+        result = run_campaign(
+            mechanism,
+            _workload_from_args(args),
+            num_rounds=args.rounds,
+            seed=args.seed,
+            retry_policy=RETRY_LOSERS if args.retry_losers else RETRY_NONE,
+            fault_config=fault_config,
+            fault_seed=args.fault_seed,
+            workers=args.workers,
+            journal_dir=args.journal_dir,
+            heartbeat=heartbeat,
+        )
     if args.journal_dir is not None:
         console.note(f"per-round journals written under {args.journal_dir}")
+    if args.heartbeat is not None:
+        console.note(f"heartbeat log written to {args.heartbeat}")
     console.out(
         f"\ncampaign: {result.num_rounds} rounds, mechanism "
         f"{mechanism.name}, retry="
@@ -470,6 +566,18 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
             "recovered_tasks": result.recovered_tasks,
         }
     )
+    if session is not None:
+        session.add_counters(
+            rounds=result.num_rounds,
+            total_welfare=result.total_welfare,
+            total_payment=result.total_payment,
+            returning_phones=result.returning_phones,
+        )
+        if args.journal_dir is not None:
+            session.add_artifact("journal_dir", str(args.journal_dir))
+        if args.heartbeat is not None:
+            session.add_artifact("heartbeat", str(args.heartbeat))
+        _finish_ledger(session, console)
     return 0
 
 
@@ -682,6 +790,16 @@ def _traced_scenario_suite(args: argparse.Namespace) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace, console: Console) -> int:
+    session = _ledger_session(
+        args,
+        "trace",
+        label=args.label,
+        config={
+            "seed": args.seed,
+            "repetitions": args.repetitions,
+            "label": args.label,
+        },
+    )
     sink = obs.JsonlSink(args.out)
     tracer = obs.Tracer(sink=sink)
     with obs.activate(tracer):
@@ -691,6 +809,14 @@ def _cmd_trace(args: argparse.Namespace, console: Console) -> int:
     console.out(obs.render_span_tree(tracer.spans, max_spans=args.max_spans))
     console.out()
     console.out(obs.render_phase_table(obs.aggregate_spans(tracer.spans)))
+    if args.top:
+        console.out()
+        console.out(
+            obs.render_hotspot_table(
+                obs.top_hotspots(tracer.spans, args.top),
+                title=f"Hotspots (top {args.top} by self time)",
+            )
+        )
 
     snapshot = obs.build_snapshot(
         tracer,
@@ -714,6 +840,58 @@ def _cmd_trace(args: argparse.Namespace, console: Console) -> int:
             "counters": tracer.metrics.counters,
         }
     )
+    if args.top:
+        console.result(
+            {
+                "hotspots": [
+                    {
+                        "name": h.name,
+                        "self_seconds": h.self_seconds,
+                        "share": h.share,
+                    }
+                    for h in obs.top_hotspots(tracer.spans, args.top)
+                ]
+            }
+        )
+    if session is not None:
+        session.add_counters(
+            spans=len(tracer.spans),
+            counters=len(tracer.metrics.counters),
+        )
+        session.add_artifact("trace", str(args.out))
+        session.add_artifact("snapshot", str(snap_file))
+        _finish_ledger(session, console)
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace, console: Console) -> int:
+    from repro.obs.trends import collect_trends, render_trend_dashboard
+
+    ledger = RunLedger(args.ledger) if args.ledger is not None else None
+    report = collect_trends(
+        args.bench_dir, ledger=ledger, threshold=args.threshold
+    )
+    dashboard = render_trend_dashboard(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(dashboard, encoding="utf-8")
+        console.note(f"trend dashboard written to {args.out}")
+    else:
+        console.out(dashboard)
+    drifting = report.drifting()
+    console.result(
+        {
+            "sources": list(report.sources),
+            "skipped": list(report.skipped),
+            "verdicts": report.verdicts(),
+            "drifting": drifting,
+        }
+    )
+    if drifting and args.fail_on_drift:
+        console.error(
+            f"trend drift detected in: {', '.join(drifting)}"
+        )
+        return 1
     return 0
 
 
@@ -906,6 +1084,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per sweep point (default 1: serial); "
         "results are identical for any worker count",
     )
+    figures.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="append a structured run record to this RUNS.jsonl ledger",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     audit = subparsers.add_parser(
@@ -942,6 +1124,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a crash-consistent per-round write-ahead journal "
         "under this directory (online-greedy, workers=1 only); inspect "
         "with 'replay' / 'verify-log'",
+    )
+    campaign.add_argument(
+        "--heartbeat", type=pathlib.Path, default=None,
+        help="emit periodic live-progress pulses (rounds/s, ETA, fsync "
+        "latency, reassignments) to this JSONL file and the console",
+    )
+    campaign.add_argument(
+        "--heartbeat-every", type=int, default=10, metavar="N",
+        help="pulse every N completed rounds (default 10; the final "
+        "round always pulses)",
+    )
+    campaign.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="append a structured run record to this RUNS.jsonl ledger",
     )
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -1024,7 +1220,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--repetitions", type=int, default=2,
         help="repetitions per sweep point in the demo sweep (default 2)",
     )
+    trace.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also print the top-N phases by self time (hotspots)",
+    )
+    trace.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="append a structured run record to this RUNS.jsonl ledger",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    trends = subparsers.add_parser(
+        "trends",
+        help="render the bench-trend dashboard with drift detection",
+        parents=[common],
+    )
+    trends.add_argument(
+        "--bench-dir", type=pathlib.Path, default=pathlib.Path("."),
+        help="directory holding the BENCH_*.json series (default .)",
+    )
+    trends.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="also chart per-command wall times from this RUNS.jsonl",
+    )
+    trends.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative per-step slope that flags drift (default 0.05)",
+    )
+    trends.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the markdown dashboard here instead of stdout",
+    )
+    trends.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit 1 when any series is flagged as drifting",
+    )
+    trends.set_defaults(func=_cmd_trends)
 
     profile = subparsers.add_parser(
         "profile",

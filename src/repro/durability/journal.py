@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro import obs
 from repro.auction.events import AuctionEvent, event_from_dict
 from repro.errors import EventDecodeError, JournalError
+from repro.obs.clock import perf_seconds
 from repro.utils.retry import RetryPolicy, call_with_retry
 
 #: ``prev`` hash of the first record.
@@ -512,10 +513,14 @@ class Journal:
         """Flush and fsync the current segment (a no-op when ``off``)."""
         self._handle.flush()
         if self._fsync != FSYNC_OFF:
+            fsync_start = perf_seconds()
             call_with_retry(
                 lambda: os.fsync(self._handle.fileno()),
                 self._io_retry,
                 retry_on=(OSError,),
+            )
+            obs.observe(
+                "journal.fsync.seconds", perf_seconds() - fsync_start
             )
         self._unsynced = 0
 

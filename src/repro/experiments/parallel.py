@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pathlib
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
@@ -33,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import ExperimentError
 from repro.experiments.config import MechanismSpec
 from repro.obs.clock import perf_seconds
+from repro.obs.live import append_worker_beat
 from repro.utils.retry import RetryPolicy
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
@@ -70,12 +72,18 @@ def run_repetition(
     retries: int,
     backoff: float,
     on_failure: str,
+    heartbeat_path: Optional[pathlib.Path] = None,
+    unit_index: int = 0,
 ) -> RepetitionResult:
     """Execute one seeded repetition across every mechanism.
 
     This is the process-pool entry point, so it is a top-level function
     of picklable arguments (frozen dataclasses all the way down).  The
     attempt/retry/backoff loop matches the serial runner's exactly.
+    With ``heartbeat_path``, the worker appends one pulse per finished
+    repetition to its own sidecar file (``unit_index`` is the
+    repetition's seed position — the stable identity the deterministic
+    merge orders by).
     """
     start = perf_seconds()
     engine = SimulationEngine()
@@ -100,11 +108,21 @@ def run_repetition(
                 delay = policy.delay_for(attempt)
                 if delay > 0:
                     time.sleep(delay)
+    elapsed = perf_seconds() - start
+    if heartbeat_path is not None:
+        append_worker_beat(
+            heartbeat_path,
+            "repetition",
+            unit_index,
+            elapsed,
+            seed=seed,
+            retried=retried,
+        )
     return RepetitionResult(
         seed=seed,
         row=row,
         retried=retried,
-        elapsed_seconds=perf_seconds() - start,
+        elapsed_seconds=elapsed,
         worker_pid=os.getpid(),
     )
 
@@ -118,6 +136,7 @@ def run_repetitions_parallel(
     on_failure: str,
     workers: int,
     executor: Optional[Executor] = None,
+    heartbeat_path: Optional[pathlib.Path] = None,
 ) -> List[RepetitionResult]:
     """Fan the repetitions out over a process pool, seed order preserved.
 
@@ -125,7 +144,10 @@ def run_repetitions_parallel(
     which worker finishes first, so downstream aggregation sees exactly
     the sequence the serial loop would produce.  ``executor`` lets a
     sweep share one pool across all its points; otherwise a pool of
-    ``workers`` processes is created for this call alone.
+    ``workers`` processes is created for this call alone.  With
+    ``heartbeat_path``, workers pulse per-repetition sidecar files
+    which the caller merges after collection
+    (:func:`repro.obs.live.merge_heartbeats`).
     """
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
@@ -145,8 +167,10 @@ def run_repetitions_parallel(
                 retries,
                 backoff,
                 on_failure,
+                heartbeat_path,
+                unit_index,
             )
-            for seed in seeds
+            for unit_index, seed in enumerate(seeds)
         ]
         return [future.result() for future in futures]
     finally:

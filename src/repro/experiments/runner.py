@@ -43,6 +43,7 @@ from repro.experiments.config import (
 from repro.experiments.parallel import run_repetitions_parallel
 from repro.experiments.sweeps import SweepSpec
 from repro.metrics.summary import Summary, summarize
+from repro.obs.live import Heartbeat, HeartbeatConfig, merge_heartbeats
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.workload import WorkloadConfig
 from repro.utils.retry import RetryPolicy
@@ -145,6 +146,7 @@ def run_point(
     on_failure: str = ON_FAILURE_RAISE,
     workers: int = 1,
     executor: Optional[Executor] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> SweepPoint:
     """Measure every configured mechanism on one workload setting.
 
@@ -176,6 +178,12 @@ def run_point(
     executor:
         An existing pool to submit to (``run_sweep`` shares one across
         its points).  Implies parallel mode regardless of ``workers``.
+    heartbeat:
+        Optional :class:`~repro.obs.live.HeartbeatConfig`; pulses once
+        per ``every`` completed repetitions (file and/or console).  In
+        parallel mode, workers additionally pulse per-repetition
+        sidecar files, merged deterministically after collection.
+        Heartbeats never influence seeds, pairing, or aggregation.
     """
     if on_failure not in _ON_FAILURE:
         raise ExperimentError(
@@ -193,6 +201,14 @@ def run_point(
         )
     effective = workload if workload is not None else config.workload
     built = [(spec, spec.build()) for spec in config.mechanisms]
+    pulse = (
+        Heartbeat(
+            dataclasses.replace(heartbeat, label="repetition"),
+            total=len(config.seeds()),
+        )
+        if heartbeat is not None
+        else None
+    )
 
     rows: List[Sequence[SimulationResult]] = []
     completed = 0
@@ -211,9 +227,12 @@ def run_point(
                 on_failure,
                 workers,
                 executor=executor,
+                heartbeat_path=(
+                    heartbeat.path if heartbeat is not None else None
+                ),
             )
             worker_seconds: Dict[int, float] = {}
-            for repetition in repetitions:
+            for unit_index, repetition in enumerate(repetitions):
                 retried += repetition.retried
                 if repetition.retried:
                     obs.counter("sweep.retries", repetition.retried)
@@ -224,11 +243,15 @@ def run_point(
                     worker_seconds.get(repetition.worker_pid, 0.0)
                     + repetition.elapsed_seconds
                 )
+                if pulse is not None:
+                    pulse.beat(unit_index, seed=repetition.seed)
                 if repetition.row is None:
                     failed += 1
                     continue
                 completed += 1
                 rows.append(repetition.row)
+            if heartbeat is not None and heartbeat.path is not None:
+                merge_heartbeats(heartbeat.path)
             tel.set_attribute(
                 "worker_seconds",
                 {
@@ -240,7 +263,7 @@ def run_point(
             engine = SimulationEngine()
             wait = sleep if sleep is not None else time.sleep
             policy = RetryPolicy(retries=retries, backoff=backoff)
-            for seed in config.seeds():
+            for unit_index, seed in enumerate(config.seeds()):
                 row: Optional[List[SimulationResult]] = None
                 for attempt in range(retries + 1):
                     try:
@@ -261,6 +284,8 @@ def run_point(
                             delay = policy.delay_for(attempt)
                             if delay > 0:
                                 wait(delay)
+                if pulse is not None:
+                    pulse.beat(unit_index, seed=seed)
                 if row is None:
                     failed += 1
                     continue
@@ -318,6 +343,7 @@ def run_sweep(
     sleep: Optional[Callable[[float], None]] = None,
     on_failure: Optional[str] = None,
     workers: int = 1,
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> SweepResult:
     """Execute a parameter sweep, optionally checkpointed and resumable.
 
@@ -336,6 +362,10 @@ def run_sweep(
     serial run (see :mod:`repro.experiments.parallel`); checkpointing
     composes with parallelism unchanged, because points are still
     completed and persisted one at a time.
+
+    A ``heartbeat`` pulses per completed sweep *point* (on top of the
+    per-repetition pulses :func:`run_point` emits with the same
+    config), so a long sweep reports progress at both granularities.
     """
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
@@ -344,6 +374,14 @@ def run_sweep(
         on_failure = ON_FAILURE_PARTIAL if resilient else ON_FAILURE_RAISE
     executor: Optional[Executor] = None
     points: List[SweepPoint] = []
+    point_pulse = (
+        Heartbeat(
+            dataclasses.replace(heartbeat, label="point"),
+            total=len(spec.values),
+        )
+        if heartbeat is not None
+        else None
+    )
     try:
         if workers > 1:
             executor = ProcessPoolExecutor(max_workers=workers)
@@ -355,7 +393,7 @@ def run_sweep(
             workers=workers,
         ) as tel:
             checkpoint_hits = 0
-            for value in spec.values:
+            for value_index, value in enumerate(spec.values):
                 point: Optional[SweepPoint] = None
                 if checkpoint is not None:
                     with obs.span("sweep.checkpoint.load", value=value):
@@ -380,11 +418,14 @@ def run_sweep(
                         on_failure=on_failure,
                         workers=workers,
                         executor=executor,
+                        heartbeat=heartbeat,
                     )
                     if checkpoint is not None:
                         with obs.span("sweep.checkpoint.save", value=value):
                             checkpoint.save_point(spec.name, point)
                 points.append(point)
+                if point_pulse is not None:
+                    point_pulse.beat(value_index, value=value)
             tel.set_attribute("checkpoint_hits", checkpoint_hits)
     finally:
         if executor is not None:

@@ -27,7 +27,16 @@ See ``docs/ARCHITECTURE.md`` ("Observability") for the span taxonomy
 and metric names.
 """
 
-from repro.obs.clock import Clock, ManualClock, MonotonicClock
+from repro.obs.clock import (
+    Clock,
+    ManualClock,
+    MonotonicClock,
+    WallClock,
+    perf_seconds,
+    set_perf_clock,
+    set_wall_clock,
+    wall_seconds,
+)
 from repro.obs.console import Console
 from repro.obs.context import (
     activate,
@@ -39,11 +48,42 @@ from repro.obs.context import (
     span,
     tracing_enabled,
 )
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    LEDGER_SCHEMA,
+    LedgerError,
+    LedgerSession,
+    LedgerView,
+    RunLedger,
+    RunRecord,
+    config_digest,
+    current_git_sha,
+    make_run_id,
+)
+from repro.obs.live import (
+    HEARTBEAT_SCHEMA,
+    Heartbeat,
+    HeartbeatConfig,
+    HeartbeatError,
+    append_worker_beat,
+    merge_heartbeats,
+    read_heartbeats,
+    worker_heartbeat_path,
+)
 from repro.obs.metrics import (
+    MODE_BOUNDED,
+    MODE_EXACT,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.report import (
+    HotspotStats,
+    aggregate_hotspots,
+    render_hotspot_table,
+    span_self_times,
+    top_hotspots,
 )
 from repro.obs.sinks import (
     InMemorySink,
@@ -65,39 +105,86 @@ from repro.obs.snapshot import (
     write_snapshot,
 )
 from repro.obs.spans import Span, Tracer
+from repro.obs.trends import (
+    DEFAULT_DRIFT_THRESHOLD,
+    TrendError,
+    TrendPoint,
+    TrendReport,
+    TrendSeries,
+    collect_trends,
+    render_trend_dashboard,
+    sparkline,
+)
 
 __all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "HEARTBEAT_SCHEMA",
+    "LEDGER_FILENAME",
+    "LEDGER_SCHEMA",
+    "MODE_BOUNDED",
+    "MODE_EXACT",
     "SNAPSHOT_SCHEMA",
     "Clock",
     "Console",
     "Counter",
     "Gauge",
+    "Heartbeat",
+    "HeartbeatConfig",
+    "HeartbeatError",
     "Histogram",
+    "HotspotStats",
     "InMemorySink",
     "JsonlSink",
+    "LedgerError",
+    "LedgerSession",
+    "LedgerView",
     "ManualClock",
     "MetricsRegistry",
     "MonotonicClock",
     "NullSink",
     "PhaseStats",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "TeeSink",
     "TraceSink",
     "Tracer",
+    "TrendError",
+    "TrendPoint",
+    "TrendReport",
+    "TrendSeries",
+    "WallClock",
     "activate",
+    "aggregate_hotspots",
     "aggregate_spans",
+    "append_worker_beat",
     "build_snapshot",
+    "collect_trends",
+    "config_digest",
     "counter",
+    "current_git_sha",
     "current_tracer",
     "gauge",
     "load_snapshot",
+    "make_run_id",
+    "merge_heartbeats",
     "observe",
+    "perf_seconds",
+    "read_heartbeats",
     "read_jsonl",
     "record_event",
+    "render_hotspot_table",
     "render_phase_table",
     "render_span_tree",
+    "render_trend_dashboard",
+    "set_perf_clock",
+    "set_wall_clock",
     "snapshot_path",
     "span",
+    "span_self_times",
+    "sparkline",
+    "top_hotspots",
     "tracing_enabled",
+    "wall_seconds",
     "write_snapshot",
 ]

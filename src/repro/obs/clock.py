@@ -59,6 +59,18 @@ class ManualClock(Clock):
         self._time += float(seconds)
 
 
+class WallClock(Clock):
+    """The production wall clock: :func:`time.time` (epoch seconds).
+
+    Not monotonic in the strict sense (NTP can step it), but the run
+    ledger wants calendar time — *when* a run happened on this machine —
+    which the perf clock deliberately cannot provide.
+    """
+
+    def now(self) -> float:
+        return time.time()
+
+
 # The process-wide perf clock behind :func:`perf_seconds`.  Worker and
 # replay-critical code reads elapsed time through this accessor instead
 # of calling ``time.perf_counter`` directly (enforced statically by
@@ -77,4 +89,24 @@ def set_perf_clock(clock: Clock) -> Clock:
     global _PERF_CLOCK
     previous = _PERF_CLOCK
     _PERF_CLOCK = clock
+    return previous
+
+
+# The process-wide wall clock behind :func:`wall_seconds`.  The run
+# ledger stamps records through this accessor (never ``time.time``
+# directly), so ledger tests can pin exact timestamps and run ids by
+# installing a ManualClock.
+_WALL_CLOCK: Clock = WallClock()
+
+
+def wall_seconds() -> float:
+    """Read the process-wide wall clock (epoch seconds)."""
+    return _WALL_CLOCK.now()
+
+
+def set_wall_clock(clock: Clock) -> Clock:
+    """Replace the process-wide wall clock; returns the previous one."""
+    global _WALL_CLOCK
+    previous = _WALL_CLOCK
+    _WALL_CLOCK = clock
     return previous

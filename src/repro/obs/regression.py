@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import fnmatch
 import json
 import pathlib
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.obs.console import Console
@@ -39,6 +40,20 @@ BASELINE_SCHEMA = "repro-bench/1"
 
 class RegressionError(ReproError):
     """A malformed benchmark file or a failed regression check."""
+
+
+class MissingBenchmarkError(RegressionError):
+    """The baseline gates a benchmark the fresh run did not produce.
+
+    Distinct from a generic :class:`RegressionError` so CI tooling can
+    tell "the suite renamed/lost a benchmark" (fix the baseline) apart
+    from "the timing file is malformed" (fix the run); ``benchmark``
+    carries the offending name.
+    """
+
+    def __init__(self, benchmark: str, message: str) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
 
 
 @dataclasses.dataclass(frozen=True)
@@ -179,6 +194,47 @@ def write_baseline(
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def select_benchmarks(
+    baseline_names: "AbstractSet[str]",
+    only: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Expand ``--only`` patterns against the baseline's benchmarks.
+
+    Each pattern is an :mod:`fnmatch`-style glob (``test_vcg*``).  An
+    *exact* baseline name always selects itself, even when it contains
+    glob metacharacters — parametrised benchmark names like
+    ``test_offline_vcg_scaling[80]`` would otherwise be read as a
+    character class and never match literally, so pre-glob invocations
+    keep working unchanged.  A pattern matching *nothing* raises — a
+    silently empty selection would make the gate vacuously green.
+    Selection order is sorted per pattern, first-pattern-wins on
+    duplicates.
+    """
+    if only is None:
+        return sorted(baseline_names)
+    selected: List[str] = []
+    seen = set()
+    for pattern in only:
+        if pattern in baseline_names:
+            matches = [pattern]
+        else:
+            matches = sorted(
+                name
+                for name in baseline_names
+                if fnmatch.fnmatchcase(name, pattern)
+            )
+        if not matches:
+            raise RegressionError(
+                f"--only pattern {pattern!r} matches no baseline "
+                f"benchmark; known: {sorted(baseline_names)}"
+            )
+        for name in matches:
+            if name not in seen:
+                seen.add(name)
+                selected.append(name)
+    return selected
+
+
 def compare(
     baseline: Mapping[str, BenchStats],
     current: Mapping[str, BenchStats],
@@ -187,27 +243,27 @@ def compare(
 ) -> List[Comparison]:
     """Compare fresh timings against the baseline.
 
-    ``only`` restricts the gate to the named benchmarks (every name
-    must exist in both files); by default every baseline benchmark
-    present in ``current`` is gated, and a baseline benchmark missing
-    from ``current`` is an error — a silently-skipped gate would read
-    as a pass.
+    ``only`` restricts the gate to the benchmarks matching the given
+    glob patterns (see :func:`select_benchmarks`); by default every
+    baseline benchmark is gated.  A gated benchmark missing from
+    ``current`` raises :class:`MissingBenchmarkError` — a
+    silently-skipped gate would read as a pass.
     """
     if tolerance < 0:
         raise RegressionError(
             f"tolerance must be >= 0, got {tolerance}"
         )
-    names = list(only) if only is not None else sorted(baseline)
+    names = select_benchmarks(set(baseline), only)
     comparisons = []
     for name in names:
-        if name not in baseline:
-            raise RegressionError(
-                f"benchmark {name!r} not in the baseline file"
-            )
         if name not in current:
-            raise RegressionError(
-                f"benchmark {name!r} missing from the fresh results; "
-                f"did the benchmark suite change names?"
+            raise MissingBenchmarkError(
+                benchmark=name,
+                message=(
+                    f"benchmark {name!r} is gated by the baseline but "
+                    f"missing from the fresh results; did the benchmark "
+                    f"suite change names? (fresh: {sorted(current)})"
+                ),
             )
         comparisons.append(
             Comparison(
@@ -242,8 +298,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check.add_argument("--baseline", type=pathlib.Path, required=True)
     check.add_argument("--tolerance", type=float, default=0.20)
     check.add_argument(
-        "--only", action="append", default=None, metavar="NAME",
-        help="gate only this benchmark (repeatable)",
+        "--only", action="append", default=None, metavar="PATTERN",
+        help="gate only benchmarks matching this glob (repeatable)",
     )
 
     args = parser.parse_args(argv)

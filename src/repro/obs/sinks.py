@@ -122,22 +122,45 @@ class JsonlSink(TraceSink):
 
 
 class TeeSink(TraceSink):
-    """Fans every record out to several child sinks, in order."""
+    """Fans every record out to several child sinks, in order.
+
+    A failing child never starves its siblings: every fan-out drives
+    *all* children, collecting whatever they raise, and re-raises one
+    :class:`~repro.errors.ObservabilityError` naming each failure.  A
+    tee over (in-memory, JSONL) therefore keeps the in-memory summary
+    intact even when the JSONL artifact hits a full disk — and
+    ``close()`` releases every closable child no matter which one
+    raised first.
+    """
 
     def __init__(self, *sinks: TraceSink) -> None:
         self._sinks = tuple(sinks)
 
-    def record_span(self, span: "Span") -> None:
+    def _fan_out(self, method: str, *args: Any) -> None:
+        failures: List[str] = []
         for sink in self._sinks:
-            sink.record_span(span)
+            try:
+                getattr(sink, method)(*args)
+            except Exception as exc:
+                failures.append(
+                    f"{type(sink).__name__}.{method}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+        if failures:
+            raise ObservabilityError(
+                f"{len(failures)} of {len(self._sinks)} tee'd sink(s) "
+                f"failed (every child was still driven): "
+                + "; ".join(failures)
+            )
+
+    def record_span(self, span: "Span") -> None:
+        self._fan_out("record_span", span)
 
     def record_event(self, event: Any) -> None:
-        for sink in self._sinks:
-            sink.record_event(event)
+        self._fan_out("record_event", event)
 
     def close(self) -> None:
-        for sink in self._sinks:
-            sink.close()
+        self._fan_out("close")
 
 
 def read_jsonl(path: "os.PathLike[str]") -> List[Dict[str, Any]]:

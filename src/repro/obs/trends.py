@@ -1,0 +1,380 @@
+"""Bench-trend observatory: time series over the ``BENCH_*`` history.
+
+The pairwise regression gate (:mod:`repro.obs.regression`) compares one
+fresh run against one committed baseline with a 20 % tolerance — which
+a slow leak can live under forever: five consecutive PRs each 10 %
+slower never trip it, yet the series is 60 % worse end to end.  This
+module reads the *whole* committed ``BENCH_0004…N`` sequence (plus,
+optionally, the local run ledger) and renders a markdown dashboard of
+per-benchmark time series — sparkline, net change, least-squares slope
+— flagging exactly that sustained multi-PR creep.
+
+Tolerance is the design center: the series is ragged by nature.  Files
+come and go (``BENCH_0006`` measures the flow analyzer, not the
+mechanisms), benchmarks appear and disappear between files (gaps), and
+schema details differ (``before_mean_seconds``, ``budget`` blocks).
+Every readable ``(file, benchmark, mean_seconds)`` triple contributes a
+point; everything else is skipped and *reported*, never fatal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.ledger import LedgerView, RunLedger
+
+#: Series verdicts.
+VERDICT_DRIFTING = "drifting"    # sustained slowdown over the series
+VERDICT_IMPROVING = "improving"  # sustained speedup
+VERDICT_STABLE = "stable"        # within the drift threshold
+VERDICT_SHORT = "short"          # too few points to call (< 3)
+
+#: Relative per-step slope above which a series is called drifting.
+DEFAULT_DRIFT_THRESHOLD = 0.05
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class TrendError(ObservabilityError):
+    """The trend observatory was pointed at something unusable."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendPoint:
+    """One observation of one benchmark in one source file."""
+
+    source: str
+    mean_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendSeries:
+    """One benchmark's observations across the source sequence."""
+
+    name: str
+    points: Tuple[TrendPoint, ...]
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return tuple(point.mean_seconds for point in self.points)
+
+    @property
+    def first(self) -> float:
+        return self.points[0].mean_seconds
+
+    @property
+    def last(self) -> float:
+        return self.points[-1].mean_seconds
+
+    @property
+    def net_change(self) -> float:
+        """last/first − 1 (0.0 for single-point series)."""
+        if len(self.points) < 2 or self.first == 0:
+            return 0.0
+        return self.last / self.first - 1.0
+
+    def slope_per_step(self) -> float:
+        """Least-squares slope per step, relative to the series mean.
+
+        ``0.10`` means the fitted line climbs ten percent of the mean
+        value per source file — the "sustained creep" signal a pairwise
+        gate cannot see.  Series shorter than 2 points have no slope.
+        """
+        values = self.values
+        n = len(values)
+        if n < 2:
+            return 0.0
+        mean_value = sum(values) / n
+        if mean_value == 0:
+            return 0.0
+        mean_index = (n - 1) / 2.0
+        covariance = sum(
+            (i - mean_index) * (v - mean_value)
+            for i, v in enumerate(values)
+        )
+        variance = sum((i - mean_index) ** 2 for i in range(n))
+        return (covariance / variance) / mean_value
+
+    def verdict(self, threshold: float = DEFAULT_DRIFT_THRESHOLD) -> str:
+        """Classify the series against the drift ``threshold``."""
+        if len(self.points) < 3:
+            return VERDICT_SHORT
+        slope = self.slope_per_step()
+        if slope > threshold and self.last > self.first:
+            return VERDICT_DRIFTING
+        if slope < -threshold and self.last < self.first:
+            return VERDICT_IMPROVING
+        return VERDICT_STABLE
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode block sparkline of ``values`` (empty string when empty)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_BLOCKS[3] * len(values)
+    span = high - low
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[int(round((v - low) / span * top))] for v in values
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def discover_bench_files(directory: "pathlib.Path") -> List[pathlib.Path]:
+    """The ``BENCH_*.json`` files under ``directory``, in name order."""
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        raise TrendError(f"bench directory {root} does not exist")
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def read_bench_means(path: pathlib.Path) -> Optional[Dict[str, float]]:
+    """``benchmark name -> mean seconds`` from one BENCH file.
+
+    Understands both committed formats — regression baselines
+    (``repro-bench/1``) and perf snapshots (``repro-perf-snapshot/v1``,
+    whose per-phase means are the comparable series) — and shrugs at
+    anything else: returns ``None`` for an unreadable or unknown file
+    (the caller reports it as skipped).  Malformed *entries* inside a
+    readable file are skipped individually, so one bad row cannot hide
+    a whole file's history.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, Mapping):
+        return None
+    schema = data.get("schema")
+    means: Dict[str, float] = {}
+    if schema == "repro-bench/1":
+        benchmarks = data.get("benchmarks")
+        if not isinstance(benchmarks, Mapping):
+            return None
+        for name, entry in benchmarks.items():
+            try:
+                means[str(name)] = float(entry["mean_seconds"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return means
+    if schema == "repro-perf-snapshot/v1":
+        phases = data.get("phases")
+        if not isinstance(phases, list):
+            return None
+        for entry in phases:
+            try:
+                means[str(entry["name"])] = float(entry["mean_seconds"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return means
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendReport:
+    """Everything the dashboard renders.
+
+    ``series`` maps benchmark name → :class:`TrendSeries` over the
+    bench files; ``run_series`` holds the ledger's per-command wall
+    times; ``sources`` and ``skipped`` name the files that did and did
+    not contribute.
+    """
+
+    series: Dict[str, TrendSeries]
+    run_series: Dict[str, TrendSeries]
+    sources: Tuple[str, ...]
+    skipped: Tuple[str, ...]
+    threshold: float = DEFAULT_DRIFT_THRESHOLD
+
+    def verdicts(self) -> Dict[str, str]:
+        """``series name -> verdict`` over every series (bench + runs)."""
+        combined = {**self.series, **self.run_series}
+        return {
+            name: combined[name].verdict(self.threshold)
+            for name in sorted(combined)
+        }
+
+    def drifting(self) -> List[str]:
+        """Names of series flagged as drifting, sorted."""
+        return [
+            name
+            for name, verdict in sorted(self.verdicts().items())
+            if verdict == VERDICT_DRIFTING
+        ]
+
+
+def collect_trends(
+    bench_dir: "pathlib.Path",
+    ledger: Optional[RunLedger] = None,
+    threshold: float = DEFAULT_DRIFT_THRESHOLD,
+) -> TrendReport:
+    """Build the full trend report for one bench directory (+ ledger)."""
+    if threshold <= 0:
+        raise TrendError(f"drift threshold must be > 0, got {threshold}")
+    files = discover_bench_files(bench_dir)
+    observations: Dict[str, List[TrendPoint]] = {}
+    sources: List[str] = []
+    skipped: List[str] = []
+    for path in files:
+        means = read_bench_means(path)
+        if means is None:
+            skipped.append(path.name)
+            continue
+        source = path.stem
+        sources.append(source)
+        for name in sorted(means):
+            observations.setdefault(name, []).append(
+                TrendPoint(source=source, mean_seconds=means[name])
+            )
+    series = {
+        name: TrendSeries(name=name, points=tuple(points))
+        for name, points in observations.items()
+    }
+    run_series = (
+        ledger_run_series(ledger.read()) if ledger is not None else {}
+    )
+    return TrendReport(
+        series=series,
+        run_series=run_series,
+        sources=tuple(sources),
+        skipped=tuple(skipped),
+        threshold=threshold,
+    )
+
+
+def ledger_run_series(view: LedgerView) -> Dict[str, TrendSeries]:
+    """Per-``(command, label)`` wall-time series from ledger records.
+
+    Records keep their append order (the ledger is append-only, so that
+    *is* chronological order on one machine); each distinct
+    ``command/label`` pair becomes one ``run:`` series.
+    """
+    observations: Dict[str, List[TrendPoint]] = {}
+    for record in view.records:
+        name = f"run:{record.command}:{record.label}"
+        observations.setdefault(name, []).append(
+            TrendPoint(
+                source=record.run_id, mean_seconds=record.wall_seconds
+            )
+        )
+    return {
+        name: TrendSeries(name=name, points=tuple(points))
+        for name, points in observations.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    """Adaptive human duration (µs/ms/s)."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if magnitude < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _series_row(series: TrendSeries, threshold: float) -> str:
+    verdict = series.verdict(threshold)
+    marker = {
+        VERDICT_DRIFTING: "**DRIFTING**",
+        VERDICT_IMPROVING: "improving",
+        VERDICT_STABLE: "stable",
+        VERDICT_SHORT: "–",
+    }[verdict]
+    return (
+        f"| `{series.name}` | {len(series.points)} "
+        f"| {_format_seconds(series.first)} "
+        f"| {_format_seconds(series.last)} "
+        f"| {series.net_change:+.1%} "
+        f"| {series.slope_per_step():+.1%}/step "
+        f"| `{sparkline(series.values)}` | {marker} |"
+    )
+
+
+_TABLE_HEADER = (
+    "| series | runs | first | last | net | slope | trend | verdict |\n"
+    "| --- | ---: | ---: | ---: | ---: | ---: | --- | --- |"
+)
+
+
+def render_trend_dashboard(report: TrendReport) -> str:
+    """The markdown dashboard (deterministic for fixed inputs).
+
+    Contains no timestamps or host names, for the same reason perf
+    snapshots don't: CI regenerates it on every PR, and a content-equal
+    history must diff clean.
+    """
+    lines: List[str] = []
+    lines.append("# Bench trend dashboard")
+    lines.append("")
+    lines.append(
+        f"Sources: {len(report.sources)} bench file(s)"
+        + (
+            " — " + ", ".join(f"`{s}`" for s in report.sources)
+            if report.sources
+            else ""
+        )
+    )
+    if report.skipped:
+        lines.append(
+            "Skipped (unreadable or unknown schema): "
+            + ", ".join(f"`{s}`" for s in report.skipped)
+        )
+    lines.append(
+        f"Drift rule: ≥ 3 points and fitted slope > "
+        f"{report.threshold:.0%} of the series mean per step."
+    )
+    lines.append("")
+
+    drifting = report.drifting()
+    lines.append("## Drift alerts")
+    lines.append("")
+    if drifting:
+        for name in drifting:
+            series = {**report.series, **report.run_series}[name]
+            lines.append(
+                f"- `{name}`: {series.slope_per_step():+.1%}/step over "
+                f"{len(series.points)} runs "
+                f"({_format_seconds(series.first)} → "
+                f"{_format_seconds(series.last)}, "
+                f"{series.net_change:+.1%} net) — sustained creep the "
+                f"pairwise gate cannot see."
+            )
+    else:
+        lines.append("- none")
+    lines.append("")
+
+    lines.append("## Benchmarks")
+    lines.append("")
+    if report.series:
+        lines.append(_TABLE_HEADER)
+        for name in sorted(report.series):
+            lines.append(_series_row(report.series[name], report.threshold))
+    else:
+        lines.append("(no benchmark series found)")
+    lines.append("")
+
+    if report.run_series:
+        lines.append("## Ledgered runs (this machine)")
+        lines.append("")
+        lines.append(_TABLE_HEADER)
+        for name in sorted(report.run_series):
+            lines.append(
+                _series_row(report.run_series[name], report.threshold)
+            )
+        lines.append("")
+    return "\n".join(lines)

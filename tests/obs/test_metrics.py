@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs import Histogram, MetricsRegistry
+from repro.obs import MODE_BOUNDED, MODE_EXACT, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -99,6 +99,105 @@ class TestHistogramQuantiles:
         assert summary["min"] == 1.0
         assert summary["max"] == 3.0
         assert summary["p50"] == pytest.approx(2.0)
+
+
+class TestBoundedHistogram:
+    def test_quantile_error_stays_within_the_pinned_bound(self):
+        # The documented contract: bucket midpoints bound the relative
+        # quantile error by (growth - 1) / 2.
+        growth = 1.04
+        bound = (growth - 1.0) / 2.0
+        # 201 points so the probed ranks q * (n - 1) are integers and
+        # the exact quantile is a sample value, not an interpolation —
+        # the bound is a per-observation bucketing guarantee.
+        values = [0.0001 * (1.13**i) for i in range(201)]
+        exact = Histogram("lat")
+        bounded = Histogram("lat", mode=MODE_BOUNDED, growth=growth)
+        for value in values:
+            exact.observe(value)
+            bounded.observe(value)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95):
+            truth = exact.quantile(q)
+            approx = bounded.quantile(q)
+            assert abs(approx - truth) / truth <= bound + 1e-12, q
+
+    def test_memory_bounded_by_dynamic_range_not_count(self):
+        bounded = Histogram("lat", mode=MODE_BOUNDED)
+        for i in range(100_000):
+            bounded.observe(0.001 + (i % 100) * 0.0001)
+        assert bounded.count == 100_000
+        # 100 distinct values over a tiny range fold into few buckets.
+        assert bounded.bucket_count < 100
+
+    def test_exact_aggregates_survive_bucketing(self):
+        bounded = Histogram("lat", mode=MODE_BOUNDED)
+        for value in (1.0, 2.0, 3.0):
+            bounded.observe(value)
+        assert bounded.count == 3
+        assert bounded.total == pytest.approx(6.0)
+        assert bounded.mean == pytest.approx(2.0)
+        assert bounded.min == 1.0
+        assert bounded.max == 3.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        bounded = Histogram("lat", mode=MODE_BOUNDED, growth=2.0)
+        bounded.observe(1.5)
+        assert bounded.quantile(0.0) == 1.5
+        assert bounded.quantile(1.0) == 1.5
+
+    def test_zero_and_negative_values_bucket_correctly(self):
+        bounded = Histogram("delta", mode=MODE_BOUNDED)
+        for value in (-2.0, 0.0, 2.0):
+            bounded.observe(value)
+        assert bounded.quantile(0.5) == 0.0
+        assert bounded.quantile(0.0) <= -2.0 * (1 - 0.02)
+        assert bounded.quantile(1.0) >= 2.0 * (1 - 0.02)
+
+    def test_raw_values_unavailable_in_bounded_mode(self):
+        bounded = Histogram("lat", mode=MODE_BOUNDED)
+        bounded.observe(1.0)
+        with pytest.raises(ObservabilityError, match="not retained"):
+            bounded.values()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown mode"):
+            Histogram("lat", mode="sketchy")
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ObservabilityError, match="> 1"):
+            Histogram("lat", mode=MODE_BOUNDED, growth=1.0)
+
+    def test_summary_marks_bounded_mode_only(self):
+        exact = Histogram("lat")
+        bounded = Histogram("lat", mode=MODE_BOUNDED)
+        exact.observe(1.0)
+        bounded.observe(1.0)
+        assert "mode" not in exact.summary()
+        assert bounded.summary()["mode"] == MODE_BOUNDED
+
+
+class TestRegistryHistogramModes:
+    def test_default_mode_applies_to_one_shot_observe(self):
+        registry = MetricsRegistry(default_histogram_mode=MODE_BOUNDED)
+        registry.observe("lat", 1.0)
+        assert registry.histograms["lat"].mode == MODE_BOUNDED
+
+    def test_explicit_mode_overrides_the_default(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", mode=MODE_BOUNDED)
+        assert histogram.mode == MODE_BOUNDED
+        # Unnamed re-access returns the same instrument unchanged.
+        assert registry.histogram("lat") is histogram
+
+    def test_mode_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", mode=MODE_EXACT)
+        with pytest.raises(ObservabilityError, match="cannot reopen"):
+            registry.histogram("lat", mode=MODE_BOUNDED)
+
+    def test_unknown_default_mode_rejected(self):
+        with pytest.raises(ObservabilityError, match="default histogram"):
+            MetricsRegistry(default_histogram_mode="sketchy")
 
 
 class TestRegistryDump:

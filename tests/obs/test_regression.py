@@ -8,11 +8,13 @@ import pytest
 
 from repro.obs.regression import (
     BenchStats,
+    MissingBenchmarkError,
     RegressionError,
     compare,
     load_baseline,
     load_pytest_benchmark,
     main,
+    select_benchmarks,
     write_baseline,
 )
 
@@ -88,13 +90,77 @@ class TestCompare:
         assert comparison.regressed
         assert "REGRESSED" in comparison.describe()
 
-    def test_missing_fresh_benchmark_is_an_error(self):
-        with pytest.raises(RegressionError, match="missing"):
+    def test_missing_fresh_benchmark_is_a_typed_error(self):
+        with pytest.raises(MissingBenchmarkError, match="missing") as info:
             compare({"b": self._stats(0.1)}, {}, 0.2)
+        # The typed error names the offending benchmark for CI tooling,
+        # and stays catchable as a plain RegressionError.
+        assert info.value.benchmark == "b"
+        assert isinstance(info.value, RegressionError)
 
     def test_unknown_gated_name_is_an_error(self):
-        with pytest.raises(RegressionError, match="not in the baseline"):
+        with pytest.raises(RegressionError, match="matches no baseline"):
             compare({}, {}, 0.2, only=["nope"])
+
+    def test_only_glob_restricts_the_gate(self):
+        baseline = {
+            "test_vcg[40]": self._stats(0.1),
+            "test_vcg[80]": self._stats(0.2),
+            "test_greedy[80]": self._stats(0.3),
+        }
+        current = {name: self._stats(0.1) for name in baseline}
+        comparisons = compare(baseline, current, 0.2, only=["test_vcg*"])
+        assert [c.name for c in comparisons] == [
+            "test_vcg[40]",
+            "test_vcg[80]",
+        ]
+
+    def test_glob_only_needs_matching_fresh_benchmarks(self):
+        baseline = {
+            "test_vcg[80]": self._stats(0.1),
+            "test_greedy[80]": self._stats(0.1),
+        }
+        # The fresh run lost the gated benchmark: typed error, even
+        # though the other baseline entry is present.
+        with pytest.raises(MissingBenchmarkError) as info:
+            compare(baseline, {"test_greedy[80]": self._stats(0.1)},
+                    0.2, only=["test_vcg*"])
+        assert info.value.benchmark == "test_vcg[80]"
+
+
+class TestSelectBenchmarks:
+    NAMES = {"test_vcg[40]", "test_vcg[80]", "test_greedy[80]"}
+
+    def test_no_patterns_selects_everything_sorted(self):
+        assert select_benchmarks(self.NAMES) == sorted(self.NAMES)
+
+    def test_glob_expands_sorted(self):
+        assert select_benchmarks(self.NAMES, ["test_vcg*"]) == [
+            "test_vcg[40]",
+            "test_vcg[80]",
+        ]
+
+    def test_exact_bracketed_name_beats_the_character_class(self):
+        # fnmatch would read "[80]" as a character class matching one
+        # of "8"/"0" — an exact baseline name must select itself.
+        assert select_benchmarks(self.NAMES, ["test_vcg[80]"]) == [
+            "test_vcg[80]"
+        ]
+
+    def test_question_mark_and_ranges_still_work(self):
+        assert select_benchmarks(self.NAMES, ["test_greedy[[]8?]"]) == [
+            "test_greedy[80]"
+        ]
+
+    def test_first_pattern_wins_on_duplicates(self):
+        selected = select_benchmarks(
+            self.NAMES, ["test_vcg[80]", "test_vcg*"]
+        )
+        assert selected == ["test_vcg[80]", "test_vcg[40]"]
+
+    def test_unmatched_pattern_raises(self):
+        with pytest.raises(RegressionError, match="matches no baseline"):
+            select_benchmarks(self.NAMES, ["test_hungarian*"])
 
 
 class TestMain:

@@ -84,6 +84,30 @@ class TestJsonlRoundTrip:
         assert read_jsonl(path) == [{"record": "span"}]
 
 
+class _FaultySink(InMemorySink):
+    """A sink whose chosen methods always raise (fault injection)."""
+
+    def __init__(self, fail=("record_span", "record_event", "close")):
+        super().__init__()
+        self._fail = fail
+        self.close_calls = 0
+
+    def record_span(self, span):
+        if "record_span" in self._fail:
+            raise OSError("disk full")
+        super().record_span(span)
+
+    def record_event(self, event):
+        if "record_event" in self._fail:
+            raise OSError("disk full")
+        super().record_event(event)
+
+    def close(self):
+        self.close_calls += 1
+        if "close" in self._fail:
+            raise OSError("disk full")
+
+
 class TestTeeSink:
     def test_fans_out_to_every_child(self, tmp_path):
         memory = InMemorySink()
@@ -95,6 +119,65 @@ class TestTeeSink:
         assert [s.name for s in memory.spans] == ["inner", "outer"]
         assert len(memory.events) == 1
         assert len(read_jsonl(path)) == 3
+
+    def test_failing_child_never_starves_its_siblings(self):
+        before = InMemorySink()
+        faulty = _FaultySink(fail=("record_span",))
+        after = InMemorySink()
+        tee = TeeSink(before, faulty, after)
+        tracer = Tracer(clock=ManualClock(), sink=tee)
+        with pytest.raises(ObservabilityError, match="disk full"):
+            with tracer.span("phase.a"):
+                pass
+        # Both healthy children recorded despite the middle one raising
+        # — including the one *after* the failure.
+        assert [s.name for s in before.spans] == ["phase.a"]
+        assert [s.name for s in after.spans] == ["phase.a"]
+
+    def test_failures_aggregate_into_one_error(self):
+        tee = TeeSink(_FaultySink(), InMemorySink(), _FaultySink())
+        tracer = Tracer(clock=ManualClock(), sink=tee)
+        with pytest.raises(ObservabilityError) as excinfo:
+            with tracer.span("phase.a"):
+                pass
+        message = str(excinfo.value)
+        assert "2 of 3" in message
+        assert "every child was still driven" in message
+        assert "_FaultySink.record_span" in message
+        assert "OSError: disk full" in message
+
+    def test_close_drives_every_child_despite_failures(self, tmp_path):
+        faulty = _FaultySink(fail=("close",))
+        jsonl = JsonlSink(tmp_path / "trace.jsonl")
+        trailing = _FaultySink(fail=("close",))
+        tee = TeeSink(faulty, jsonl, trailing)
+        with pytest.raises(ObservabilityError, match="2 of 3"):
+            tee.close()
+        # The JSONL sink between the two faulty ones was released.
+        with pytest.raises(ObservabilityError, match="closed"):
+            jsonl.record_event(
+                TaskAllocated(slot=0, task_id=1, phone_id=2, claimed_cost=1.0)
+            )
+        assert faulty.close_calls == 1
+        assert trailing.close_calls == 1
+
+    def test_failing_event_fanout_reaches_all_children(self):
+        healthy = InMemorySink()
+        tee = TeeSink(_FaultySink(fail=("record_event",)), healthy)
+        tracer = Tracer(clock=ManualClock(), sink=tee)
+        with obs.activate(tracer):
+            with pytest.raises(ObservabilityError, match="1 of 2"):
+                obs.record_event(
+                    TaskAllocated(
+                        slot=0, task_id=1, phone_id=2, claimed_cost=1.0
+                    )
+                )
+        assert len(healthy.events) == 1
+
+    def test_empty_tee_is_harmless(self):
+        tee = TeeSink()
+        tee.close()
+        _run_traced(tee)  # records go nowhere, nothing raises
 
 
 class TestNullSink:

@@ -1,0 +1,293 @@
+"""Trend observatory: series math, schema tolerance, and the dashboard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_DRIFT_THRESHOLD,
+    RunLedger,
+    RunRecord,
+    TrendError,
+    TrendPoint,
+    TrendSeries,
+    collect_trends,
+    render_trend_dashboard,
+    sparkline,
+)
+from repro.obs.trends import (
+    VERDICT_DRIFTING,
+    VERDICT_IMPROVING,
+    VERDICT_SHORT,
+    VERDICT_STABLE,
+    discover_bench_files,
+    ledger_run_series,
+    read_bench_means,
+)
+
+
+def _series(*values):
+    return TrendSeries(
+        name="bench",
+        points=tuple(
+            TrendPoint(source=f"BENCH_{i:04d}", mean_seconds=v)
+            for i, v in enumerate(values)
+        ),
+    )
+
+
+def _write_baseline(path, benchmarks):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro-bench/1",
+                "note": "",
+                "benchmarks": {
+                    name: {
+                        "mean_seconds": mean,
+                        "min_seconds": mean,
+                        "rounds": 3,
+                    }
+                    for name, mean in benchmarks.items()
+                },
+            }
+        ),
+        encoding="utf-8",
+    )
+
+
+def _write_snapshot(path, phases):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro-perf-snapshot/v1",
+                "label": "x",
+                "phases": [
+                    {"name": name, "mean_seconds": mean, "count": 1}
+                    for name, mean in phases.items()
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+
+
+class TestSeriesMath:
+    def test_slope_of_linear_creep_matches_the_step(self):
+        # 100 -> 110 -> 120 -> 130 ms: +10ms/step on a 115ms mean.
+        series = _series(0.100, 0.110, 0.120, 0.130)
+        assert series.slope_per_step() == pytest.approx(0.010 / 0.115)
+
+    def test_slope_of_flat_series_is_zero(self):
+        assert _series(0.5, 0.5, 0.5).slope_per_step() == 0.0
+
+    def test_single_point_has_no_slope_or_net(self):
+        series = _series(1.0)
+        assert series.slope_per_step() == 0.0
+        assert series.net_change == 0.0
+
+    def test_net_change_is_last_over_first(self):
+        assert _series(0.10, 0.12).net_change == pytest.approx(0.2)
+
+    def test_sustained_creep_is_flagged_drifting(self):
+        # The acceptance case: +10%/PR slips under a 20% pairwise gate
+        # forever, but the series verdict catches it.
+        series = _series(0.100, 0.110, 0.121, 0.133, 0.146)
+        assert series.verdict() == VERDICT_DRIFTING
+
+    def test_sustained_speedup_is_improving(self):
+        assert _series(0.146, 0.133, 0.121, 0.110).verdict() == (
+            VERDICT_IMPROVING
+        )
+
+    def test_noise_without_trend_is_stable(self):
+        assert _series(0.100, 0.103, 0.099, 0.101).verdict() == (
+            VERDICT_STABLE
+        )
+
+    def test_two_points_are_too_short_to_call(self):
+        assert _series(0.1, 0.9).verdict() == VERDICT_SHORT
+
+    def test_drift_needs_last_above_first(self):
+        # A dip-then-recover run can fit a positive slope without the
+        # endpoints actually worsening; that is not a drift alert.
+        series = _series(0.200, 0.100, 0.140, 0.190)
+        assert series.slope_per_step() > 0
+        assert series.verdict(threshold=0.01) != VERDICT_DRIFTING
+
+    def test_threshold_is_respected(self):
+        series = _series(0.100, 0.104, 0.108)
+        assert series.verdict(threshold=0.5) == VERDICT_STABLE
+        assert series.verdict(threshold=0.01) == VERDICT_DRIFTING
+
+
+class TestSparkline:
+    def test_monotone_ramp_uses_the_full_range(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series_renders_mid_blocks(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▄▄▄"
+
+    def test_empty_series_is_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBenchReaders:
+    def test_baseline_schema_is_read(self, tmp_path):
+        path = tmp_path / "BENCH_0004.json"
+        _write_baseline(path, {"test_a": 0.05, "test_b": 0.10})
+        assert read_bench_means(path) == {"test_a": 0.05, "test_b": 0.10}
+
+    def test_snapshot_schema_is_read(self, tmp_path):
+        path = tmp_path / "BENCH_0005.json"
+        _write_snapshot(path, {"phase.x": 0.2})
+        assert read_bench_means(path) == {"phase.x": 0.2}
+
+    def test_unknown_schema_returns_none(self, tmp_path):
+        path = tmp_path / "BENCH_0009.json"
+        path.write_text(json.dumps({"schema": "other/1"}), encoding="utf-8")
+        assert read_bench_means(path) is None
+
+    def test_unreadable_file_returns_none(self, tmp_path):
+        path = tmp_path / "BENCH_0009.json"
+        path.write_text("{ truncated", encoding="utf-8")
+        assert read_bench_means(path) is None
+
+    def test_malformed_entry_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "BENCH_0004.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-bench/1",
+                    "benchmarks": {
+                        "good": {"mean_seconds": 0.1},
+                        "bad": {"mean_seconds": "not-a-number"},
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert read_bench_means(path) == {"good": 0.1}
+
+    def test_discovery_is_name_sorted(self, tmp_path):
+        for name in ("BENCH_0006.json", "BENCH_0004.json"):
+            _write_baseline(tmp_path / name, {"t": 0.1})
+        (tmp_path / "unrelated.json").write_text("{}", encoding="utf-8")
+        assert [p.name for p in discover_bench_files(tmp_path)] == [
+            "BENCH_0004.json",
+            "BENCH_0006.json",
+        ]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(TrendError, match="does not exist"):
+            discover_bench_files(tmp_path / "absent")
+
+
+class TestCollectTrends:
+    def test_gap_and_schema_mix_is_tolerated(self, tmp_path):
+        # Mirrors the committed history: two baseline files share a
+        # benchmark, a snapshot file measures something disjoint, and a
+        # junk file sits alongside.
+        _write_baseline(
+            tmp_path / "BENCH_0004.json", {"shared": 0.10, "only4": 0.05}
+        )
+        _write_baseline(tmp_path / "BENCH_0005.json", {"shared": 0.12})
+        _write_snapshot(tmp_path / "BENCH_0006.json", {"disjoint": 0.30})
+        (tmp_path / "BENCH_0007.json").write_text("junk", encoding="utf-8")
+
+        report = collect_trends(tmp_path)
+        assert report.sources == ("BENCH_0004", "BENCH_0005", "BENCH_0006")
+        assert report.skipped == ("BENCH_0007.json",)
+        assert set(report.series) == {"shared", "only4", "disjoint"}
+        assert report.series["shared"].values == (0.10, 0.12)
+        # The gap series keeps its single point, no padding invented.
+        assert report.series["only4"].points[0].source == "BENCH_0004"
+
+    def test_synthetic_drift_is_flagged(self, tmp_path):
+        for i, mean in enumerate((0.100, 0.112, 0.125, 0.140)):
+            _write_baseline(
+                tmp_path / f"BENCH_{i:04d}.json", {"creeper": mean}
+            )
+        report = collect_trends(tmp_path)
+        assert report.verdicts()["creeper"] == VERDICT_DRIFTING
+        assert report.drifting() == ["creeper"]
+
+    def test_threshold_must_be_positive(self, tmp_path):
+        with pytest.raises(TrendError, match="> 0"):
+            collect_trends(tmp_path, threshold=0.0)
+
+    def test_default_threshold_is_exported(self):
+        assert DEFAULT_DRIFT_THRESHOLD == pytest.approx(0.05)
+
+
+class TestLedgerRunSeries:
+    def _record(self, run_id, command, label, wall):
+        return RunRecord(
+            run_id=run_id,
+            command=command,
+            label=label,
+            started_at=0.0,
+            wall_seconds=wall,
+            git_sha=None,
+            config_digest="0" * 12,
+        )
+
+    def test_groups_by_command_and_label(self, tmp_path):
+        ledger = RunLedger(tmp_path / "RUNS.jsonl")
+        ledger.append(self._record("a", "campaign", "greedy", 1.0))
+        ledger.append(self._record("b", "campaign", "greedy", 1.5))
+        ledger.append(self._record("c", "figures", "fig3", 9.0))
+        series = ledger_run_series(ledger.read())
+        assert set(series) == {"run:campaign:greedy", "run:figures:fig3"}
+        assert series["run:campaign:greedy"].values == (1.0, 1.5)
+
+    def test_collect_trends_merges_the_ledger(self, tmp_path):
+        _write_baseline(tmp_path / "BENCH_0004.json", {"t": 0.1})
+        ledger = RunLedger(tmp_path / "RUNS.jsonl")
+        ledger.append(self._record("a", "campaign", "greedy", 1.0))
+        report = collect_trends(tmp_path, ledger=ledger)
+        assert "run:campaign:greedy" in report.run_series
+        assert "run:campaign:greedy" in report.verdicts()
+
+
+class TestDashboard:
+    def test_dashboard_covers_every_readable_source(self, tmp_path):
+        _write_baseline(tmp_path / "BENCH_0004.json", {"t_x": 0.031})
+        _write_snapshot(tmp_path / "BENCH_0005.json", {"phase.y": 0.002})
+        (tmp_path / "BENCH_0006.json").write_text("junk", encoding="utf-8")
+        report = collect_trends(tmp_path)
+        dashboard = render_trend_dashboard(report)
+        assert "`BENCH_0004`" in dashboard
+        assert "`BENCH_0005`" in dashboard
+        assert "Skipped" in dashboard and "BENCH_0006.json" in dashboard
+        assert "`t_x`" in dashboard
+        assert "`phase.y`" in dashboard
+        assert "## Drift alerts" in dashboard
+        assert "- none" in dashboard
+
+    def test_drifting_series_gets_an_alert_line(self, tmp_path):
+        for i, mean in enumerate((0.100, 0.115, 0.132, 0.152)):
+            _write_baseline(
+                tmp_path / f"BENCH_{i:04d}.json", {"creeper": mean}
+            )
+        dashboard = render_trend_dashboard(collect_trends(tmp_path))
+        assert "**DRIFTING**" in dashboard
+        assert "sustained creep" in dashboard
+
+    def test_dashboard_is_deterministic(self, tmp_path):
+        _write_baseline(
+            tmp_path / "BENCH_0004.json", {"b": 0.2, "a": 0.1}
+        )
+        report = collect_trends(tmp_path)
+        assert render_trend_dashboard(report) == render_trend_dashboard(
+            report
+        )
+
+    def test_empty_directory_renders_a_placeholder(self, tmp_path):
+        dashboard = render_trend_dashboard(collect_trends(tmp_path))
+        assert "(no benchmark series found)" in dashboard

@@ -375,6 +375,247 @@ class TestProfile:
         assert "cumulative" in out  # the cProfile hotspot listing
 
 
+def _write_bench_series(directory, name, means):
+    """One BENCH_*.json baseline per mean, indexed in name order."""
+    for index, mean in enumerate(means):
+        (directory / f"BENCH_{index:04d}.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro-bench/1",
+                    "benchmarks": {
+                        name: {
+                            "mean_seconds": mean,
+                            "min_seconds": mean,
+                            "rounds": 3,
+                        }
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+
+
+class TestTrends:
+    def test_dashboard_to_stdout(self, capsys, tmp_path):
+        _write_bench_series(tmp_path, "t_solve", [0.10, 0.101, 0.099])
+        code, out, _ = run_cli(
+            capsys, "trends", "--bench-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "# Bench trend dashboard" in out
+        assert "`t_solve`" in out
+        assert "stable" in out
+
+    def test_committed_history_renders(self, capsys):
+        # The real BENCH_0004..6 mix: two baseline schemas plus a
+        # phase-snapshot file with a disjoint benchmark set.
+        code, out, _ = run_cli(capsys, "trends", "--bench-dir", ".")
+        assert code == 0
+        assert "`BENCH_0004`" in out
+        assert "`BENCH_0005`" in out
+        assert "`BENCH_0006`" in out
+
+    def test_dashboard_to_file(self, capsys, tmp_path):
+        _write_bench_series(tmp_path, "t", [0.1])
+        target = tmp_path / "TRENDS.md"
+        code, out, _ = run_cli(
+            capsys,
+            "trends", "--bench-dir", str(tmp_path), "--out", str(target),
+        )
+        assert code == 0
+        assert "written to" in out
+        assert target.read_text().startswith("# Bench trend dashboard")
+
+    def test_fail_on_drift_gates(self, capsys, tmp_path):
+        _write_bench_series(tmp_path, "creeper", [0.10, 0.112, 0.126, 0.142])
+        code, out, err = run_cli(
+            capsys, "trends", "--bench-dir", str(tmp_path)
+        )
+        assert code == 0  # reporting alone never fails
+        assert "**DRIFTING**" in out
+        code, _, err = run_cli(
+            capsys,
+            "trends", "--bench-dir", str(tmp_path), "--fail-on-drift",
+        )
+        assert code == 1
+        assert "creeper" in err
+
+    def test_json_payload(self, capsys, tmp_path):
+        _write_bench_series(tmp_path, "creeper", [0.10, 0.112, 0.126, 0.142])
+        code, out, _ = run_cli(
+            capsys, "trends", "--bench-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["verdicts"]["creeper"] == "drifting"
+        assert payload["drifting"] == ["creeper"]
+
+    def test_missing_directory_errors(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "trends", "--bench-dir", str(tmp_path / "nope")
+        )
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_ledger_series_joins_the_dashboard(self, capsys, tmp_path):
+        _write_bench_series(tmp_path, "t", [0.1])
+        ledger = tmp_path / "RUNS.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "campaign", "--slots", "6", "--rounds", "2",
+            "--ledger", str(ledger),
+        )
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys,
+            "trends", "--bench-dir", str(tmp_path),
+            "--ledger", str(ledger),
+        )
+        assert code == 0
+        assert "Ledgered runs" in out
+        assert "run:campaign:online-greedy" in out
+
+
+class TestLedgerFlag:
+    def test_campaign_appends_a_run_record(self, capsys, tmp_path):
+        from repro.obs import RunLedger
+
+        ledger = tmp_path / "RUNS.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "campaign", "--slots", "6", "--rounds", "3", "--seed", "2",
+            "--ledger", str(ledger),
+        )
+        assert code == 0
+        assert "ledger: run" in out
+        view = RunLedger(ledger).read()
+        assert len(view.records) == 1
+        record = view.records[0]
+        assert record.command == "campaign"
+        assert record.label == "online-greedy"
+        assert record.counters["rounds"] == 3.0
+        assert record.wall_seconds > 0
+
+    def test_figures_and_trace_share_the_ledger(self, capsys, tmp_path):
+        from repro.obs import RunLedger
+
+        ledger = tmp_path / "RUNS.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "figures", "fig7", "--repetitions", "1",
+            "--ledger", str(ledger),
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys,
+            "trace",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+            "--ledger", str(ledger),
+        )
+        assert code == 0
+        view = RunLedger(ledger).read()
+        assert [r.command for r in view.records] == ["figures", "trace"]
+        assert view.records[1].counters["spans"] > 0
+        assert "trace" in view.records[1].artifacts
+
+    def test_no_flag_writes_no_ledger(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _, _ = run_cli(
+            capsys, "campaign", "--slots", "6", "--rounds", "2"
+        )
+        assert code == 0
+        assert not (tmp_path / "RUNS.jsonl").exists()
+
+
+class TestHeartbeatFlag:
+    def test_campaign_heartbeat_file_and_notes(self, capsys, tmp_path):
+        from repro.obs import read_heartbeats
+
+        path = tmp_path / "hb.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "campaign", "--slots", "6", "--rounds", "6", "--seed", "2",
+            "--heartbeat", str(path), "--heartbeat-every", "2",
+        )
+        assert code == 0
+        assert "[heartbeat] round 2/6" in out
+        records = read_heartbeats(path)
+        assert [r["completed"] for r in records] == [2, 4, 6]
+
+    def test_quiet_silences_the_console_pulse(self, capsys, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "campaign", "--slots", "6", "--rounds", "4", "--seed", "2",
+            "--heartbeat", str(path), "--heartbeat-every", "2", "--quiet",
+        )
+        assert code == 0
+        assert "[heartbeat]" not in out
+        assert path.exists()  # the file channel still pulses
+
+    def test_heartbeat_does_not_change_the_outcome(self, capsys, tmp_path):
+        args = ("campaign", "--slots", "6", "--rounds", "4", "--seed", "9")
+        code, plain, _ = run_cli(capsys, *args)
+        assert code == 0
+        code, pulsed, _ = run_cli(
+            capsys,
+            *args,
+            "--heartbeat", str(tmp_path / "hb.jsonl"),
+            "--heartbeat-every", "2",
+        )
+        assert code == 0
+
+        def result_lines(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "welfare" in line or "payment" in line
+            ]
+
+        assert result_lines(plain) == result_lines(pulsed)
+
+
+class TestTraceTop:
+    def test_top_renders_the_hotspot_table(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+            "--top", "3",
+        )
+        assert code == 0
+        assert "Hotspots (top 3 by self time)" in out
+        assert "self ms" in out
+
+    def test_top_json_payload_names_hotspots(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "trace", "--json",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+            "--top", "2",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["hotspots"]) == 2
+
+    def test_without_top_no_hotspot_table(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            "--out", str(tmp_path / "trace.jsonl"),
+            "--snapshot-dir", str(tmp_path),
+            "--repetitions", "1",
+        )
+        assert code == 0
+        assert "Hotspots" not in out
+
+
 class TestOutputModes:
     def test_default_output_unchanged_by_common_flags(self, capsys):
         _, plain, _ = run_cli(capsys, "example")
