@@ -30,10 +30,31 @@ SPARSE_TIER = [
     pytest.param(1000, marks=pytest.mark.slow),
 ]
 
+#: The streaming-engine city tier: (phones, slots, bench rounds).  The
+#: CI smoke runs the 2·10⁴ case; 10⁵ and 10⁶ phones are ``slow``-marked
+#: and exist to demonstrate the event-driven engine at the scale the
+#: batch prober cannot reasonably reach (its means are committed under
+#: ``before_mean_seconds`` in BENCH_0007.json).
+CITY_TIER = [
+    pytest.param(20_000, 200, 5, id="20000x200"),
+    pytest.param(
+        100_000, 1000, 3, id="100000x1000", marks=pytest.mark.slow
+    ),
+    pytest.param(
+        1_000_000, 1000, 1, id="1000000x1000", marks=pytest.mark.slow
+    ),
+]
+
 
 def _scenario(num_slots: int):
     return WorkloadConfig.paper_default().replace(
         num_slots=num_slots
+    ).generate(seed=1)
+
+
+def _city_scenario(num_phones: int, num_slots: int):
+    return WorkloadConfig(
+        num_slots=num_slots, phone_rate=num_phones / num_slots
     ).generate(seed=1)
 
 
@@ -114,6 +135,27 @@ def test_offline_vcg_scaling_sparse(benchmark, num_slots):
     mechanism = OfflineVCGMechanism(backend="sparse")
 
     outcome = benchmark(mechanism.run, bids, scenario.schedule)
+    assert outcome.total_payment > 0.0
+
+
+@pytest.mark.parametrize("num_phones,num_slots,rounds", CITY_TIER)
+def test_online_streaming_scaling(benchmark, num_phones, num_slots, rounds):
+    """The full online round on the event-driven streaming engine.
+
+    Allocation plus every Algorithm-2 payment from one pass; the batch
+    engine on the same instances is the committed
+    ``before_mean_seconds`` baseline (≥5× at the 10⁵-phone tier).
+    """
+    scenario = _city_scenario(num_phones, num_slots)
+    bids = scenario.truthful_bids()
+    mechanism = OnlineGreedyMechanism(engine="streaming")
+
+    outcome = benchmark.pedantic(
+        mechanism.run,
+        args=(bids, scenario.schedule),
+        rounds=rounds,
+        iterations=1,
+    )
     assert outcome.total_payment > 0.0
 
 

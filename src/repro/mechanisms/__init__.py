@@ -24,6 +24,7 @@ from repro.mechanisms.registry import (
     create_mechanism,
     register_mechanism,
 )
+from repro.mechanisms.streaming import StreamingGreedyEngine
 
 __all__ = [
     "Mechanism",
@@ -31,6 +32,7 @@ __all__ = [
     "OnlineGreedyMechanism",
     "GreedyProber",
     "GreedyRun",
+    "StreamingGreedyEngine",
     "bid_index",
     "run_greedy_allocation",
     "available_mechanisms",

@@ -23,13 +23,16 @@ Two payment rules are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro import obs
 from repro.errors import MechanismError
 from repro.mechanisms.greedy_core import GreedyProber, run_greedy_allocation
 from repro.model.bid import Bid
 from repro.model.task import TaskSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mechanisms.streaming import StreamingGreedyEngine
 
 
 def _check_prober(
@@ -46,9 +49,30 @@ def _check_prober(
         raise MechanismError(
             "prober reserve_price does not match the payment call"
         )
-    if prober.bids != tuple(bids):
+    if not prober.covers(bids):
         raise MechanismError(
             "prober was built for a different bid vector"
+        )
+
+
+def _check_engine(
+    engine: "StreamingGreedyEngine",
+    bids: Sequence[Bid],
+    reserve_price: bool,
+) -> None:
+    """Reject a streaming engine built for a different auction.
+
+    Same strictness as :func:`_check_prober`: a mismatched engine would
+    silently price the wrong auction.
+    """
+    if engine.reserve_price != reserve_price:  # repro: noqa-REP002 -- boolean flag, not a money value
+        raise MechanismError(
+            "streaming engine reserve_price does not match the payment "
+            "call"
+        )
+    if not engine.covers(bids):
+        raise MechanismError(
+            "streaming engine was built for a different bid vector"
         )
 
 
@@ -59,6 +83,7 @@ def algorithm2_payment(
     win_slot: int,
     reserve_price: bool = False,
     prober: Optional[GreedyProber] = None,
+    engine: Optional["StreamingGreedyEngine"] = None,
 ) -> float:
     """Algorithm 2 of the paper: pay the critical player's claimed cost.
 
@@ -68,6 +93,10 @@ def algorithm2_payment(
     winner's own claimed cost.  A :class:`~repro.mechanisms.greedy_core
     .GreedyProber` built for the same bids makes the re-run incremental
     (resumed from the winner's arrival slot) without changing the result.
+    A :class:`~repro.mechanisms.streaming.StreamingGreedyEngine` goes
+    further: when its displacement-cascade records apply, the payment is
+    read off without any re-run at all; otherwise the engine's fallback
+    prober takes over.  All three routes are bit-identical.
     """
     if not (winner.arrival <= win_slot <= winner.departure):
         raise MechanismError(
@@ -77,6 +106,15 @@ def algorithm2_payment(
     with obs.span(
         "payment.algorithm2", winner=winner.phone_id, win_slot=win_slot
     ):
+        if engine is not None:
+            _check_engine(engine, bids, reserve_price)
+            recorded = engine.base_run.win_slots.get(winner.phone_id)
+            if engine.supports_incremental_payments and recorded in (
+                None,
+                win_slot,
+            ):
+                return engine.algorithm2_payment(winner, win_slot)
+            prober = engine.prober
         if prober is not None:
             _check_prober(prober, bids, reserve_price)
             rerun = prober.run_excluding(
@@ -124,6 +162,7 @@ def exact_critical_payment(
     winner: Bid,
     reserve_price: bool = False,
     prober: Optional[GreedyProber] = None,
+    engine: Optional["StreamingGreedyEngine"] = None,
 ) -> float:
     """The exact critical value of Definition 9, by binary search.
 
@@ -132,7 +171,11 @@ def exact_critical_payment(
     win/lose outcome can only change when the claimed cost crosses
     another bid's cost (or the task value, when a reserve is active).
     The supremum of winning costs is therefore attained at one of those
-    thresholds, found here with ``O(log n)`` greedy re-runs.
+    thresholds, found here with ``O(log n)`` greedy re-runs — or, when
+    a :class:`~repro.mechanisms.streaming.StreamingGreedyEngine` with
+    applicable incremental records is supplied, read directly off its
+    per-slot marginal thresholds with no re-run at all (bit-identical;
+    see the streaming module's docstring for the argument).
 
     When the winner is uncontested — it would win at *any* price — the
     critical value is unbounded.  With ``reserve_price`` the task value
@@ -140,6 +183,18 @@ def exact_critical_payment(
     the winner's own claimed cost (and the caller inherits the
     truthfulness caveat documented in the module docstring).
     """
+    if engine is not None:
+        _check_engine(engine, bids, reserve_price)
+        if (
+            engine.supports_incremental_payments
+            and winner.phone_id in engine.base_run.win_slots
+        ):
+            with obs.span(
+                "payment.exact", winner=winner.phone_id
+            ) as fast_tel:
+                fast_tel.set_attribute("probes", 0)
+                return engine.exact_payment(winner)
+        prober = engine.prober
     if prober is not None:
         _check_prober(prober, bids, reserve_price)
     with obs.span("payment.exact", winner=winner.phone_id) as tel:

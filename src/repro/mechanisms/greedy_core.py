@@ -24,6 +24,7 @@ import collections
 import dataclasses
 import functools
 import heapq
+import itertools
 from typing import (
     Callable,
     Dict,
@@ -33,6 +34,8 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+import numpy as np
 
 from repro import obs
 from repro.model.bid import Bid
@@ -44,13 +47,19 @@ def bid_sort_key(bid: Bid) -> Tuple[float, int, int]:
     return (bid.cost, bid.arrival, bid.phone_id)
 
 
-@functools.lru_cache(maxsize=64)
+@functools.lru_cache(maxsize=8)
 def bid_index(bids: Tuple[Bid, ...]) -> Dict[int, Bid]:
     """``phone_id -> bid`` for a bid tuple, memoised across payment passes.
 
     Every winner's payment pass used to rebuild this identical dict;
     bids are frozen (hashable), so the tuple itself is the cache key.
     Callers must treat the returned dict as read-only.
+
+    The cache is deliberately tiny: each entry pins the full bid tuple
+    of one round, which at city scale is tens of megabytes, and a long
+    campaign cycles through a fresh tuple per round — a large cache
+    would pin dead rounds for the process lifetime while the hit
+    pattern only ever needs the rounds currently in flight.
     """
     return {bid.phone_id: bid for bid in bids}
 
@@ -255,17 +264,6 @@ def run_greedy_allocation(
     )
 
 
-#: Resumable walk state captured at the start of a slot: the heap (as a
-#: plain list), the allocation and win-slot dicts, and how many slot
-#: outcomes precede the slot.
-_Snapshot = Tuple[
-    List[Tuple[Tuple[float, int, int], Bid]],
-    Dict[int, int],
-    Dict[int, int],
-    int,
-]
-
-
 class GreedyProber:
     """Incremental Algorithm-1 re-run engine shared by payment probes.
 
@@ -277,12 +275,20 @@ class GreedyProber:
     state (heap contents, allocation, win slots, tie-breaks) is exactly
     the base run's, because the perturbed bid has not entered the pool.
 
-    The prober therefore runs the base allocation once, snapshotting the
-    walk state at the start of every slot, and answers probes by copying
-    the arrival slot's snapshot and walking only the remaining slots.
-    Results are bit-identical to cold re-runs (both drive
-    :func:`_walk_slots`; verified by the property suites); slots skipped
-    this way are recorded on the ``payment.probe.slots_skipped`` counter.
+    The prober therefore runs the base allocation once and answers
+    probes by reconstructing the arrival slot's walk state *virtually*
+    and walking only the remaining slots.  Snapshots are never
+    materialised: per slot the prober keeps two integers (how many
+    selections and slot outcomes precede it), and the pool at any slot
+    is rebuilt on demand from a numpy interval mask — ``arrived before
+    the slot, departs at or after it, not yet selected`` — followed by
+    one ``heapify``.  Heap layout may differ from the incremental
+    build, but pop order is a function of the entry multiset alone
+    (``bid_sort_key`` is a strict total order), so results are
+    bit-identical to cold re-runs (verified by the property suites);
+    peak memory drops from O(bids × slots) under the old full-copy
+    snapshots to O(bids + slots).  Slots skipped by a resume are
+    recorded on the ``payment.probe.slots_skipped`` counter.
 
     The prober never mutates bids or schedule; it holds its own private
     copies of the walk state, so a single instance can serve every
@@ -295,6 +301,7 @@ class GreedyProber:
         schedule: TaskSchedule,
         reserve_price: bool = False,
     ) -> None:
+        self._source = bids
         self._bids: Tuple[Bid, ...] = tuple(bids)
         self._schedule = schedule
         self._reserve_price = bool(reserve_price)
@@ -307,16 +314,56 @@ class GreedyProber:
         # call this per winner, and re-hashing a long bid tuple on every
         # cache lookup would cost more than the dict it saves.
         self._bid_by_phone = {bid.phone_id: bid for bid in self._bids}
-        self._snapshots: Dict[int, _Snapshot] = {}
+        # Virtual-snapshot state: per-slot prefix counts (index ``s`` =
+        # state at the start of slot ``s``; ``num_slots + 1`` = final)
+        # plus the window columns the pool mask is computed from.
+        self._selection_prefix = [0] * (self._num_slots + 2)
+        self._outcome_prefix = [0] * (self._num_slots + 2)
+        count = len(self._bids)
+        self._arrival_col = np.fromiter(
+            (bid.arrival for bid in self._bids),
+            dtype=np.int64,
+            count=count,
+        )
+        self._departure_col = np.fromiter(
+            (bid.departure for bid in self._bids),
+            dtype=np.int64,
+            count=count,
+        )
         self._thresholds: Optional[List[float]] = None
         self._cost_counts: Optional[Dict[float, int]] = None
         self._task_values: Optional[frozenset] = None
         self._base_run = self._run_base()
+        # Slot each bid was selected in; the sentinel (one past the
+        # final-state index) means "never selected", so the pool mask
+        # ``won_slot >= s`` reads "still unallocated at slot s".
+        sentinel = self._num_slots + 2
+        win_slots = self._base_run.win_slots
+        self._won_slot_col = np.fromiter(
+            (win_slots.get(bid.phone_id, sentinel) for bid in self._bids),
+            dtype=np.int64,
+            count=count,
+        )
 
     @property
     def bids(self) -> Tuple[Bid, ...]:
         """The bid tuple the prober was built for."""
         return self._bids
+
+    def covers(self, bids: Sequence[Bid]) -> bool:
+        """Whether the prober was built for exactly ``bids``.
+
+        Identity first: a mechanism run hands the *same* sequence to
+        every payment call, so the common case is O(1) rather than an
+        O(n) tuple comparison per winner (which dominated city-scale
+        rounds).  Separately-constructed sequences still get the full
+        elementwise check.
+        """
+        return (
+            bids is self._source
+            or bids is self._bids
+            or tuple(bids) == self._bids
+        )
 
     @property
     def reserve_price(self) -> bool:
@@ -338,14 +385,12 @@ class GreedyProber:
         allocation: Dict[int, int] = {}
         win_slots: Dict[int, int] = {}
         slot_outcomes: List[SlotOutcome] = []
+        selection_prefix = self._selection_prefix
+        outcome_prefix = self._outcome_prefix
 
-        def snapshot(slot: int) -> None:
-            self._snapshots[slot] = (
-                list(pool),
-                dict(allocation),
-                dict(win_slots),
-                len(slot_outcomes),
-            )
+        def note(slot: int) -> None:
+            selection_prefix[slot] = len(win_slots)
+            outcome_prefix[slot] = len(slot_outcomes)
 
         with obs.span(
             "greedy.allocation",
@@ -363,17 +408,13 @@ class GreedyProber:
                 1,
                 self._num_slots,
                 self._reserve_price,
-                on_slot_start=snapshot,
+                on_slot_start=note,
             )
             # Final state, keyed one past the horizon: probes whose
             # perturbed bid arrives after their stop slot resolve to a
             # truncated base run without walking anything.
-            self._snapshots[self._num_slots + 1] = (
-                pool,
-                dict(allocation),
-                dict(win_slots),
-                len(slot_outcomes),
-            )
+            selection_prefix[self._num_slots + 1] = len(win_slots)
+            outcome_prefix[self._num_slots + 1] = len(slot_outcomes)
             tel.set_attribute("candidate_evals", candidate_evals)
             tel.set_attribute("winners", len(win_slots))
             tel.set_attribute(
@@ -388,6 +429,50 @@ class GreedyProber:
             slots=tuple(slot_outcomes),
         )
 
+    def _prefix_dicts(
+        self, selections: int
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """The allocation / win-slot dicts after ``selections`` picks.
+
+        Both base dicts gain exactly one entry per selection, in
+        selection order, so an ``islice`` of each reproduces the
+        as-of-slot copy the old full snapshots materialised — including
+        insertion order, which pickled outcomes are sensitive to.
+        """
+        allocation = dict(
+            itertools.islice(
+                self._base_run.allocation.items(), selections
+            )
+        )
+        win_slots = dict(
+            itertools.islice(self._base_run.win_slots.items(), selections)
+        )
+        return allocation, win_slots
+
+    def _pool_at(
+        self, slot: int
+    ) -> List[Tuple[Tuple[float, int, int], Bid]]:
+        """Rebuild the pool heap as of the start of ``slot``.
+
+        One vectorised interval mask — arrived strictly before the
+        slot, not departed, not yet selected — then a heapify.  Lazily
+        expired entries the incremental heap would still carry are
+        dropped eagerly here; they could never win, so the walk is
+        unaffected (only the count of lazy expiry pops changes).
+        """
+        mask = (
+            (self._arrival_col < slot)
+            & (self._departure_col >= slot)
+            & (self._won_slot_col >= slot)
+        )
+        bids = self._bids
+        pool = [
+            (bid_sort_key(bids[index]), bids[index])
+            for index in np.nonzero(mask)[0].tolist()
+        ]
+        heapq.heapify(pool)
+        return pool
+
     def _resume(
         self,
         start_slot: int,
@@ -399,23 +484,28 @@ class GreedyProber:
         if start > last_slot:
             # The perturbation never takes effect inside the probed
             # window; the answer is the base run truncated to it.
-            _, allocation, win_slots, prefix = self._snapshots[
-                min(last_slot, self._num_slots) + 1
-            ]
+            through = min(last_slot, self._num_slots) + 1
+            allocation, win_slots = self._prefix_dicts(
+                self._selection_prefix[through]
+            )
             obs.counter(
                 "payment.probe.slots_skipped", max(last_slot, 0)
             )
             return GreedyRun(
-                allocation=dict(allocation),
-                win_slots=dict(win_slots),
-                slots=self._base_run.slots[:prefix],
+                allocation=allocation,
+                win_slots=win_slots,
+                slots=self._base_run.slots[
+                    : self._outcome_prefix[through]
+                ],
             )
 
-        snap_pool, snap_alloc, snap_wins, prefix = self._snapshots[start]
-        pool = list(snap_pool)
-        allocation = dict(snap_alloc)
-        win_slots = dict(snap_wins)
-        slot_outcomes = list(self._base_run.slots[:prefix])
+        pool = self._pool_at(start)
+        allocation, win_slots = self._prefix_dicts(
+            self._selection_prefix[start]
+        )
+        slot_outcomes = list(
+            self._base_run.slots[: self._outcome_prefix[start]]
+        )
         arrivals: Dict[int, Sequence[Bid]] = dict(self._arrivals_by_slot)
         arrivals[start] = list(arrivals_at_start)
 

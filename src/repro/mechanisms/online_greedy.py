@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro import obs
 from repro.errors import MechanismError
 from repro.mechanisms.base import Mechanism
 from repro.mechanisms.critical_payment import (
@@ -19,12 +20,14 @@ from repro.mechanisms.critical_payment import (
     exact_critical_payment,
 )
 from repro.mechanisms.greedy_core import GreedyProber
+from repro.mechanisms.streaming import StreamingGreedyEngine
 from repro.model.bid import Bid
 from repro.model.outcome import AuctionOutcome
 from repro.model.round_config import RoundConfig
 from repro.model.task import TaskSchedule
 
 _PAYMENT_RULES = ("paper", "exact")
+_ENGINES = ("batch", "streaming")
 
 
 class OnlineGreedyMechanism(Mechanism):
@@ -42,6 +45,15 @@ class OnlineGreedyMechanism(Mechanism):
         ``"paper"`` (default) uses Algorithm 2 verbatim; ``"exact"``
         computes the true critical value by binary search (see
         :mod:`repro.mechanisms.critical_payment` for when they differ).
+    engine:
+        ``"batch"`` (default) runs the snapshot-resume
+        :class:`~repro.mechanisms.greedy_core.GreedyProber`;
+        ``"streaming"`` runs the event-driven
+        :class:`~repro.mechanisms.streaming.StreamingGreedyEngine`,
+        which derives payments incrementally from per-slot records.
+        Outcomes are bit-identical (verified byte-for-byte on pickled
+        outcomes by the property suite); only the cost profile differs,
+        with streaming built for city-scale rounds.
 
     Although the mechanism is conceptually online, :meth:`run` consumes a
     complete round like every other mechanism — determinism plus the
@@ -59,14 +71,20 @@ class OnlineGreedyMechanism(Mechanism):
         self,
         reserve_price: bool = False,
         payment_rule: str = "paper",
+        engine: str = "batch",
     ) -> None:
         if payment_rule not in _PAYMENT_RULES:
             raise MechanismError(
                 f"unknown payment_rule {payment_rule!r}; expected one of "
                 f"{_PAYMENT_RULES}"
             )
+        if engine not in _ENGINES:
+            raise MechanismError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
         self._reserve_price = bool(reserve_price)
         self._payment_rule = payment_rule
+        self._engine = engine
 
     @property
     def reserve_price(self) -> bool:
@@ -78,6 +96,11 @@ class OnlineGreedyMechanism(Mechanism):
         """The active payment rule, ``"paper"`` or ``"exact"``."""
         return self._payment_rule
 
+    @property
+    def engine(self) -> str:
+        """The active allocation engine, ``"batch"`` or ``"streaming"``."""
+        return self._engine
+
     def run(
         self,
         bids: Sequence[Bid],
@@ -85,7 +108,13 @@ class OnlineGreedyMechanism(Mechanism):
         config: Optional[RoundConfig] = None,
     ) -> AuctionOutcome:
         self._resolve_config(bids, schedule, config)
+        if self._engine == "streaming":
+            return self._run_streaming(bids, schedule)
+        return self._run_batch(bids, schedule)
 
+    def _run_batch(
+        self, bids: Sequence[Bid], schedule: TaskSchedule
+    ) -> AuctionOutcome:
         # One prober serves the allocation *and* every payment pass: its
         # base run is the Algorithm-1 allocation, and payment re-runs
         # resume from each winner's arrival slot instead of slot 1.
@@ -119,6 +148,59 @@ class OnlineGreedyMechanism(Mechanism):
             # The paper: "each smartphone receives its payment in its
             # reported departure slot."
             payment_slots[phone_id] = winner.departure
+
+        return AuctionOutcome(
+            bids=bids,
+            schedule=schedule,
+            allocation=greedy.allocation,
+            payments=payments,
+            payment_slots=payment_slots,
+        )
+
+    def _run_streaming(
+        self, bids: Sequence[Bid], schedule: TaskSchedule
+    ) -> AuctionOutcome:
+        # One event-driven pass produces the allocation and the per-slot
+        # records payments are read from; no re-runs unless the engine
+        # declares its records inapplicable (reserve price over
+        # heterogeneous task values), where the prober fallback keeps
+        # outcomes bit-identical.
+        engine = StreamingGreedyEngine(
+            bids, schedule, reserve_price=self._reserve_price
+        )
+        greedy = engine.base_run
+        if greedy.win_slots and not engine.supports_incremental_payments:
+            obs.counter(
+                "online.stream.payment_fallbacks", len(greedy.win_slots)
+            )
+
+        bid_by_phone = engine.bid_by_phone
+        payments: Dict[int, float] = {}
+        payment_slots: Dict[int, int] = {}
+        for phone_id, win_slot in greedy.win_slots.items():
+            winner = bid_by_phone[phone_id]
+            if self._payment_rule == "paper":
+                payments[phone_id] = algorithm2_payment(
+                    bids,
+                    schedule,
+                    winner,
+                    win_slot,
+                    reserve_price=self._reserve_price,
+                    engine=engine,
+                )
+            else:
+                payments[phone_id] = exact_critical_payment(
+                    bids,
+                    schedule,
+                    winner,
+                    reserve_price=self._reserve_price,
+                    engine=engine,
+                )
+            payment_slots[phone_id] = winner.departure
+        # Reported once, after the payment loop: how much cascade
+        # walking the whole round needed (zero is common — most
+        # removals cascade nowhere).
+        obs.counter("online.stream.cascade_steps", engine.cascade_steps)
 
         return AuctionOutcome(
             bids=bids,

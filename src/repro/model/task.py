@@ -11,7 +11,16 @@ paper's model) so the library also supports heterogeneous task values.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ValidationError
 from repro.utils.validation import check_non_negative, check_positive, check_type
@@ -122,6 +131,10 @@ class TaskSchedule:
             by_slot.setdefault(task.slot, []).append(task)
         self._by_slot = {slot: tuple(ts) for slot, ts in by_slot.items()}
         self._by_id = {task.task_id: task for task in self._tasks}
+        values = {task.value for task in self._tasks}
+        self._uniform_value: Optional[float] = (
+            values.pop() if len(values) == 1 else None
+        )
 
     @classmethod
     def from_counts(
@@ -168,6 +181,18 @@ class TaskSchedule:
         return tuple(
             len(self._by_slot.get(slot, ())) for slot in range(1, self._num_slots + 1)
         )
+
+    @property
+    def uniform_value(self) -> Optional[float]:
+        """The single value shared by every task, or ``None``.
+
+        The paper's model prices all tasks at a common ``ν``; several
+        incremental shortcuts (notably the streaming engine's
+        critical-threshold maintenance under a reserve price) are only
+        valid in that homogeneous regime.  ``None`` means the schedule
+        is empty or carries heterogeneous values.
+        """
+        return self._uniform_value
 
     @property
     def total_value(self) -> float:

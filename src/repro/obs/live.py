@@ -48,6 +48,7 @@ HEARTBEAT_SCHEMA = "repro-heartbeat/1"
 WATCHED_COUNTERS = (
     "journal.appends",
     "journal.rotations",
+    "online.stream.events",
     "platform.reassignments",
     "sweep.retries",
     "sweep.checkpoint.hits",
@@ -222,6 +223,13 @@ class Heartbeat:
         reassigned = metrics.get("platform.reassignments")
         if reassigned:
             parts.append(f"reassigned {reassigned:.0f}")
+        events = metrics.get("online.stream.events")
+        elapsed = record["elapsed_seconds"]
+        if events and elapsed > 0:
+            # Cumulative streaming-engine events over the run's wall
+            # clock: the "is the engine still chewing?" vital for
+            # city-scale campaigns.
+            parts.append(f"stream {events / elapsed:.0f} ev/s")
         return " | ".join(parts)
 
 
