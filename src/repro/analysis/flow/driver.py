@@ -34,7 +34,7 @@ from repro.analysis.linter import display_path
 from repro.analysis.rules.base import LintViolation, SourceFile
 
 #: Bumped whenever the summary format changes, invalidating caches.
-CACHE_VERSION = "flow-cache/1"
+CACHE_VERSION = "flow-cache/2"  # /2: SubmitSite.handle_args (shared-memory handles)
 
 #: Default scan root: the package sources (tests exercise the analyzer,
 #: they are not its subject — fixture code would drown the signal).

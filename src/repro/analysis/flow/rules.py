@@ -98,13 +98,23 @@ class WorkerPickleSafetyRule(FlowRule):
     both die in ``pickle.dumps`` at submission time, but only once a
     worker actually picks them up, which makes the failure intermittent
     under small pools.
+
+    Shared-memory handles are the quieter variant: a local built via
+    ``SharedMemory(...)`` *does* pickle (by name, reconstructing a
+    second live handle in the worker), so nothing fails at submit time
+    — but the worker's copy re-registers with the resource tracker and
+    double-frees on close/unlink.  The discipline is to pass the
+    segment *name* (``segment.name``, an attribute access the rule
+    deliberately leaves clean) and re-attach inside the worker, as
+    :func:`repro.experiments.sharding._run_shard` does.
     """
 
     name = "worker-pickle-safety"
     code = "REP010"
     description = (
         "callables and arguments passed to executor.submit must be "
-        "module-level and picklable (no lambdas or nested functions)"
+        "module-level and picklable (no lambdas or nested functions); "
+        "shared-memory handles must cross by segment name, not by value"
     )
 
     def check(self, engine: FlowEngine) -> Iterator[LintViolation]:
@@ -129,6 +139,17 @@ class WorkerPickleSafetyRule(FlowRule):
                         f"argument {bad!r} passed across the worker "
                         "boundary is not picklable (lambda or locally "
                         "defined function)",
+                        symbol=key,
+                    )
+                for handle in submit.handle_args:
+                    yield self.violation(
+                        summary,
+                        submit.line,
+                        submit.col,
+                        f"argument {handle!r} is a live shared-memory "
+                        "handle; pickling it ships a second owner to "
+                        "the worker (double close/unlink) — pass "
+                        f"{handle}.name and attach by name worker-side",
                         symbol=key,
                     )
 

@@ -82,6 +82,16 @@ TIME_READ_CALLS = frozenset(
 #: Environment reads (calls and subscripts on ``os.environ``).
 ENV_READ_CALLS = frozenset({"os.getenv", "os.environ.get"})
 
+#: Constructors whose instances are live shared-memory handles.  A
+#: handle pickled across a worker boundary ships a second owner; the
+#: discipline is to pass ``segment.name`` and re-attach worker-side.
+SHARED_MEMORY_CTORS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+    }
+)
+
 #: Telemetry emitters of :mod:`repro.obs` (``repro.obs.<name>``).
 TELEMETRY_EMITTERS = frozenset({"span", "counter", "observe", "gauge"})
 
@@ -137,7 +147,13 @@ class SubmitSite:
     ``"lambda"``, ``"nested"`` (function defined inside the submitting
     function), or ``"opaque"`` (anything else).  ``bad_args`` lists
     positional arguments that are lambdas or locally-defined functions
-    — values that cannot cross a process boundary.
+    — values that cannot cross a process boundary.  ``handle_args``
+    lists arguments that are live shared-memory handles (locals
+    constructed via ``SharedMemory(...)``/``ShareableList(...)``):
+    pickling the handle ships a second owner to the worker instead of
+    attaching by name, so close/unlink accounting double-frees — pass
+    ``segment.name`` and re-attach worker-side (which reads as an
+    attribute access and stays clean).
     """
 
     line: int
@@ -145,6 +161,7 @@ class SubmitSite:
     callable_kind: str
     callable_name: str
     bad_args: Tuple[str, ...] = ()
+    handle_args: Tuple[str, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -400,11 +417,19 @@ class _FunctionVisitor(ast.NodeVisitor):
             return
         kind, name = self._callable_kind(node.args[0])
         bad: List[str] = []
-        for arg in node.args[1:]:
+        handles: List[str] = []
+        payload = list(node.args[1:]) + [kw.value for kw in node.keywords]
+        for arg in payload:
             if isinstance(arg, ast.Lambda):
                 bad.append("<lambda>")
-            elif isinstance(arg, ast.Name) and arg.id in self.nested_defs:
-                bad.append(arg.id)
+            elif isinstance(arg, ast.Name):
+                if arg.id in self.nested_defs:
+                    bad.append(arg.id)
+                elif self._is_shared_memory_local(arg.id):
+                    # Passing `segment` ships the live handle; passing
+                    # `segment.name` is an Attribute node and stays
+                    # clean — exactly the by-name attach discipline.
+                    handles.append(arg.id)
         self.submits.append(
             SubmitSite(
                 node.lineno,
@@ -412,8 +437,15 @@ class _FunctionVisitor(ast.NodeVisitor):
                 callable_kind=kind,
                 callable_name=name,
                 bad_args=tuple(bad),
+                handle_args=tuple(handles),
             )
         )
+
+    def _is_shared_memory_local(self, name: str) -> bool:
+        ctor = self.local_types.get(name, "")
+        if not ctor or ctor.startswith("@elem:"):
+            return False
+        return self._resolve_dotted(ctor) in SHARED_MEMORY_CTORS
 
     # -- statements ----------------------------------------------------
 
@@ -444,7 +476,13 @@ class _FunctionVisitor(ast.NodeVisitor):
                     )
                 if isinstance(node.value, ast.Call):
                     callee = dotted_name(node.value.func)
-                    if callee is not None and callee[:1].isupper():
+                    # A constructor call, possibly module-qualified
+                    # (``SharedMemory(...)``, ``shm.SharedMemory(...)``):
+                    # the *class* segment is what must be capitalised.
+                    if (
+                        callee is not None
+                        and callee.rsplit(".", 1)[-1][:1].isupper()
+                    ):
                         self.local_types[target.id] = callee
                 self._set_locals[target.id] = _is_set_expression(
                     node.value, self._set_locals

@@ -478,6 +478,7 @@ def check_parallel_determinism(
     seeds: Sequence[int] = (0, 1, 2, 3),
     worker_counts: Sequence[int] = (1, 2, 3),
     backends: Sequence[str] = ("numpy", "sparse", "python"),
+    shard_worker_counts: Sequence[int] = (1, 2),
 ) -> int:
     """Schedule-fuzz one sweep point; assert byte-identical outcomes.
 
@@ -496,7 +497,15 @@ def check_parallel_determinism(
     than ``==``: it also pins dict insertion order (payments!) and
     float bit patterns, the two things hash-order bugs corrupt first.
 
-    Returns the number of (schedule, backend) combinations checked.
+    The same matrix then runs against the shard-level fan-out of
+    :func:`repro.experiments.sharding.run_sharded_campaign`: a two-city
+    campaign split two shards per city, executed under every
+    ``shard_worker_counts`` entry × permuted shard submission order,
+    must pickle byte-identically — as a whole result — to its
+    ``workers=1`` reference (pass an empty ``shard_worker_counts`` to
+    skip that half).
+
+    Returns the number of schedule combinations checked.
     """
     import pickle
 
@@ -578,4 +587,55 @@ def check_parallel_determinism(
                         "outcome bytes than the serial reference"
                     )
                 checked += 1
+    checked += _check_shard_determinism(workload, shard_worker_counts)
+    return checked
+
+
+def _check_shard_determinism(
+    workload: object, worker_counts: Sequence[int]
+) -> int:
+    """Shard-permutation half of :func:`check_parallel_determinism`."""
+    if not worker_counts:
+        return 0
+    import pickle
+
+    from repro.experiments.config import MechanismSpec
+    from repro.experiments.sharding import (
+        CityConfig,
+        run_sharded_campaign,
+    )
+
+    cities = [
+        CityConfig("fuzz-east", workload, num_rounds=3),
+        CityConfig("fuzz-west", workload, num_rounds=2),
+    ]
+    spec = MechanismSpec.of("online-greedy")
+
+    def run_bytes(workers: int, order) -> bytes:
+        result = run_sharded_campaign(
+            spec,
+            cities,
+            seed=2014,
+            workers=workers,
+            shards_per_city=2,
+            submission_order=order,
+        )
+        return pickle.dumps(result, protocol=4)
+
+    # 2 + 2 rounds split two shards per city -> four shards, ids 0..3.
+    orders = [None, (3, 2, 1, 0), (1, 3, 0, 2)]
+    reference = run_bytes(1, None)
+    checked = 1
+    for workers in worker_counts:
+        for order in orders:
+            if workers == 1 and order is None:
+                continue  # that run *is* the reference
+            if run_bytes(workers, order) != reference:
+                raise SanitizationError(
+                    f"nondeterministic sharded campaign: workers="
+                    f"{workers} submission order="
+                    f"{list(order) if order else 'plan order'} produced "
+                    "different result bytes than the workers=1 reference"
+                )
+            checked += 1
     return checked

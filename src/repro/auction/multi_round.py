@@ -453,6 +453,29 @@ def run_campaign(
         tel.set_attribute("returning_phones", returning)
         tel.set_attribute("recovered_tasks", recovered)
 
+    return aggregate_rounds(
+        results,
+        returning=returning,
+        dropped=dropped,
+        failures=failures,
+        recovered=recovered,
+    )
+
+
+def aggregate_rounds(
+    results: List[SimulationResult],
+    returning: int = 0,
+    dropped: int = 0,
+    failures: int = 0,
+    recovered: int = 0,
+) -> CampaignResult:
+    """Fold per-round results into a :class:`CampaignResult`.
+
+    Shared by the serial/parallel campaign loop above and the sharded
+    runner (:mod:`repro.experiments.sharding`), which assembles rounds
+    from shard workers and checkpoints — both paths must aggregate in the
+    identical float-summation order for byte-identical campaign results.
+    """
     ratios = [r.overpayment_ratio for r in results]
     defined = [r for r in ratios if r is not None]
     return CampaignResult(

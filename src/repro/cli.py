@@ -69,10 +69,13 @@ from repro.errors import ReproError
 from repro.obs.ledger import LedgerSession, RunLedger
 from repro.obs.live import HeartbeatConfig
 from repro.experiments import (
+    CityConfig,
+    MechanismSpec,
     figure_spec,
     list_figures,
     render_sweep_csv,
     render_sweep_table,
+    run_sharded_campaign,
     run_sweep,
 )
 from repro.experiments.figures import FIGURE_METRIC
@@ -206,19 +209,27 @@ def _fault_config_from_args(args: argparse.Namespace):
     )
 
 
-def _mechanism_from_args(args: argparse.Namespace):
-    kwargs = {}
+def _mechanism_kwargs_from_args(args: argparse.Namespace) -> Dict[str, Any]:
     if args.mechanism == "online-greedy":
-        kwargs = {
+        return {
             "reserve_price": args.reserve_price,
             "payment_rule": args.payment_rule,
             "engine": getattr(args, "engine", "batch"),
         }
-    elif args.mechanism == "fixed-price":
+    if args.mechanism == "fixed-price":
         if args.price is None:
             raise ReproError("--price is required for fixed-price")
-        kwargs = {"price": args.price}
-    return create_mechanism(args.mechanism, **kwargs)
+        return {"price": args.price}
+    return {}
+
+
+def _mechanism_from_args(args: argparse.Namespace):
+    return create_mechanism(args.mechanism, **_mechanism_kwargs_from_args(args))
+
+
+def _mechanism_spec_from_args(args: argparse.Namespace) -> MechanismSpec:
+    """The picklable spec of the same mechanism (shard workers rebuild)."""
+    return MechanismSpec.of(args.mechanism, **_mechanism_kwargs_from_args(args))
 
 
 def _ledger_session(
@@ -481,6 +492,12 @@ def _cmd_chaos(args: argparse.Namespace, console: Console) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
+    if (
+        args.cities is not None
+        or args.shards > 1
+        or args.checkpoint_dir is not None
+    ):
+        return _cmd_campaign_sharded(args, console)
     mechanism = _mechanism_from_args(args)
     fault_config = None
     if (
@@ -588,6 +605,135 @@ def _cmd_campaign(args: argparse.Namespace, console: Console) -> int:
         )
         if args.journal_dir is not None:
             session.add_artifact("journal_dir", str(args.journal_dir))
+        if args.heartbeat is not None:
+            session.add_artifact("heartbeat", str(args.heartbeat))
+        _finish_ledger(session, console)
+    return 0
+
+
+def _cmd_campaign_sharded(args: argparse.Namespace, console: Console) -> int:
+    """``campaign --cities/--shards``: the shared-memory sharded runner."""
+    if args.retry_losers:
+        raise ReproError(
+            "--cities/--shards is incompatible with --retry-losers "
+            "(sharded rounds are independent by construction)"
+        )
+    if args.journal_dir is not None:
+        raise ReproError(
+            "--cities/--shards is incompatible with --journal-dir; use "
+            "--checkpoint-dir for per-round shard checkpoints"
+        )
+    if (
+        args.dropout_prob or args.failure_prob
+        or args.bid_delay_prob or args.bid_loss_prob
+    ):
+        raise ReproError(
+            "--cities/--shards does not support fault injection "
+            "(fault-aware campaigns run the serial path)"
+        )
+    num_cities = args.cities if args.cities is not None else 1
+    if num_cities < 1:
+        raise ReproError(f"--cities must be >= 1, got {num_cities}")
+    workload = _workload_from_args(args)
+    cities = [
+        CityConfig(f"city-{index}", workload, num_rounds=args.rounds)
+        for index in range(num_cities)
+    ]
+    spec = _mechanism_spec_from_args(args)
+    session = _ledger_session(
+        args,
+        "campaign",
+        label=spec.display_label,
+        config={
+            "rounds": args.rounds,
+            "seed": args.seed,
+            "cities": num_cities,
+            "shards_per_city": args.shards,
+            "workers": args.workers,
+            "mechanism": spec.name,
+            "slots": args.slots,
+            "phone_rate": args.phone_rate,
+            "task_rate": args.task_rate,
+        },
+    )
+    heartbeat = None
+    if args.heartbeat is not None:
+        heartbeat = HeartbeatConfig(
+            path=args.heartbeat,
+            every=args.heartbeat_every,
+            label="shard",
+            console=console,
+        )
+    # The shard counters (campaign.shard.*) are parent-side; give them a
+    # registry to land on when the command is not already traced.
+    vitals = (
+        obs.activate(obs.Tracer())
+        if obs.current_tracer() is None
+        else contextlib.nullcontext()
+    )
+    with vitals:
+        result = run_sharded_campaign(
+            spec,
+            cities,
+            seed=args.seed,
+            workers=args.workers,
+            shards_per_city=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            heartbeat=heartbeat,
+        )
+    if args.checkpoint_dir is not None:
+        console.note(
+            f"shard checkpoints streamed under {args.checkpoint_dir}"
+        )
+    if args.heartbeat is not None:
+        console.note(f"heartbeat log written to {args.heartbeat}")
+    console.out(
+        f"\nsharded campaign: {num_cities} cities x {args.rounds} rounds, "
+        f"{args.shards} shard(s)/city, {args.workers} worker(s), "
+        f"mechanism {spec.display_label}\n"
+    )
+    rows = [
+        [
+            name,
+            city_result.num_rounds,
+            city_result.total_welfare,
+            city_result.total_payment,
+            str(city_result.welfare_per_round),
+        ]
+        for name, city_result in result.cities
+    ]
+    console.out(
+        format_table(
+            ["city", "rounds", "welfare", "payment", "welfare/round"],
+            rows,
+            title="Per-city results",
+        )
+    )
+    console.out()
+    console.out(f"total welfare: {result.total_welfare:.1f}")
+    console.out(f"total payment: {result.total_payment:.1f}")
+    console.result(
+        {
+            "mechanism": spec.name,
+            "cities": num_cities,
+            "rounds": result.num_rounds,
+            "shards_per_city": args.shards,
+            "workers": args.workers,
+            "total_welfare": result.total_welfare,
+            "total_payment": result.total_payment,
+        }
+    )
+    if session is not None:
+        session.add_counters(
+            rounds=result.num_rounds,
+            cities=num_cities,
+            total_welfare=result.total_welfare,
+            total_payment=result.total_payment,
+        )
+        if args.checkpoint_dir is not None:
+            session.add_artifact(
+                "checkpoint_dir", str(args.checkpoint_dir)
+            )
         if args.heartbeat is not None:
             session.add_artifact("heartbeat", str(args.heartbeat))
         _finish_ledger(session, console)
@@ -1138,6 +1284,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the rounds (default 1: serial); "
         "requires the default no-retry policy",
+    )
+    campaign.add_argument(
+        "--cities", type=int, default=None, metavar="N",
+        help="run the sharded multi-city campaign over N identically "
+        "configured cities (city-0..city-(N-1)) through the "
+        "shared-memory engine; incompatible with --retry-losers, "
+        "--journal-dir, and fault injection",
+    )
+    campaign.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="contiguous round-range shards per city (default 1); "
+        "implies the sharded engine when K > 1, even single-city",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir", type=pathlib.Path, default=None,
+        help="sharded engine only: stream one durable checkpoint record "
+        "per round into this directory concurrently with compute; a "
+        "rerun resumes mid-shard byte-identically",
     )
     campaign.add_argument(
         "--journal-dir", type=pathlib.Path, default=None,

@@ -156,3 +156,12 @@ class CheckpointError(ExperimentError):
     checksum mismatch (corruption), or a payload recorded for a
     different sweep point than the one requested.
     """
+
+
+class ShardingError(ExperimentError):
+    """The sharded campaign runner was misconfigured or lost a shard.
+
+    Examples: duplicate city names, a submission order that is not a
+    permutation of the planned shards, or a worker outcome missing a
+    round the plan assigned to it.
+    """

@@ -31,6 +31,16 @@ from repro.experiments.runner import (
     run_point,
     run_sweep,
 )
+from repro.experiments.sharding import (
+    CityConfig,
+    ShardCheckpointWriter,
+    ShardedCampaignResult,
+    ShardPlan,
+    load_shard_checkpoint,
+    plan_shards,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+)
 from repro.experiments.sweeps import SweepSpec
 
 __all__ = [
@@ -53,4 +63,12 @@ __all__ = [
     "CheckpointStore",
     "point_to_dict",
     "point_from_dict",
+    "CityConfig",
+    "ShardPlan",
+    "ShardedCampaignResult",
+    "ShardCheckpointWriter",
+    "plan_shards",
+    "run_sharded_campaign",
+    "load_shard_checkpoint",
+    "shard_checkpoint_path",
 ]

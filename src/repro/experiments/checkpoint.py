@@ -41,13 +41,25 @@ from repro.utils.retry import RetryPolicy, call_with_retry
 SCHEMA_VERSION = 1
 
 
-def _canonical(payload: Mapping[str, Any]) -> str:
-    """Canonical JSON encoding: sorted keys, no whitespace."""
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace.
+
+    The checksum convention every durable artifact in ``experiments``
+    uses (sweep checkpoints here, shard checkpoint streams in
+    :mod:`repro.experiments.sharding`): checksums are computed over this
+    canonical form, so formatting can never affect integrity checks.
+    """
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _checksum(text: str) -> str:
+def checksum_text(text: str) -> str:
+    """SHA-256 hex digest of ``text`` (the checkpoint integrity hash)."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# Historical private aliases (internal call sites predate the public names).
+_canonical = canonical_json
+_checksum = checksum_text
 
 
 def summary_to_dict(summary: Summary) -> Dict[str, Any]:

@@ -1,0 +1,931 @@
+"""Sharded multi-city campaigns with shared-memory fan-out.
+
+The repetition-level pool (:mod:`repro.experiments.parallel`, PR 4) and the
+round-level campaign pool (:func:`repro.auction.multi_round.run_campaign`)
+both pickle a full workload draw — or regenerate it — once per task.  At
+city scale that is the bottleneck: generating and pickling a 2·10⁴-phone
+round costs an order of magnitude more than running the streaming
+mechanism over it.  This module fans campaigns out at *shard*
+granularity instead:
+
+* A campaign is a list of :class:`CityConfig` entries.  Each city's rounds
+  are split into ``shards_per_city`` contiguous round ranges (single-city
+  campaigns fall back to pure round-range sharding), producing one
+  :class:`ShardPlan` per range.
+* The parent vector-generates every round of a shard
+  (``WorkloadConfig.generate_columns``), packs the columns into **one**
+  ``multiprocessing.shared_memory`` segment per shard
+  (:mod:`repro.model.columnar`), and submits the segment *name* plus a
+  small picklable :class:`ShardTask` to a persistent process pool — no bid
+  list ever crosses a pickle boundary on the way in.
+* Workers attach by name, rebuild each round zero-copy through the
+  codec's trusted fast path, run the mechanism, and stream one durable
+  checkpoint record per round from a background writer thread
+  (:class:`ShardCheckpointWriter`) concurrently with compute — so a
+  killed 10⁴-round campaign resumes mid-shard.
+* Workers return each round as its own pickle blob.  The parent decodes
+  every round from its own blob — whether it was computed in-process
+  (``workers=1``), crossed the pool pipe, or was loaded from a shard
+  checkpoint — so the assembled result's pickle bytes are identical
+  across worker counts, shard submission orders, and resume points (the
+  determinism contract ``check_parallel_determinism`` enforces).
+
+Determinism
+-----------
+City ``i`` named ``name`` draws its seed as
+``RngStreams(seed).child(i, name=f"city:{name}")`` (or uses an explicit
+``CityConfig.seed``), and round ``k`` of a city uses
+``RngStreams(city_seed).child(k)`` — the exact derivation of the serial
+campaign loop.  A city's :class:`~repro.auction.multi_round.CampaignResult`
+therefore matches ``run_campaign(mechanism, workload, num_rounds,
+seed=city_seed)`` round for round, and shard boundaries are invisible in
+the output.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import os
+import pathlib
+import pickle
+import queue
+import re
+import secrets
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs
+from repro.auction.multi_round import CampaignResult, aggregate_rounds
+from repro.durability.journal import FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_OFF
+from repro.errors import CheckpointError, ShardingError
+from repro.experiments.checkpoint import canonical_json, checksum_text
+from repro.experiments.config import MechanismSpec
+from repro.model.columnar import (
+    RoundColumns,
+    pack_rounds_into,
+    packed_size,
+    unpack_rounds,
+)
+from repro.obs.clock import perf_seconds
+from repro.obs.live import (
+    Heartbeat,
+    HeartbeatConfig,
+    append_worker_beat,
+    merge_heartbeats,
+)
+from repro.simulation.costs import UniformCosts
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import WorkloadConfig
+from repro.utils.rng import RngStreams
+from repro.utils.validation import check_positive, check_type
+
+#: Schema tag on every shard checkpoint record.
+SHARD_CHECKPOINT_SCHEMA = "repro-shard-checkpoint/1"
+
+_FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_OFF)
+_CITY_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+#: How many checkpoint records may accumulate between fsyncs under the
+#: ``batch`` policy (mirrors the journal's batching discipline).
+CHECKPOINT_FSYNC_BATCH = 8
+
+
+# ----------------------------------------------------------------------
+# Campaign description
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CityConfig:
+    """One city (region) of a sharded campaign.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (used in checkpoint filenames and reports).
+    workload:
+        The city's per-round workload draw.
+    num_rounds:
+        Rounds this city runs.
+    seed:
+        Explicit campaign seed for the city; when ``None`` the runner
+        derives one from the campaign seed and the city's position/name.
+    """
+
+    name: str
+    workload: WorkloadConfig
+    num_rounds: int
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_type("name", self.name, str)
+        if not _CITY_NAME.match(self.name):
+            raise ShardingError(
+                f"city name {self.name!r} must match "
+                f"{_CITY_NAME.pattern} (it names checkpoint files)"
+            )
+        check_type("num_rounds", self.num_rounds, int)
+        check_positive("num_rounds", self.num_rounds)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """One planned shard: a contiguous round range of one city."""
+
+    shard_id: int
+    city_index: int
+    city_name: str
+    city_seed: int
+    round_start: int
+    round_stop: int  # exclusive
+
+    @property
+    def round_indices(self) -> Tuple[int, ...]:
+        """The round indices this shard computes."""
+        return tuple(range(self.round_start, self.round_stop))
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """What crosses the pool boundary for one shard (small, picklable).
+
+    The round payload stays in the named shared-memory segment; only the
+    segment *name* and the codec header travel by pickle (the REP010
+    worker-pickle-safety discipline — never ship a live handle).
+    """
+
+    shard_id: int
+    city_name: str
+    segment: str
+    header: Dict[str, Any]
+    round_indices: Tuple[int, ...]
+    round_seeds: Tuple[int, ...]
+    metadata_base: Tuple[Tuple[str, Any], ...]
+    mechanism: MechanismSpec
+    skip_rounds: Tuple[int, ...] = ()
+    checkpoint_path: Optional[str] = None
+    fsync: str = FSYNC_BATCH
+    heartbeat_path: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's computed rounds, as returned by a worker.
+
+    ``rounds`` holds ``(round_index, pickled SimulationResult)`` pairs —
+    blobs, not objects, so the parent rebuilds every round from its own
+    pickle stream regardless of which execution path produced it (see
+    the module docstring's determinism note).
+    """
+
+    shard_id: int
+    rounds: Tuple[Tuple[int, bytes], ...]
+    elapsed_seconds: float
+    worker_pid: int
+    checkpointed: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedCampaignResult:
+    """Deterministic outcome of a sharded campaign.
+
+    Holds only outcome data (per-city campaign results and their sums);
+    operational facts — shard timings, resume counts, segment sizes —
+    are emitted on ``campaign.shard.*`` telemetry instead, so the
+    result's pickle bytes never depend on how the campaign was executed.
+    """
+
+    cities: Tuple[Tuple[str, CampaignResult], ...]
+    total_welfare: float
+    total_payment: float
+
+    @property
+    def num_rounds(self) -> int:
+        """Total rounds across all cities."""
+        return sum(result.num_rounds for _, result in self.cities)
+
+    def city(self, name: str) -> CampaignResult:
+        """The campaign result of one city."""
+        for city_name, result in self.cities:
+            if city_name == name:
+                return result
+        raise ShardingError(f"unknown city {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_shards(
+    cities: Sequence[CityConfig],
+    shards_per_city: int = 1,
+    seed: int = 0,
+) -> List[ShardPlan]:
+    """Partition a campaign into shards (city × contiguous round range).
+
+    Rounds are split as evenly as possible; the first
+    ``num_rounds % shards`` ranges hold one extra round.  A city never
+    gets more shards than rounds.  Shard ids number the plan in (city,
+    round range) order and are stable across worker counts and
+    submission orders.
+    """
+    check_type("shards_per_city", shards_per_city, int)
+    check_positive("shards_per_city", shards_per_city)
+    if not cities:
+        raise ShardingError("cities must not be empty")
+    names = [city.name for city in cities]
+    if len(set(names)) != len(names):
+        raise ShardingError(f"duplicate city names in campaign: {names}")
+    campaign_streams = RngStreams(seed)
+    plans: List[ShardPlan] = []
+    for city_index, city in enumerate(cities):
+        city_seed = (
+            city.seed
+            if city.seed is not None
+            else campaign_streams.child(
+                city_index, name=f"city:{city.name}"
+            ).seed
+        )
+        shards = min(shards_per_city, city.num_rounds)
+        base, extra = divmod(city.num_rounds, shards)
+        start = 0
+        for shard_index in range(shards):
+            size = base + (1 if shard_index < extra else 0)
+            plans.append(
+                ShardPlan(
+                    shard_id=len(plans),
+                    city_index=city_index,
+                    city_name=city.name,
+                    city_seed=city_seed,
+                    round_start=start,
+                    round_stop=start + size,
+                )
+            )
+            start += size
+    return plans
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments
+# ----------------------------------------------------------------------
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create an anonymous-named segment for one shard's rounds."""
+    name = f"repro-shard-{os.getpid()}-{secrets.token_hex(6)}"
+    return shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, nbytes)
+    )
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a shard segment by name (read-side, no ownership).
+
+    On Python < 3.13 every attachment re-registers the name with the
+    ``resource_tracker``; that is harmless here because the tracker keys
+    by name (registration is idempotent) and pool workers are forked
+    from the creating parent, so they share its tracker.  Ownership
+    stays with the parent: its ``unlink`` in the runner's ``finally`` is
+    the single unregistration, leaving the tracker cache empty — no
+    "leaked shared_memory objects" warning at shutdown, which the
+    lifecycle tests assert on a subprocess's stderr.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _release_segment(
+    segment: shared_memory.SharedMemory, unlink: bool
+) -> None:
+    """Close (and optionally unlink) a segment, tolerating double frees."""
+    try:
+        segment.close()
+    except (BufferError, OSError):  # pragma: no cover - defensive
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Checkpoint streaming
+# ----------------------------------------------------------------------
+class ShardCheckpointWriter:
+    """Append per-round checkpoint records concurrently with compute.
+
+    The shard worker enqueues ``(round_index, blob)`` pairs; a background
+    thread encodes each as one checksummed JSONL record and appends it,
+    fsyncing per the journal's policies (``always`` / ``batch`` /
+    ``off``).  :meth:`close` drains the queue, fsyncs the tail, and
+    re-raises any error the writer thread hit — so a failed append (or an
+    injected crash) surfaces on the shard, not silently.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        path: "os.PathLike[str]",
+        fsync: str = FSYNC_BATCH,
+        batch_size: int = CHECKPOINT_FSYNC_BATCH,
+        crash_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ShardingError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{_FSYNC_POLICIES}"
+            )
+        self._path = pathlib.Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._batch_size = max(1, batch_size)
+        self._crash_hook = crash_hook
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._error: Optional[BaseException] = None
+        self._appended = 0
+        self._handle = open(self._path, "ab")
+        self._thread = threading.Thread(
+            target=self._run, name="shard-checkpoint", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def appended(self) -> int:
+        """Records durably appended so far (writer-thread progress)."""
+        return self._appended
+
+    def append(self, round_index: int, blob: bytes) -> None:
+        """Enqueue one round's result for durable append."""
+        if self._error is not None:
+            self._raise_pending()
+        self._queue.put((round_index, blob))
+
+    def close(self) -> None:
+        """Drain, fsync the tail, join the thread; re-raise its error."""
+        self._queue.put(self._SENTINEL)
+        self._thread.join()
+        self._handle.close()
+        if self._error is not None:
+            self._raise_pending()
+
+    def abort(self) -> None:
+        """Best-effort shutdown that never raises (error paths)."""
+        self._queue.put(self._SENTINEL)
+        self._thread.join()
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def _raise_pending(self) -> None:
+        error = self._error
+        assert error is not None
+        raise error
+
+    def _run(self) -> None:
+        pending_fsync = 0
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                break
+            if self._error is not None:
+                continue  # drain without writing after a failure
+            round_index, blob = item
+            try:
+                line = encode_checkpoint_record(round_index, blob)
+                self._handle.write(line)
+                self._handle.flush()
+                self._appended += 1
+                pending_fsync += 1
+                if self._crash_hook is not None:
+                    self._crash_hook(self._appended)
+                if self._fsync == FSYNC_ALWAYS or (
+                    self._fsync == FSYNC_BATCH
+                    and pending_fsync >= self._batch_size
+                ):
+                    start = perf_seconds()
+                    os.fsync(self._handle.fileno())
+                    obs.observe(
+                        "campaign.shard.fsync.seconds",
+                        perf_seconds() - start,
+                    )
+                    pending_fsync = 0
+            except BaseException as exc:  # noqa: BLE001 - ferried to caller
+                self._error = exc
+        if self._error is None and self._fsync != FSYNC_OFF:
+            try:
+                self._handle.flush()
+                if pending_fsync:
+                    os.fsync(self._handle.fileno())
+            except OSError as exc:  # pragma: no cover - device failure
+                self._error = exc
+
+
+def encode_checkpoint_record(round_index: int, blob: bytes) -> bytes:
+    """One shard checkpoint record as a checksummed JSONL line.
+
+    The checksum covers the canonical JSON of the record body (the
+    sweep-checkpoint convention from
+    :mod:`repro.experiments.checkpoint`), so torn or corrupted lines are
+    detected on load and treated as end-of-log.
+    """
+    body = {
+        "schema": SHARD_CHECKPOINT_SCHEMA,
+        "round": round_index,
+        "payload": base64.b64encode(blob).decode("ascii"),
+    }
+    record = dict(body)
+    record["checksum"] = checksum_text(canonical_json(body))
+    return (canonical_json(record) + "\n").encode("utf-8")
+
+
+def load_shard_checkpoint(
+    path: "os.PathLike[str]",
+) -> Dict[int, bytes]:
+    """Load the valid prefix of a shard checkpoint; truncate the rest.
+
+    Returns ``round_index -> pickled SimulationResult`` for every intact
+    record.  The first unparseable or checksum-failing line (a torn tail
+    from a crash mid-append) ends the valid prefix; the file is truncated
+    back to it so resumed appends continue a clean log.  A later record
+    for an already-seen round wins (duplicate appends from a crash
+    between write and fsync are harmless).
+    """
+    target = pathlib.Path(path)
+    try:
+        raw = target.read_bytes()
+    except FileNotFoundError:
+        return {}
+    records: Dict[int, bytes] = {}
+    valid_bytes = 0
+    torn = False
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            valid_bytes += len(line) + 1
+            continue
+        blob = _decode_checkpoint_line(line)
+        if blob is None:
+            torn = True
+            break
+        records[blob[0]] = blob[1]
+        valid_bytes += len(line) + 1
+    if torn:
+        with open(target, "r+b") as handle:
+            handle.truncate(min(valid_bytes, len(raw)))
+        obs.counter("campaign.shard.checkpoint.torn")
+    return records
+
+
+def _decode_checkpoint_line(
+    line: bytes,
+) -> Optional[Tuple[int, bytes]]:
+    """Decode one checkpoint line; ``None`` if torn/corrupt/foreign."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or record.get("schema") != SHARD_CHECKPOINT_SCHEMA
+    ):
+        return None
+    checksum = record.pop("checksum", None)
+    if checksum != checksum_text(canonical_json(record)):
+        return None
+    try:
+        return int(record["round"]), base64.b64decode(
+            record["payload"], validate=True
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def shard_checkpoint_path(
+    checkpoint_dir: "os.PathLike[str]", plan: ShardPlan
+) -> pathlib.Path:
+    """Where one shard streams its checkpoint records.
+
+    Keyed by city and round range — the partition — so a resumed
+    campaign with the same plan finds its shards, and a repartitioned
+    campaign starts fresh rather than mixing logs.
+    """
+    return pathlib.Path(checkpoint_dir) / (
+        f"{plan.city_name}-rounds-{plan.round_start:05d}-"
+        f"{plan.round_stop:05d}.ckpt.jsonl"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard execution (process-pool entry point)
+# ----------------------------------------------------------------------
+def _run_shard(
+    task: ShardTask,
+    crash_hook: Optional[Callable[[int], None]] = None,
+) -> ShardOutcome:
+    """Execute one shard: attach, decode, run, stream checkpoints.
+
+    Decoded column views alias the shared segment, so every view dies
+    before the segment is closed (the ``BufferError`` contract of
+    :func:`repro.model.columnar.unpack_rounds`).
+    """
+    start = perf_seconds()
+    segment = _attach_segment(task.segment)
+    writer: Optional[ShardCheckpointWriter] = None
+    try:
+        rounds = unpack_rounds(segment.buf, task.header)
+        mechanism = task.mechanism.build()
+        if task.checkpoint_path is not None:
+            writer = ShardCheckpointWriter(
+                task.checkpoint_path,
+                fsync=task.fsync,
+                crash_hook=crash_hook,
+            )
+        skip = frozenset(task.skip_rounds)
+        computed: List[Tuple[int, bytes]] = []
+        base_metadata = dict(task.metadata_base)
+        for position, round_index in enumerate(task.round_indices):
+            if round_index in skip:
+                continue
+            round_start = perf_seconds()
+            blob = _run_shard_round(
+                mechanism,
+                rounds[position],
+                {
+                    **base_metadata,
+                    "seed": task.round_seeds[position],
+                    "round": round_index,
+                },
+            )
+            if writer is not None:
+                writer.append(round_index, blob)
+            computed.append((round_index, blob))
+            if task.heartbeat_path is not None:
+                append_worker_beat(
+                    task.heartbeat_path,
+                    "round",
+                    round_index,
+                    perf_seconds() - round_start,
+                    shard=task.shard_id,
+                )
+        del rounds  # release the column views before closing the segment
+        if writer is not None:
+            checkpointed = writer.appended
+            writer.close()
+            writer = None
+        else:
+            checkpointed = 0
+        return ShardOutcome(
+            shard_id=task.shard_id,
+            rounds=tuple(computed),
+            elapsed_seconds=perf_seconds() - start,
+            worker_pid=os.getpid(),
+            checkpointed=checkpointed,
+        )
+    except BaseException:
+        # The propagating traceback keeps this frame alive; drop the
+        # column views now so the segment can close cleanly.
+        rounds = None  # noqa: F841
+        if writer is not None:
+            writer.abort()
+        raise
+    finally:
+        _release_segment(segment, unlink=False)
+
+
+def _run_shard_round(
+    mechanism: Any,
+    columns: RoundColumns,
+    metadata: Dict[str, Any],
+) -> bytes:
+    """One round through the codec fast path; returns the result blob.
+
+    Mirrors ``SimulationEngine.run`` over a freshly generated scenario:
+    the decoded bids equal the scenario's truthful bids verbatim, so the
+    packaged :class:`SimulationResult` pickles byte-identically to the
+    serial campaign's.
+    """
+    bids = columns.decode_bids()
+    scenario = Scenario.from_trusted(
+        columns.decode_profiles(), columns.decode_schedule(), metadata
+    )
+    # The decoded objects are copies; release the view container so an
+    # exception traceback through this frame cannot pin the segment.
+    del columns
+    with obs.span(
+        "mechanism.run", mechanism=mechanism.name, bids=len(bids)
+    ):
+        outcome = mechanism.run(bids, scenario.schedule)
+    result = SimulationEngine.package(mechanism.name, outcome, scenario)
+    return pickle.dumps(result, protocol=4)
+
+
+# ----------------------------------------------------------------------
+# The sharded campaign runner
+# ----------------------------------------------------------------------
+def run_sharded_campaign(
+    mechanism: MechanismSpec,
+    cities: Sequence[CityConfig],
+    seed: int = 0,
+    workers: int = 1,
+    shards_per_city: int = 1,
+    checkpoint_dir: Optional["os.PathLike[str]"] = None,
+    fsync: str = FSYNC_BATCH,
+    heartbeat: Optional[HeartbeatConfig] = None,
+    submission_order: Optional[Sequence[int]] = None,
+    checkpoint_crash_hook: Optional[Callable[[int], None]] = None,
+) -> ShardedCampaignResult:
+    """Run a multi-city campaign sharded over a persistent process pool.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism every city runs, as a picklable
+        :class:`~repro.experiments.config.MechanismSpec` (each worker
+        builds its own instance).
+    cities:
+        The campaign: one :class:`CityConfig` per city/region.  A
+        single-city campaign with ``shards_per_city > 1`` degenerates to
+        round-range sharding.
+    seed:
+        Campaign master seed; see the module docstring for the city /
+        round derivation.
+    workers:
+        Pool size.  ``workers=1`` executes shards in-process through the
+        identical codec path (the serial reference the byte-identity
+        contract is stated against).
+    shards_per_city:
+        Contiguous round ranges per city (clamped to the city's rounds).
+    checkpoint_dir:
+        When given, every shard streams per-round records into this
+        directory concurrently with compute and a rerun resumes
+        mid-shard, recomputing only missing rounds — byte-identically.
+    fsync:
+        Checkpoint durability policy (the journal's ``always`` /
+        ``batch`` / ``off``).
+    heartbeat:
+        Optional live progress: workers pulse per-round sidecar beats
+        (tagged with their shard), the parent pulses per collected
+        shard, and sidecars merge deterministically after the run.
+    submission_order:
+        Permutation of shard ids fixing pool submission order (tests);
+        default plan order.  Outcomes do not depend on it.
+    checkpoint_crash_hook:
+        Test-only fault hook called after each durable append (e.g. a
+        :class:`~repro.faults.crash.CrashController` raising a
+        :class:`~repro.faults.crash.SimulatedCrash` mid-shard).
+        Requires ``workers=1`` — hooks cannot cross the pool boundary.
+    """
+    if workers < 1:
+        raise ShardingError(f"workers must be >= 1, got {workers}")
+    if fsync not in _FSYNC_POLICIES:
+        raise ShardingError(
+            f"unknown fsync policy {fsync!r}; expected one of "
+            f"{_FSYNC_POLICIES}"
+        )
+    if checkpoint_crash_hook is not None:
+        if workers != 1:
+            raise ShardingError(
+                "checkpoint_crash_hook requires workers=1 (hooks cannot "
+                "cross the process-pool boundary)"
+            )
+        if checkpoint_dir is None:
+            raise ShardingError(
+                "checkpoint_crash_hook requires checkpoint_dir"
+            )
+    plans = plan_shards(cities, shards_per_city=shards_per_city, seed=seed)
+    order = _validated_order(submission_order, len(plans))
+    cities_by_index = list(cities)
+
+    heartbeat_path = heartbeat.path if heartbeat is not None else None
+    pulse = (
+        Heartbeat(heartbeat, total=len(plans))
+        if heartbeat is not None
+        else None
+    )
+
+    segments: Dict[int, shared_memory.SharedMemory] = {}
+    resumed: Dict[int, Dict[int, bytes]] = {}
+    outcomes: Dict[int, ShardOutcome] = {}
+    with obs.span(
+        "campaign.sharded",
+        cities=len(cities_by_index),
+        shards=len(plans),
+        workers=workers,
+    ):
+        try:
+            if workers == 1:
+                for shard_id in order:
+                    task = _prepare_shard(
+                        plans[shard_id],
+                        cities_by_index,
+                        mechanism,
+                        segments,
+                        resumed,
+                        checkpoint_dir,
+                        fsync,
+                        heartbeat_path,
+                    )
+                    outcome = _run_shard(task, checkpoint_crash_hook)
+                    _collect_shard(outcome, plans, segments, pulse)
+                    outcomes[shard_id] = outcome
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = []
+                    for shard_id in order:
+                        task = _prepare_shard(
+                            plans[shard_id],
+                            cities_by_index,
+                            mechanism,
+                            segments,
+                            resumed,
+                            checkpoint_dir,
+                            fsync,
+                            heartbeat_path,
+                        )
+                        futures.append(
+                            (shard_id, pool.submit(_run_shard, task))
+                        )
+                    for shard_id, future in futures:
+                        outcome = future.result()
+                        _collect_shard(outcome, plans, segments, pulse)
+                        outcomes[shard_id] = outcome
+        finally:
+            for segment in segments.values():
+                _release_segment(segment, unlink=True)
+            segments.clear()
+            if heartbeat_path is not None:
+                merge_heartbeats(heartbeat_path)
+
+    return _assemble(cities_by_index, plans, outcomes, resumed)
+
+
+def _validated_order(
+    submission_order: Optional[Sequence[int]], num_shards: int
+) -> List[int]:
+    if submission_order is None:
+        return list(range(num_shards))
+    order = [int(index) for index in submission_order]
+    if sorted(order) != list(range(num_shards)):
+        raise ShardingError(
+            f"submission_order must be a permutation of "
+            f"range({num_shards}), got {submission_order!r}"
+        )
+    return order
+
+
+def _prepare_shard(
+    plan: ShardPlan,
+    cities: Sequence[CityConfig],
+    mechanism: MechanismSpec,
+    segments: Dict[int, shared_memory.SharedMemory],
+    resumed: Dict[int, Dict[int, bytes]],
+    checkpoint_dir: Optional["os.PathLike[str]"],
+    fsync: str,
+    heartbeat_path: Optional["os.PathLike[str]"],
+) -> ShardTask:
+    """Encode one shard's rounds into a fresh segment; build its task."""
+    city = cities[plan.city_index]
+    city_streams = RngStreams(plan.city_seed)
+    round_seeds = tuple(
+        city_streams.child(round_index).seed
+        for round_index in plan.round_indices
+    )
+    rounds = [
+        city.workload.generate_columns(round_seed)
+        for round_seed in round_seeds
+    ]
+    nbytes = packed_size(rounds)
+    segment = _create_segment(nbytes)
+    segments[plan.shard_id] = segment
+    header = pack_rounds_into(rounds, segment.buf)
+    obs.counter("campaign.shard.segment_bytes", nbytes)
+
+    checkpoint_path: Optional[str] = None
+    skip: Tuple[int, ...] = ()
+    if checkpoint_dir is not None:
+        target = shard_checkpoint_path(checkpoint_dir, plan)
+        done = load_shard_checkpoint(target)
+        done = {
+            index: blob
+            for index, blob in done.items()
+            if plan.round_start <= index < plan.round_stop
+        }
+        resumed[plan.shard_id] = done
+        skip = tuple(sorted(done))
+        checkpoint_path = str(target)
+        if done:
+            obs.counter("campaign.shard.resumed_rounds", len(done))
+    # Scenario metadata parity with the serial campaign loop: the exact
+    # dict generate() attaches (workload parameters, seed placeholder,
+    # default cost-distribution repr, in that key order — the worker
+    # overrides "seed" in place and appends "round", reproducing the
+    # serial loop's insertion order).  Overridable distributions are a
+    # generate()-level feature; the sharded runner draws the defaults.
+    metadata_base = tuple(
+        city.workload.metadata_for(
+            0, repr(UniformCosts.with_mean(city.workload.mean_cost))
+        ).items()
+    )
+    return ShardTask(
+        shard_id=plan.shard_id,
+        city_name=plan.city_name,
+        segment=segment.name,
+        header=header,
+        round_indices=plan.round_indices,
+        round_seeds=round_seeds,
+        metadata_base=metadata_base,
+        mechanism=mechanism,
+        skip_rounds=skip,
+        checkpoint_path=checkpoint_path,
+        fsync=fsync,
+        heartbeat_path=(
+            str(heartbeat_path) if heartbeat_path is not None else None
+        ),
+    )
+
+
+def _collect_shard(
+    outcome: ShardOutcome,
+    plans: Sequence[ShardPlan],
+    segments: Dict[int, shared_memory.SharedMemory],
+    pulse: Optional[Heartbeat],
+) -> None:
+    """Account one finished shard and release its segment eagerly."""
+    segment = segments.pop(outcome.shard_id, None)
+    if segment is not None:
+        _release_segment(segment, unlink=True)
+    obs.counter("campaign.shard.completed")
+    obs.counter("campaign.shard.rounds", len(outcome.rounds))
+    if outcome.checkpointed:
+        obs.counter(
+            "campaign.shard.checkpoint.appends", outcome.checkpointed
+        )
+    obs.observe(
+        "campaign.shard.worker.seconds", outcome.elapsed_seconds
+    )
+    if pulse is not None:
+        plan = plans[outcome.shard_id]
+        # Stable unit identity: the shard id, never the collection
+        # position — completion order is a wall-clock fact.
+        pulse.beat(
+            outcome.shard_id,
+            shard=outcome.shard_id,
+            city=plan.city_name,
+            rounds=len(outcome.rounds),
+        )
+
+
+def _assemble(
+    cities: Sequence[CityConfig],
+    plans: Sequence[ShardPlan],
+    outcomes: Dict[int, ShardOutcome],
+    resumed: Dict[int, Dict[int, bytes]],
+) -> ShardedCampaignResult:
+    """Fold shard outcomes (and resumed rounds) into per-city results."""
+    blobs_by_city: Dict[int, Dict[int, bytes]] = {
+        index: {} for index in range(len(cities))
+    }
+    for plan in plans:
+        outcome = outcomes.get(plan.shard_id)
+        if outcome is None:
+            raise ShardingError(
+                f"shard {plan.shard_id} produced no outcome"
+            )
+        merged = dict(resumed.get(plan.shard_id, {}))
+        for round_index, blob in outcome.rounds:
+            merged[round_index] = blob
+        missing = set(plan.round_indices) - set(merged)
+        if missing:
+            raise CheckpointError(
+                f"shard {plan.shard_id} ({plan.city_name} rounds "
+                f"{plan.round_start}..{plan.round_stop}) is missing "
+                f"rounds {sorted(missing)}"
+            )
+        blobs_by_city[plan.city_index].update(merged)
+
+    city_results: List[Tuple[str, CampaignResult]] = []
+    for city_index, city in enumerate(cities):
+        blobs = blobs_by_city[city_index]
+        results: List[SimulationResult] = [
+            pickle.loads(blobs[round_index])
+            for round_index in range(city.num_rounds)
+        ]
+        city_results.append((city.name, aggregate_rounds(results)))
+    return ShardedCampaignResult(
+        cities=tuple(city_results),
+        total_welfare=sum(
+            result.total_welfare for _, result in city_results
+        ),
+        total_payment=sum(
+            result.total_payment for _, result in city_results
+        ),
+    )

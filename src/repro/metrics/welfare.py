@@ -52,14 +52,21 @@ def phone_utilities(
     sane mechanisms.
     """
     utilities: Dict[int, float] = {}
-    bid_phone_ids = {bid.phone_id for bid in outcome.bids}
+    bid_phone_ids = outcome.bid_phone_ids
+    # Hoisted lookups: per-phone outcome.payment()/is_winner() calls
+    # re-validate the phone id each time, which dominates at 2·10⁴
+    # phones per round.  payments omits losers, so .get matches
+    # outcome.payment exactly for every phone that bid.
+    payment_of = outcome.payments.get
+    winner_set = set(outcome.winners)
     for profile in scenario.profiles:
-        if profile.phone_id in bid_phone_ids:
-            payment = outcome.payment(profile.phone_id)
-            allocated = outcome.is_winner(profile.phone_id)
+        phone_id = profile.phone_id
+        if phone_id in bid_phone_ids:
+            payment = payment_of(phone_id, 0.0)
+            allocated = phone_id in winner_set
         else:
             payment, allocated = 0.0, False
-        utilities[profile.phone_id] = profile.utility(payment, allocated)
+        utilities[phone_id] = profile.utility(payment, allocated)
     for phone_id in bid_phone_ids:
         if phone_id not in utilities:
             raise SimulationError(

@@ -1,6 +1,13 @@
 """Domain model: bids, smartphones, sensing tasks, rounds, and outcomes."""
 
 from repro.model.bid import Bid
+from repro.model.columnar import (
+    COLUMNAR_SCHEMA,
+    RoundColumns,
+    pack_rounds_into,
+    packed_size,
+    unpack_rounds,
+)
 from repro.model.outcome import AuctionOutcome
 from repro.model.round_config import RoundConfig
 from repro.model.smartphone import SmartphoneProfile
@@ -13,4 +20,9 @@ __all__ = [
     "TaskSchedule",
     "RoundConfig",
     "AuctionOutcome",
+    "COLUMNAR_SCHEMA",
+    "RoundColumns",
+    "pack_rounds_into",
+    "packed_size",
+    "unpack_rounds",
 ]

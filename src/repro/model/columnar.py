@@ -1,0 +1,309 @@
+"""Columnar round codec: rounds as flat numpy columns, packable into shared memory.
+
+The sharded campaign runner (:mod:`repro.experiments.sharding`) ships whole
+rounds to worker processes through ``multiprocessing.shared_memory`` instead
+of pickling lists of :class:`~repro.model.bid.Bid` objects.  This module is
+the wire format: a :class:`RoundColumns` holds one round as five flat
+columns (phone id, arrival, departure, cost, per-slot task counts), and
+:func:`pack_rounds_into` / :func:`unpack_rounds` lay any number of rounds
+out back to back in a single byte buffer.
+
+Layout
+------
+Every column is a contiguous 8-byte-element array, so the packed payload is
+naturally aligned with no padding.  For each round, in order::
+
+    phone_id    int64[num_phones]
+    arrival     int64[num_phones]
+    departure   int64[num_phones]
+    cost        float64[num_phones]
+    task_counts int64[num_slots]
+
+The header returned by :func:`pack_rounds_into` records the per-round
+``num_phones`` / ``num_slots`` / ``task_value``; offsets are recomputed from
+those counts on unpack, so the header is a small picklable dict and the
+payload itself never moves through a pickle.  :func:`unpack_rounds` builds
+zero-copy ``numpy`` views into the buffer — callers must drop the returned
+:class:`RoundColumns` (and anything holding their arrays) before closing
+the shared-memory segment backing the buffer.
+
+Decoding to model objects (:meth:`RoundColumns.decode_bids` /
+:meth:`RoundColumns.decode_profiles`) uses a trusted fast path that skips
+``__post_init__`` validation: the columns are produced by the workload
+generator, which already validated every field.  The constructed objects
+are attribute-for-attribute identical to validated construction (same
+``__dict__`` insertion order, same value types), so downstream pickles are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.bid import Bid
+from repro.model.smartphone import SmartphoneProfile
+from repro.model.task import TaskSchedule
+
+#: Schema tag embedded in pack headers (bump on layout changes).
+COLUMNAR_SCHEMA = "repro-columnar/1"
+
+_INT = np.dtype(np.int64)
+_FLOAT = np.dtype(np.float64)
+_ELEMENT_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundColumns:
+    """One generated round as flat columns (see module docstring).
+
+    Attributes
+    ----------
+    num_slots:
+        Round horizon ``m``.
+    task_value:
+        The platform's uniform per-task value ``ν``.
+    phone_id / arrival / departure / cost:
+        Per-phone columns, all of length ``num_phones``, ordered by
+        phone id (the generator's order).
+    task_counts:
+        Task arrivals per slot, length ``num_slots``.
+    """
+
+    num_slots: int
+    task_value: float
+    phone_id: np.ndarray
+    arrival: np.ndarray
+    departure: np.ndarray
+    cost: np.ndarray
+    task_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ValidationError(
+                f"num_slots must be >= 1, got {self.num_slots}"
+            )
+        n = len(self.phone_id)
+        for name in ("arrival", "departure", "cost"):
+            if len(getattr(self, name)) != n:
+                raise ValidationError(
+                    f"column {name!r} has length "
+                    f"{len(getattr(self, name))}, expected {n}"
+                )
+        if len(self.task_counts) != self.num_slots:
+            raise ValidationError(
+                f"task_counts has length {len(self.task_counts)}, "
+                f"expected num_slots={self.num_slots}"
+            )
+
+    @property
+    def num_phones(self) -> int:
+        """Number of phones in the round."""
+        return len(self.phone_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Packed size of this round in bytes."""
+        return _ELEMENT_BYTES * (4 * self.num_phones + self.num_slots)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, scenario: Any) -> "RoundColumns":
+        """Encode an already-materialised scenario (tests, traces).
+
+        The workload generator produces columns directly
+        (``WorkloadConfig.generate_columns``); this constructor exists for
+        round-tripping scenarios that were built some other way.  The
+        schedule must carry a uniform task value (the codec stores one
+        ``ν`` per round, matching the paper's model).
+        """
+        profiles = scenario.profiles
+        value = scenario.schedule.uniform_value
+        if value is None:
+            raise ValidationError(
+                "columnar codec requires a uniform task value; "
+                "this schedule mixes values"
+            )
+        return cls(
+            num_slots=scenario.schedule.num_slots,
+            task_value=float(value),
+            phone_id=np.array(
+                [p.phone_id for p in profiles], dtype=_INT
+            ),
+            arrival=np.array([p.arrival for p in profiles], dtype=_INT),
+            departure=np.array(
+                [p.departure for p in profiles], dtype=_INT
+            ),
+            cost=np.array([p.cost for p in profiles], dtype=_FLOAT),
+            task_counts=np.array(
+                scenario.schedule.counts, dtype=_INT
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Decoding (trusted fast path)
+    # ------------------------------------------------------------------
+    def decode_profiles(self) -> List[SmartphoneProfile]:
+        """Materialise :class:`SmartphoneProfile` objects from the columns.
+
+        Constructs instances through ``object.__new__`` with fields set in
+        declaration order, skipping ``__post_init__`` — the generator
+        validated these values when the columns were produced.  The result
+        is indistinguishable (including pickle bytes) from validated
+        construction.
+        """
+        return _decode(SmartphoneProfile, self)
+
+    def decode_bids(self) -> List[Bid]:
+        """Materialise the truthful bid vector from the columns.
+
+        Equivalent to ``[p.truthful_bid() for p in decode_profiles()]``
+        but without the double construction cost; under truthful bidding
+        the bid fields equal the profile fields verbatim.
+        """
+        return _decode(Bid, self)
+
+    def decode_schedule(self) -> TaskSchedule:
+        """Rebuild the task schedule (same path the generator uses)."""
+        return TaskSchedule.from_counts(
+            [int(c) for c in self.task_counts], value=self.task_value
+        )
+
+
+def _decode(cls: type, columns: RoundColumns) -> List[Any]:
+    """Build ``cls`` instances from columns via the trusted fast path."""
+    new = object.__new__
+    out: List[Any] = []
+    append = out.append
+    for pid, arr, dep, cost in zip(
+        columns.phone_id.tolist(),
+        columns.arrival.tolist(),
+        columns.departure.tolist(),
+        columns.cost.tolist(),
+    ):
+        obj = new(cls)
+        state = obj.__dict__
+        state["phone_id"] = pid
+        state["arrival"] = arr
+        state["departure"] = dep
+        state["cost"] = cost
+        append(obj)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Packing rounds into one flat buffer
+# ----------------------------------------------------------------------
+def packed_size(rounds: Sequence[RoundColumns]) -> int:
+    """Total bytes :func:`pack_rounds_into` needs for ``rounds``."""
+    return sum(columns.nbytes for columns in rounds)
+
+
+def pack_rounds_into(
+    rounds: Sequence[RoundColumns], buffer: Any
+) -> Dict[str, Any]:
+    """Write ``rounds`` back to back into ``buffer``; return the header.
+
+    ``buffer`` is any writable buffer (typically a shared-memory block's
+    ``buf``) of at least :func:`packed_size` bytes.  The returned header is
+    a small picklable dict; together with the buffer it is the complete
+    wire representation consumed by :func:`unpack_rounds`.
+    """
+    needed = packed_size(rounds)
+    if len(buffer) < needed:
+        raise ValidationError(
+            f"pack buffer holds {len(buffer)} bytes, need {needed}"
+        )
+    offset = 0
+    entries: List[Dict[str, Any]] = []
+    for columns in rounds:
+        for column, dtype in _round_layout(columns):
+            source = np.ascontiguousarray(column, dtype=dtype)
+            view = np.frombuffer(
+                buffer, dtype=dtype, count=source.size, offset=offset
+            )
+            view[:] = source
+            offset += source.nbytes
+        entries.append(
+            {
+                "num_phones": columns.num_phones,
+                "num_slots": columns.num_slots,
+                "task_value": columns.task_value,
+            }
+        )
+    return {"schema": COLUMNAR_SCHEMA, "rounds": entries}
+
+
+def unpack_rounds(
+    buffer: Any, header: Dict[str, Any]
+) -> List[RoundColumns]:
+    """Zero-copy inverse of :func:`pack_rounds_into`.
+
+    The returned columns are views into ``buffer`` — no bytes are copied.
+    Callers must drop every returned object before releasing the buffer
+    (closing its shared-memory segment), or the release will fail with a
+    ``BufferError``.
+    """
+    if header.get("schema") != COLUMNAR_SCHEMA:
+        raise ValidationError(
+            f"unknown columnar schema {header.get('schema')!r}; "
+            f"expected {COLUMNAR_SCHEMA!r}"
+        )
+    entries = header.get("rounds")
+    if not isinstance(entries, list):
+        raise ValidationError("columnar header is missing 'rounds'")
+    rounds: List[RoundColumns] = []
+    offset = 0
+    for entry in entries:
+        num_phones = int(entry["num_phones"])
+        num_slots = int(entry["num_slots"])
+        need = _ELEMENT_BYTES * (4 * num_phones + num_slots)
+        if offset + need > len(buffer):
+            raise ValidationError(
+                f"columnar buffer truncated: need {offset + need} "
+                f"bytes, have {len(buffer)}"
+            )
+        views: List[np.ndarray] = []
+        for count, dtype in (
+            (num_phones, _INT),
+            (num_phones, _INT),
+            (num_phones, _INT),
+            (num_phones, _FLOAT),
+            (num_slots, _INT),
+        ):
+            views.append(
+                np.frombuffer(
+                    buffer, dtype=dtype, count=count, offset=offset
+                )
+            )
+            offset += count * _ELEMENT_BYTES
+        rounds.append(
+            RoundColumns(
+                num_slots=num_slots,
+                task_value=float(entry["task_value"]),
+                phone_id=views[0],
+                arrival=views[1],
+                departure=views[2],
+                cost=views[3],
+                task_counts=views[4],
+            )
+        )
+    return rounds
+
+
+def _round_layout(
+    columns: RoundColumns,
+) -> Tuple[Tuple[np.ndarray, np.dtype], ...]:
+    """The (column, dtype) sequence defining one round's packed layout."""
+    return (
+        (columns.phone_id, _INT),
+        (columns.arrival, _INT),
+        (columns.departure, _INT),
+        (columns.cost, _FLOAT),
+        (columns.task_counts, _INT),
+    )

@@ -12,7 +12,7 @@ which combines an outcome with the private profiles.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import MechanismError
 from repro.model.bid import Bid
@@ -122,6 +122,16 @@ class AuctionOutcome:
     def schedule(self) -> TaskSchedule:
         """The round's task schedule."""
         return self._schedule
+
+    @property
+    def bid_phone_ids(self) -> FrozenSet[int]:
+        """The phone ids that submitted a bid (unordered).
+
+        Cheaper than deriving the set from :attr:`bids`, which sorts and
+        materialises the full bid tuple — the metrics layer walks this
+        per phone on the city tier.
+        """
+        return frozenset(self._bids_by_phone)
 
     def bid_of(self, phone_id: int) -> Bid:
         """The bid phone ``phone_id`` submitted."""

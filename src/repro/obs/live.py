@@ -19,11 +19,15 @@ Two invariants shape the design:
 * **Worker pulses merge deterministically.**  Process-pool workers
   cannot share one file handle, so each appends to its own sidecar
   file (:func:`worker_heartbeat_path`); the parent merges them with
-  :func:`merge_heartbeats`, ordering records by ``(unit_index, seq)``
-  — stable unit identity, never pid or arrival time — so the merged
-  file's record order is reproducible across worker counts and
-  schedules even though the latency *values* inside the records are
-  wall-clock facts.
+  :func:`merge_heartbeats`, ordering records by
+  ``(shard, unit_index, seq)`` — stable unit identity, never pid or
+  arrival time — so the merged file's record order is reproducible
+  across worker counts and schedules even though the latency *values*
+  inside the records are wall-clock facts.  Unsharded runners omit the
+  ``shard`` key and sort as shard 0, preserving their historical
+  ``(unit_index, seq)`` order; sharded campaigns reuse round indices
+  per shard, so without the shard component the interleaved records
+  of two shards would shuffle by arrival.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ HEARTBEAT_SCHEMA = "repro-heartbeat/1"
 #: and the counter is nonzero).  Chosen for "is it stuck or working?"
 #: value: journal durability traffic, platform churn, sweep resilience.
 WATCHED_COUNTERS = (
+    "campaign.shard.rounds",
     "journal.appends",
     "journal.rotations",
     "online.stream.events",
@@ -278,13 +283,16 @@ def append_worker_beat(
 def merge_heartbeats(base: "os.PathLike[str]") -> int:
     """Fold every worker sidecar into ``base``, deterministically.
 
-    Records are ordered by ``(unit_index, seq)`` — their stable unit
-    identity — never by pid, arrival, or timestamp, so the merged
+    Records are ordered by ``(shard, unit_index, seq)`` — their stable
+    unit identity — never by pid, arrival, or timestamp, so the merged
     file's record sequence is identical across worker counts and
     schedules (the REP013 unordered-reduction discipline, applied to
-    telemetry).  Sidecars are deleted after a successful merge.
-    Unparseable sidecar lines are skipped (heartbeats are lossy by
-    charter); returns the number of records merged.
+    telemetry).  Records without a ``shard`` key (unsharded runners)
+    sort as shard 0; sharded campaigns reuse unit indices across
+    shards, so the shard component is what keeps interleaved shard
+    progress from reordering.  Sidecars are deleted after a successful
+    merge.  Unparseable sidecar lines are skipped (heartbeats are lossy
+    by charter); returns the number of records merged.
     """
     base_path = pathlib.Path(base)
     pattern = f"{base_path.stem}.worker-*{base_path.suffix}"
@@ -304,7 +312,11 @@ def merge_heartbeats(base: "os.PathLike[str]") -> int:
             ):
                 records.append(parsed)
     records.sort(
-        key=lambda r: (int(r.get("unit_index", 0)), int(r.get("seq", 0)))
+        key=lambda r: (
+            int(r.get("shard", 0)),
+            int(r.get("unit_index", 0)),
+            int(r.get("seq", 0)),
+        )
     )
     for record in records:
         _append_jsonl(base_path, record)

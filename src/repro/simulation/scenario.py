@@ -57,6 +57,29 @@ class Scenario:
         self._schedule = schedule
         self._metadata: Dict[str, object] = dict(metadata or {})
 
+    @classmethod
+    def from_trusted(
+        cls,
+        profiles: Sequence[SmartphoneProfile],
+        schedule: TaskSchedule,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> "Scenario":
+        """Build a scenario from pre-validated inputs, skipping checks.
+
+        Fast path for the columnar codec: ``profiles`` must already be
+        unique, sorted by phone id, and within the schedule horizon —
+        exactly what :meth:`RoundColumns.decode_profiles
+        <repro.model.columnar.RoundColumns.decode_profiles>` produces
+        from generator output.  The result is indistinguishable from
+        ``Scenario(profiles, schedule, metadata)``.
+        """
+        scenario = object.__new__(cls)
+        scenario._profiles = tuple(profiles)
+        scenario._by_id = {p.phone_id: p for p in scenario._profiles}
+        scenario._schedule = schedule
+        scenario._metadata = dict(metadata or {})
+        return scenario
+
     @property
     def profiles(self) -> Tuple[SmartphoneProfile, ...]:
         """All private profiles, ordered by phone id."""

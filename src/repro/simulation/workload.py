@@ -27,7 +27,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from repro.errors import ValidationError
+from repro.model.columnar import RoundColumns
 from repro.model.smartphone import SmartphoneProfile
 from repro.model.task import TaskSchedule
 from repro.simulation.arrivals import ArrivalProcess, PoissonArrivals
@@ -109,11 +112,79 @@ class WorkloadConfig:
         e.g. sweeping the task rate does not perturb the generated phone
         population for a fixed seed.
         """
-        streams = RngStreams(seed)
-        phones = phone_arrivals or PoissonArrivals(self.phone_rate)
-        tasks = task_arrivals or PoissonArrivals(self.task_rate)
         costs = cost_distribution or UniformCosts.with_mean(self.mean_cost)
+        columns = self._columns(
+            seed,
+            phone_arrivals or PoissonArrivals(self.phone_rate),
+            task_arrivals or PoissonArrivals(self.task_rate),
+            costs,
+        )
 
+        profiles: List[SmartphoneProfile] = [
+            SmartphoneProfile(
+                phone_id=pid, arrival=arr, departure=dep, cost=cost
+            )
+            for pid, arr, dep, cost in zip(
+                columns.phone_id.tolist(),
+                columns.arrival.tolist(),
+                columns.departure.tolist(),
+                columns.cost.tolist(),
+            )
+        ]
+        schedule = TaskSchedule.from_counts(
+            [int(c) for c in columns.task_counts], value=self.task_value
+        )
+
+        metadata = self.to_dict()
+        metadata["seed"] = seed
+        metadata["cost_distribution"] = repr(costs)
+        return Scenario(
+            profiles=profiles, schedule=schedule, metadata=metadata
+        )
+
+    def generate_columns(
+        self,
+        seed: int,
+        phone_arrivals: Optional[ArrivalProcess] = None,
+        task_arrivals: Optional[ArrivalProcess] = None,
+        cost_distribution: Optional[CostDistribution] = None,
+    ) -> RoundColumns:
+        """The columnar form of :meth:`generate`, without materialisation.
+
+        Draws the identical population (same streams, same draw order —
+        the batched length draw consumes the generator exactly like the
+        former per-phone loop) but returns flat
+        :class:`~repro.model.columnar.RoundColumns` ready to pack into a
+        shared-memory segment.  ``generate(seed)`` equals decoding
+        ``generate_columns(seed)`` value-for-value.
+        """
+        return self._columns(
+            seed,
+            phone_arrivals or PoissonArrivals(self.phone_rate),
+            task_arrivals or PoissonArrivals(self.task_rate),
+            cost_distribution or UniformCosts.with_mean(self.mean_cost),
+        )
+
+    def metadata_for(self, seed: int, costs_repr: str) -> Dict[str, Any]:
+        """The scenario metadata :meth:`generate` attaches for ``seed``.
+
+        Lets columnar consumers (shard workers) rebuild the exact
+        metadata dict without re-running generation.
+        """
+        metadata = self.to_dict()
+        metadata["seed"] = seed
+        metadata["cost_distribution"] = costs_repr
+        return metadata
+
+    def _columns(
+        self,
+        seed: int,
+        phones: ArrivalProcess,
+        tasks: ArrivalProcess,
+        costs: CostDistribution,
+    ) -> RoundColumns:
+        """Vectorised generation core (shared by both public entry points)."""
+        streams = RngStreams(seed)
         phone_counts = phones.counts(
             self.num_slots, streams.get("phone-arrivals")
         )
@@ -125,44 +196,36 @@ class WorkloadConfig:
         total_phones = sum(phone_counts)
         sampled_costs = costs.sample(total_phones, attribute_rng)
 
-        profiles: List[SmartphoneProfile] = []
-        phone_id = 0
-        for slot_index, count in enumerate(phone_counts, start=1):
-            for _ in range(count):
-                length = self._draw_active_length(attribute_rng)
-                departure = min(slot_index + length - 1, self.num_slots)
-                profiles.append(
-                    SmartphoneProfile(
-                        phone_id=phone_id,
-                        arrival=slot_index,
-                        departure=departure,
-                        cost=sampled_costs[phone_id],
-                    )
-                )
-                phone_id += 1
-
-        schedule = TaskSchedule.from_counts(
-            task_counts, value=self.task_value
+        arrival = np.repeat(
+            np.arange(1, self.num_slots + 1, dtype=np.int64),
+            phone_counts,
+        )
+        lengths = self._draw_active_lengths(attribute_rng, total_phones)
+        departure = np.minimum(arrival + lengths - 1, self.num_slots)
+        return RoundColumns(
+            num_slots=self.num_slots,
+            task_value=self.task_value,
+            phone_id=np.arange(total_phones, dtype=np.int64),
+            arrival=arrival,
+            departure=departure,
+            cost=np.asarray(sampled_costs, dtype=np.float64),
+            task_counts=np.asarray(task_counts, dtype=np.int64),
         )
 
-        metadata = self.to_dict()
-        metadata["seed"] = seed
-        metadata["cost_distribution"] = repr(costs)
-        return Scenario(
-            profiles=profiles, schedule=schedule, metadata=metadata
-        )
+    def _draw_active_lengths(self, rng, count: int) -> np.ndarray:
+        """Uniform integer lengths on ``[1, 2*avg − 1]`` (mean = avg).
 
-    def _draw_active_length(self, rng) -> int:
-        """Uniform integer length on ``[1, 2*avg − 1]`` (mean = avg).
-
-        Lengths are clamped to the round horizon by the caller via the
-        departure computation; profiles near the round end therefore have
-        slightly shorter effective windows, matching a finite round.
+        One batched draw; a size-``n`` batch of ``Generator.integers``
+        consumes the bit stream exactly like ``n`` scalar draws, so this
+        reproduces the historical per-phone loop bit-for-bit.  Lengths are
+        clamped to the round horizon by the caller via the departure
+        computation; profiles near the round end therefore have slightly
+        shorter effective windows, matching a finite round.
         """
         upper = 2 * self.mean_active_length - 1
         if upper <= 1:
-            return 1
-        return int(rng.integers(1, upper + 1))
+            return np.ones(count, dtype=np.int64)
+        return rng.integers(1, upper + 1, size=count, dtype=np.int64)
 
 
 def generate_many(

@@ -105,6 +105,81 @@ class TestWorkerPickleSafety:
         )
         assert "REP010" not in codes
 
+    def test_shared_memory_handle_by_value_flagged(self):
+        """Submitting the live handle ships a second owner to the worker."""
+        violations = run_flow_rules(
+            make_engine(
+                {
+                    "app.fan": """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from multiprocessing import shared_memory
+
+                    def work(segment):
+                        return bytes(segment.buf[:4])
+
+                    def fan_out(payload):
+                        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+                        with ProcessPoolExecutor() as pool:
+                            future = pool.submit(work, segment)
+                        return future.result()
+                    """
+                }
+            )
+        )
+        flagged = [v for v in violations if v.code == "REP010"]
+        assert flagged, "live SharedMemory handle crossing submit not flagged"
+        assert "segment.name" in flagged[0].message
+
+    def test_shared_memory_by_name_clean(self):
+        """Passing segment.name and attaching worker-side is the discipline."""
+        codes = codes_of(
+            {
+                "app.fan": """
+                from concurrent.futures import ProcessPoolExecutor
+                from multiprocessing import shared_memory
+
+                def work(segment_name):
+                    segment = shared_memory.SharedMemory(name=segment_name)
+                    try:
+                        return bytes(segment.buf[:4])
+                    finally:
+                        segment.close()
+
+                def fan_out(payload):
+                    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+                    try:
+                        with ProcessPoolExecutor() as pool:
+                            future = pool.submit(work, segment.name)
+                        return future.result()
+                    finally:
+                        segment.close()
+                        segment.unlink()
+                """
+            }
+        )
+        assert "REP010" not in codes
+
+    def test_direct_ctor_import_handle_flagged(self):
+        """The bare-name ctor spelling resolves through the import map too."""
+        codes = codes_of(
+            {
+                "app.fan": """
+                from concurrent.futures import ProcessPoolExecutor
+                from multiprocessing.shared_memory import SharedMemory
+
+                def work(segment):
+                    return segment.size
+
+                def fan_out(n):
+                    block = SharedMemory(create=True, size=n)
+                    with ProcessPoolExecutor() as pool:
+                        future = pool.submit(work, block)
+                    return future.result()
+                """
+            }
+        )
+        assert "REP010" in codes
+
 
 class TestWorkerMutableGlobal:
     WORKER = """

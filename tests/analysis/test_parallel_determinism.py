@@ -4,7 +4,8 @@
 worker counts, submission (chunk) orders, and matching backends, and
 asserts every run's result rows pickle to the same bytes as the serial
 reference.  The full acceptance matrix — ≥ 3 worker counts × the three
-in-house backends × 3 submission orders — runs here unconditionally;
+in-house backends × 3 submission orders, plus the shard-permutation
+matrix against ``run_sharded_campaign`` — runs here unconditionally;
 ``pytest --schedule-fuzz`` additionally gates the whole suite on a
 wider matrix at session start (see ``tests/conftest.py``).
 """
@@ -34,14 +35,41 @@ def fuzz_workload():
 
 class TestScheduleFuzz:
     def test_full_matrix_is_byte_identical(self, fuzz_workload):
-        """3 worker counts × 3 backends × 3 chunk orders, all identical."""
+        """3 worker counts × 3 backends × 3 chunk orders, all identical.
+
+        Plus the shard-permutation half: the workers=1 reference and
+        five fuzzed (shard workers × submission order) combinations.
+        """
         checked = check_parallel_determinism(
             workload=fuzz_workload,
             seeds=(0, 1, 2, 3),
             worker_counts=(1, 2, 3),
             backends=("numpy", "sparse", "python"),
+            shard_worker_counts=(1, 2),
         )
-        assert checked == 27
+        assert checked == 27 + 6
+
+    def test_shard_matrix_alone(self, fuzz_workload):
+        """The shard half runs (and passes) with the sweep half minimal."""
+        checked = check_parallel_determinism(
+            workload=fuzz_workload,
+            seeds=(0,),
+            worker_counts=(1,),
+            backends=("numpy",),
+            shard_worker_counts=(2,),
+        )
+        assert checked == 3 + 1 + 3
+
+    def test_shard_matrix_skippable(self, fuzz_workload):
+        """Empty shard_worker_counts skips the sharded half entirely."""
+        checked = check_parallel_determinism(
+            workload=fuzz_workload,
+            seeds=(0,),
+            worker_counts=(1,),
+            backends=("numpy",),
+            shard_worker_counts=(),
+        )
+        assert checked == 3
 
     def test_lost_repetition_detected(self, fuzz_workload, monkeypatch):
         """The seed-coverage guard trips before any byte comparison."""

@@ -82,8 +82,9 @@ def _schedule_fuzz_determinism(request):
 
     With ``--schedule-fuzz``, the session first re-runs one sweep point
     under permuted worker counts, submission orders, and matching
-    backends (see
-    :func:`repro.analysis.sanitizer.check_parallel_determinism`) and
+    backends — plus a sharded campaign under permuted shard submission
+    orders and shard-pool sizes (see
+    :func:`repro.analysis.sanitizer.check_parallel_determinism`) — and
     fails immediately if any combination's outcome bytes differ from
     the serial reference — the runtime twin of the static REP010–REP015
     flow rules.  Off by default: the matrix spawns dozens of process
@@ -96,6 +97,7 @@ def _schedule_fuzz_determinism(request):
         check_parallel_determinism(
             worker_counts=(1, 2, 3, 4),
             backends=("numpy", "sparse", "python"),
+            shard_worker_counts=(1, 2, 4),
         )
     yield
 

@@ -1,0 +1,501 @@
+"""Sharded campaign engine: planning, byte-identity, durability, lifecycle.
+
+The acceptance contract under test:
+
+* Assembled results pickle **byte-identically** across worker counts,
+  shard submission orders, and resume points (50-seed property suite).
+* A city's result matches the serial ``run_campaign`` round for round.
+* Checkpoints stream per round, tolerate torn tails, and resume
+  mid-shard byte-identically — including after an injected crash.
+* Shared-memory segments are closed and unlinked on normal exit, on
+  worker exceptions, and on injected crashes (20-seed property), with
+  no resource-tracker leak warnings.
+"""
+
+from __future__ import annotations
+
+import glob
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.auction.multi_round import run_campaign
+from repro.errors import CheckpointError, ReproError, ShardingError
+from repro.experiments.config import MechanismSpec
+from repro.experiments.sharding import (
+    CityConfig,
+    ShardCheckpointWriter,
+    load_shard_checkpoint,
+    plan_shards,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+)
+from repro.faults.crash import SimulatedCrash
+from repro.simulation.workload import WorkloadConfig
+
+SPEC = MechanismSpec.of("online-greedy")
+
+
+def tiny_workload(**overrides):
+    base = dict(
+        num_slots=6,
+        phone_rate=2.0,
+        task_rate=1.0,
+        mean_cost=10.0,
+        mean_active_length=2,
+        task_value=16.0,
+    )
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+def two_cities(rounds=(3, 2)):
+    return [
+        CityConfig("east", tiny_workload(), num_rounds=rounds[0]),
+        CityConfig(
+            "west", tiny_workload(phone_rate=3.0), num_rounds=rounds[1]
+        ),
+    ]
+
+
+def result_bytes(result) -> bytes:
+    return pickle.dumps(result, protocol=4)
+
+
+class TestPlanning:
+    def test_even_split_with_remainder(self):
+        plans = plan_shards(
+            [CityConfig("solo", tiny_workload(), num_rounds=7)],
+            shards_per_city=3,
+        )
+        ranges = [(p.round_start, p.round_stop) for p in plans]
+        assert ranges == [(0, 3), (3, 5), (5, 7)]
+        assert [p.shard_id for p in plans] == [0, 1, 2]
+
+    def test_city_never_gets_more_shards_than_rounds(self):
+        plans = plan_shards(
+            [CityConfig("solo", tiny_workload(), num_rounds=2)],
+            shards_per_city=5,
+        )
+        assert len(plans) == 2
+
+    def test_shard_ids_stable_across_cities(self):
+        plans = plan_shards(two_cities(), shards_per_city=2)
+        assert [(p.shard_id, p.city_name) for p in plans] == [
+            (0, "east"),
+            (1, "east"),
+            (2, "west"),
+            (3, "west"),
+        ]
+
+    def test_explicit_city_seed_wins(self):
+        city = CityConfig("fixed", tiny_workload(), num_rounds=1, seed=99)
+        (plan,) = plan_shards([city], seed=0)
+        assert plan.city_seed == 99
+
+    def test_city_seed_depends_on_name_and_position(self):
+        (a,) = plan_shards(
+            [CityConfig("aa", tiny_workload(), num_rounds=1)], seed=1
+        )
+        (b,) = plan_shards(
+            [CityConfig("bb", tiny_workload(), num_rounds=1)], seed=1
+        )
+        assert a.city_seed != b.city_seed
+
+    def test_duplicate_city_names_rejected(self):
+        cities = [
+            CityConfig("dup", tiny_workload(), num_rounds=1),
+            CityConfig("dup", tiny_workload(), num_rounds=1),
+        ]
+        with pytest.raises(ShardingError, match="duplicate city names"):
+            plan_shards(cities)
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ShardingError, match="must not be empty"):
+            plan_shards([])
+
+    def test_city_name_pattern_enforced(self):
+        with pytest.raises(ShardingError, match="city name"):
+            CityConfig("bad/name", tiny_workload(), num_rounds=1)
+
+
+class TestSerialParity:
+    def test_city_results_match_run_campaign(self):
+        """Shard boundaries are invisible: every round's pickle bytes
+        equal the serial campaign's, and the aggregates agree."""
+        cities = two_cities()
+        sharded = run_sharded_campaign(
+            SPEC, cities, seed=11, workers=1, shards_per_city=2
+        )
+        seeds = {
+            p.city_name: p.city_seed
+            for p in plan_shards(cities, shards_per_city=2, seed=11)
+        }
+        for city in cities:
+            serial = run_campaign(
+                SPEC.build(),
+                city.workload,
+                num_rounds=city.num_rounds,
+                seed=seeds[city.name],
+            )
+            shard_city = sharded.city(city.name)
+            assert len(serial.rounds) == len(shard_city.rounds)
+            for serial_round, shard_round in zip(
+                serial.rounds, shard_city.rounds
+            ):
+                assert pickle.dumps(
+                    serial_round, protocol=4
+                ) == pickle.dumps(shard_round, protocol=4)
+            # Exact (byte-level) aggregate identity, not approximate.
+            for attr in (
+                "total_welfare",
+                "total_payment",
+                "welfare_per_round",
+                "overpayment_per_round",
+            ):
+                assert pickle.dumps(
+                    getattr(serial, attr), protocol=4
+                ) == pickle.dumps(getattr(shard_city, attr), protocol=4)
+
+    def test_totals_sum_city_aggregates(self):
+        result = run_sharded_campaign(SPEC, two_cities(), seed=4)
+        assert result.total_welfare == sum(
+            r.total_welfare for _, r in result.cities
+        )
+        assert result.num_rounds == 5
+
+    def test_unknown_city_lookup_raises(self):
+        result = run_sharded_campaign(SPEC, two_cities(), seed=4)
+        with pytest.raises(ShardingError, match="unknown city"):
+            result.city("atlantis")
+
+
+class TestByteIdentityProperty:
+    """The 50-seed acceptance suite: worker counts × submission orders
+    × resume-from-mid-shard, all pickle-byte-identical."""
+
+    @pytest.mark.parametrize("seed_block", range(10))
+    def test_fifty_seeds_byte_identical(self, seed_block, tmp_path):
+        for lane in range(5):
+            seed = seed_block * 5 + lane
+            cities = two_cities(rounds=(3, 2))
+            reference = result_bytes(
+                run_sharded_campaign(
+                    SPEC, cities, seed=seed, workers=1, shards_per_city=2
+                )
+            )
+            # Rotate through the fuzz matrix: worker count and a
+            # seed-dependent shard submission permutation.
+            workers = (2, 4)[seed % 2]
+            order = [(i + seed) % 4 for i in range(4)]
+            fuzzed = result_bytes(
+                run_sharded_campaign(
+                    SPEC,
+                    cities,
+                    seed=seed,
+                    workers=workers,
+                    shards_per_city=2,
+                    submission_order=order,
+                )
+            )
+            assert fuzzed == reference, (
+                f"seed {seed}: workers={workers} order={order} diverged"
+            )
+            if seed % 5 == 0:
+                # Resume from mid-shard: pre-seed a partial checkpoint
+                # (first round of shard 0 only), then rerun.
+                ckpt = tmp_path / f"seed-{seed}"
+                full = run_sharded_campaign(
+                    SPEC,
+                    cities,
+                    seed=seed,
+                    workers=1,
+                    shards_per_city=2,
+                    checkpoint_dir=ckpt,
+                )
+                assert result_bytes(full) == reference
+                plans = plan_shards(cities, shards_per_city=2, seed=seed)
+                keep = shard_checkpoint_path(ckpt, plans[0])
+                lines = keep.read_bytes().splitlines(keepends=True)
+                keep.write_bytes(lines[0])  # drop all but round 0
+                resumed = run_sharded_campaign(
+                    SPEC,
+                    cities,
+                    seed=seed,
+                    workers=2,
+                    shards_per_city=2,
+                    checkpoint_dir=ckpt,
+                )
+                assert result_bytes(resumed) == reference
+
+
+class TestCheckpointing:
+    def test_records_stream_per_round(self, tmp_path):
+        cities = [CityConfig("solo", tiny_workload(), num_rounds=4)]
+        run_sharded_campaign(
+            SPEC, cities, seed=3, shards_per_city=2, checkpoint_dir=tmp_path
+        )
+        plans = plan_shards(cities, shards_per_city=2, seed=3)
+        for plan in plans:
+            loaded = load_shard_checkpoint(
+                shard_checkpoint_path(tmp_path, plan)
+            )
+            assert sorted(loaded) == list(plan.round_indices)
+
+    def test_full_resume_recomputes_nothing(self, tmp_path, monkeypatch):
+        cities = two_cities()
+        first = run_sharded_campaign(
+            SPEC, cities, seed=8, checkpoint_dir=tmp_path
+        )
+        import repro.experiments.sharding as sharding_mod
+
+        def exploding(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resume recomputed a checkpointed round")
+
+        monkeypatch.setattr(sharding_mod, "_run_shard_round", exploding)
+        resumed = run_sharded_campaign(
+            SPEC, cities, seed=8, checkpoint_dir=tmp_path
+        )
+        assert result_bytes(resumed) == result_bytes(first)
+
+    def test_torn_tail_truncated_and_recomputed(self, tmp_path):
+        cities = [CityConfig("solo", tiny_workload(), num_rounds=3)]
+        reference = result_bytes(
+            run_sharded_campaign(SPEC, cities, seed=5)
+        )
+        run_sharded_campaign(
+            SPEC, cities, seed=5, checkpoint_dir=tmp_path
+        )
+        (plan,) = plan_shards(cities, seed=5)
+        target = shard_checkpoint_path(tmp_path, plan)
+        intact = target.read_bytes().splitlines(keepends=True)
+        target.write_bytes(intact[0] + intact[1][: len(intact[1]) // 2])
+        loaded = load_shard_checkpoint(target)
+        assert sorted(loaded) == [0]
+        assert target.read_bytes() == intact[0]  # torn tail truncated
+        resumed = run_sharded_campaign(
+            SPEC, cities, seed=5, checkpoint_dir=tmp_path
+        )
+        assert result_bytes(resumed) == reference
+
+    def test_corrupt_checksum_ends_valid_prefix(self, tmp_path):
+        writer = ShardCheckpointWriter(tmp_path / "s.ckpt.jsonl")
+        writer.append(0, b"alpha")
+        writer.append(1, b"beta")
+        writer.close()
+        raw = (tmp_path / "s.ckpt.jsonl").read_bytes()
+        (tmp_path / "s.ckpt.jsonl").write_bytes(
+            raw.replace(b'"round":1', b'"round":2')
+        )
+        loaded = load_shard_checkpoint(tmp_path / "s.ckpt.jsonl")
+        assert loaded == {0: b"alpha"}
+
+    def test_duplicate_round_later_record_wins(self, tmp_path):
+        writer = ShardCheckpointWriter(tmp_path / "d.ckpt.jsonl")
+        writer.append(0, b"old")
+        writer.append(0, b"new")
+        writer.close()
+        assert load_shard_checkpoint(tmp_path / "d.ckpt.jsonl") == {
+            0: b"new"
+        }
+
+    def test_missing_checkpoint_is_empty(self, tmp_path):
+        assert load_shard_checkpoint(tmp_path / "absent.jsonl") == {}
+
+    def test_writer_error_surfaces_on_close(self, tmp_path):
+        writer = ShardCheckpointWriter(tmp_path / "e.ckpt.jsonl")
+        writer._handle.close()  # provoke a write failure in the thread
+        writer.append(0, b"x")
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ShardingError, match="fsync"):
+            ShardCheckpointWriter(tmp_path / "f.jsonl", fsync="sometimes")
+        with pytest.raises(ShardingError, match="fsync"):
+            run_sharded_campaign(
+                SPEC, two_cities(), seed=0, fsync="sometimes"
+            )
+
+
+class TestCrashInjection:
+    def test_simulated_crash_mid_shard_then_resume(self, tmp_path):
+        cities = [CityConfig("solo", tiny_workload(), num_rounds=4)]
+        reference = result_bytes(
+            run_sharded_campaign(SPEC, cities, seed=13)
+        )
+        appended = {"n": 0}
+
+        def crash_hook(count: int) -> None:
+            appended["n"] = count
+            if count == 2:
+                raise SimulatedCrash("die after the second append")
+
+        with pytest.raises(SimulatedCrash):
+            run_sharded_campaign(
+                SPEC,
+                cities,
+                seed=13,
+                checkpoint_dir=tmp_path,
+                fsync="always",
+                checkpoint_crash_hook=crash_hook,
+            )
+        assert appended["n"] == 2
+        (plan,) = plan_shards(cities, seed=13)
+        survived = load_shard_checkpoint(
+            shard_checkpoint_path(tmp_path, plan)
+        )
+        assert sorted(survived) == [0, 1]
+        resumed = run_sharded_campaign(
+            SPEC, cities, seed=13, checkpoint_dir=tmp_path
+        )
+        assert result_bytes(resumed) == reference
+
+    def test_crash_hook_requires_serial_workers(self, tmp_path):
+        with pytest.raises(ShardingError, match="workers=1"):
+            run_sharded_campaign(
+                SPEC,
+                two_cities(),
+                seed=0,
+                workers=2,
+                checkpoint_dir=tmp_path,
+                checkpoint_crash_hook=lambda n: None,
+            )
+
+    def test_crash_hook_requires_checkpoint_dir(self):
+        with pytest.raises(ShardingError, match="checkpoint_dir"):
+            run_sharded_campaign(
+                SPEC,
+                two_cities(),
+                seed=0,
+                checkpoint_crash_hook=lambda n: None,
+            )
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ShardingError, match="workers"):
+            run_sharded_campaign(SPEC, two_cities(), workers=0)
+
+    def test_submission_order_must_be_permutation(self):
+        with pytest.raises(ShardingError, match="permutation"):
+            run_sharded_campaign(
+                SPEC, two_cities(), submission_order=[0, 0, 1, 1]
+            )
+
+    def test_missing_rounds_detected_at_assembly(self, tmp_path):
+        """A checkpoint claiming rounds outside its shard is ignored and
+        the gap recomputed; a genuinely missing round raises."""
+        from repro.experiments.sharding import _assemble, plan_shards
+
+        cities = [CityConfig("solo", tiny_workload(), num_rounds=2)]
+        plans = plan_shards(cities, seed=0)
+        with pytest.raises(ShardingError, match="no outcome"):
+            _assemble(cities, plans, {}, {})
+
+
+class SegmentNameSpy:
+    """Wraps ``_create_segment`` to record every segment name created."""
+
+    def __init__(self, real):
+        self.real = real
+        self.names = []
+
+    def __call__(self, nbytes):
+        segment = self.real(nbytes)
+        self.names.append(segment.name)
+        return segment
+
+
+def assert_segments_gone(names):
+    from multiprocessing import shared_memory
+
+    assert names, "spy captured no segments"
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestSharedMemoryLifecycle:
+    @pytest.fixture
+    def spy(self, monkeypatch):
+        import repro.experiments.sharding as sharding_mod
+
+        spy = SegmentNameSpy(sharding_mod._create_segment)
+        monkeypatch.setattr(sharding_mod, "_create_segment", spy)
+        return spy
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_normal_exit_unlinks_every_segment(self, spy, workers):
+        run_sharded_campaign(
+            SPEC, two_cities(), seed=1, workers=workers, shards_per_city=2
+        )
+        assert len(spy.names) == 4
+        assert_segments_gone(spy.names)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_exception_unlinks_segments(self, spy, workers):
+        bad = MechanismSpec.of("online-greedy", engine="no-such-engine")
+        with pytest.raises(ReproError):
+            run_sharded_campaign(
+                bad, two_cities(), seed=1, workers=workers
+            )
+        assert_segments_gone(spy.names)
+
+    def test_injected_crash_unlinks_segments(self, spy, tmp_path):
+        def crash_hook(count: int) -> None:
+            raise SimulatedCrash("immediate")
+
+        with pytest.raises(SimulatedCrash):
+            run_sharded_campaign(
+                SPEC,
+                two_cities(),
+                seed=1,
+                checkpoint_dir=tmp_path,
+                checkpoint_crash_hook=crash_hook,
+            )
+        assert_segments_gone(spy.names)
+
+    def test_twenty_seed_lifecycle_property(self, spy):
+        """No segment survives any of 20 seeded campaigns, and no
+        repro-shard segment is left in /dev/shm afterwards."""
+        for seed in range(20):
+            run_sharded_campaign(
+                SPEC,
+                [CityConfig("prop", tiny_workload(), num_rounds=2)],
+                seed=seed,
+                workers=(seed % 2) + 1,
+                shards_per_city=2,
+            )
+        assert len(spy.names) == 40
+        assert_segments_gone(spy.names)
+        assert glob.glob("/dev/shm/repro-shard-*") == []
+
+    def test_no_resource_tracker_warnings(self, tmp_path):
+        """A pool run in a fresh interpreter exits with clean stderr —
+        in particular no resource_tracker 'leaked shared_memory' noise."""
+        script = (
+            "from repro.experiments.sharding import CityConfig, "
+            "run_sharded_campaign\n"
+            "from repro.experiments.config import MechanismSpec\n"
+            "from repro.simulation.workload import WorkloadConfig\n"
+            "wl = WorkloadConfig(num_slots=6, phone_rate=2.0, "
+            "task_rate=1.0, mean_cost=10.0, mean_active_length=2, "
+            "task_value=16.0)\n"
+            "cities = [CityConfig('east', wl, 3), CityConfig('west', wl, 2)]\n"
+            "run_sharded_campaign(MechanismSpec.of('online-greedy'), "
+            "cities, seed=2, workers=2, shards_per_city=2)\n"
+            "print('done')\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "done" in completed.stdout
+        assert "resource_tracker" not in completed.stderr
+        assert "leaked" not in completed.stderr

@@ -1,0 +1,192 @@
+"""Columnar round codec: layout, round-trips, and the trusted fast path.
+
+The codec is the wire format of the sharded campaign runner, so two
+properties carry the byte-identity contract: decoding must reproduce
+validated construction *exactly* (equality and pickle bytes), and
+pack/unpack must round-trip any number of rounds through one flat
+buffer with zero-copy views on the way out.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.columnar import (
+    COLUMNAR_SCHEMA,
+    RoundColumns,
+    pack_rounds_into,
+    packed_size,
+    unpack_rounds,
+)
+from repro.simulation.workload import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadConfig(
+        num_slots=8,
+        phone_rate=3.0,
+        task_rate=1.5,
+        mean_cost=12.0,
+        mean_active_length=3,
+        task_value=20.0,
+    )
+
+
+class TestGenerateColumns:
+    def test_matches_generate_value_for_value(self, workload):
+        for seed in range(5):
+            scenario = workload.generate(seed=seed)
+            columns = workload.generate_columns(seed=seed)
+            assert columns.decode_profiles() == list(scenario.profiles)
+            assert columns.decode_schedule() == scenario.schedule
+            assert columns.decode_bids() == scenario.truthful_bids()
+
+    def test_decoded_objects_pickle_byte_identically(self, workload):
+        """The trusted fast path is invisible in the pickle stream."""
+        scenario = workload.generate(seed=3)
+        columns = workload.generate_columns(seed=3)
+        for fast, validated in zip(
+            columns.decode_profiles(), scenario.profiles
+        ):
+            assert pickle.dumps(fast, protocol=4) == pickle.dumps(
+                validated, protocol=4
+            )
+        for fast, validated in zip(
+            columns.decode_bids(), scenario.truthful_bids()
+        ):
+            assert pickle.dumps(fast, protocol=4) == pickle.dumps(
+                validated, protocol=4
+            )
+
+    def test_column_dtypes_and_lengths(self, workload):
+        columns = workload.generate_columns(seed=1)
+        n = columns.num_phones
+        assert columns.phone_id.dtype == np.int64
+        assert columns.cost.dtype == np.float64
+        assert len(columns.arrival) == n
+        assert len(columns.departure) == n
+        assert len(columns.task_counts) == columns.num_slots
+        assert columns.nbytes == 8 * (4 * n + columns.num_slots)
+
+
+class TestFromScenario:
+    def test_round_trips_a_generated_scenario(self, workload):
+        scenario = workload.generate(seed=9)
+        columns = RoundColumns.from_scenario(scenario)
+        assert columns.decode_profiles() == list(scenario.profiles)
+        assert columns.decode_schedule() == scenario.schedule
+
+    def test_mixed_value_schedule_rejected(self, workload):
+        from repro.model.task import SensingTask, TaskSchedule
+
+        scenario = workload.generate(seed=9)
+        mixed = TaskSchedule(
+            num_slots=scenario.schedule.num_slots,
+            tasks=[
+                SensingTask(task_id=0, slot=1, index=1, value=5.0),
+                SensingTask(task_id=1, slot=2, index=1, value=7.0),
+            ],
+        )
+
+        class Stub:
+            profiles = scenario.profiles
+            schedule = mixed
+
+        with pytest.raises(ValidationError, match="uniform task value"):
+            RoundColumns.from_scenario(Stub())
+
+
+class TestValidation:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="column 'cost'"):
+            RoundColumns(
+                num_slots=2,
+                task_value=1.0,
+                phone_id=np.array([0, 1]),
+                arrival=np.array([1, 1]),
+                departure=np.array([1, 2]),
+                cost=np.array([1.0]),
+                task_counts=np.array([1, 0]),
+            )
+
+    def test_task_counts_must_cover_horizon(self):
+        with pytest.raises(ValidationError, match="task_counts"):
+            RoundColumns(
+                num_slots=3,
+                task_value=1.0,
+                phone_id=np.array([], dtype=np.int64),
+                arrival=np.array([], dtype=np.int64),
+                departure=np.array([], dtype=np.int64),
+                cost=np.array([], dtype=np.float64),
+                task_counts=np.array([1], dtype=np.int64),
+            )
+
+
+class TestPackUnpack:
+    def _rounds(self, workload, seeds):
+        return [workload.generate_columns(seed=s) for s in seeds]
+
+    def test_multi_round_round_trip(self, workload):
+        rounds = self._rounds(workload, range(4))
+        buffer = bytearray(packed_size(rounds))
+        header = pack_rounds_into(rounds, buffer)
+        assert header["schema"] == COLUMNAR_SCHEMA
+        assert len(header["rounds"]) == 4
+        unpacked = unpack_rounds(buffer, header)
+        for original, view in zip(rounds, unpacked):
+            assert view.num_slots == original.num_slots
+            assert view.task_value == original.task_value
+            np.testing.assert_array_equal(view.phone_id, original.phone_id)
+            np.testing.assert_array_equal(view.cost, original.cost)
+            np.testing.assert_array_equal(
+                view.task_counts, original.task_counts
+            )
+            assert view.decode_profiles() == original.decode_profiles()
+
+    def test_unpacked_views_are_zero_copy(self, workload):
+        rounds = self._rounds(workload, [0])
+        buffer = bytearray(packed_size(rounds))
+        header = pack_rounds_into(rounds, buffer)
+        view = unpack_rounds(buffer, header)[0]
+        # A view, not a copy: mutating the buffer shows through.
+        assert view.phone_id.base is not None
+        first = int(view.phone_id[0])
+        np.frombuffer(buffer, dtype=np.int64, count=1)[0] = first + 41
+        assert int(view.phone_id[0]) == first + 41
+
+    def test_undersized_buffer_rejected(self, workload):
+        rounds = self._rounds(workload, [0])
+        buffer = bytearray(packed_size(rounds) - 1)
+        with pytest.raises(ValidationError, match="pack buffer holds"):
+            pack_rounds_into(rounds, buffer)
+
+    def test_alien_schema_rejected(self, workload):
+        rounds = self._rounds(workload, [0])
+        buffer = bytearray(packed_size(rounds))
+        header = pack_rounds_into(rounds, buffer)
+        header["schema"] = "repro-columnar/999"
+        with pytest.raises(ValidationError, match="unknown columnar schema"):
+            unpack_rounds(buffer, header)
+
+    def test_truncated_buffer_rejected(self, workload):
+        rounds = self._rounds(workload, [0, 1])
+        buffer = bytearray(packed_size(rounds))
+        header = pack_rounds_into(rounds, buffer)
+        with pytest.raises(ValidationError, match="truncated"):
+            unpack_rounds(buffer[: packed_size(rounds[:1])], header)
+
+    def test_empty_round_packs(self, workload):
+        """A round with zero phones still packs its task counts."""
+        quiet = workload.replace(phone_rate=0.0)
+        rounds = [quiet.generate_columns(seed=0)]
+        assert rounds[0].num_phones == 0
+        buffer = bytearray(packed_size(rounds))
+        header = pack_rounds_into(rounds, buffer)
+        view = unpack_rounds(buffer, header)[0]
+        assert view.num_phones == 0
+        assert view.decode_profiles() == []

@@ -285,3 +285,95 @@ class TestCampaignTransparency:
         assert order2 == order4 == list(range(50))
         # No sidecars survive the merge.
         assert list(tmp_path.glob("*.worker-*")) == []
+
+
+class TestShardMergeIdentity:
+    """Shard-aware merge key: ``(shard_id, unit_index, seq)``."""
+
+    WORKLOAD = WorkloadConfig(num_slots=4)
+
+    def test_merge_orders_by_shard_then_unit_then_seq(self, tmp_path):
+        base = tmp_path / "hb.jsonl"
+        beats = [  # (pid, shard, unit, seq) — deliberately scrambled
+            (222, 1, 0, 0),
+            (222, 1, 1, 0),
+            (111, 0, 2, 1),
+            (111, 0, 2, 0),
+            (333, 0, 5, 0),
+        ]
+        for pid, shard, unit, seq in beats:
+            sidecar = worker_heartbeat_path(base, pid)
+            with open(sidecar, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "schema": HEARTBEAT_SCHEMA,
+                            "label": "round",
+                            "seq": seq,
+                            "unit_index": unit,
+                            "shard": shard,
+                            "worker_pid": pid,
+                        }
+                    )
+                    + "\n"
+                )
+        assert merge_heartbeats(base) == 5
+        keys = [
+            (r["shard"], r["unit_index"], r["seq"])
+            for r in read_heartbeats(base)
+        ]
+        assert keys == [(0, 2, 0), (0, 2, 1), (0, 5, 0), (1, 0, 0), (1, 1, 0)]
+
+    def test_shardless_records_sort_as_shard_zero(self, tmp_path):
+        base = tmp_path / "hb.jsonl"
+        append_worker_beat(base, "round", 1, 0.1, shard=1)
+        append_worker_beat(base, "round", 0, 0.1)  # legacy: no shard key
+        merge_heartbeats(base)
+        records = read_heartbeats(base)
+        assert [r.get("shard", 0) for r in records] == [0, 1]
+
+    def test_sharded_campaign_merge_identical_2_vs_4_workers(
+        self, tmp_path
+    ):
+        """The satellite acceptance: a sharded campaign's merged
+        worker-beat stream is byte-for-byte independent of worker count."""
+        from repro.experiments.config import MechanismSpec
+        from repro.experiments.sharding import (
+            CityConfig,
+            run_sharded_campaign,
+        )
+
+        def merged_beats(tag, workers):
+            path = tmp_path / f"hb-{tag}.jsonl"
+            run_sharded_campaign(
+                MechanismSpec.of("online-greedy"),
+                [
+                    CityConfig("east", self.WORKLOAD, num_rounds=3),
+                    CityConfig("west", self.WORKLOAD, num_rounds=3),
+                ],
+                seed=7,
+                workers=workers,
+                shards_per_city=2,
+                heartbeat=HeartbeatConfig(path=path, every=1),
+            )
+            return [
+                {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("worker_pid", "elapsed_seconds")
+                }
+                for record in read_heartbeats(path)
+                if "worker_pid" in record
+            ]
+
+        two = merged_beats("w2", 2)
+        four = merged_beats("w4", 4)
+        assert two == four
+        assert [(r["shard"], r["unit_index"]) for r in two] == [
+            (0, 0),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+            (3, 2),
+        ]

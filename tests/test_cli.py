@@ -166,6 +166,62 @@ class TestCampaign:
         assert "retry=losers" in out
 
 
+class TestShardedCampaign:
+    def test_cities_flag_routes_to_sharded_runner(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "--cities", "2",
+            "--slots", "6",
+            "--rounds", "2",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "city-0" in out and "city-1" in out
+        assert "total welfare" in out
+
+    def test_json_payload_and_checkpoints(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "campaign",
+            "--cities", "2",
+            "--shards", "2",
+            "--slots", "6",
+            "--rounds", "3",
+            "--seed", "3",
+            "--checkpoint-dir", str(tmp_path),
+            "--quiet", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["cities"] == 2
+        assert payload["rounds"] == 6
+        assert payload["shards_per_city"] == 2
+        assert len(list(tmp_path.glob("*.ckpt.jsonl"))) == 4
+
+    def test_sharded_rejects_retry_losers(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "campaign",
+            "--cities", "2",
+            "--rounds", "2",
+            "--retry-losers",
+        )
+        assert code == 2
+        assert "retry-losers" in err
+
+    def test_sharded_rejects_journal_dir(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "campaign",
+            "--shards", "2",
+            "--rounds", "2",
+            "--journal-dir", str(tmp_path),
+        )
+        assert code == 2
+        assert "journal" in err
+
+
 class TestExample:
     def test_worked_example(self, capsys):
         code, out, _ = run_cli(capsys, "example")
